@@ -1,0 +1,21 @@
+//! # lmpi-apps — the paper's application kernels (§6)
+//!
+//! * [`linsolve`] — the broadcast-based linear equation solver of Fig. 7
+//!   (and the matrix multiplication the paper says behaves the same).
+//! * [`particles`] — the ring-pipelined particle pairwise-interaction
+//!   (molecular dynamics) code of Figs. 8 and 9.
+//! * [`heat`] — a 1-D heat-diffusion stencil with halo exchange (an extra
+//!   nearest-neighbour workload in the same communication style).
+//!
+//! Every kernel is generic over a [`lmpi_core::Communicator`], does its
+//! arithmetic for real (results are checked against serial references in
+//! the tests), and reports its modelled operation count through
+//! [`lmpi_core::Communicator::compute_flops`] so simulated runs reflect
+//! 1996-era CPU speeds.
+
+#![warn(missing_docs)]
+
+pub mod heat;
+pub mod linsolve;
+pub mod matmul;
+pub mod particles;

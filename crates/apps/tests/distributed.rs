@@ -1,0 +1,110 @@
+//! Distributed application kernels agree with their serial references,
+//! over the shared-memory substrate.
+
+use lmpi_apps::{heat, linsolve, matmul, particles};
+use lmpi_devices::shm::run;
+
+#[test]
+fn linear_solver_matches_serial() {
+    for nprocs in [1, 2, 3, 5] {
+        let n = 30;
+        let results = run(nprocs, move |mpi| {
+            let world = mpi.world();
+            let (a, b) = linsolve::generate_system(n, 11);
+            let x = linsolve::solve_distributed(&world, &a, &b, n).unwrap();
+            (world.rank(), x)
+        });
+        let (a, b) = linsolve::generate_system(n, 11);
+        let serial = linsolve::solve_serial(&a, &b, n);
+        for (rank, x) in results {
+            if rank == 0 {
+                let x = x.expect("root gets the solution");
+                assert!(
+                    linsolve::residual(&a, &b, &x, n) < 1e-8,
+                    "{nprocs} ranks: residual too large"
+                );
+                for (xs, xd) in serial.iter().zip(&x) {
+                    assert!((xs - xd).abs() < 1e-8, "{nprocs} ranks: mismatch vs serial");
+                }
+            } else {
+                assert!(x.is_none());
+            }
+        }
+    }
+}
+
+#[test]
+fn matmul_matches_serial() {
+    for nprocs in [1, 2, 4] {
+        let n = 16;
+        let results = run(nprocs, move |mpi| {
+            let world = mpi.world();
+            let a: Vec<f64> = (0..n * n).map(|i| (i % 13) as f64 - 6.0).collect();
+            let b: Vec<f64> = (0..n * n).map(|i| (i % 7) as f64 * 0.5).collect();
+            if world.rank() == 0 {
+                matmul::matmul_distributed(&world, &a, &b, n).unwrap()
+            } else {
+                matmul::matmul_distributed(&world, &[], &[], n).unwrap()
+            }
+        });
+        let a: Vec<f64> = (0..n * n).map(|i| (i % 13) as f64 - 6.0).collect();
+        let b: Vec<f64> = (0..n * n).map(|i| (i % 7) as f64 * 0.5).collect();
+        let reference = matmul::matmul_serial(&a, &b, n);
+        let c = results[0].clone().expect("root result");
+        assert_eq!(c.len(), reference.len());
+        for (x, y) in c.iter().zip(&reference) {
+            assert!((x - y).abs() < 1e-9);
+        }
+        assert!(results.iter().skip(1).all(|r| r.is_none()));
+    }
+}
+
+#[test]
+fn ring_forces_match_all_pairs() {
+    for nprocs in [1, 2, 4] {
+        let p = 24; // the paper's Fig. 8 particle count
+        let results = run(nprocs, move |mpi| {
+            let world = mpi.world();
+            let ps = particles::generate_particles(p, 42);
+            (world.rank(), particles::forces_ring(&world, &ps).unwrap())
+        });
+        let ps = particles::generate_particles(p, 42);
+        let reference = particles::forces_serial(&ps);
+        let block = p / nprocs;
+        for (rank, forces) in results {
+            for (i, (fx, fy)) in forces.iter().enumerate() {
+                let (rx, ry) = reference[rank * block + i];
+                assert!(
+                    (fx - rx).abs() < 1e-9 && (fy - ry).abs() < 1e-9,
+                    "{nprocs} ranks: force mismatch on particle {}",
+                    rank * block + i
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn heat_matches_serial() {
+    for nprocs in [1, 2, 4] {
+        let n = 32;
+        let steps = 25;
+        let results = run(nprocs, move |mpi| {
+            let world = mpi.world();
+            let initial: Vec<f64> = (0..n).map(|i| ((i * 7) % 11) as f64).collect();
+            (
+                world.rank(),
+                heat::heat_distributed(&world, &initial, 0.2, steps).unwrap(),
+            )
+        });
+        let initial: Vec<f64> = (0..n).map(|i| ((i * 7) % 11) as f64).collect();
+        let reference = heat::heat_serial(&initial, 0.2, steps);
+        let block = n / nprocs;
+        for (rank, u) in results {
+            for (i, v) in u.iter().enumerate() {
+                let r = reference[rank * block + i];
+                assert!((v - r).abs() < 1e-12, "{nprocs} ranks: cell {} mismatch", rank * block + i);
+            }
+        }
+    }
+}

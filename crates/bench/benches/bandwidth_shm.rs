@@ -1,0 +1,47 @@
+//! Wall-clock large-message bandwidth on the shared-memory substrate.
+
+use std::time::{Duration, Instant};
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use lmpi_core::MpiConfig;
+use lmpi_devices::shm::run_with_config;
+
+fn stream_duration(nbytes: usize, iters: u64) -> Duration {
+    run_with_config(2, MpiConfig::device_defaults(), move |mpi| {
+        let world = mpi.world();
+        if world.rank() == 0 {
+            let buf = vec![0u8; nbytes];
+            world.send(&buf, 1, 0).unwrap(); // warmup
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                world.send(&buf, 1, 0).unwrap();
+            }
+            // Flush: wait for a zero-byte confirmation.
+            let mut done = [0u8; 0];
+            world.recv(&mut done, 1, 1).unwrap();
+            t0.elapsed()
+        } else {
+            let mut buf = vec![0u8; nbytes];
+            for _ in 0..iters + 1 {
+                world.recv(&mut buf, 0, 0).unwrap();
+            }
+            world.send::<u8>(&[], 0, 1).unwrap();
+            Duration::ZERO
+        }
+    })[0]
+}
+
+fn bench_bandwidth(c: &mut Criterion) {
+    let mut g = c.benchmark_group("shm_stream");
+    g.sample_size(10);
+    for nbytes in [64 << 10, 1 << 20, 8 << 20] {
+        g.throughput(Throughput::Bytes(nbytes as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(nbytes), &nbytes, |b, &n| {
+            b.iter_custom(|iters| stream_duration(n, iters));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_bandwidth);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Wall-clock collective latency on the shared-memory substrate.
+
+use std::time::{Duration, Instant};
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lmpi_core::{MpiConfig, ReduceOp};
+use lmpi_devices::shm::run_with_config;
+
+fn collective_duration(nprocs: usize, op: &'static str, iters: u64) -> Duration {
+    run_with_config(nprocs, MpiConfig::device_defaults(), move |mpi| {
+        let world = mpi.world();
+        let mut buf = vec![world.rank() as u64; 64];
+        // Warmup.
+        world.barrier().unwrap();
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            match op {
+                "bcast" => world.bcast(&mut buf, 0).unwrap(),
+                "allreduce" => {
+                    let _ = world.allreduce(&buf, ReduceOp::Sum).unwrap();
+                }
+                "barrier" => world.barrier().unwrap(),
+                "allgather" => {
+                    let _ = world.allgather(&buf[..8]).unwrap();
+                }
+                other => unreachable!("{other}"),
+            }
+        }
+        let dt = t0.elapsed();
+        world.barrier().unwrap();
+        if world.rank() == 0 {
+            dt
+        } else {
+            Duration::ZERO
+        }
+    })[0]
+}
+
+fn bench_collectives(c: &mut Criterion) {
+    let mut g = c.benchmark_group("collectives_shm");
+    g.sample_size(10);
+    for op in ["bcast", "allreduce", "barrier", "allgather"] {
+        for nprocs in [4usize, 8] {
+            g.bench_with_input(
+                BenchmarkId::new(op, nprocs),
+                &(op, nprocs),
+                |b, &(op, n)| {
+                    b.iter_custom(|iters| collective_duration(n, op, iters));
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_collectives);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Wall-clock ping-pong latency over real TCP loopback connections —
+//! the sockets device exercised as an actual transport.
+
+use std::time::{Duration, Instant};
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lmpi_core::MpiConfig;
+use lmpi_devices::sock::run_real_tcp;
+
+fn pingpong_duration(nbytes: usize, iters: u64) -> Duration {
+    run_real_tcp(2, MpiConfig::device_defaults(), move |mpi| {
+        let world = mpi.world();
+        let buf = vec![0u8; nbytes];
+        let mut back = vec![0u8; nbytes];
+        if world.rank() == 0 {
+            world.send(&buf, 1, 0).unwrap();
+            world.recv(&mut back, 1, 0).unwrap();
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                world.send(&buf, 1, 0).unwrap();
+                world.recv(&mut back, 1, 0).unwrap();
+            }
+            t0.elapsed()
+        } else {
+            for _ in 0..iters + 1 {
+                world.recv(&mut back, 0, 0).unwrap();
+                world.send(&back, 0, 0).unwrap();
+            }
+            Duration::ZERO
+        }
+    })[0]
+}
+
+fn bench_real_tcp(c: &mut Criterion) {
+    let mut g = c.benchmark_group("real_tcp_pingpong");
+    g.sample_size(10);
+    for nbytes in [8usize, 1024, 65536] {
+        g.bench_with_input(BenchmarkId::from_parameter(nbytes), &nbytes, |b, &n| {
+            b.iter_custom(|iters| pingpong_duration(n, iters.max(1)));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_real_tcp);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Wall-clock ping-pong latency on the real shared-memory substrate,
+//! sweeping message size across the eager/rendezvous boundary.
+
+use std::time::{Duration, Instant};
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lmpi_core::MpiConfig;
+use lmpi_devices::shm::run_with_config;
+
+fn pingpong_duration(config: MpiConfig, nbytes: usize, iters: u64) -> Duration {
+    let out = run_with_config(2, config, move |mpi| {
+        let world = mpi.world();
+        let buf = vec![0u8; nbytes];
+        let mut back = vec![0u8; nbytes];
+        if world.rank() == 0 {
+            // Warmup.
+            world.send(&buf, 1, 0).unwrap();
+            world.recv(&mut back, 1, 0).unwrap();
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                world.send(&buf, 1, 0).unwrap();
+                world.recv(&mut back, 1, 0).unwrap();
+            }
+            t0.elapsed()
+        } else {
+            for _ in 0..iters + 1 {
+                world.recv(&mut back, 0, 0).unwrap();
+                world.send(&back, 0, 0).unwrap();
+            }
+            Duration::ZERO
+        }
+    });
+    out[0]
+}
+
+fn bench_latency(c: &mut Criterion) {
+    let mut g = c.benchmark_group("shm_pingpong");
+    g.sample_size(10);
+    for nbytes in [8usize, 180, 1024, 8192, 65536] {
+        g.bench_with_input(BenchmarkId::new("hybrid", nbytes), &nbytes, |b, &n| {
+            b.iter_custom(|iters| pingpong_duration(MpiConfig::device_defaults(), n, iters));
+        });
+    }
+    // Protocol ablation at one size that both mechanisms can carry.
+    for (name, cfg) in [
+        ("force_eager_1k", MpiConfig::device_defaults().with_eager_threshold(1 << 20)),
+        ("force_rndv_1k", MpiConfig::device_defaults().with_eager_threshold(0)),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter_custom(|iters| pingpong_duration(cfg, 1024, iters));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_latency);
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! Microbenchmark of the matching engine: the data structure the paper
+//! puts on the critical path (SPARC vs Elan matching is about *where* this
+//! runs; here is how much work it is).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lmpi_core::bench_internals::{MatchEngine, UnexpectedBody, UnexpectedMsg};
+use lmpi_core::{Envelope, SourceSel, TagSel};
+
+fn env(src: usize, tag: u32) -> Envelope {
+    Envelope {
+        src,
+        tag,
+        context: 0,
+        len: 0,
+    }
+}
+
+fn bench_matching(c: &mut Criterion) {
+    let mut g = c.benchmark_group("matching");
+
+    // Hot path: post-then-match at empty queues (the common ping-pong case).
+    g.bench_function("post_and_match_empty", |b| {
+        b.iter(|| {
+            let mut m = MatchEngine::new();
+            m.match_posted(1, SourceSel::Rank(0), TagSel::Tag(5), 0);
+            std::hint::black_box(m.match_incoming(&env(0, 5)))
+        });
+    });
+
+    // Scan depth: match against N unexpected messages of other tags.
+    for depth in [4usize, 64, 512] {
+        g.bench_with_input(BenchmarkId::new("unexpected_scan", depth), &depth, |b, &d| {
+            b.iter_batched(
+                || {
+                    let mut m = MatchEngine::new();
+                    for i in 0..d as u32 {
+                        m.add_unexpected(UnexpectedMsg {
+                            env: env(1, 1000 + i),
+                            body: UnexpectedBody::Rndv { send_id: i as u64 },
+                        });
+                    }
+                    m.add_unexpected(UnexpectedMsg {
+                        env: env(1, 7),
+                        body: UnexpectedBody::Rndv { send_id: 999 },
+                    });
+                    m
+                },
+                |mut m| std::hint::black_box(m.match_posted(1, SourceSel::Any, TagSel::Tag(7), 0)),
+                criterion::BatchSize::SmallInput,
+            );
+        });
+    }
+
+    // Wildcard receive against a deep posted queue.
+    for depth in [4usize, 64, 512] {
+        g.bench_with_input(BenchmarkId::new("posted_scan", depth), &depth, |b, &d| {
+            b.iter_batched(
+                || {
+                    let mut m = MatchEngine::new();
+                    for i in 0..d as u32 {
+                        m.match_posted(i as u64, SourceSel::Rank(9), TagSel::Tag(i), 0);
+                    }
+                    m
+                },
+                |mut m| std::hint::black_box(m.match_incoming(&env(9, (d - 1) as u32))),
+                criterion::BatchSize::SmallInput,
+            );
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_matching);
+criterion_main!(benches);

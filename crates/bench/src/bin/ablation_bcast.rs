@@ -1,0 +1,4 @@
+//! Regenerate the paper's ablation_bcast (run with `--quick` for a fast sweep).
+fn main() {
+    lmpi_bench::run_and_print(lmpi_bench::figures::ablation_bcast);
+}

@@ -1,0 +1,4 @@
+//! Regenerate the paper's fig3 (run with `--quick` for a fast sweep).
+fn main() {
+    lmpi_bench::run_and_print(lmpi_bench::figures::fig3);
+}

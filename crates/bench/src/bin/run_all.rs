@@ -1,0 +1,20 @@
+//! Regenerate the paper's entire evaluation section: every figure, the
+//! table, and the ablations, with PASS/FAIL shape checks.
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let mut failed = Vec::new();
+    for (name, f) in lmpi_bench::all_experiments() {
+        let r = f(quick);
+        print!("{}", r.render());
+        println!();
+        if !r.passed() {
+            failed.push(name);
+        }
+    }
+    if failed.is_empty() {
+        println!("ALL SHAPE CHECKS PASSED");
+    } else {
+        println!("FAILED: {failed:?}");
+        std::process::exit(1);
+    }
+}

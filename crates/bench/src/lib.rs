@@ -1,0 +1,47 @@
+//! # lmpi-bench — the paper's evaluation, regenerated
+//!
+//! One function per figure/table of *Low Latency MPI for Meiko CS/2 and
+//! ATM Clusters* (IPPS 1997), in [`figures`], each returning a [`report::Report`]
+//! with measured rows, the paper's reference values, and PASS/FAIL shape
+//! checks. Thin binaries under `src/bin/` print them individually;
+//! `run_all` regenerates the whole evaluation section.
+//!
+//! All simulated measurements are deterministic (virtual time); Criterion
+//! wall-clock benchmarks on the real substrates live under `benches/`.
+
+#![warn(missing_docs)]
+
+pub mod figures;
+pub mod measure;
+pub mod report;
+
+use report::Report;
+
+/// Every experiment in paper order: `(id, generator)`.
+pub fn all_experiments() -> Vec<(&'static str, fn(bool) -> Report)> {
+    vec![
+        ("fig1", figures::fig1 as fn(bool) -> Report),
+        ("fig2", figures::fig2),
+        ("fig3", figures::fig3),
+        ("fig4", figures::fig4),
+        ("fig5", figures::fig5),
+        ("fig6", figures::fig6),
+        ("table1", figures::table1),
+        ("fig7", figures::fig7),
+        ("fig8", figures::fig8),
+        ("fig9", figures::fig9),
+        ("ablation_threshold", figures::ablation_threshold),
+        ("ablation_bcast", figures::ablation_bcast),
+        ("ablation_credit", figures::ablation_credit),
+    ]
+}
+
+/// Standard binary entry point: `--quick` shrinks sweeps for CI.
+pub fn run_and_print(f: fn(bool) -> Report) {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let r = f(quick);
+    print!("{}", r.render());
+    if !r.passed() {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,173 @@
+//! Shared measurement primitives: ping-pongs and bandwidth sweeps on every
+//! substrate, all in deterministic virtual time.
+
+use std::sync::{Arc, Mutex};
+
+use lmpi_core::{Mpi, MpiConfig};
+use lmpi_devices::meiko::{run_meiko, MeikoVariant};
+use lmpi_devices::sock::{run_cluster, ClusterNet, ClusterTransport};
+use lmpi_netmodel::atm::AtmFabric;
+use lmpi_netmodel::eth::EthFabric;
+use lmpi_netmodel::ip::{Fabric, SockFabric};
+use lmpi_netmodel::meiko::Tport;
+use lmpi_netmodel::params::{AtmParams, EthParams, MeikoParams, SocketParams};
+use lmpi_sim::Sim;
+
+/// Round-trip time in µs of an `nbytes` MPI ping-pong (after one warmup
+/// round), averaged over `reps` rounds.
+pub fn mpi_pingpong_rtt_us(
+    nbytes: usize,
+    reps: usize,
+    runner: impl Fn(Box<dyn Fn(Mpi) -> f64 + Send + Sync>) -> Vec<f64>,
+) -> f64 {
+    runner(Box::new(move |mpi| {
+        let world = mpi.world();
+        let buf = vec![0x5Au8; nbytes];
+        let mut back = vec![0u8; nbytes];
+        if world.rank() == 0 {
+            world.send(&buf, 1, 0).unwrap();
+            world.recv(&mut back, 1, 0).unwrap();
+            let t0 = mpi.wtime();
+            for _ in 0..reps {
+                world.send(&buf, 1, 0).unwrap();
+                world.recv(&mut back, 1, 0).unwrap();
+            }
+            (mpi.wtime() - t0) / reps as f64 * 1e6
+        } else {
+            for _ in 0..reps + 1 {
+                world.recv(&mut back, 0, 0).unwrap();
+                world.send(&back, 0, 0).unwrap();
+            }
+            0.0
+        }
+    }))[0]
+}
+
+/// Meiko MPI ping-pong RTT (µs).
+pub fn meiko_rtt_us(variant: MeikoVariant, config: MpiConfig, nbytes: usize, reps: usize) -> f64 {
+    mpi_pingpong_rtt_us(nbytes, reps, move |f| run_meiko(2, variant, config, f))
+}
+
+/// Cluster MPI ping-pong RTT (µs).
+pub fn cluster_rtt_us(
+    net: ClusterNet,
+    transport: ClusterTransport,
+    config: MpiConfig,
+    nbytes: usize,
+    reps: usize,
+) -> f64 {
+    mpi_pingpong_rtt_us(nbytes, reps, move |f| run_cluster(2, net, transport, config, f))
+}
+
+/// Bandwidth in MB/s from a ping-pong RTT: two transfers per round trip.
+pub fn bw_mbs(nbytes: usize, rtt_us: f64) -> f64 {
+    2.0 * nbytes as f64 / rtt_us
+}
+
+/// Raw Meiko tport ping-pong RTT (µs) — no MPI overheads (Fig. 2's floor).
+pub fn tport_rtt_us(nbytes: usize, reps: usize) -> f64 {
+    let sim = Sim::new();
+    let mut ports = Tport::fabric(&sim, 2, MeikoParams::default());
+    let p1 = ports.pop().unwrap();
+    let p0 = ports.pop().unwrap();
+    let out = Arc::new(Mutex::new(0.0));
+    let o = out.clone();
+    sim.spawn("p0", move |p| {
+        // Warmup.
+        p0.send(p, 1, 0, vec![0u8; nbytes]);
+        let _ = p0.recv(p, 1);
+        let t0 = p.now();
+        for _ in 0..reps {
+            p0.send(p, 1, 0, vec![0u8; nbytes]);
+            let _ = p0.recv(p, 1);
+        }
+        *o.lock().unwrap() = (p.now() - t0).as_us_f64() / reps as f64;
+    });
+    sim.spawn("p1", move |p| {
+        for _ in 0..reps + 1 {
+            let m = p1.recv(p, 0);
+            p1.send(p, 0, 1, m.data);
+        }
+    });
+    sim.run();
+    let v = *out.lock().unwrap();
+    v
+}
+
+/// Which raw (non-MPI) socket protocol to measure.
+#[derive(Copy, Clone, Debug)]
+pub enum RawProto {
+    /// Kernel TCP.
+    Tcp,
+    /// Kernel UDP (no reliability layer; the sim fabric is lossless).
+    Udp,
+    /// The Fore API's raw AAL access (ATM only).
+    Aal,
+}
+
+fn raw_params(net: ClusterNet, proto: RawProto) -> SocketParams {
+    match (net, proto) {
+        (ClusterNet::Ethernet, RawProto::Tcp) => SocketParams::tcp_eth(),
+        (ClusterNet::Ethernet, RawProto::Udp) => SocketParams::udp_eth(),
+        (ClusterNet::Ethernet, RawProto::Aal) => panic!("AAL is an ATM interface"),
+        (ClusterNet::Atm, RawProto::Tcp) => SocketParams::tcp_atm(),
+        (ClusterNet::Atm, RawProto::Udp) => SocketParams::udp_atm(),
+        (ClusterNet::Atm, RawProto::Aal) => SocketParams::aal_atm(),
+    }
+}
+
+/// Raw socket ping-pong RTT (µs): one read per message, no MPI framing —
+/// the paper's baseline curves in Figs. 4-6.
+pub fn raw_sock_rtt_us(net: ClusterNet, proto: RawProto, nbytes: usize, reps: usize) -> f64 {
+    let sim = Sim::new();
+    let fabric = match net {
+        ClusterNet::Ethernet => Fabric::Eth(EthFabric::new(&sim, EthParams::default())),
+        ClusterNet::Atm => Fabric::Atm(AtmFabric::new(&sim, 2, AtmParams::default())),
+    };
+    let sock: SockFabric<u8> = SockFabric::new(&sim, 2, fabric, raw_params(net, proto), 0.0, 1);
+    let n0 = sock.node(0);
+    let n1 = sock.node(1);
+    let out = Arc::new(Mutex::new(0.0));
+    let o = out.clone();
+    sim.spawn("client", move |p| {
+        n0.send(p, 1, 0, nbytes);
+        let _ = n0.recv(p, 1);
+        let t0 = p.now();
+        for _ in 0..reps {
+            n0.send(p, 1, 0, nbytes);
+            let _ = n0.recv(p, 1);
+        }
+        *o.lock().unwrap() = (p.now() - t0).as_us_f64() / reps as f64;
+    });
+    sim.spawn("server", move |p| {
+        for _ in 0..reps + 1 {
+            let (m, n) = n1.recv(p, 1);
+            n1.send(p, 0, m, n);
+        }
+    });
+    sim.run();
+    let v = *out.lock().unwrap();
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tport_floor_is_52_us() {
+        let rtt = tport_rtt_us(1, 3);
+        assert!((rtt - 52.05).abs() < 1.0, "{rtt}");
+    }
+
+    #[test]
+    fn raw_tcp_eth_base() {
+        let rtt = raw_sock_rtt_us(ClusterNet::Ethernet, RawProto::Tcp, 1, 2);
+        assert!((rtt - 925.0).abs() < 15.0, "{rtt}");
+    }
+
+    #[test]
+    fn bw_helper() {
+        assert!((bw_mbs(1_000_000, 2_000_000.0) - 1.0).abs() < 1e-9);
+    }
+}

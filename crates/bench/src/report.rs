@@ -1,0 +1,145 @@
+//! Tabular experiment reports with paper-versus-measured shape checks.
+
+use std::fmt::Write as _;
+
+/// One experiment's output: a table plus shape checks.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Experiment id, e.g. "Fig. 2".
+    pub id: String,
+    /// Human title.
+    pub title: String,
+    /// Column headers; first column is the sweep variable.
+    pub columns: Vec<String>,
+    /// Data rows.
+    pub rows: Vec<Vec<String>>,
+    /// Reference values from the paper, as free-form lines.
+    pub paper: Vec<String>,
+    /// Shape checks: (description, passed, detail).
+    pub checks: Vec<(String, bool, String)>,
+}
+
+impl Report {
+    /// Start a report.
+    pub fn new(id: &str, title: &str, columns: &[&str]) -> Self {
+        Report {
+            id: id.to_string(),
+            title: title.to_string(),
+            columns: columns.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+            paper: Vec::new(),
+            checks: Vec::new(),
+        }
+    }
+
+    /// Append a data row (stringified cells).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.columns.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Record a paper reference line.
+    pub fn paper_ref(&mut self, line: &str) {
+        self.paper.push(line.to_string());
+    }
+
+    /// Record a shape check.
+    pub fn check(&mut self, what: &str, passed: bool, detail: String) {
+        self.checks.push((what.to_string(), passed, detail));
+    }
+
+    /// Convenience: check a measured value against a paper value within a
+    /// relative tolerance.
+    pub fn check_close(&mut self, what: &str, measured: f64, paper: f64, rel_tol: f64) {
+        let ok = (measured - paper).abs() <= rel_tol * paper.abs();
+        self.check(
+            what,
+            ok,
+            format!("measured {measured:.2}, paper {paper:.2} (tol {:.0}%)", rel_tol * 100.0),
+        );
+    }
+
+    /// Whether all shape checks passed.
+    pub fn passed(&self) -> bool {
+        self.checks.iter().all(|(_, ok, _)| *ok)
+    }
+
+    /// Render to the console format.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "=== {} — {} ===", self.id, self.title);
+        // Column widths.
+        let mut widths: Vec<usize> = self.columns.iter().map(|c| c.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let header: Vec<String> = self
+            .columns
+            .iter()
+            .zip(&widths)
+            .map(|(c, w)| format!("{c:>w$}"))
+            .collect();
+        let _ = writeln!(out, "{}", header.join("  "));
+        for row in &self.rows {
+            let line: Vec<String> = row
+                .iter()
+                .zip(&widths)
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect();
+            let _ = writeln!(out, "{}", line.join("  "));
+        }
+        if !self.paper.is_empty() {
+            let _ = writeln!(out, "paper reference:");
+            for p in &self.paper {
+                let _ = writeln!(out, "  {p}");
+            }
+        }
+        for (what, ok, detail) in &self.checks {
+            let _ = writeln!(out, "[{}] {what}: {detail}", if *ok { "PASS" } else { "FAIL" });
+        }
+        out
+    }
+}
+
+/// Format a microsecond value.
+pub fn us(v: f64) -> String {
+    format!("{v:.1}")
+}
+
+/// Format a MB/s value.
+pub fn mbs(v: f64) -> String {
+    format!("{v:.2}")
+}
+
+/// Format a seconds value.
+pub fn secs(v: f64) -> String {
+    format!("{v:.6}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_renders_and_checks() {
+        let mut r = Report::new("Fig. X", "demo", &["size", "rtt"]);
+        r.row(vec!["1".into(), us(52.0)]);
+        r.paper_ref("52us at 1 byte");
+        r.check_close("1-byte RTT", 52.4, 52.0, 0.05);
+        r.check_close("too far", 80.0, 52.0, 0.05);
+        assert!(!r.passed());
+        let text = r.render();
+        assert!(text.contains("PASS"));
+        assert!(text.contains("FAIL"));
+        assert!(text.contains("52.0"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn row_width_enforced() {
+        let mut r = Report::new("x", "y", &["a", "b"]);
+        r.row(vec!["1".into()]);
+    }
+}

@@ -1,0 +1,513 @@
+//! Collective operations.
+//!
+//! All collectives run on the communicator's *collective context*, so they
+//! can never interfere with user point-to-point traffic (the MPICH context
+//! trick). Broadcast uses the device's hardware broadcast when available —
+//! on the Meiko that is the paper's own design ("the implementation of
+//! broadcast on Meiko uses the underlying hardware broadcast mechanism,
+//! whereas on the ATM network it uses a succession of point-to-point
+//! messages"). Everything else is built from point-to-point sends, as the
+//! paper's MPICH baseline builds broadcast.
+
+use std::rc::Rc;
+
+use bytes::Bytes;
+
+use crate::datatype::{to_bytes, MpiData};
+use crate::error::{MpiError, MpiResult};
+use crate::mpi::Communicator;
+use crate::packet::{Packet, Wire};
+use crate::reduce_op::{Reducible, ReduceOp};
+use crate::types::{Rank, SendMode, SourceSel, Status, Tag, TagSel};
+
+// Tags used on the collective context. They live in the ordinary tag space
+// but cannot collide with user messages because the context differs.
+const T_BARRIER: Tag = 1;
+const T_BCAST: Tag = 2;
+const T_GATHER: Tag = 3;
+const T_SCATTER: Tag = 4;
+const T_REDUCE: Tag = 5;
+const T_ALLGATHER: Tag = 6;
+const T_ALLTOALL: Tag = 7;
+const T_SCAN: Tag = 8;
+
+impl Communicator {
+    fn coll_send<T: MpiData>(&self, buf: &[T], dst: Rank, tag: Tag) -> MpiResult<()> {
+        self.send_mode(buf, dst, tag, SendMode::Standard, self.coll_ctx())
+    }
+
+    fn coll_recv<T: MpiData>(&self, buf: &mut [T], src: Rank, tag: Tag) -> MpiResult<Status> {
+        let id = self.post_recv_raw(buf, SourceSel::Rank(src), TagSel::Tag(tag), self.coll_ctx())?;
+        let st = self.inner().wait_request(id)?;
+        Ok(self.localize(st))
+    }
+
+    /// `MPI_Barrier`: dissemination algorithm, `ceil(log2 n)` rounds.
+    pub fn barrier(&self) -> MpiResult<()> {
+        let n = self.size();
+        let me = self.rank();
+        let mut dist = 1;
+        let mut round: Tag = 0;
+        while dist < n {
+            let dst = (me + dist) % n;
+            let src = (me + n - dist) % n;
+            let tag = T_BARRIER + (round << 4);
+            let mut empty = [0u8; 0];
+            let rid =
+                self.post_recv_raw(&mut empty, SourceSel::Rank(src), TagSel::Tag(tag), self.coll_ctx())?;
+            self.coll_send::<u8>(&[], dst, tag)?;
+            self.inner().wait_request(rid)?;
+            dist <<= 1;
+            round += 1;
+        }
+        Ok(())
+    }
+
+    /// `MPI_Bcast`: root's `buf` is copied into everyone's `buf`.
+    ///
+    /// Uses the hardware broadcast on devices that have one (Meiko CS/2),
+    /// otherwise a binomial tree of point-to-point messages (the paper's
+    /// MPICH baseline behaviour, and its ATM/TCP implementation).
+    pub fn bcast<T: MpiData>(&self, buf: &mut [T], root: Rank) -> MpiResult<()> {
+        let n = self.size();
+        self.global(root)?;
+        if n == 1 {
+            return Ok(());
+        }
+        if self.inner().device.has_hw_bcast() {
+            return self.bcast_hw(buf, root);
+        }
+        self.bcast_binomial(buf, root)
+    }
+
+    fn bcast_hw<T: MpiData>(&self, buf: &mut [T], root: Rank) -> MpiResult<()> {
+        let seq = self.inner().eng.borrow_mut().next_bcast_seq(self.coll_ctx());
+        let me = self.rank();
+        if me == root {
+            let data = Bytes::from(to_bytes(buf));
+            let my_global = self.global(me)?;
+            let others: Vec<Rank> = self
+                .group_ranks()
+                .iter()
+                .copied()
+                .filter(|&g| g != my_global)
+                .collect();
+            self.inner().device.hw_bcast(
+                &others,
+                Wire::bare(
+                    my_global,
+                    Packet::HwBcast {
+                        context: self.coll_ctx(),
+                        root: my_global,
+                        seq,
+                        data,
+                    },
+                ),
+            );
+            Ok(())
+        } else {
+            let ctx = self.coll_ctx();
+            let data = self
+                .inner()
+                .progress_until(|eng| eng.take_coll_bcast(ctx, seq));
+            if data.len() != T::byte_len(buf.len()) {
+                return Err(MpiError::CollectiveMismatch(format!(
+                    "bcast: root sent {} bytes, local buffer holds {}",
+                    data.len(),
+                    T::byte_len(buf.len())
+                )));
+            }
+            T::read_from(&data, buf);
+            Ok(())
+        }
+    }
+
+    /// Software broadcast: binomial tree rooted at `root`. Exposed for the
+    /// hardware-vs-software broadcast ablation.
+    pub fn bcast_binomial<T: MpiData>(&self, buf: &mut [T], root: Rank) -> MpiResult<()> {
+        let n = self.size();
+        let me = self.rank();
+        let vrank = (me + n - root) % n;
+        // Receive from the parent (the rank that differs in our lowest set
+        // bit), unless we are the root.
+        let mut mask = 1;
+        while mask < n {
+            if vrank & mask != 0 {
+                let parent = ((vrank - mask) + root) % n;
+                self.coll_recv(buf, parent, T_BCAST)?;
+                break;
+            }
+            mask <<= 1;
+        }
+        // Forward to children.
+        mask >>= 1;
+        while mask > 0 {
+            if vrank & mask == 0 && vrank + mask < n {
+                let child = (vrank + mask + root) % n;
+                self.coll_send(buf, child, T_BCAST)?;
+            }
+            mask >>= 1;
+        }
+        Ok(())
+    }
+
+    /// `MPI_Gather` with equal contribution sizes: returns `Some(all)` at
+    /// `root` (concatenated in rank order) and `None` elsewhere.
+    pub fn gather<T: MpiData + Default>(&self, send: &[T], root: Rank) -> MpiResult<Option<Vec<T>>> {
+        let n = self.size();
+        let me = self.rank();
+        self.global(root)?;
+        if me != root {
+            self.coll_send(send, root, T_GATHER)?;
+            return Ok(None);
+        }
+        let count = send.len();
+        let mut out = vec![T::default(); count * n];
+        out[me * count..(me + 1) * count].copy_from_slice(send);
+        for src in 0..n {
+            if src == me {
+                continue;
+            }
+            let st = self.coll_recv(&mut out[src * count..(src + 1) * count], src, T_GATHER)?;
+            if st.len != T::byte_len(count) {
+                return Err(MpiError::CollectiveMismatch(format!(
+                    "gather: rank {src} sent {} bytes, expected {}",
+                    st.len,
+                    T::byte_len(count)
+                )));
+            }
+        }
+        Ok(Some(out))
+    }
+
+    /// `MPI_Gatherv`: contributions may differ in length; the root gets one
+    /// vector per rank.
+    pub fn gatherv<T: MpiData + Default>(
+        &self,
+        send: &[T],
+        root: Rank,
+    ) -> MpiResult<Option<Vec<Vec<T>>>> {
+        let n = self.size();
+        let me = self.rank();
+        self.global(root)?;
+        if me != root {
+            self.coll_send(send, root, T_GATHER)?;
+            return Ok(None);
+        }
+        let mut out: Vec<Vec<T>> = (0..n).map(|_| Vec::new()).collect();
+        out[me] = send.to_vec();
+        for src in 0..n {
+            if src == me {
+                continue;
+            }
+            // Probe on the collective context for the size.
+            let src_g = SourceSel::Rank(src);
+            let st = {
+                let sel = self.src_sel_pub(src_g)?;
+                let ctx = self.coll_ctx();
+                self.inner()
+                    .progress_until(|eng| eng.probe(sel, TagSel::Tag(T_GATHER), ctx))
+            };
+            let mut buf = vec![T::default(); st.len / T::byte_len(1)];
+            self.coll_recv(&mut buf, src, T_GATHER)?;
+            out[src] = buf;
+        }
+        Ok(Some(out))
+    }
+
+    fn src_sel_pub(&self, src: SourceSel) -> MpiResult<SourceSel> {
+        Ok(match src {
+            SourceSel::Any => SourceSel::Any,
+            SourceSel::Rank(local) => SourceSel::Rank(self.global(local)?),
+        })
+    }
+
+    /// `MPI_Scatter`: root's `send` (length `n * recv.len()`) is split into
+    /// equal blocks, one per rank, in rank order.
+    pub fn scatter<T: MpiData>(&self, send: Option<&[T]>, recv: &mut [T], root: Rank) -> MpiResult<()> {
+        let n = self.size();
+        let me = self.rank();
+        self.global(root)?;
+        let count = recv.len();
+        if me == root {
+            let send = send.ok_or_else(|| {
+                MpiError::CollectiveMismatch("scatter: root must supply a send buffer".into())
+            })?;
+            if send.len() != count * n {
+                return Err(MpiError::CollectiveMismatch(format!(
+                    "scatter: send length {} != {} ranks x {} elements",
+                    send.len(),
+                    n,
+                    count
+                )));
+            }
+            for dst in 0..n {
+                if dst == me {
+                    recv.copy_from_slice(&send[dst * count..(dst + 1) * count]);
+                } else {
+                    self.coll_send(&send[dst * count..(dst + 1) * count], dst, T_SCATTER)?;
+                }
+            }
+            Ok(())
+        } else {
+            self.coll_recv(recv, root, T_SCATTER)?;
+            Ok(())
+        }
+    }
+
+    /// `MPI_Scatterv`: root supplies one (possibly differently sized)
+    /// vector per rank; each rank gets its own back.
+    pub fn scatterv<T: MpiData + Default>(
+        &self,
+        send: Option<&[Vec<T>]>,
+        root: Rank,
+    ) -> MpiResult<Vec<T>> {
+        let n = self.size();
+        let me = self.rank();
+        self.global(root)?;
+        if me == root {
+            let send = send.ok_or_else(|| {
+                MpiError::CollectiveMismatch("scatterv: root must supply send vectors".into())
+            })?;
+            if send.len() != n {
+                return Err(MpiError::CollectiveMismatch(format!(
+                    "scatterv: {} vectors for {} ranks",
+                    send.len(),
+                    n
+                )));
+            }
+            for (dst, part) in send.iter().enumerate() {
+                if dst != me {
+                    self.coll_send(part, dst, T_SCATTER)?;
+                }
+            }
+            Ok(send[me].clone())
+        } else {
+            // Probe for the size on the collective context.
+            let src_g = SourceSel::Rank(self.global(root)?);
+            let ctx = self.coll_ctx();
+            let st = self
+                .inner()
+                .progress_until(|eng| eng.probe(src_g, TagSel::Tag(T_SCATTER), ctx));
+            let mut buf = vec![T::default(); st.len / T::byte_len(1)];
+            self.coll_recv(&mut buf, root, T_SCATTER)?;
+            Ok(buf)
+        }
+    }
+
+    /// `MPI_Allgather`: ring algorithm, `n - 1` steps. Returns all
+    /// contributions concatenated in rank order.
+    pub fn allgather<T: MpiData + Default>(&self, send: &[T]) -> MpiResult<Vec<T>> {
+        let n = self.size();
+        let me = self.rank();
+        let count = send.len();
+        let mut out = vec![T::default(); count * n];
+        out[me * count..(me + 1) * count].copy_from_slice(send);
+        if n == 1 {
+            return Ok(out);
+        }
+        let right = (me + 1) % n;
+        let left = (me + n - 1) % n;
+        for step in 0..n - 1 {
+            let send_block = (me + n - step) % n;
+            let recv_block = (me + n - step - 1) % n;
+            let tmp = out[send_block * count..(send_block + 1) * count].to_vec();
+            let tag = T_ALLGATHER + ((step as Tag) << 4);
+            let rid = self.post_recv_raw(
+                &mut out[recv_block * count..(recv_block + 1) * count],
+                SourceSel::Rank(self.global(left)?),
+                TagSel::Tag(tag),
+                self.coll_ctx(),
+            )?;
+            self.coll_send(&tmp, right, tag)?;
+            self.inner().wait_request(rid)?;
+        }
+        Ok(out)
+    }
+
+    /// `MPI_Alltoall`: `send` holds `n` equal blocks in destination order;
+    /// the result holds `n` blocks in source order.
+    pub fn alltoall<T: MpiData + Default>(&self, send: &[T]) -> MpiResult<Vec<T>> {
+        let n = self.size();
+        let me = self.rank();
+        if send.len() % n != 0 {
+            return Err(MpiError::CollectiveMismatch(format!(
+                "alltoall: send length {} not divisible by {} ranks",
+                send.len(),
+                n
+            )));
+        }
+        let count = send.len() / n;
+        let mut out = vec![T::default(); send.len()];
+        out[me * count..(me + 1) * count].copy_from_slice(&send[me * count..(me + 1) * count]);
+        for step in 1..n {
+            let dst = (me + step) % n;
+            let src = (me + n - step) % n;
+            let tag = T_ALLTOALL + ((step as Tag) << 4);
+            let rid = self.post_recv_raw(
+                &mut out[src * count..(src + 1) * count],
+                SourceSel::Rank(self.global(src)?),
+                TagSel::Tag(tag),
+                self.coll_ctx(),
+            )?;
+            self.coll_send(&send[dst * count..(dst + 1) * count], dst, tag)?;
+            self.inner().wait_request(rid)?;
+        }
+        Ok(out)
+    }
+
+    /// `MPI_Reduce`: elementwise reduction to `root` (binomial tree).
+    /// Returns `Some(result)` at the root, `None` elsewhere.
+    pub fn reduce<T: MpiData + Reducible + Default>(
+        &self,
+        send: &[T],
+        op: ReduceOp,
+        root: Rank,
+    ) -> MpiResult<Option<Vec<T>>> {
+        let n = self.size();
+        let me = self.rank();
+        self.global(root)?;
+        let vrank = (me + n - root) % n;
+        let mut acc = send.to_vec();
+        let mut tmp = vec![T::default(); send.len()];
+        let mut mask = 1;
+        while mask < n {
+            if vrank & mask == 0 {
+                let peer_v = vrank | mask;
+                if peer_v < n {
+                    let peer = (peer_v + root) % n;
+                    let st = self.coll_recv(&mut tmp, peer, T_REDUCE)?;
+                    if st.len != T::byte_len(send.len()) {
+                        return Err(MpiError::CollectiveMismatch(format!(
+                            "reduce: rank {peer} sent {} bytes, expected {}",
+                            st.len,
+                            T::byte_len(send.len())
+                        )));
+                    }
+                    T::accumulate(op, &mut acc, &tmp);
+                }
+            } else {
+                let peer = ((vrank - mask) + root) % n;
+                self.coll_send(&acc, peer, T_REDUCE)?;
+                break;
+            }
+            mask <<= 1;
+        }
+        Ok((me == root).then_some(acc))
+    }
+
+    /// `MPI_Allreduce`: reduce to rank 0 then broadcast — which on the
+    /// Meiko rides the hardware broadcast, mirroring the paper's design.
+    pub fn allreduce<T: MpiData + Reducible + Default>(
+        &self,
+        send: &[T],
+        op: ReduceOp,
+    ) -> MpiResult<Vec<T>> {
+        let reduced = self.reduce(send, op, 0)?;
+        let mut buf = reduced.unwrap_or_else(|| vec![T::default(); send.len()]);
+        self.bcast(&mut buf, 0)?;
+        Ok(buf)
+    }
+
+    /// `MPI_Reduce_scatter_block`: reduce `n` equal blocks, rank `i` gets
+    /// block `i` of the result.
+    pub fn reduce_scatter_block<T: MpiData + Reducible + Default>(
+        &self,
+        send: &[T],
+        op: ReduceOp,
+    ) -> MpiResult<Vec<T>> {
+        let n = self.size();
+        if send.len() % n != 0 {
+            return Err(MpiError::CollectiveMismatch(format!(
+                "reduce_scatter_block: send length {} not divisible by {} ranks",
+                send.len(),
+                n
+            )));
+        }
+        let count = send.len() / n;
+        let full = self.reduce(send, op, 0)?;
+        let mut mine = vec![T::default(); count];
+        self.scatter(full.as_deref(), &mut mine, 0)?;
+        Ok(mine)
+    }
+
+    /// `MPI_Scan`: inclusive prefix reduction; rank `i` gets the reduction
+    /// of ranks `0..=i`.
+    pub fn scan<T: MpiData + Reducible + Default>(
+        &self,
+        send: &[T],
+        op: ReduceOp,
+    ) -> MpiResult<Vec<T>> {
+        let n = self.size();
+        let me = self.rank();
+        let mut acc = send.to_vec();
+        if me > 0 {
+            let mut prev = vec![T::default(); send.len()];
+            self.coll_recv(&mut prev, me - 1, T_SCAN)?;
+            // acc = prev op mine, preserving operand order (all predefined
+            // ops are commutative, but keep prefix order for clarity).
+            let mine = std::mem::replace(&mut acc, prev);
+            T::accumulate(op, &mut acc, &mine);
+        }
+        if me + 1 < n {
+            self.coll_send(&acc, me + 1, T_SCAN)?;
+        }
+        Ok(acc)
+    }
+
+    // ------------------------------------------------------------------
+    // Communicator construction (collective)
+    // ------------------------------------------------------------------
+
+    /// Agree on a fresh context-id pair across the communicator.
+    fn agree_context(&self) -> MpiResult<u32> {
+        let mine = self.inner().eng.borrow().next_context as u64;
+        let agreed = self.allreduce(&[mine], ReduceOp::Max)?[0] as u32;
+        self.inner().eng.borrow_mut().next_context = agreed + 2;
+        Ok(agreed)
+    }
+
+    /// `MPI_Comm_dup`: same group, fresh communication contexts.
+    pub fn dup(&self) -> MpiResult<Communicator> {
+        let base = self.agree_context()?;
+        Ok(Communicator::make(
+            self.inner().clone(),
+            base,
+            base + 1,
+            self.group().clone(),
+            self.rank(),
+        ))
+    }
+
+    /// `MPI_Comm_split`: ranks supplying the same `color` form a new
+    /// communicator, ordered by `(key, old rank)`. `None` color
+    /// (`MPI_UNDEFINED`) participates but gets no communicator.
+    pub fn split(&self, color: Option<u64>, key: u64) -> MpiResult<Option<Communicator>> {
+        let me_global = self.global(self.rank())? as u64;
+        // Encode color so `None` sorts out; allgather (color+1, key, global).
+        let triple = [color.map_or(0, |c| c + 1), key, me_global];
+        let all = self.allgather(&triple)?;
+        let base = self.agree_context()?;
+        let Some(my_color) = color else {
+            return Ok(None);
+        };
+        let mut members: Vec<(u64, u64)> = all
+            .chunks_exact(3)
+            .filter(|t| t[0] == my_color + 1)
+            .map(|t| (t[1], t[2]))
+            .collect();
+        members.sort_unstable();
+        let group: Rc<Vec<Rank>> = Rc::new(members.iter().map(|&(_, g)| g as Rank).collect());
+        let my_local = group
+            .iter()
+            .position(|&g| g == me_global as Rank)
+            .expect("own rank in split group");
+        Ok(Some(Communicator::make(
+            self.inner().clone(),
+            base,
+            base + 1,
+            group,
+            my_local,
+        )))
+    }
+}

@@ -1,0 +1,58 @@
+//! Library configuration: protocol knobs the paper tunes per platform.
+
+/// Tunable protocol parameters. `None` fields fall back to the device's
+/// platform defaults ([`crate::device::DeviceDefaults`]): the Meiko device
+/// defaults to a 180-byte eager threshold and one envelope slot per sender,
+/// the sockets device to a larger threshold and a credit window.
+#[derive(Copy, Clone, Debug, Default)]
+pub struct MpiConfig {
+    /// Largest payload sent eagerly (optimistically). Messages above this
+    /// use the rendezvous (match-first, then direct transfer) path.
+    pub eager_threshold: Option<usize>,
+    /// Outstanding envelopes allowed per destination.
+    pub env_slots: Option<u32>,
+    /// Receiver bounce-buffer bytes reserved per sender.
+    pub recv_buf_per_sender: Option<u64>,
+}
+
+impl MpiConfig {
+    /// Configuration that takes every device default.
+    pub fn device_defaults() -> Self {
+        Self::default()
+    }
+
+    /// Set the eager/rendezvous crossover.
+    pub fn with_eager_threshold(mut self, bytes: usize) -> Self {
+        self.eager_threshold = Some(bytes);
+        self
+    }
+
+    /// Set the per-destination envelope slot count.
+    pub fn with_env_slots(mut self, slots: u32) -> Self {
+        self.env_slots = Some(slots);
+        self
+    }
+
+    /// Set the per-sender receive bounce buffer size.
+    pub fn with_recv_buf(mut self, bytes: u64) -> Self {
+        self.recv_buf_per_sender = Some(bytes);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_sets_fields() {
+        let c = MpiConfig::device_defaults()
+            .with_eager_threshold(180)
+            .with_env_slots(1)
+            .with_recv_buf(4096);
+        assert_eq!(c.eager_threshold, Some(180));
+        assert_eq!(c.env_slots, Some(1));
+        assert_eq!(c.recv_buf_per_sender, Some(4096));
+        assert_eq!(MpiConfig::default().eager_threshold, None);
+    }
+}

@@ -1,0 +1,323 @@
+//! Derived datatypes: MPI-1's type-constructor layer
+//! (`MPI_Type_contiguous` / `vector` / `indexed` / `struct`) with
+//! `MPI_Pack` / `MPI_Unpack`.
+//!
+//! A [`DataType`] describes a memory layout over a byte region: which bytes
+//! belong to the message and in what order. `pack` walks the layout and
+//! gathers bytes into a contiguous buffer; `unpack` scatters them back.
+//! The paper's MPI carries the MPICH-style datatype machinery (it lists
+//! "communicators, datatypes and different modes" as the MPI overheads its
+//! measurements include); we reproduce the layout algebra here.
+
+/// A datatype: a layout tree over a byte region.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DataType {
+    /// `size` contiguous bytes (a primitive type of that size).
+    Base {
+        /// Bytes per element.
+        size: usize,
+    },
+    /// `count` consecutive copies of `inner`.
+    Contiguous {
+        /// Number of repetitions.
+        count: usize,
+        /// Element type.
+        inner: Box<DataType>,
+    },
+    /// `count` blocks of `blocklen` copies of `inner`, the start of
+    /// consecutive blocks `stride` *elements* apart (as in
+    /// `MPI_Type_vector`).
+    Vector {
+        /// Number of blocks.
+        count: usize,
+        /// Elements per block.
+        blocklen: usize,
+        /// Element stride between block starts.
+        stride: usize,
+        /// Element type.
+        inner: Box<DataType>,
+    },
+    /// Blocks at explicit element displacements (as in
+    /// `MPI_Type_indexed`): `(displacement, blocklen)` pairs.
+    Indexed {
+        /// `(element displacement, elements in block)` pairs.
+        blocks: Vec<(usize, usize)>,
+        /// Element type.
+        inner: Box<DataType>,
+    },
+    /// Heterogeneous fields at explicit *byte* displacements (as in
+    /// `MPI_Type_struct`).
+    Struct {
+        /// `(byte displacement, field type)` pairs.
+        fields: Vec<(usize, DataType)>,
+    },
+}
+
+impl DataType {
+    /// A primitive of `size` bytes.
+    pub fn base(size: usize) -> DataType {
+        DataType::Base { size }
+    }
+
+    /// `count` consecutive copies of `self`.
+    pub fn contiguous(self, count: usize) -> DataType {
+        DataType::Contiguous {
+            count,
+            inner: Box::new(self),
+        }
+    }
+
+    /// Strided blocks of `self` (see [`DataType::Vector`]).
+    pub fn vector(self, count: usize, blocklen: usize, stride: usize) -> DataType {
+        assert!(
+            stride >= blocklen,
+            "vector stride {stride} smaller than block length {blocklen} would overlap"
+        );
+        DataType::Vector {
+            count,
+            blocklen,
+            stride,
+            inner: Box::new(self),
+        }
+    }
+
+    /// Number of *message* bytes (the packed size) — `MPI_Type_size`.
+    pub fn packed_size(&self) -> usize {
+        match self {
+            DataType::Base { size } => *size,
+            DataType::Contiguous { count, inner } => count * inner.packed_size(),
+            DataType::Vector {
+                count,
+                blocklen,
+                inner,
+                ..
+            } => count * blocklen * inner.packed_size(),
+            DataType::Indexed { blocks, inner } => {
+                blocks.iter().map(|(_, len)| len).sum::<usize>() * inner.packed_size()
+            }
+            DataType::Struct { fields } => fields.iter().map(|(_, t)| t.packed_size()).sum(),
+        }
+    }
+
+    /// Bytes the layout spans in memory, including holes — `MPI_Type_extent`.
+    pub fn extent(&self) -> usize {
+        match self {
+            DataType::Base { size } => *size,
+            DataType::Contiguous { count, inner } => count * inner.extent(),
+            DataType::Vector {
+                count,
+                blocklen,
+                stride,
+                inner,
+            } => {
+                if *count == 0 {
+                    0
+                } else {
+                    ((count - 1) * stride + blocklen) * inner.extent()
+                }
+            }
+            DataType::Indexed { blocks, inner } => blocks
+                .iter()
+                .map(|(disp, len)| (disp + len) * inner.extent())
+                .max()
+                .unwrap_or(0),
+            DataType::Struct { fields } => fields
+                .iter()
+                .map(|(disp, t)| disp + t.extent())
+                .max()
+                .unwrap_or(0),
+        }
+    }
+
+    /// Visit every `(offset, len)` contiguous run of message bytes, in
+    /// message order.
+    fn walk(&self, base: usize, f: &mut impl FnMut(usize, usize)) {
+        match self {
+            DataType::Base { size } => f(base, *size),
+            DataType::Contiguous { count, inner } => {
+                let ext = inner.extent();
+                for i in 0..*count {
+                    inner.walk(base + i * ext, f);
+                }
+            }
+            DataType::Vector {
+                count,
+                blocklen,
+                stride,
+                inner,
+            } => {
+                let ext = inner.extent();
+                for b in 0..*count {
+                    for i in 0..*blocklen {
+                        inner.walk(base + (b * stride + i) * ext, f);
+                    }
+                }
+            }
+            DataType::Indexed { blocks, inner } => {
+                let ext = inner.extent();
+                for (disp, len) in blocks {
+                    for i in 0..*len {
+                        inner.walk(base + (disp + i) * ext, f);
+                    }
+                }
+            }
+            DataType::Struct { fields } => {
+                for (disp, t) in fields {
+                    t.walk(base + disp, f);
+                }
+            }
+        }
+    }
+
+    /// Gather this layout's bytes from `memory` into a packed buffer
+    /// (`MPI_Pack`).
+    ///
+    /// # Panics
+    /// Panics if the layout reaches past the end of `memory`.
+    pub fn pack(&self, memory: &[u8]) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.packed_size());
+        self.walk(0, &mut |off, len| {
+            out.extend_from_slice(&memory[off..off + len]);
+        });
+        out
+    }
+
+    /// Scatter a packed buffer back into `memory` (`MPI_Unpack`).
+    ///
+    /// # Panics
+    /// Panics if `packed` is shorter than [`DataType::packed_size`] or the
+    /// layout reaches past the end of `memory`.
+    pub fn unpack(&self, packed: &[u8], memory: &mut [u8]) {
+        let mut pos = 0;
+        self.walk(0, &mut |off, len| {
+            memory[off..off + len].copy_from_slice(&packed[pos..pos + len]);
+            pos += len;
+        });
+        assert_eq!(pos, self.packed_size(), "packed buffer length mismatch");
+    }
+}
+
+impl crate::mpi::Communicator {
+    /// Send the bytes selected by `dtype` out of `memory`
+    /// (`MPI_Pack` + `MPI_Send` in one call).
+    pub fn send_packed(
+        &self,
+        dtype: &DataType,
+        memory: &[u8],
+        dst: crate::types::Rank,
+        tag: crate::types::Tag,
+    ) -> crate::error::MpiResult<()> {
+        let packed = dtype.pack(memory);
+        self.send(&packed, dst, tag)
+    }
+
+    /// Receive a message laid out by `dtype` into `memory`
+    /// (`MPI_Recv` + `MPI_Unpack`). Bytes outside the layout are untouched.
+    pub fn recv_packed(
+        &self,
+        dtype: &DataType,
+        memory: &mut [u8],
+        src: impl Into<crate::types::SourceSel>,
+        tag: impl Into<crate::types::TagSel>,
+    ) -> crate::error::MpiResult<crate::types::Status> {
+        let mut packed = vec![0u8; dtype.packed_size()];
+        let st = self.recv(&mut packed, src, tag)?;
+        dtype.unpack(&packed, memory);
+        Ok(st)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn base_sizes() {
+        let t = DataType::base(8);
+        assert_eq!(t.packed_size(), 8);
+        assert_eq!(t.extent(), 8);
+    }
+
+    #[test]
+    fn contiguous_packs_everything() {
+        let t = DataType::base(2).contiguous(3);
+        assert_eq!(t.packed_size(), 6);
+        assert_eq!(t.extent(), 6);
+        let mem = [1u8, 2, 3, 4, 5, 6];
+        assert_eq!(t.pack(&mem), mem.to_vec());
+    }
+
+    #[test]
+    fn vector_skips_holes() {
+        // A column of a 3x4 row-major matrix of u16: count=3 rows,
+        // blocklen=1, stride=4 elements.
+        let t = DataType::base(2).vector(3, 1, 4);
+        assert_eq!(t.packed_size(), 6);
+        assert_eq!(t.extent(), (2 * 4 + 1) * 2);
+        let mem: Vec<u8> = (0..24).collect();
+        let packed = t.pack(&mem);
+        assert_eq!(packed, vec![0, 1, 8, 9, 16, 17]);
+    }
+
+    #[test]
+    fn vector_roundtrip() {
+        let t = DataType::base(1).vector(4, 2, 5);
+        let mem: Vec<u8> = (100..100 + t.extent() as u8).collect();
+        let packed = t.pack(&mem);
+        let mut out = vec![0u8; mem.len()];
+        t.unpack(&packed, &mut out);
+        // Only the packed positions are restored; holes stay zero.
+        let repacked = t.pack(&out);
+        assert_eq!(repacked, packed);
+    }
+
+    #[test]
+    fn indexed_blocks() {
+        let t = DataType::Indexed {
+            blocks: vec![(0, 2), (5, 1), (3, 1)],
+            inner: Box::new(DataType::base(1)),
+        };
+        assert_eq!(t.packed_size(), 4);
+        assert_eq!(t.extent(), 6);
+        let mem = [10u8, 11, 12, 13, 14, 15];
+        assert_eq!(t.pack(&mem), vec![10, 11, 15, 13]);
+    }
+
+    #[test]
+    fn struct_fields_at_byte_offsets() {
+        // { f64 at 0, i32 at 12 } — a hole at bytes 8..12 (like Rust/C
+        // padding).
+        let t = DataType::Struct {
+            fields: vec![(0, DataType::base(8)), (12, DataType::base(4))],
+        };
+        assert_eq!(t.packed_size(), 12);
+        assert_eq!(t.extent(), 16);
+        let mem: Vec<u8> = (0..16).collect();
+        let packed = t.pack(&mem);
+        assert_eq!(packed, vec![0, 1, 2, 3, 4, 5, 6, 7, 12, 13, 14, 15]);
+        let mut out = vec![0xFFu8; 16];
+        t.unpack(&packed, &mut out);
+        assert_eq!(&out[..8], &mem[..8]);
+        assert_eq!(&out[8..12], &[0xFF; 4], "hole untouched");
+        assert_eq!(&out[12..], &mem[12..]);
+    }
+
+    #[test]
+    fn nested_vector_of_struct() {
+        let elem = DataType::Struct {
+            fields: vec![(0, DataType::base(2)), (4, DataType::base(2))],
+        };
+        assert_eq!(elem.extent(), 6);
+        let t = elem.vector(2, 1, 2);
+        assert_eq!(t.packed_size(), 8);
+        let mem: Vec<u8> = (0..t.extent() as u8).collect();
+        let packed = t.pack(&mem);
+        assert_eq!(packed, vec![0, 1, 4, 5, 12, 13, 16, 17]);
+    }
+
+    #[test]
+    #[should_panic(expected = "would overlap")]
+    fn overlapping_vector_rejected() {
+        let _ = DataType::base(4).vector(2, 3, 2);
+    }
+}

@@ -1,0 +1,986 @@
+//! The protocol engine: one per rank, driving the hybrid eager/rendezvous
+//! protocol of the paper over an abstract [`Device`].
+//!
+//! * messages at or below the eager threshold travel **with** their envelope
+//!   (optimistic transfer, buffered at the receiver — low latency, extra
+//!   copy);
+//! * larger messages send the envelope first, wait for the receiver to match
+//!   it, then move the data directly into the user buffer (high bandwidth,
+//!   two extra network crossings);
+//! * ready-mode sends always go eagerly, since the user asserts the receive
+//!   is posted;
+//! * flow control gates every envelope and every eagerly-sent byte, with
+//!   credits returned piggybacked on reverse traffic.
+
+use std::collections::{HashMap, VecDeque};
+
+use bytes::Bytes;
+
+use crate::device::{Cost, Device};
+use crate::error::{MpiError, MpiResult};
+use crate::flow::FlowControl;
+use crate::matching::{MatchEngine, UnexpectedBody, UnexpectedMsg};
+use crate::packet::{ContextId, Envelope, Packet, Wire};
+use crate::request::{RecvDest, ReqState, RequestTable};
+use crate::types::{Rank, SendMode, SourceSel, Status, TagSel};
+
+/// Protocol event counters, used by the Table-1 experiment and by tests.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Counters {
+    /// Eager (optimistic) messages transmitted.
+    pub eager_sent: u64,
+    /// Rendezvous envelopes transmitted.
+    pub rndv_sent: u64,
+    /// Sends that had to queue behind flow control.
+    pub sends_queued: u64,
+    /// Synchronous-mode acknowledgments transmitted.
+    pub acks_sent: u64,
+    /// Explicit credit packets transmitted.
+    pub credits_sent: u64,
+    /// Payload bytes transmitted (all packet kinds).
+    pub bytes_sent: u64,
+    /// Payload bytes received.
+    pub bytes_received: u64,
+    /// Frames handled.
+    pub wires_handled: u64,
+    /// Ready-mode sends that found no posted receive (erroneous programs).
+    pub rsend_errors: u64,
+}
+
+struct PendingSend {
+    req_id: u64,
+    env: Envelope,
+    mode: SendMode,
+    needs_ack: bool,
+    data: Bytes,
+}
+
+struct RndvPayload {
+    data: Bytes,
+    buffered: bool,
+}
+
+/// Per-rank protocol state. All methods take `&mut self` plus the rank's
+/// device; the device must never re-enter the engine.
+pub(crate) struct Engine {
+    my_rank: Rank,
+    eager_threshold: usize,
+    pub(crate) match_eng: MatchEngine,
+    pub(crate) reqs: RequestTable,
+    pub(crate) flow: FlowControl,
+    /// Payloads awaiting a rendezvous go-ahead, keyed by send request id.
+    /// `buffered` marks buffered-mode sends whose pool bytes are released
+    /// only once the data actually leaves.
+    rndv_store: HashMap<u64, RndvPayload>,
+    /// Sends queued behind flow control, FIFO per destination.
+    pending_out: Vec<VecDeque<PendingSend>>,
+    /// Hardware-broadcast payloads not yet consumed: (context, seq, data).
+    coll_bcasts: VecDeque<(ContextId, u64, Bytes)>,
+    /// Next broadcast sequence number per collective context.
+    bcast_seq: HashMap<ContextId, u64>,
+    /// Next context id available for communicator creation.
+    pub(crate) next_context: ContextId,
+    /// Buffered-send pool state: (capacity, in_use); `None` = not attached.
+    buffer_pool: Option<(usize, usize)>,
+    pub(crate) counters: Counters,
+    /// First ready-mode delivery error, surfaced by the next API call.
+    pub(crate) pending_error: Option<MpiError>,
+}
+
+impl Engine {
+    pub(crate) fn new(
+        my_rank: Rank,
+        nprocs: usize,
+        eager_threshold: usize,
+        env_slots: u32,
+        recv_buf_per_sender: u64,
+    ) -> Self {
+        Engine {
+            my_rank,
+            eager_threshold,
+            match_eng: MatchEngine::new(),
+            reqs: RequestTable::new(),
+            flow: FlowControl::new(nprocs, env_slots, recv_buf_per_sender),
+            rndv_store: HashMap::new(),
+            pending_out: (0..nprocs).map(|_| VecDeque::new()).collect(),
+            coll_bcasts: VecDeque::new(),
+            bcast_seq: HashMap::new(),
+            // 0 = world point-to-point, 1 = world collectives.
+            next_context: 2,
+            buffer_pool: None,
+            counters: Counters::default(),
+            pending_error: None,
+        }
+    }
+
+    pub(crate) fn eager_threshold(&self) -> usize {
+        self.eager_threshold
+    }
+
+    // ------------------------------------------------------------------
+    // Sending
+    // ------------------------------------------------------------------
+
+    /// Post a send of `data` to global rank `dst`. Returns the request id.
+    /// Standard, buffered and ready sends complete immediately (the payload
+    /// is copied); synchronous sends complete when matched.
+    pub(crate) fn post_send(
+        &mut self,
+        dev: &dyn Device,
+        dst: Rank,
+        tag: u32,
+        context: ContextId,
+        data: Bytes,
+        mode: SendMode,
+    ) -> MpiResult<u64> {
+        if mode == SendMode::Buffered {
+            self.buffer_reserve(data.len())?;
+        }
+        let env = Envelope {
+            src: self.my_rank,
+            tag,
+            context,
+            len: data.len(),
+        };
+        let needs_ack = mode == SendMode::Synchronous;
+        // Buffered sends complete at post (the attached buffer now owns the
+        // payload); every other mode completes no earlier than the moment
+        // the message is actually handed to the device, so a blocking send
+        // cannot return — and the program cannot exit — with the message
+        // still queued behind flow control.
+        let req_id = self.reqs.alloc(if mode == SendMode::Buffered {
+            ReqState::Done(Ok(Status {
+                source: dst,
+                tag,
+                len: data.len(),
+            }))
+        } else {
+            ReqState::SendQueued
+        });
+        let pending = PendingSend {
+            req_id,
+            env,
+            mode,
+            needs_ack,
+            data,
+        };
+        if self.pending_out[dst].is_empty() && self.can_transmit(dst, &pending) {
+            self.transmit_send(dev, dst, pending);
+        } else {
+            self.counters.sends_queued += 1;
+            self.flow.stalls += 1;
+            self.pending_out[dst].push_back(pending);
+        }
+        Ok(req_id)
+    }
+
+    fn is_eager(&self, p: &PendingSend) -> bool {
+        p.mode == SendMode::Ready || p.env.len <= self.eager_threshold
+    }
+
+    fn can_transmit(&self, dst: Rank, p: &PendingSend) -> bool {
+        if self.is_eager(p) {
+            self.flow.can_eager(dst, p.env.len)
+        } else {
+            self.flow.can_rndv(dst)
+        }
+    }
+
+    fn transmit_send(&mut self, dev: &dyn Device, dst: Rank, p: PendingSend) {
+        let PendingSend {
+            req_id,
+            env,
+            mode,
+            needs_ack,
+            data,
+        } = p;
+        let len = env.len;
+        let tag = env.tag;
+        if mode == SendMode::Ready || len <= self.eager_threshold {
+            self.flow.spend_eager(dst, len);
+            self.counters.eager_sent += 1;
+            self.counters.bytes_sent += len as u64;
+            match mode {
+                SendMode::Synchronous => self.reqs.set(req_id, ReqState::SendAckWait),
+                SendMode::Buffered => {} // completed at post
+                SendMode::Standard | SendMode::Ready => self.reqs.complete(
+                    req_id,
+                    Ok(Status {
+                        source: dst,
+                        tag,
+                        len,
+                    }),
+                ),
+            }
+            let pkt = Packet::Eager {
+                env,
+                send_id: req_id,
+                needs_ack,
+                ready: mode == SendMode::Ready,
+                data,
+            };
+            self.transmit(dev, dst, pkt);
+        } else {
+            self.flow.spend_rndv(dst);
+            self.counters.rndv_sent += 1;
+            self.rndv_store.insert(
+                req_id,
+                RndvPayload {
+                    data,
+                    buffered: mode == SendMode::Buffered,
+                },
+            );
+            // Every non-buffered rendezvous send — standard included —
+            // completes only once the receiver's go-ahead has been served:
+            // the sender must stay in the library to push the data.
+            if mode != SendMode::Buffered {
+                self.reqs.set(req_id, ReqState::SendRndvWait);
+            }
+            let pkt = Packet::RndvReq {
+                env,
+                send_id: req_id,
+            };
+            self.transmit(dev, dst, pkt);
+        }
+        if mode == SendMode::Buffered && len <= self.eager_threshold {
+            // Eager transmission: the payload has left; release pool bytes.
+            // (Rendezvous buffered sends release in the RndvGo handler.)
+            self.buffer_release(len);
+        }
+    }
+
+    /// Attach piggybacked credit returns and hand the frame to the device.
+    fn transmit(&mut self, dev: &dyn Device, dst: Rank, pkt: Packet) {
+        let (env_credit, data_credit) = self.flow.take_owed(dst);
+        dev.send(
+            dst,
+            Wire {
+                src: self.my_rank,
+                env_credit,
+                data_credit,
+                pkt,
+            },
+        );
+    }
+
+    // ------------------------------------------------------------------
+    // Receiving
+    // ------------------------------------------------------------------
+
+    /// Post a receive into `dst`. `src` uses global ranks. Returns the
+    /// request id; the request may complete immediately if a matching
+    /// message already arrived.
+    pub(crate) fn post_recv(
+        &mut self,
+        dev: &dyn Device,
+        dst: RecvDest,
+        src: SourceSel,
+        tag: TagSel,
+        context: ContextId,
+    ) -> u64 {
+        let req_id = self.reqs.alloc(ReqState::RecvPosted { dst });
+        if let Some(msg) = self.match_eng.match_posted(req_id, src, tag, context) {
+            self.consume_match(dev, req_id, dst, msg);
+        }
+        req_id
+    }
+
+    /// A matched unexpected message: finish the eager delivery or launch the
+    /// rendezvous reply.
+    fn consume_match(&mut self, dev: &dyn Device, req_id: u64, dst: RecvDest, msg: UnexpectedMsg) {
+        dev.charge(Cost::Match);
+        let env = msg.env;
+        match msg.body {
+            UnexpectedBody::Eager {
+                data,
+                send_id,
+                needs_ack,
+            } => {
+                dev.charge(Cost::BufferedCopy(data.len()));
+                // SAFETY: `dst` upholds the RecvDest contract (buffer borrow
+                // held by the owning Request; single-threaded engine).
+                let delivered = unsafe { dst.deliver(&data) };
+                self.counters.bytes_received += data.len() as u64;
+                self.flow.owe_data(env.src, data.len());
+                let result = delivered.map(|n| Status {
+                    source: env.src,
+                    tag: env.tag,
+                    len: n,
+                });
+                self.reqs.complete(req_id, result);
+                if needs_ack {
+                    self.transmit(dev, env.src, Packet::EagerAck { send_id });
+                    self.counters.acks_sent += 1;
+                }
+            }
+            UnexpectedBody::Rndv { send_id } => {
+                let status = Status {
+                    source: env.src,
+                    tag: env.tag,
+                    len: env.len,
+                };
+                self.reqs.set(req_id, ReqState::RecvRndvWait { dst, status });
+                self.transmit(
+                    dev,
+                    env.src,
+                    Packet::RndvGo {
+                        send_id,
+                        recv_id: req_id,
+                    },
+                );
+            }
+        }
+    }
+
+    /// Probe the unexpected queue (non-consuming).
+    pub(crate) fn probe(&self, src: SourceSel, tag: TagSel, context: ContextId) -> Option<Status> {
+        self.match_eng.probe(src, tag, context).map(|u| Status {
+            source: u.env.src,
+            tag: u.env.tag,
+            len: u.env.len,
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // Incoming frames
+    // ------------------------------------------------------------------
+
+    /// Process one received frame.
+    pub(crate) fn handle_wire(&mut self, dev: &dyn Device, wire: Wire) {
+        self.counters.wires_handled += 1;
+        self.flow.receive_return(wire.src, wire.env_credit, wire.data_credit);
+        match wire.pkt {
+            Packet::Eager {
+                env,
+                send_id,
+                needs_ack,
+                ready,
+                data,
+            } => {
+                // The envelope slot is freed as soon as the envelope is
+                // copied into matching structures — i.e. now.
+                self.flow.owe_env(env.src);
+                if let Some(posted) = self.match_eng.match_incoming(&env) {
+                    dev.charge(Cost::Match);
+                    dev.charge(Cost::PostedCopy(data.len()));
+                    let dst = match self.reqs.get(posted.recv_id) {
+                        Some(ReqState::RecvPosted { dst }) => *dst,
+                        other => unreachable!("matched recv {} in state {other:?}", posted.recv_id),
+                    };
+                    // SAFETY: RecvDest contract (see `consume_match`).
+                    let delivered = unsafe { dst.deliver(&data) };
+                    self.counters.bytes_received += data.len() as u64;
+                    self.flow.owe_data(env.src, data.len());
+                    let result = delivered.map(|n| Status {
+                        source: env.src,
+                        tag: env.tag,
+                        len: n,
+                    });
+                    self.reqs.complete(posted.recv_id, result);
+                    if needs_ack {
+                        self.transmit(dev, env.src, Packet::EagerAck { send_id });
+                        self.counters.acks_sent += 1;
+                    }
+                } else if ready {
+                    // Ready-mode send with no posted receive: erroneous.
+                    // Report, drop the payload, return its buffer space.
+                    self.counters.rsend_errors += 1;
+                    self.flow.owe_data(env.src, data.len());
+                    if self.pending_error.is_none() {
+                        self.pending_error = Some(MpiError::ReadyModeNoReceive {
+                            src: env.src,
+                            tag: env.tag,
+                        });
+                    }
+                } else {
+                    self.match_eng.add_unexpected(UnexpectedMsg {
+                        env,
+                        body: UnexpectedBody::Eager {
+                            data,
+                            send_id,
+                            needs_ack,
+                        },
+                    });
+                    // Data credit stays consumed until a receive matches.
+                }
+            }
+            Packet::RndvReq { env, send_id } => {
+                self.flow.owe_env(env.src);
+                if let Some(posted) = self.match_eng.match_incoming(&env) {
+                    dev.charge(Cost::Match);
+                    let dst = match self.reqs.get(posted.recv_id) {
+                        Some(ReqState::RecvPosted { dst }) => *dst,
+                        other => unreachable!("matched recv {} in state {other:?}", posted.recv_id),
+                    };
+                    let status = Status {
+                        source: env.src,
+                        tag: env.tag,
+                        len: env.len,
+                    };
+                    self.reqs
+                        .set(posted.recv_id, ReqState::RecvRndvWait { dst, status });
+                    self.transmit(
+                        dev,
+                        env.src,
+                        Packet::RndvGo {
+                            send_id,
+                            recv_id: posted.recv_id,
+                        },
+                    );
+                } else {
+                    self.match_eng.add_unexpected(UnexpectedMsg {
+                        env,
+                        body: UnexpectedBody::Rndv { send_id },
+                    });
+                }
+            }
+            Packet::RndvGo { send_id, recv_id } => {
+                let RndvPayload { data, buffered } = self
+                    .rndv_store
+                    .remove(&send_id)
+                    .expect("rendezvous go-ahead for unknown send");
+                let len = data.len();
+                self.counters.bytes_sent += len as u64;
+                self.transmit(dev, wire.src, Packet::RndvData { recv_id, data });
+                if buffered {
+                    self.buffer_release(len);
+                }
+                if matches!(self.reqs.get(send_id), Some(ReqState::SendRndvWait)) {
+                    // Data pushed and (for synchronous mode) the go-ahead
+                    // proves the receive matched: the send is complete.
+                    self.reqs.complete(
+                        send_id,
+                        Ok(Status {
+                            source: wire.src,
+                            tag: 0,
+                            len: 0,
+                        }),
+                    );
+                }
+            }
+            Packet::RndvData { recv_id, data } => {
+                let (dst, status) = match self.reqs.get(recv_id) {
+                    Some(ReqState::RecvRndvWait { dst, status }) => (*dst, *status),
+                    other => unreachable!("rndv data for recv {recv_id} in state {other:?}"),
+                };
+                // SAFETY: RecvDest contract (see `consume_match`).
+                let delivered = unsafe { dst.deliver(&data) };
+                self.counters.bytes_received += data.len() as u64;
+                let result = delivered.map(|n| Status {
+                    source: status.source,
+                    tag: status.tag,
+                    len: n,
+                });
+                self.reqs.complete(recv_id, result);
+            }
+            Packet::EagerAck { send_id } => {
+                debug_assert!(matches!(
+                    self.reqs.get(send_id),
+                    Some(ReqState::SendAckWait) | Some(ReqState::SendQueued)
+                ));
+                self.reqs.complete(
+                    send_id,
+                    Ok(Status {
+                        source: wire.src,
+                        tag: 0,
+                        len: 0,
+                    }),
+                );
+            }
+            Packet::Credit => {
+                // Credits were applied above; nothing else to do.
+            }
+            Packet::HwBcast {
+                context, seq, data, ..
+            } => {
+                self.coll_bcasts.push_back((context, seq, data));
+            }
+        }
+        self.flush_pending(dev);
+        self.explicit_credit_returns(dev);
+    }
+
+    /// Drain per-destination queues in FIFO order as credit allows.
+    fn flush_pending(&mut self, dev: &dyn Device) {
+        for dst in 0..self.pending_out.len() {
+            loop {
+                let sendable = match self.pending_out[dst].front() {
+                    None => break,
+                    Some(p) => {
+                        if self.is_eager(p) {
+                            self.flow.can_eager(dst, p.env.len)
+                        } else {
+                            self.flow.can_rndv(dst)
+                        }
+                    }
+                };
+                if !sendable {
+                    break;
+                }
+                let p = self.pending_out[dst].pop_front().expect("checked front");
+                self.transmit_send(dev, dst, p);
+            }
+        }
+    }
+
+    /// Send explicit credit packets to peers owed above threshold.
+    fn explicit_credit_returns(&mut self, dev: &dyn Device) {
+        for peer in self.flow.peers_needing_explicit_return() {
+            self.counters.credits_sent += 1;
+            self.transmit(dev, peer, Packet::Credit);
+        }
+    }
+
+    /// Whether any sends are still queued behind flow control.
+    pub(crate) fn has_pending_sends(&self) -> bool {
+        self.pending_out.iter().any(|q| !q.is_empty())
+    }
+
+    // ------------------------------------------------------------------
+    // Hardware broadcast plumbing
+    // ------------------------------------------------------------------
+
+    /// Allocate the next broadcast sequence number on `context`.
+    pub(crate) fn next_bcast_seq(&mut self, context: ContextId) -> u64 {
+        let seq = self.bcast_seq.entry(context).or_insert(0);
+        let s = *seq;
+        *seq += 1;
+        s
+    }
+
+    /// Take a received hardware-broadcast payload for `(context, seq)`.
+    pub(crate) fn take_coll_bcast(&mut self, context: ContextId, seq: u64) -> Option<Bytes> {
+        let idx = self
+            .coll_bcasts
+            .iter()
+            .position(|(c, s, _)| *c == context && *s == seq)?;
+        self.coll_bcasts.remove(idx).map(|(_, _, d)| d)
+    }
+
+    // ------------------------------------------------------------------
+    // Buffered-mode pool
+    // ------------------------------------------------------------------
+
+    /// Attach `capacity` bytes of buffered-send space.
+    pub(crate) fn buffer_attach(&mut self, capacity: usize) {
+        assert!(
+            self.buffer_pool.is_none(),
+            "buffer already attached; detach first"
+        );
+        self.buffer_pool = Some((capacity, 0));
+    }
+
+    /// Detach the buffered-send space; errors if still in use.
+    pub(crate) fn buffer_detach(&mut self) -> MpiResult<usize> {
+        match self.buffer_pool {
+            None => Err(MpiError::NoBufferAttached),
+            Some((_, used)) if used > 0 => Err(MpiError::BufferInUse),
+            Some((cap, _)) => {
+                self.buffer_pool = None;
+                Ok(cap)
+            }
+        }
+    }
+
+    fn buffer_reserve(&mut self, len: usize) -> MpiResult<()> {
+        match &mut self.buffer_pool {
+            None => Err(MpiError::NoBufferAttached),
+            Some((cap, used)) => {
+                if *used + len > *cap {
+                    Err(MpiError::BufferOverflow {
+                        needed: len,
+                        available: *cap - *used,
+                    })
+                } else {
+                    *used += len;
+                    Ok(())
+                }
+            }
+        }
+    }
+
+    fn buffer_release(&mut self, len: usize) {
+        if let Some((_, used)) = &mut self.buffer_pool {
+            *used = used.saturating_sub(len);
+        }
+    }
+
+    /// Bytes of attached buffer space still owned by queued buffered sends.
+    pub(crate) fn buffered_in_use(&self) -> usize {
+        self.buffer_pool.map_or(0, |(_, used)| used)
+    }
+
+    /// Cancel a request. Posted-but-unmatched receives and still-queued
+    /// sends can be cancelled; anything already in flight cannot.
+    pub(crate) fn cancel(&mut self, req_id: u64) -> bool {
+        if self.match_eng.cancel_posted(req_id) {
+            self.reqs.remove(req_id);
+            return true;
+        }
+        for q in &mut self.pending_out {
+            if let Some(idx) = q.iter().position(|p| p.req_id == req_id) {
+                q.remove(idx);
+                self.reqs.remove(req_id);
+                return true;
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::loopback::Loopback;
+
+    fn engine(rank: Rank, n: usize) -> Engine {
+        Engine::new(rank, n, 180, 4, 1 << 16)
+    }
+
+    fn dest(buf: &mut [u8]) -> RecvDest {
+        RecvDest {
+            ptr: buf.as_mut_ptr(),
+            cap: buf.len(),
+        }
+    }
+
+    /// Move every frame rank-`a` sent to rank-`b`'s engine, and vice versa,
+    /// until quiescent.
+    fn pump(a: &mut Engine, da: &Loopback, b: &mut Engine, db: &Loopback) {
+        loop {
+            let mut moved = false;
+            for (dst, wire) in da.sent.lock().unwrap().drain(..) {
+                assert_eq!(dst, b.my_rank);
+                b.handle_wire(db, wire);
+                moved = true;
+            }
+            for (dst, wire) in db.sent.lock().unwrap().drain(..) {
+                assert_eq!(dst, a.my_rank);
+                a.handle_wire(da, wire);
+                moved = true;
+            }
+            if !moved {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn eager_send_completes_immediately_and_delivers() {
+        let d0 = Loopback::new(0, 2);
+        let d1 = Loopback::new(1, 2);
+        let mut e0 = engine(0, 2);
+        let mut e1 = engine(1, 2);
+
+        let sid = e0
+            .post_send(&d0, 1, 7, 0, Bytes::from_static(b"hi"), SendMode::Standard)
+            .unwrap();
+        assert!(e0.reqs.take_if_done(sid).unwrap().is_ok(), "standard eager done at post");
+
+        let mut buf = [0u8; 8];
+        let rid = e1.post_recv(&d1, dest(&mut buf), SourceSel::Rank(0), TagSel::Tag(7), 0);
+        pump(&mut e0, &d0, &mut e1, &d1);
+        let st = e1.reqs.take_if_done(rid).unwrap().unwrap();
+        assert_eq!(st.source, 0);
+        assert_eq!(st.tag, 7);
+        assert_eq!(st.len, 2);
+        assert_eq!(&buf[..2], b"hi");
+        assert_eq!(e0.counters.eager_sent, 1);
+        assert_eq!(e0.counters.rndv_sent, 0);
+    }
+
+    #[test]
+    fn large_message_goes_rendezvous() {
+        let d0 = Loopback::new(0, 2);
+        let d1 = Loopback::new(1, 2);
+        let mut e0 = engine(0, 2);
+        let mut e1 = engine(1, 2);
+
+        let payload = vec![0xAB; 1000]; // > 180-byte threshold
+        let mut buf = vec![0u8; 1000];
+        let rid = e1.post_recv(&d1, dest(&mut buf), SourceSel::Any, TagSel::Any, 0);
+        let _sid = e0
+            .post_send(&d0, 1, 0, 0, Bytes::from(payload.clone()), SendMode::Standard)
+            .unwrap();
+        pump(&mut e0, &d0, &mut e1, &d1);
+        let st = e1.reqs.take_if_done(rid).unwrap().unwrap();
+        assert_eq!(st.len, 1000);
+        assert_eq!(buf, payload);
+        assert_eq!(e0.counters.rndv_sent, 1);
+        // Rendezvous path must not charge the receiver-side buffered copy.
+        let copies = d1
+            .charges
+            .lock()
+            .unwrap()
+            .iter()
+            .filter(|c| matches!(c, Cost::BufferedCopy(_)))
+            .count();
+        assert_eq!(copies, 0, "direct delivery must avoid the bounce-buffer copy");
+    }
+
+    #[test]
+    fn unexpected_eager_buffered_then_matched() {
+        let d0 = Loopback::new(0, 2);
+        let d1 = Loopback::new(1, 2);
+        let mut e0 = engine(0, 2);
+        let mut e1 = engine(1, 2);
+
+        e0.post_send(&d0, 1, 3, 0, Bytes::from_static(b"early"), SendMode::Standard)
+            .unwrap();
+        pump(&mut e0, &d0, &mut e1, &d1);
+        assert_eq!(e1.match_eng.depths().1, 1, "message waits unexpected");
+
+        let mut buf = [0u8; 5];
+        let rid = e1.post_recv(&d1, dest(&mut buf), SourceSel::Rank(0), TagSel::Tag(3), 0);
+        let st = e1.reqs.take_if_done(rid).unwrap().unwrap();
+        assert_eq!(st.len, 5);
+        assert_eq!(&buf, b"early");
+        assert_eq!(e1.match_eng.unexpected_hits, 1);
+    }
+
+    #[test]
+    fn synchronous_eager_waits_for_ack() {
+        let d0 = Loopback::new(0, 2);
+        let d1 = Loopback::new(1, 2);
+        let mut e0 = engine(0, 2);
+        let mut e1 = engine(1, 2);
+
+        let sid = e0
+            .post_send(&d0, 1, 0, 0, Bytes::from_static(b"x"), SendMode::Synchronous)
+            .unwrap();
+        assert!(e0.reqs.take_if_done(sid).is_none(), "ssend not done before match");
+        let mut buf = [0u8; 1];
+        e1.post_recv(&d1, dest(&mut buf), SourceSel::Any, TagSel::Any, 0);
+        pump(&mut e0, &d0, &mut e1, &d1);
+        assert!(e0.reqs.take_if_done(sid).unwrap().is_ok(), "ack completes ssend");
+        assert_eq!(e1.counters.acks_sent, 1);
+    }
+
+    #[test]
+    fn synchronous_rendezvous_completes_on_go() {
+        let d0 = Loopback::new(0, 2);
+        let d1 = Loopback::new(1, 2);
+        let mut e0 = engine(0, 2);
+        let mut e1 = engine(1, 2);
+
+        let big = Bytes::from(vec![1u8; 500]);
+        let sid = e0.post_send(&d0, 1, 0, 0, big, SendMode::Synchronous).unwrap();
+        assert!(e0.reqs.take_if_done(sid).is_none());
+        let mut buf = vec![0u8; 500];
+        let rid = e1.post_recv(&d1, dest(&mut buf), SourceSel::Any, TagSel::Any, 0);
+        pump(&mut e0, &d0, &mut e1, &d1);
+        assert!(e0.reqs.take_if_done(sid).unwrap().is_ok());
+        assert!(e1.reqs.take_if_done(rid).unwrap().is_ok());
+    }
+
+    #[test]
+    fn truncation_reported_with_prefix_delivered() {
+        let d0 = Loopback::new(0, 2);
+        let d1 = Loopback::new(1, 2);
+        let mut e0 = engine(0, 2);
+        let mut e1 = engine(1, 2);
+
+        let mut small = [0u8; 2];
+        let rid = e1.post_recv(&d1, dest(&mut small), SourceSel::Any, TagSel::Any, 0);
+        e0.post_send(&d0, 1, 0, 0, Bytes::from_static(b"toolong"), SendMode::Standard)
+            .unwrap();
+        pump(&mut e0, &d0, &mut e1, &d1);
+        let err = e1.reqs.take_if_done(rid).unwrap().unwrap_err();
+        assert_eq!(
+            err,
+            MpiError::Truncated {
+                message_len: 7,
+                buffer_len: 2
+            }
+        );
+        assert_eq!(&small, b"to");
+    }
+
+    #[test]
+    fn flow_control_queues_and_drains() {
+        let d0 = Loopback::new(0, 2);
+        let d1 = Loopback::new(1, 2);
+        // Single envelope slot (Meiko policy).
+        let mut e0 = Engine::new(0, 2, 180, 1, 1 << 16);
+        let mut e1 = Engine::new(1, 2, 180, 1, 1 << 16);
+
+        e0.post_send(&d0, 1, 0, 0, Bytes::from_static(b"a"), SendMode::Standard)
+            .unwrap();
+        e0.post_send(&d0, 1, 1, 0, Bytes::from_static(b"b"), SendMode::Standard)
+            .unwrap();
+        assert!(e0.has_pending_sends(), "second send must queue on single slot");
+        assert_eq!(e0.counters.sends_queued, 1);
+
+        let mut b0 = [0u8; 1];
+        let mut b1 = [0u8; 1];
+        let r0 = e1.post_recv(&d1, dest(&mut b0), SourceSel::Any, TagSel::Tag(0), 0);
+        let r1 = e1.post_recv(&d1, dest(&mut b1), SourceSel::Any, TagSel::Tag(1), 0);
+        pump(&mut e0, &d0, &mut e1, &d1);
+        assert!(!e0.has_pending_sends());
+        assert!(e1.reqs.take_if_done(r0).unwrap().is_ok());
+        assert!(e1.reqs.take_if_done(r1).unwrap().is_ok());
+        assert_eq!(&b0, b"a");
+        assert_eq!(&b1, b"b");
+    }
+
+    #[test]
+    fn non_overtaking_same_tag() {
+        let d0 = Loopback::new(0, 2);
+        let d1 = Loopback::new(1, 2);
+        let mut e0 = engine(0, 2);
+        let mut e1 = engine(1, 2);
+
+        e0.post_send(&d0, 1, 5, 0, Bytes::from_static(b"1"), SendMode::Standard)
+            .unwrap();
+        e0.post_send(&d0, 1, 5, 0, Bytes::from_static(b"2"), SendMode::Standard)
+            .unwrap();
+        pump(&mut e0, &d0, &mut e1, &d1);
+        let mut b0 = [0u8; 1];
+        let mut b1 = [0u8; 1];
+        let r0 = e1.post_recv(&d1, dest(&mut b0), SourceSel::Rank(0), TagSel::Tag(5), 0);
+        let r1 = e1.post_recv(&d1, dest(&mut b1), SourceSel::Rank(0), TagSel::Tag(5), 0);
+        e1.reqs.take_if_done(r0).unwrap().unwrap();
+        e1.reqs.take_if_done(r1).unwrap().unwrap();
+        assert_eq!((&b0, &b1), (b"1", b"2"), "messages must match in send order");
+    }
+
+    #[test]
+    fn ready_send_without_receive_is_error() {
+        let d0 = Loopback::new(0, 2);
+        let d1 = Loopback::new(1, 2);
+        let mut e0 = engine(0, 2);
+        let mut e1 = engine(1, 2);
+
+        e0.post_send(&d0, 1, 0, 0, Bytes::from_static(b"oops"), SendMode::Ready)
+            .unwrap();
+        pump(&mut e0, &d0, &mut e1, &d1);
+        assert_eq!(e1.counters.rsend_errors, 1);
+        assert!(matches!(
+            e1.pending_error,
+            Some(MpiError::ReadyModeNoReceive { src: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn ready_send_skips_rendezvous_even_when_large() {
+        let d0 = Loopback::new(0, 2);
+        let d1 = Loopback::new(1, 2);
+        let mut e0 = engine(0, 2);
+        let mut e1 = engine(1, 2);
+
+        let mut buf = vec![0u8; 4096];
+        let rid = e1.post_recv(&d1, dest(&mut buf), SourceSel::Any, TagSel::Any, 0);
+        e0.post_send(&d0, 1, 0, 0, Bytes::from(vec![9u8; 4096]), SendMode::Ready)
+            .unwrap();
+        pump(&mut e0, &d0, &mut e1, &d1);
+        assert!(e1.reqs.take_if_done(rid).unwrap().is_ok());
+        assert_eq!(e0.counters.eager_sent, 1, "ready mode is always optimistic");
+        assert_eq!(e0.counters.rndv_sent, 0);
+    }
+
+    #[test]
+    fn buffered_send_requires_attach_and_detects_overflow() {
+        let d0 = Loopback::new(0, 2);
+        let mut e0 = engine(0, 2);
+        let err = e0
+            .post_send(&d0, 1, 0, 0, Bytes::from_static(b"x"), SendMode::Buffered)
+            .unwrap_err();
+        assert_eq!(err, MpiError::NoBufferAttached);
+
+        e0.buffer_attach(4);
+        e0.post_send(&d0, 1, 0, 0, Bytes::from_static(b"abc"), SendMode::Buffered)
+            .unwrap();
+        // Eager send released the space immediately; a 5-byte send still
+        // cannot fit the 4-byte pool.
+        let err = e0
+            .post_send(&d0, 1, 0, 0, Bytes::from_static(b"12345"), SendMode::Buffered)
+            .unwrap_err();
+        assert!(matches!(err, MpiError::BufferOverflow { needed: 5, .. }));
+        assert_eq!(e0.buffer_detach().unwrap(), 4);
+        assert_eq!(e0.buffer_detach().unwrap_err(), MpiError::NoBufferAttached);
+    }
+
+    #[test]
+    fn probe_sees_unexpected_without_consuming() {
+        let d0 = Loopback::new(0, 2);
+        let d1 = Loopback::new(1, 2);
+        let mut e0 = engine(0, 2);
+        let mut e1 = engine(1, 2);
+
+        e0.post_send(&d0, 1, 9, 0, Bytes::from_static(b"abc"), SendMode::Standard)
+            .unwrap();
+        pump(&mut e0, &d0, &mut e1, &d1);
+        let st = e1.probe(SourceSel::Any, TagSel::Any, 0).expect("probe hit");
+        assert_eq!((st.source, st.tag, st.len), (0, 9, 3));
+        // Still there.
+        assert!(e1.probe(SourceSel::Any, TagSel::Any, 0).is_some());
+    }
+
+    #[test]
+    fn cancel_posted_recv_and_queued_send() {
+        let d0 = Loopback::new(0, 2);
+        let mut e0 = Engine::new(0, 2, 180, 1, 1 << 16);
+        let mut buf = [0u8; 1];
+        let rid = e0.post_recv(&d0, dest(&mut buf), SourceSel::Any, TagSel::Any, 0);
+        assert!(e0.cancel(rid));
+        assert!(!e0.cancel(rid), "already cancelled");
+
+        e0.post_send(&d0, 1, 0, 0, Bytes::from_static(b"a"), SendMode::Standard)
+            .unwrap();
+        let sid2 = e0
+            .post_send(&d0, 1, 0, 0, Bytes::from_static(b"b"), SendMode::Standard)
+            .unwrap();
+        assert!(e0.has_pending_sends());
+        assert!(e0.cancel(sid2));
+        assert!(!e0.has_pending_sends());
+    }
+
+    #[test]
+    fn credit_piggybacks_on_reverse_traffic() {
+        let d0 = Loopback::new(0, 2);
+        let d1 = Loopback::new(1, 2);
+        let mut e0 = engine(0, 2);
+        let mut e1 = engine(1, 2);
+
+        // 0 -> 1 eager; 1 posts recv; 1 then sends to 0 — that frame must
+        // carry the envelope + data credit back.
+        let mut buf = [0u8; 4];
+        e1.post_recv(&d1, dest(&mut buf), SourceSel::Any, TagSel::Any, 0);
+        e0.post_send(&d0, 1, 0, 0, Bytes::from_static(b"data"), SendMode::Standard)
+            .unwrap();
+        pump(&mut e0, &d0, &mut e1, &d1);
+        let before_env = e0.flow.env_available(1);
+
+        e1.post_send(&d1, 0, 0, 0, Bytes::from_static(b"r"), SendMode::Standard)
+            .unwrap();
+        pump(&mut e0, &d0, &mut e1, &d1);
+        assert!(
+            e0.flow.env_available(1) > before_env,
+            "reverse traffic must return credit"
+        );
+    }
+
+    #[test]
+    fn bcast_seq_and_store() {
+        let mut e = engine(0, 2);
+        assert_eq!(e.next_bcast_seq(1), 0);
+        assert_eq!(e.next_bcast_seq(1), 1);
+        assert_eq!(e.next_bcast_seq(3), 0);
+        let d = Loopback::new(0, 2);
+        e.handle_wire(
+            &d,
+            Wire::bare(
+                1,
+                Packet::HwBcast {
+                    context: 1,
+                    root: 1,
+                    seq: 1,
+                    data: Bytes::from_static(b"zz"),
+                },
+            ),
+        );
+        assert!(e.take_coll_bcast(1, 0).is_none());
+        assert_eq!(e.take_coll_bcast(1, 1).unwrap().as_ref(), b"zz");
+        assert!(e.take_coll_bcast(1, 1).is_none(), "consumed");
+    }
+}

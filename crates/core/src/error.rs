@@ -1,0 +1,95 @@
+//! MPI error reporting.
+//!
+//! The MPI-1 standard leaves most failures to implementation-defined error
+//! handlers; we surface them as ordinary Rust `Result`s. The
+//! `BufferOverflow` / `EnvelopeOverflow` variants implement the
+//! overflow-detection-and-reporting tactic of Burns & Daoud ("Robust MPI
+//! Message Delivery with Guaranteed Resources", MPIDC 1995), which the paper
+//! cites for handling envelope resource exhaustion.
+
+use std::fmt;
+
+use crate::types::{Rank, Tag};
+
+/// Everything that can go wrong in an MPI call.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MpiError {
+    /// Destination or source rank outside the communicator.
+    RankOutOfRange {
+        /// The offending rank.
+        rank: usize,
+        /// Communicator size.
+        size: usize,
+    },
+    /// An incoming message was longer than the posted receive buffer.
+    /// The prefix that fits has been delivered.
+    Truncated {
+        /// Bytes the sender sent.
+        message_len: usize,
+        /// Bytes the receive buffer could hold.
+        buffer_len: usize,
+    },
+    /// `buffer_attach` space exhausted by a buffered-mode send.
+    BufferOverflow {
+        /// Bytes the send needed.
+        needed: usize,
+        /// Bytes currently available in the attached buffer.
+        available: usize,
+    },
+    /// A ready-mode send arrived with no matching receive posted.
+    /// (Using `Rsend` without a pre-posted receive is erroneous per MPI-1.)
+    ReadyModeNoReceive {
+        /// Sender of the offending message.
+        src: Rank,
+        /// Its tag.
+        tag: Tag,
+    },
+    /// No buffer is attached but a buffered-mode send was issued.
+    NoBufferAttached,
+    /// `buffer_detach` while buffered sends are still queued.
+    BufferInUse,
+    /// A request was waited on twice, or used after completion.
+    RequestConsumed,
+    /// Tag outside the valid range (negative tags are reserved).
+    InvalidTag(i32),
+    /// Count mismatch in a collective (e.g. differing reduce lengths).
+    CollectiveMismatch(String),
+    /// The transport failed (real-socket substrates only).
+    Transport(String),
+}
+
+impl fmt::Display for MpiError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MpiError::RankOutOfRange { rank, size } => {
+                write!(f, "rank {rank} out of range for communicator of size {size}")
+            }
+            MpiError::Truncated {
+                message_len,
+                buffer_len,
+            } => write!(
+                f,
+                "message truncated: {message_len} bytes sent, buffer holds {buffer_len}"
+            ),
+            MpiError::BufferOverflow { needed, available } => write!(
+                f,
+                "buffered send overflow: needed {needed} bytes, {available} available"
+            ),
+            MpiError::ReadyModeNoReceive { src, tag } => write!(
+                f,
+                "ready-mode send from rank {src} tag {tag} had no matching posted receive"
+            ),
+            MpiError::NoBufferAttached => write!(f, "buffered send with no attached buffer"),
+            MpiError::BufferInUse => write!(f, "buffer_detach while buffered sends pending"),
+            MpiError::RequestConsumed => write!(f, "request already completed or consumed"),
+            MpiError::InvalidTag(t) => write!(f, "invalid tag {t}"),
+            MpiError::CollectiveMismatch(s) => write!(f, "collective argument mismatch: {s}"),
+            MpiError::Transport(s) => write!(f, "transport error: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for MpiError {}
+
+/// Result alias used throughout the library.
+pub type MpiResult<T> = Result<T, MpiError>;

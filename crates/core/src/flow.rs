@@ -1,0 +1,216 @@
+//! Flow control: who may send how much, and when buffer space is handed
+//! back.
+//!
+//! The paper uses two schemes and we implement both behind one mechanism:
+//!
+//! * **Meiko**: "we allocate space for a single send envelope for each
+//!   sending processor at each receiver" — i.e. one envelope slot per
+//!   (sender, receiver) pair, plus a bounce buffer for optimistic data.
+//! * **Sockets**: "the receiver keeps a reserved amount of memory for each
+//!   sender, to which the sender sends data optimistically. Once freed, the
+//!   receiver informs the sender that the space can be reused" — a credit
+//!   window, with the returned amount piggybacked in the 4-byte field of the
+//!   25-byte header.
+//!
+//! Both reduce to counted credits: `env` credits (envelope slots) and `data`
+//! credits (bounce-buffer bytes). The engine returns credits promptly for
+//! envelopes (they are copied into matching structures on arrival) and
+//! returns data credits when eager payloads leave the bounce buffer.
+
+use crate::types::Rank;
+
+/// Credit state against one peer, from the sender's point of view, plus the
+/// credits we owe that peer as a receiver.
+#[derive(Clone, Debug)]
+struct PeerCredit {
+    /// Envelope slots we may still consume at the peer.
+    env_avail: u32,
+    /// Bounce-buffer bytes we may still consume at the peer.
+    data_avail: u64,
+    /// Envelope slots we owe the peer (they freed at our side).
+    env_owed: u32,
+    /// Bounce-buffer bytes we owe the peer.
+    data_owed: u64,
+}
+
+/// Per-rank flow-control ledger.
+#[derive(Debug)]
+pub struct FlowControl {
+    peers: Vec<PeerCredit>,
+    env_slots: u32,
+    recv_buf: u64,
+    /// Owed data credit above which an explicit `Credit` packet is sent even
+    /// with no traffic to piggyback on (a quarter of the reserve).
+    explicit_return_threshold: u64,
+    /// Number of times a send had to wait for credit (reported in counters).
+    pub stalls: u64,
+}
+
+impl FlowControl {
+    /// A ledger for `nprocs` peers with `env_slots` envelope slots and
+    /// `recv_buf` bounce bytes reserved in each direction of each pair.
+    pub fn new(nprocs: usize, env_slots: u32, recv_buf: u64) -> Self {
+        FlowControl {
+            peers: vec![
+                PeerCredit {
+                    env_avail: env_slots,
+                    data_avail: recv_buf,
+                    env_owed: 0,
+                    data_owed: 0,
+                };
+                nprocs
+            ],
+            env_slots,
+            recv_buf,
+            explicit_return_threshold: (recv_buf / 4).max(1),
+            stalls: 0,
+        }
+    }
+
+    /// Can we send an eager message of `len` payload bytes to `dst` now?
+    pub fn can_eager(&self, dst: Rank, len: usize) -> bool {
+        let p = &self.peers[dst];
+        p.env_avail >= 1 && p.data_avail >= len as u64
+    }
+
+    /// Can we send a rendezvous envelope to `dst` now?
+    pub fn can_rndv(&self, dst: Rank) -> bool {
+        self.peers[dst].env_avail >= 1
+    }
+
+    /// Consume credit for an eager send. Caller must have checked
+    /// [`can_eager`](Self::can_eager).
+    pub fn spend_eager(&mut self, dst: Rank, len: usize) {
+        let p = &mut self.peers[dst];
+        debug_assert!(p.env_avail >= 1 && p.data_avail >= len as u64);
+        p.env_avail -= 1;
+        p.data_avail -= len as u64;
+    }
+
+    /// Consume credit for a rendezvous envelope.
+    pub fn spend_rndv(&mut self, dst: Rank) {
+        let p = &mut self.peers[dst];
+        debug_assert!(p.env_avail >= 1);
+        p.env_avail -= 1;
+    }
+
+    /// Record a credit return received from `src` (piggybacked or explicit).
+    pub fn receive_return(&mut self, src: Rank, env: u32, data: u64) {
+        let p = &mut self.peers[src];
+        p.env_avail += env;
+        p.data_avail += data;
+        debug_assert!(
+            p.env_avail <= self.env_slots && p.data_avail <= self.recv_buf,
+            "credit overflow from {src}: env {} > {} or data {} > {}",
+            p.env_avail,
+            self.env_slots,
+            p.data_avail,
+            self.recv_buf
+        );
+    }
+
+    /// As a receiver: note that we freed an envelope slot of `src`.
+    pub fn owe_env(&mut self, src: Rank) {
+        self.peers[src].env_owed += 1;
+    }
+
+    /// As a receiver: note that we freed `len` bounce bytes of `src`.
+    pub fn owe_data(&mut self, src: Rank, len: usize) {
+        self.peers[src].data_owed += len as u64;
+    }
+
+    /// Take everything owed to `dst` for piggybacking on an outgoing frame.
+    pub fn take_owed(&mut self, dst: Rank) -> (u32, u64) {
+        let p = &mut self.peers[dst];
+        (std::mem::take(&mut p.env_owed), std::mem::take(&mut p.data_owed))
+    }
+
+    /// Peers owed enough that an explicit credit packet is warranted
+    /// (called when the engine has no traffic to piggyback on).
+    pub fn peers_needing_explicit_return(&self) -> Vec<Rank> {
+        self.peers
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| {
+                p.data_owed >= self.explicit_return_threshold
+                    || p.env_owed >= self.env_slots.div_ceil(2).max(1)
+            })
+            .map(|(r, _)| r)
+            .collect()
+    }
+
+    /// Outstanding envelope credit against `dst` (for tests/diagnostics).
+    #[allow(dead_code)] // exercised by unit tests
+    pub fn env_available(&self, dst: Rank) -> u32 {
+        self.peers[dst].env_avail
+    }
+
+    /// Outstanding data credit against `dst` (for tests/diagnostics).
+    #[allow(dead_code)] // exercised by unit tests
+    pub fn data_available(&self, dst: Rank) -> u64 {
+        self.peers[dst].data_avail
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spend_and_return_roundtrip() {
+        let mut f = FlowControl::new(2, 2, 1000);
+        assert!(f.can_eager(1, 600));
+        f.spend_eager(1, 600);
+        assert!(!f.can_eager(1, 600), "only 400 bytes left");
+        assert!(f.can_eager(1, 400));
+        f.spend_eager(1, 400);
+        assert!(!f.can_rndv(1), "both envelope slots used");
+        f.receive_return(1, 2, 1000);
+        assert!(f.can_eager(1, 1000));
+    }
+
+    #[test]
+    fn single_slot_meiko_policy() {
+        let mut f = FlowControl::new(2, 1, 1 << 20);
+        assert!(f.can_rndv(1));
+        f.spend_rndv(1);
+        assert!(!f.can_rndv(1), "single slot: second envelope must wait");
+        f.receive_return(1, 1, 0);
+        assert!(f.can_rndv(1));
+    }
+
+    #[test]
+    fn owed_credit_accumulates_and_drains() {
+        let mut f = FlowControl::new(3, 4, 1000);
+        f.owe_env(2);
+        f.owe_env(2);
+        f.owe_data(2, 128);
+        assert_eq!(f.take_owed(2), (2, 128));
+        assert_eq!(f.take_owed(2), (0, 0), "drained");
+    }
+
+    #[test]
+    fn explicit_return_threshold_trips() {
+        let mut f = FlowControl::new(2, 8, 1000);
+        f.owe_data(1, 200);
+        assert!(f.peers_needing_explicit_return().is_empty());
+        f.owe_data(1, 100); // total 300 >= 250
+        assert_eq!(f.peers_needing_explicit_return(), vec![1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "credit overflow")]
+    #[cfg(debug_assertions)]
+    fn over_return_is_detected() {
+        let mut f = FlowControl::new(2, 1, 100);
+        f.receive_return(1, 1, 0);
+    }
+
+    #[test]
+    fn zero_length_eager_needs_envelope_only() {
+        let mut f = FlowControl::new(2, 1, 0);
+        assert!(f.can_eager(1, 0));
+        f.spend_eager(1, 0);
+        assert!(!f.can_eager(1, 0));
+    }
+}

@@ -1,0 +1,221 @@
+//! Process groups (`MPI_Group_*`) and group-based communicator creation.
+//!
+//! A [`Group`] is an ordered set of global ranks. Set operations follow
+//! MPI-1 semantics: `union` keeps the first group's order then appends the
+//! second's new members; `intersection` and `difference` keep the first
+//! group's order.
+
+use crate::error::{MpiError, MpiResult};
+use crate::mpi::Communicator;
+use crate::types::Rank;
+
+/// An ordered set of global ranks.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Group {
+    ranks: Vec<Rank>,
+}
+
+impl Group {
+    /// Build from an explicit rank list.
+    ///
+    /// # Panics
+    /// Panics if `ranks` contains duplicates.
+    pub fn new(ranks: Vec<Rank>) -> Group {
+        let mut seen = ranks.clone();
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen.len(), ranks.len(), "group ranks must be distinct");
+        Group { ranks }
+    }
+
+    /// The empty group (`MPI_GROUP_EMPTY`).
+    pub fn empty() -> Group {
+        Group { ranks: Vec::new() }
+    }
+
+    /// Number of members.
+    pub fn size(&self) -> usize {
+        self.ranks.len()
+    }
+
+    /// Whether the group has no members.
+    pub fn is_empty(&self) -> bool {
+        self.ranks.is_empty()
+    }
+
+    /// The members, in group order (global ranks).
+    pub fn ranks(&self) -> &[Rank] {
+        &self.ranks
+    }
+
+    /// This group's rank of the process with global rank `global`, if a
+    /// member (`MPI_Group_rank`).
+    pub fn rank_of(&self, global: Rank) -> Option<Rank> {
+        self.ranks.iter().position(|&g| g == global)
+    }
+
+    /// `MPI_Group_union`: self's members in order, then other's new ones.
+    pub fn union(&self, other: &Group) -> Group {
+        let mut ranks = self.ranks.clone();
+        for &r in &other.ranks {
+            if !ranks.contains(&r) {
+                ranks.push(r);
+            }
+        }
+        Group { ranks }
+    }
+
+    /// `MPI_Group_intersection`: self's members also in other, self order.
+    pub fn intersection(&self, other: &Group) -> Group {
+        Group {
+            ranks: self
+                .ranks
+                .iter()
+                .copied()
+                .filter(|r| other.ranks.contains(r))
+                .collect(),
+        }
+    }
+
+    /// `MPI_Group_difference`: self's members not in other, self order.
+    pub fn difference(&self, other: &Group) -> Group {
+        Group {
+            ranks: self
+                .ranks
+                .iter()
+                .copied()
+                .filter(|r| !other.ranks.contains(r))
+                .collect(),
+        }
+    }
+
+    /// `MPI_Group_incl`: the subset at the given group-rank positions, in
+    /// that order.
+    pub fn incl(&self, positions: &[usize]) -> MpiResult<Group> {
+        let mut ranks = Vec::with_capacity(positions.len());
+        for &p in positions {
+            let r = *self.ranks.get(p).ok_or(MpiError::RankOutOfRange {
+                rank: p,
+                size: self.ranks.len(),
+            })?;
+            ranks.push(r);
+        }
+        Ok(Group::new(ranks))
+    }
+
+    /// `MPI_Group_excl`: everyone except the given group-rank positions.
+    pub fn excl(&self, positions: &[usize]) -> MpiResult<Group> {
+        for &p in positions {
+            if p >= self.ranks.len() {
+                return Err(MpiError::RankOutOfRange {
+                    rank: p,
+                    size: self.ranks.len(),
+                });
+            }
+        }
+        Ok(Group {
+            ranks: self
+                .ranks
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| !positions.contains(i))
+                .map(|(_, &r)| r)
+                .collect(),
+        })
+    }
+
+    /// `MPI_Group_translate_ranks`: map each of this group's given ranks to
+    /// the peer's rank of the same process (`None` where absent).
+    pub fn translate(&self, ranks: &[Rank], other: &Group) -> MpiResult<Vec<Option<Rank>>> {
+        ranks
+            .iter()
+            .map(|&r| {
+                let global = *self.ranks.get(r).ok_or(MpiError::RankOutOfRange {
+                    rank: r,
+                    size: self.ranks.len(),
+                })?;
+                Ok(other.rank_of(global))
+            })
+            .collect()
+    }
+}
+
+impl Communicator {
+    /// `MPI_Comm_group`: this communicator's group.
+    pub fn comm_group(&self) -> Group {
+        Group {
+            ranks: self.group_ranks().to_vec(),
+        }
+    }
+
+    /// `MPI_Comm_create`: build a communicator over `group` (which must be
+    /// a subset of this communicator, identical on every caller).
+    /// Collective over the parent; members get `Some`, others `None`.
+    pub fn create(&self, group: &Group) -> MpiResult<Option<Communicator>> {
+        let me_global = self.global(self.rank())?;
+        // All parent ranks must participate in context agreement.
+        let color = group.rank_of(me_global).map(|_| 0u64);
+        // Reuse split's machinery with the group's order as the key.
+        let key = group.rank_of(me_global).unwrap_or(0) as u64;
+        match self.split(color, key)? {
+            Some(comm) => {
+                // Sanity: the produced ordering must equal the group order.
+                debug_assert_eq!(comm.group_ranks(), group.ranks());
+                Ok(Some(comm))
+            }
+            None => Ok(None),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn g(v: &[usize]) -> Group {
+        Group::new(v.to_vec())
+    }
+
+    #[test]
+    fn set_operations_preserve_order() {
+        let a = g(&[3, 1, 5]);
+        let b = g(&[5, 2, 1]);
+        assert_eq!(a.union(&b).ranks(), &[3, 1, 5, 2]);
+        assert_eq!(a.intersection(&b).ranks(), &[1, 5]);
+        assert_eq!(a.difference(&b).ranks(), &[3]);
+        assert_eq!(b.difference(&a).ranks(), &[2]);
+    }
+
+    #[test]
+    fn incl_excl() {
+        let a = g(&[10, 20, 30, 40]);
+        assert_eq!(a.incl(&[2, 0]).unwrap().ranks(), &[30, 10]);
+        assert_eq!(a.excl(&[1, 3]).unwrap().ranks(), &[10, 30]);
+        assert!(a.incl(&[9]).is_err());
+        assert!(a.excl(&[4]).is_err());
+    }
+
+    #[test]
+    fn translate_between_groups() {
+        let a = g(&[10, 20, 30]);
+        let b = g(&[30, 10]);
+        let t = a.translate(&[0, 1, 2], &b).unwrap();
+        assert_eq!(t, vec![Some(1), None, Some(0)]);
+        assert!(a.translate(&[5], &b).is_err());
+    }
+
+    #[test]
+    fn rank_of_and_empty() {
+        let a = g(&[7, 9]);
+        assert_eq!(a.rank_of(9), Some(1));
+        assert_eq!(a.rank_of(8), None);
+        assert!(Group::empty().is_empty());
+        assert_eq!(Group::empty().size(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct")]
+    fn duplicate_ranks_rejected() {
+        let _ = Group::new(vec![1, 1]);
+    }
+}

@@ -1,0 +1,264 @@
+//! The send↔receive matching engine.
+//!
+//! MPI requires the *receiver* to match, because `MPI_ANY_SOURCE` means only
+//! the receiver knows the candidate set (paper §4.1). Two queues per rank:
+//!
+//! * **posted** — receives waiting for a message;
+//! * **unexpected** — envelopes (with eager data, or a rendezvous token)
+//!   that arrived before a matching receive was posted.
+//!
+//! Both are FIFO scanned, which combined with per-pair FIFO transport yields
+//! the MPI non-overtaking guarantee: two messages from the same sender on
+//! the same communicator match in send order.
+
+use std::collections::VecDeque;
+
+use bytes::Bytes;
+
+use crate::packet::{ContextId, Envelope};
+use crate::types::{SourceSel, TagSel};
+
+/// A receive waiting to be matched. `dst` describes where the payload goes;
+/// see [`RecvDest`] for the safety contract.
+#[derive(Debug)]
+pub struct PostedRecv {
+    /// Receiver request id (slot in the request table).
+    pub recv_id: u64,
+    /// Source selector (global ranks; `Any` restricted by group membership
+    /// at a higher level).
+    pub src: SourceSel,
+    /// Tag selector.
+    pub tag: TagSel,
+    /// Communicator context.
+    pub context: ContextId,
+}
+
+/// What arrived early: an eager payload or a rendezvous announcement.
+#[derive(Debug)]
+pub enum UnexpectedBody {
+    /// Eager data held in the bounce buffer (data credit stays consumed
+    /// until this is matched and copied out).
+    Eager {
+        /// The buffered payload.
+        data: Bytes,
+        /// Sender request id (for the synchronous-mode ack).
+        send_id: u64,
+        /// Whether the sender awaits a match acknowledgment.
+        needs_ack: bool,
+    },
+    /// A rendezvous request; data is still at the sender.
+    Rndv {
+        /// Sender request id to echo in `RndvGo`.
+        send_id: u64,
+    },
+}
+
+/// An envelope that arrived before its receive was posted.
+#[derive(Debug)]
+pub struct UnexpectedMsg {
+    /// The envelope as received.
+    pub env: Envelope,
+    /// Eager payload or rendezvous token.
+    pub body: UnexpectedBody,
+}
+
+/// Per-rank matching state.
+#[derive(Debug, Default)]
+pub struct MatchEngine {
+    posted: VecDeque<PostedRecv>,
+    unexpected: VecDeque<UnexpectedMsg>,
+    /// Total successful matches (Table 1 instrumentation).
+    pub matches: u64,
+    /// Matches that hit the unexpected queue (message beat the receive).
+    pub unexpected_hits: u64,
+}
+
+impl MatchEngine {
+    /// Fresh, empty engine.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An envelope arrived: take the first matching posted receive, if any.
+    pub fn match_incoming(&mut self, env: &Envelope) -> Option<PostedRecv> {
+        let idx = self
+            .posted
+            .iter()
+            .position(|p| p.context == env.context && p.src.matches(env.src) && p.tag.matches(env.tag))?;
+        self.matches += 1;
+        self.posted.remove(idx)
+    }
+
+    /// A receive was posted: take the first matching unexpected message, if
+    /// any; otherwise enqueue the receive.
+    pub fn match_posted(
+        &mut self,
+        recv_id: u64,
+        src: SourceSel,
+        tag: TagSel,
+        context: ContextId,
+    ) -> Option<UnexpectedMsg> {
+        if let Some(idx) = self.find_unexpected(src, tag, context) {
+            self.matches += 1;
+            self.unexpected_hits += 1;
+            return self.unexpected.remove(idx);
+        }
+        self.posted.push_back(PostedRecv {
+            recv_id,
+            src,
+            tag,
+            context,
+        });
+        None
+    }
+
+    /// Probe: peek at the first matching unexpected message without
+    /// consuming it.
+    pub fn probe(&self, src: SourceSel, tag: TagSel, context: ContextId) -> Option<&UnexpectedMsg> {
+        self.find_unexpected(src, tag, context)
+            .map(|i| &self.unexpected[i])
+    }
+
+    fn find_unexpected(&self, src: SourceSel, tag: TagSel, context: ContextId) -> Option<usize> {
+        self.unexpected
+            .iter()
+            .position(|u| u.env.context == context && src.matches(u.env.src) && tag.matches(u.env.tag))
+    }
+
+    /// Store an early arrival.
+    pub fn add_unexpected(&mut self, msg: UnexpectedMsg) {
+        self.unexpected.push_back(msg);
+    }
+
+    /// Remove a posted receive (for `cancel`). Returns whether it was found.
+    pub fn cancel_posted(&mut self, recv_id: u64) -> bool {
+        if let Some(idx) = self.posted.iter().position(|p| p.recv_id == recv_id) {
+            self.posted.remove(idx);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Queue depths `(posted, unexpected)` for diagnostics.
+    #[allow(dead_code)] // exercised by unit tests
+    pub fn depths(&self) -> (usize, usize) {
+        (self.posted.len(), self.unexpected.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::Rank;
+
+    fn env(src: Rank, tag: u32, context: ContextId) -> Envelope {
+        Envelope {
+            src,
+            tag,
+            context,
+            len: 0,
+        }
+    }
+
+    fn rndv(src: Rank, tag: u32, ctx: ContextId, send_id: u64) -> UnexpectedMsg {
+        UnexpectedMsg {
+            env: env(src, tag, ctx),
+            body: UnexpectedBody::Rndv { send_id },
+        }
+    }
+
+    #[test]
+    fn posted_then_incoming_matches() {
+        let mut m = MatchEngine::new();
+        assert!(m.match_posted(1, SourceSel::Rank(0), TagSel::Tag(5), 0).is_none());
+        let hit = m.match_incoming(&env(0, 5, 0)).expect("should match");
+        assert_eq!(hit.recv_id, 1);
+        assert_eq!(m.matches, 1);
+        assert_eq!(m.unexpected_hits, 0);
+    }
+
+    #[test]
+    fn incoming_then_posted_matches() {
+        let mut m = MatchEngine::new();
+        assert!(m.match_incoming(&env(0, 5, 0)).is_none());
+        m.add_unexpected(rndv(0, 5, 0, 77));
+        let hit = m
+            .match_posted(1, SourceSel::Rank(0), TagSel::Tag(5), 0)
+            .expect("should match unexpected");
+        match hit.body {
+            UnexpectedBody::Rndv { send_id } => assert_eq!(send_id, 77),
+            other => panic!("wrong body {other:?}"),
+        }
+        assert_eq!(m.unexpected_hits, 1);
+    }
+
+    #[test]
+    fn wildcards_match_anything() {
+        let mut m = MatchEngine::new();
+        m.add_unexpected(rndv(3, 42, 7, 1));
+        assert!(m.match_posted(1, SourceSel::Any, TagSel::Any, 7).is_some());
+    }
+
+    #[test]
+    fn context_separates_communicators() {
+        let mut m = MatchEngine::new();
+        m.add_unexpected(rndv(0, 5, 1, 1));
+        assert!(
+            m.match_posted(1, SourceSel::Rank(0), TagSel::Tag(5), 2).is_none(),
+            "different context must not match"
+        );
+        // The receive is now posted on context 2; an incoming on 1 misses it.
+        assert!(m.match_incoming(&env(0, 5, 1)).is_none());
+        assert!(m.match_incoming(&env(0, 5, 2)).is_some());
+    }
+
+    #[test]
+    fn fifo_order_among_equally_matchable() {
+        let mut m = MatchEngine::new();
+        m.add_unexpected(rndv(0, 5, 0, 100));
+        m.add_unexpected(rndv(0, 5, 0, 200));
+        let first = m.match_posted(1, SourceSel::Any, TagSel::Any, 0).unwrap();
+        match first.body {
+            UnexpectedBody::Rndv { send_id } => assert_eq!(send_id, 100, "earliest arrival first"),
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn posted_receives_match_in_post_order() {
+        let mut m = MatchEngine::new();
+        m.match_posted(1, SourceSel::Any, TagSel::Any, 0);
+        m.match_posted(2, SourceSel::Any, TagSel::Any, 0);
+        assert_eq!(m.match_incoming(&env(0, 9, 0)).unwrap().recv_id, 1);
+        assert_eq!(m.match_incoming(&env(0, 9, 0)).unwrap().recv_id, 2);
+    }
+
+    #[test]
+    fn specific_posted_skipped_for_nonmatching_incoming() {
+        let mut m = MatchEngine::new();
+        m.match_posted(1, SourceSel::Rank(5), TagSel::Any, 0);
+        m.match_posted(2, SourceSel::Any, TagSel::Any, 0);
+        // Incoming from rank 3 skips the rank-5-specific receive.
+        assert_eq!(m.match_incoming(&env(3, 0, 0)).unwrap().recv_id, 2);
+        assert_eq!(m.depths().0, 1);
+    }
+
+    #[test]
+    fn probe_does_not_consume() {
+        let mut m = MatchEngine::new();
+        m.add_unexpected(rndv(1, 2, 0, 9));
+        assert!(m.probe(SourceSel::Any, TagSel::Any, 0).is_some());
+        assert!(m.probe(SourceSel::Any, TagSel::Any, 0).is_some());
+        assert_eq!(m.depths().1, 1);
+    }
+
+    #[test]
+    fn cancel_posted_removes() {
+        let mut m = MatchEngine::new();
+        m.match_posted(1, SourceSel::Any, TagSel::Any, 0);
+        assert!(m.cancel_posted(1));
+        assert!(!m.cancel_posted(1));
+        assert!(m.match_incoming(&env(0, 0, 0)).is_none());
+    }
+}

@@ -1,0 +1,625 @@
+//! The public MPI API: [`Mpi`] (one per rank), [`Communicator`], and
+//! [`Request`].
+//!
+//! Each rank is single-threaded; the handle types are `!Send`/`!Sync` by
+//! construction (`Rc` + `RefCell`) and progress is made inside blocking
+//! calls, exactly like the paper's SPARC-side matching design: there is no
+//! background progress thread, the main processor drives the protocol.
+
+use std::cell::RefCell;
+use std::marker::PhantomData;
+use std::rc::Rc;
+
+use bytes::Bytes;
+
+use crate::config::MpiConfig;
+use crate::datatype::{to_bytes, MpiData};
+use crate::device::{Cost, Device};
+use crate::engine::{Counters, Engine};
+use crate::error::{MpiError, MpiResult};
+use crate::packet::ContextId;
+use crate::request::{RecvDest, ReqState};
+use crate::types::{Rank, SendMode, SourceSel, Status, Tag, TagSel, TAG_UB};
+
+pub(crate) struct Inner {
+    pub(crate) device: Box<dyn Device>,
+    pub(crate) eng: RefCell<Engine>,
+}
+
+impl Inner {
+    /// Handle every frame already queued at the device, without blocking.
+    pub(crate) fn poll(&self) {
+        while let Some(wire) = self.device.try_recv() {
+            self.eng.borrow_mut().handle_wire(&*self.device, wire);
+        }
+    }
+
+    /// Make progress until `done` returns `Some`; blocks on the device
+    /// between frames.
+    pub(crate) fn progress_until<T>(&self, mut done: impl FnMut(&mut Engine) -> Option<T>) -> T {
+        loop {
+            self.poll();
+            if let Some(v) = done(&mut self.eng.borrow_mut()) {
+                return v;
+            }
+            let wire = self.device.recv_blocking();
+            self.eng.borrow_mut().handle_wire(&*self.device, wire);
+        }
+    }
+
+    /// Block until request `id` completes and return its result.
+    pub(crate) fn wait_request(&self, id: u64) -> MpiResult<Status> {
+        self.progress_until(|eng| eng.reqs.take_if_done(id))
+    }
+}
+
+/// Per-rank MPI instance. Create one per process (or thread, on the
+/// shared-memory substrate) from a [`Device`], then use [`Mpi::world`].
+pub struct Mpi {
+    inner: Rc<Inner>,
+}
+
+impl Mpi {
+    /// Initialize MPI over `device` with `config` (unset fields take the
+    /// device's platform defaults).
+    pub fn new(device: Box<dyn Device>, config: MpiConfig) -> Mpi {
+        let d = device.defaults();
+        let eng = Engine::new(
+            device.rank(),
+            device.nprocs(),
+            config.eager_threshold.unwrap_or(d.eager_threshold),
+            config.env_slots.unwrap_or(d.env_slots),
+            config.recv_buf_per_sender.unwrap_or(d.recv_buf_per_sender),
+        );
+        Mpi {
+            inner: Rc::new(Inner {
+                device,
+                eng: RefCell::new(eng),
+            }),
+        }
+    }
+
+    /// `MPI_COMM_WORLD`: all ranks.
+    pub fn world(&self) -> Communicator {
+        let n = self.inner.device.nprocs();
+        Communicator {
+            inner: self.inner.clone(),
+            ctx: 0,
+            coll_ctx: 1,
+            group: Rc::new((0..n).collect()),
+            my_local: self.inner.device.rank(),
+        }
+    }
+
+    /// This rank's world rank.
+    pub fn rank(&self) -> Rank {
+        self.inner.device.rank()
+    }
+
+    /// World size.
+    pub fn size(&self) -> usize {
+        self.inner.device.nprocs()
+    }
+
+    /// `MPI_Wtime`: elapsed seconds (virtual on simulated transports).
+    pub fn wtime(&self) -> f64 {
+        self.inner.device.wtime()
+    }
+
+    /// Attach `capacity` bytes for buffered-mode (`bsend`) sends.
+    pub fn buffer_attach(&self, capacity: usize) {
+        self.inner.eng.borrow_mut().buffer_attach(capacity);
+    }
+
+    /// Detach the buffered-send space, returning its capacity. As in MPI,
+    /// blocks until every buffered message has been transmitted.
+    pub fn buffer_detach(&self) -> MpiResult<usize> {
+        self.inner.progress_until(|eng| {
+            if eng.buffered_in_use() == 0 {
+                Some(())
+            } else {
+                None
+            }
+        });
+        self.inner.eng.borrow_mut().buffer_detach()
+    }
+
+    /// Protocol counters accumulated so far (Table-1 instrumentation).
+    pub fn counters(&self) -> Counters {
+        self.inner.eng.borrow().counters.clone()
+    }
+
+    /// The eager/rendezvous crossover in effect.
+    pub fn eager_threshold(&self) -> usize {
+        self.inner.eng.borrow().eager_threshold()
+    }
+
+    /// Drain queued sends and synchronize with all ranks. Call once per
+    /// rank before dropping the handle; collective.
+    pub fn finalize(&self) -> MpiResult<()> {
+        self.inner.progress_until(|eng| {
+            if eng.has_pending_sends() {
+                None
+            } else {
+                Some(())
+            }
+        });
+        self.world().barrier()
+    }
+}
+
+/// A communicator: an isolated message-passing context over an ordered
+/// group of ranks. All send/receive operations take *communicator-local*
+/// ranks.
+#[derive(Clone)]
+pub struct Communicator {
+    inner: Rc<Inner>,
+    ctx: ContextId,
+    coll_ctx: ContextId,
+    /// Local rank -> global rank, sorted by local rank.
+    group: Rc<Vec<Rank>>,
+    my_local: Rank,
+}
+
+impl Communicator {
+    /// This rank's rank within the communicator.
+    pub fn rank(&self) -> Rank {
+        self.my_local
+    }
+
+    /// Number of ranks in the communicator.
+    pub fn size(&self) -> usize {
+        self.group.len()
+    }
+
+    /// `MPI_Wtime` convenience.
+    pub fn wtime(&self) -> f64 {
+        self.inner.device.wtime()
+    }
+
+    /// Charge `flops` floating-point operations of application compute to
+    /// the platform cost model (no-op on real transports). Applications use
+    /// this so simulated runs reflect 1996-era CPU speeds.
+    pub fn compute_flops(&self, flops: u64) {
+        self.inner.device.charge(Cost::Flops(flops));
+    }
+
+    pub(crate) fn global(&self, local: Rank) -> MpiResult<Rank> {
+        self.group.get(local).copied().ok_or(MpiError::RankOutOfRange {
+            rank: local,
+            size: self.group.len(),
+        })
+    }
+
+    pub(crate) fn local(&self, global: Rank) -> Rank {
+        self.group
+            .iter()
+            .position(|&g| g == global)
+            .expect("message from rank outside communicator group")
+    }
+
+    fn check_tag(tag: Tag) -> MpiResult<()> {
+        if tag > TAG_UB {
+            Err(MpiError::InvalidTag(tag as i32))
+        } else {
+            Ok(())
+        }
+    }
+
+    pub(crate) fn localize(&self, st: Status) -> Status {
+        Status {
+            source: self.local(st.source),
+            ..st
+        }
+    }
+
+    fn src_sel(&self, src: SourceSel) -> MpiResult<SourceSel> {
+        Ok(match src {
+            SourceSel::Any => SourceSel::Any,
+            SourceSel::Rank(local) => SourceSel::Rank(self.global(local)?),
+        })
+    }
+
+    fn take_pending_error(&self) -> MpiResult<()> {
+        match self.inner.eng.borrow_mut().pending_error.take() {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Blocking point-to-point
+    // ------------------------------------------------------------------
+
+    pub(crate) fn send_mode<T: MpiData>(
+        &self,
+        buf: &[T],
+        dst: Rank,
+        tag: Tag,
+        mode: SendMode,
+        ctx: ContextId,
+    ) -> MpiResult<()> {
+        Self::check_tag(tag)?;
+        self.take_pending_error()?;
+        let dst_g = self.global(dst)?;
+        let data = Bytes::from(to_bytes(buf));
+        let id = self.inner.eng.borrow_mut().post_send(
+            &*self.inner.device,
+            dst_g,
+            tag,
+            ctx,
+            data,
+            mode,
+        )?;
+        self.inner.wait_request(id).map(|_| ())
+    }
+
+    /// `MPI_Send`: standard mode. Eager below the threshold (optimistic,
+    /// buffered at the receiver), rendezvous above.
+    pub fn send<T: MpiData>(&self, buf: &[T], dst: Rank, tag: Tag) -> MpiResult<()> {
+        self.send_mode(buf, dst, tag, SendMode::Standard, self.ctx)
+    }
+
+    /// `MPI_Bsend`: buffered mode; fails with `BufferOverflow` when the
+    /// attached buffer can't hold the message.
+    pub fn bsend<T: MpiData>(&self, buf: &[T], dst: Rank, tag: Tag) -> MpiResult<()> {
+        self.send_mode(buf, dst, tag, SendMode::Buffered, self.ctx)
+    }
+
+    /// `MPI_Ssend`: synchronous mode; returns only after the receive
+    /// matched.
+    pub fn ssend<T: MpiData>(&self, buf: &[T], dst: Rank, tag: Tag) -> MpiResult<()> {
+        self.send_mode(buf, dst, tag, SendMode::Synchronous, self.ctx)
+    }
+
+    /// `MPI_Rsend`: ready mode; the caller asserts the receive is already
+    /// posted, so data always travels with the envelope.
+    pub fn rsend<T: MpiData>(&self, buf: &[T], dst: Rank, tag: Tag) -> MpiResult<()> {
+        self.send_mode(buf, dst, tag, SendMode::Ready, self.ctx)
+    }
+
+    /// `MPI_Recv`: blocking receive into `buf`. Accepts `usize` ranks /
+    /// `u32` tags or the wildcard selectors.
+    pub fn recv<T: MpiData>(
+        &self,
+        buf: &mut [T],
+        src: impl Into<SourceSel>,
+        tag: impl Into<TagSel>,
+    ) -> MpiResult<Status> {
+        let id = self.post_recv_raw(buf, src.into(), tag.into(), self.ctx)?;
+        let st = self.inner.wait_request(id)?;
+        Ok(self.localize(st))
+    }
+
+    /// Probe-then-receive convenience: returns a freshly-allocated vector
+    /// sized to the incoming message.
+    pub fn recv_vec<T: MpiData + Default>(
+        &self,
+        src: impl Into<SourceSel>,
+        tag: impl Into<TagSel>,
+    ) -> MpiResult<(Vec<T>, Status)> {
+        let src = src.into();
+        let tag = tag.into();
+        let st = self.probe_sel(src, tag)?;
+        let mut out = vec![T::default(); st.count::<T>()];
+        // Receive exactly the probed message (narrow to its source and tag).
+        let st = self.recv(&mut out, st.source, st.tag)?;
+        Ok((out, st))
+    }
+
+    pub(crate) fn post_recv_raw<T: MpiData>(
+        &self,
+        buf: &mut [T],
+        src: SourceSel,
+        tag: TagSel,
+        ctx: ContextId,
+    ) -> MpiResult<u64> {
+        if let TagSel::Tag(t) = tag {
+            Self::check_tag(t)?;
+        }
+        self.take_pending_error()?;
+        let src = self.src_sel(src)?;
+        let dst = RecvDest {
+            ptr: buf.as_mut_ptr() as *mut u8,
+            cap: std::mem::size_of_val(buf),
+        };
+        Ok(self
+            .inner
+            .eng
+            .borrow_mut()
+            .post_recv(&*self.inner.device, dst, src, tag, ctx))
+    }
+
+    /// `MPI_Sendrecv`: simultaneous send and receive, deadlock-free.
+    pub fn sendrecv<T: MpiData, U: MpiData>(
+        &self,
+        sendbuf: &[T],
+        dst: Rank,
+        send_tag: Tag,
+        recvbuf: &mut [U],
+        src: impl Into<SourceSel>,
+        recv_tag: impl Into<TagSel>,
+    ) -> MpiResult<Status> {
+        let rid = self.post_recv_raw(recvbuf, src.into(), recv_tag.into(), self.ctx)?;
+        self.send(sendbuf, dst, send_tag)?;
+        let st = self.inner.wait_request(rid)?;
+        Ok(self.localize(st))
+    }
+
+    // ------------------------------------------------------------------
+    // Nonblocking point-to-point
+    // ------------------------------------------------------------------
+
+    fn isend_mode<'a, T: MpiData>(
+        &self,
+        buf: &'a [T],
+        dst: Rank,
+        tag: Tag,
+        mode: SendMode,
+    ) -> MpiResult<Request<'a>> {
+        Self::check_tag(tag)?;
+        self.take_pending_error()?;
+        let dst_g = self.global(dst)?;
+        let data = Bytes::from(to_bytes(buf));
+        let id = self.inner.eng.borrow_mut().post_send(
+            &*self.inner.device,
+            dst_g,
+            tag,
+            self.ctx,
+            data,
+            mode,
+        )?;
+        Ok(self.request(id))
+    }
+
+    /// `MPI_Isend`.
+    pub fn isend<'a, T: MpiData>(&self, buf: &'a [T], dst: Rank, tag: Tag) -> MpiResult<Request<'a>> {
+        self.isend_mode(buf, dst, tag, SendMode::Standard)
+    }
+
+    /// `MPI_Ibsend`.
+    pub fn ibsend<'a, T: MpiData>(&self, buf: &'a [T], dst: Rank, tag: Tag) -> MpiResult<Request<'a>> {
+        self.isend_mode(buf, dst, tag, SendMode::Buffered)
+    }
+
+    /// `MPI_Issend`.
+    pub fn issend<'a, T: MpiData>(&self, buf: &'a [T], dst: Rank, tag: Tag) -> MpiResult<Request<'a>> {
+        self.isend_mode(buf, dst, tag, SendMode::Synchronous)
+    }
+
+    /// `MPI_Irsend`.
+    pub fn irsend<'a, T: MpiData>(&self, buf: &'a [T], dst: Rank, tag: Tag) -> MpiResult<Request<'a>> {
+        self.isend_mode(buf, dst, tag, SendMode::Ready)
+    }
+
+    /// `MPI_Irecv`: nonblocking receive. The returned request borrows `buf`
+    /// until waited on (or dropped, which waits).
+    pub fn irecv<'a, T: MpiData>(
+        &self,
+        buf: &'a mut [T],
+        src: impl Into<SourceSel>,
+        tag: impl Into<TagSel>,
+    ) -> MpiResult<Request<'a>> {
+        let id = self.post_recv_raw(buf, src.into(), tag.into(), self.ctx)?;
+        Ok(self.request(id))
+    }
+
+    fn request<'a>(&self, id: u64) -> Request<'a> {
+        Request {
+            state: ReqHandle::Active(id),
+            inner: self.inner.clone(),
+            group: self.group.clone(),
+            _buf: PhantomData,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Probing
+    // ------------------------------------------------------------------
+
+    pub(crate) fn probe_sel(&self, src: SourceSel, tag: TagSel) -> MpiResult<Status> {
+        let src_g = self.src_sel(src)?;
+        let ctx = self.ctx;
+        let st = self
+            .inner
+            .progress_until(|eng| eng.probe(src_g, tag, ctx));
+        Ok(self.localize(st))
+    }
+
+    /// `MPI_Probe`: block until a matching message is available, without
+    /// receiving it.
+    pub fn probe(&self, src: impl Into<SourceSel>, tag: impl Into<TagSel>) -> MpiResult<Status> {
+        self.probe_sel(src.into(), tag.into())
+    }
+
+    /// `MPI_Iprobe`: non-blocking probe.
+    pub fn iprobe(
+        &self,
+        src: impl Into<SourceSel>,
+        tag: impl Into<TagSel>,
+    ) -> MpiResult<Option<Status>> {
+        let src_g = self.src_sel(src.into())?;
+        let tag = tag.into();
+        self.inner.poll();
+        let st = self.inner.eng.borrow().probe(src_g, tag, self.ctx);
+        Ok(st.map(|s| self.localize(s)))
+    }
+
+    // ------------------------------------------------------------------
+    // Communicator management
+    // ------------------------------------------------------------------
+
+    pub(crate) fn inner(&self) -> &Rc<Inner> {
+        &self.inner
+    }
+
+    pub(crate) fn coll_ctx(&self) -> ContextId {
+        self.coll_ctx
+    }
+
+    pub(crate) fn group(&self) -> &Rc<Vec<Rank>> {
+        &self.group
+    }
+
+    pub(crate) fn make(
+        inner: Rc<Inner>,
+        ctx: ContextId,
+        coll_ctx: ContextId,
+        group: Rc<Vec<Rank>>,
+        my_local: Rank,
+    ) -> Communicator {
+        Communicator {
+            inner,
+            ctx,
+            coll_ctx,
+            group,
+            my_local,
+        }
+    }
+
+    /// The global (world) ranks of this communicator's group, in local-rank
+    /// order.
+    pub fn group_ranks(&self) -> &[Rank] {
+        &self.group
+    }
+}
+
+#[derive(Debug, PartialEq, Eq)]
+enum ReqHandle {
+    Active(u64),
+    Consumed,
+}
+
+/// An in-flight nonblocking operation (`MPI_Request`). The lifetime ties it
+/// to the buffer it reads from or writes into; dropping a request without
+/// waiting blocks until it completes (receives must not dangle).
+pub struct Request<'buf> {
+    state: ReqHandle,
+    inner: Rc<Inner>,
+    group: Rc<Vec<Rank>>,
+    _buf: PhantomData<&'buf mut [u8]>,
+}
+
+impl Request<'_> {
+    fn localize(&self, st: Status) -> Status {
+        // Send-request statuses carry no meaningful source; map receives.
+        match self.group.iter().position(|&g| g == st.source) {
+            Some(local) => Status {
+                source: local,
+                ..st
+            },
+            None => st,
+        }
+    }
+
+    /// `MPI_Wait`: block until complete, consuming the request.
+    pub fn wait(mut self) -> MpiResult<Status> {
+        match std::mem::replace(&mut self.state, ReqHandle::Consumed) {
+            ReqHandle::Active(id) => {
+                let st = self.inner.wait_request(id)?;
+                Ok(self.localize(st))
+            }
+            ReqHandle::Consumed => Err(MpiError::RequestConsumed),
+        }
+    }
+
+    /// `MPI_Test`: if complete, return the status (consuming the
+    /// completion); otherwise `None`. Polls the device without blocking.
+    pub fn test(&mut self) -> MpiResult<Option<Status>> {
+        let ReqHandle::Active(id) = self.state else {
+            return Err(MpiError::RequestConsumed);
+        };
+        self.inner.poll();
+        match self.inner.eng.borrow_mut().reqs.take_if_done(id) {
+            Some(result) => {
+                self.state = ReqHandle::Consumed;
+                result.map(|st| Some(self.localize(st)))
+            }
+            None => Ok(None),
+        }
+    }
+
+    /// `MPI_Cancel` + `MPI_Wait`: cancel if still local (unmatched receive
+    /// or queued send). Returns `true` if cancelled; otherwise the request
+    /// completes normally and `false` is returned.
+    pub fn cancel(mut self) -> MpiResult<bool> {
+        match std::mem::replace(&mut self.state, ReqHandle::Consumed) {
+            ReqHandle::Active(id) => {
+                if self.inner.eng.borrow_mut().cancel(id) {
+                    Ok(true)
+                } else {
+                    self.inner.wait_request(id)?;
+                    Ok(false)
+                }
+            }
+            ReqHandle::Consumed => Err(MpiError::RequestConsumed),
+        }
+    }
+
+    /// Whether the request has already been consumed by `wait`/`test`.
+    pub fn is_consumed(&self) -> bool {
+        self.state == ReqHandle::Consumed
+    }
+}
+
+impl Drop for Request<'_> {
+    fn drop(&mut self) {
+        if let ReqHandle::Active(id) = self.state {
+            // A receive must complete (or be cancelled) before its buffer
+            // borrow ends, or the engine would hold a dangling pointer.
+            if !self.inner.eng.borrow_mut().cancel(id) {
+                let _ = self.inner.wait_request(id);
+            }
+        }
+    }
+}
+
+/// `MPI_Waitall`: wait for every request, preserving order.
+pub fn wait_all(reqs: Vec<Request<'_>>) -> MpiResult<Vec<Status>> {
+    reqs.into_iter().map(|r| r.wait()).collect()
+}
+
+/// `MPI_Waitany`: block until some request completes; returns its index and
+/// status, removing it from the vector.
+pub fn wait_any(reqs: &mut Vec<Request<'_>>) -> MpiResult<(usize, Status)> {
+    assert!(!reqs.is_empty(), "wait_any on empty request list");
+    loop {
+        for i in 0..reqs.len() {
+            if let Some(st) = reqs[i].test()? {
+                let _ = reqs.remove(i);
+                return Ok((i, st));
+            }
+        }
+        // Nothing ready: block on the device through the first request.
+        let inner = reqs[0].inner.clone();
+        let wire = inner.device.recv_blocking();
+        inner.eng.borrow_mut().handle_wire(&*inner.device, wire);
+    }
+}
+
+/// `MPI_Testall`: test every request; `Some` statuses only if *all* are
+/// complete (none are consumed otherwise).
+pub fn test_all(reqs: &mut [Request<'_>]) -> MpiResult<Option<Vec<Status>>> {
+    if reqs.is_empty() {
+        return Ok(Some(Vec::new()));
+    }
+    reqs[0].inner.poll();
+    {
+        let eng = reqs[0].inner.eng.borrow();
+        let all_done = reqs.iter().all(|r| match r.state {
+            ReqHandle::Active(id) => eng.reqs.get(id).is_some_and(ReqState::is_done),
+            ReqHandle::Consumed => false,
+        });
+        if !all_done {
+            return Ok(None);
+        }
+    }
+    let mut out = Vec::with_capacity(reqs.len());
+    for r in reqs.iter_mut() {
+        match r.test()? {
+            Some(st) => out.push(st),
+            None => unreachable!("checked done above"),
+        }
+    }
+    Ok(Some(out))
+}

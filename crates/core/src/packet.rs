@@ -1,0 +1,203 @@
+//! The wire protocol between ranks: envelopes and protocol packets.
+//!
+//! This is the layer the paper's §4.1 describes: a message is an *envelope*
+//! (source, tag, communicator context, length) plus data, and the protocol
+//! decides whether data travels **with** the envelope (eager/optimistic,
+//! buffered at the receiver) or **after** matching (rendezvous, delivered
+//! straight into the user buffer).
+//!
+//! Devices transport [`Wire`] frames; the `env_credit` / `data_credit`
+//! fields piggyback flow-control returns exactly like the 4-byte
+//! "reserved space freed" field of the paper's 25-byte TCP header.
+
+use bytes::Bytes;
+
+use crate::types::{Rank, Tag};
+
+/// Communicator context id; disambiguates messages of different
+/// communicators (and the point-to-point vs collective planes of one
+/// communicator).
+pub type ContextId = u32;
+
+/// A message envelope: everything the receiver needs to match a send to a
+/// posted receive.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Envelope {
+    /// Sender's *global* rank.
+    pub src: Rank,
+    /// User tag.
+    pub tag: Tag,
+    /// Communicator context.
+    pub context: ContextId,
+    /// Payload length in bytes.
+    pub len: usize,
+}
+
+/// Serialized size of an envelope in the sockets framing, matching the
+/// paper's accounting: 20 bytes of "envelope and DMA request information".
+pub const ENVELOPE_WIRE_BYTES: usize = 20;
+
+/// Protocol packets. `send_id` / `recv_id` are request identifiers local to
+/// the sending / receiving rank, echoed back by the peer.
+#[derive(Clone, Debug)]
+pub enum Packet {
+    /// Optimistic transfer: envelope and data together. The receiver buffers
+    /// the data if no receive is posted yet (costing a copy — this is the
+    /// "Buffering" line of Fig. 1).
+    Eager {
+        /// Envelope for matching.
+        env: Envelope,
+        /// Sender request id, echoed in [`Packet::EagerAck`] when
+        /// `needs_ack` (synchronous mode).
+        send_id: u64,
+        /// Whether the sender requires a match acknowledgment (`Ssend`).
+        needs_ack: bool,
+        /// `Rsend`: the sender asserts a receive is already posted; if not,
+        /// the receiver reports an error instead of buffering.
+        ready: bool,
+        /// The payload.
+        data: Bytes,
+    },
+    /// Rendezvous step 1: envelope only; data stays at the sender.
+    RndvReq {
+        /// Envelope for matching.
+        env: Envelope,
+        /// Sender request id.
+        send_id: u64,
+    },
+    /// Rendezvous step 2 (receiver → sender): matched; send the data.
+    RndvGo {
+        /// Echo of the sender request id.
+        send_id: u64,
+        /// Receiver request id to route the data.
+        recv_id: u64,
+    },
+    /// Rendezvous step 3: the bulk data, delivered directly into the user
+    /// buffer (the "No buffering" line of Fig. 1).
+    RndvData {
+        /// Echo of the receiver request id.
+        recv_id: u64,
+        /// The payload.
+        data: Bytes,
+    },
+    /// Match acknowledgment for synchronous-mode eager sends.
+    EagerAck {
+        /// Echo of the sender request id.
+        send_id: u64,
+    },
+    /// Explicit flow-control credit return (piggyback fields in [`Wire`]
+    /// are preferred; this flushes owed credit when traffic is one-sided).
+    Credit,
+    /// Broadcast payload delivered by a device's hardware broadcast
+    /// (Meiko CS/2); software broadcasts use plain point-to-point packets.
+    HwBcast {
+        /// Communicator context (collective plane).
+        context: ContextId,
+        /// Root's global rank.
+        root: Rank,
+        /// Per-context broadcast sequence number.
+        seq: u64,
+        /// The payload.
+        data: Bytes,
+    },
+}
+
+impl Packet {
+    /// Short name for tracing and counters.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            Packet::Eager { .. } => "eager",
+            Packet::RndvReq { .. } => "rndv_req",
+            Packet::RndvGo { .. } => "rndv_go",
+            Packet::RndvData { .. } => "rndv_data",
+            Packet::EagerAck { .. } => "eager_ack",
+            Packet::Credit => "credit",
+            Packet::HwBcast { .. } => "hw_bcast",
+        }
+    }
+
+    /// Payload bytes carried (for bandwidth accounting).
+    pub fn payload_len(&self) -> usize {
+        match self {
+            Packet::Eager { data, .. } | Packet::RndvData { data, .. } | Packet::HwBcast { data, .. } => {
+                data.len()
+            }
+            _ => 0,
+        }
+    }
+
+    /// Whether this packet is a bulk data transfer (device may use its DMA
+    /// path) as opposed to a small control transaction.
+    pub fn is_bulk(&self) -> bool {
+        matches!(self, Packet::RndvData { .. })
+    }
+}
+
+/// A framed protocol message: the packet plus piggybacked credit returns.
+#[derive(Clone, Debug)]
+pub struct Wire {
+    /// Global rank of the sender of this frame.
+    pub src: Rank,
+    /// Envelope slots being returned to the receiver of this frame.
+    pub env_credit: u32,
+    /// Buffer bytes being returned to the receiver of this frame.
+    pub data_credit: u64,
+    /// The protocol packet.
+    pub pkt: Packet,
+}
+
+impl Wire {
+    /// A frame with no piggybacked credit.
+    pub fn bare(src: Rank, pkt: Packet) -> Self {
+        Wire {
+            src,
+            env_credit: 0,
+            data_credit: 0,
+            pkt,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn env() -> Envelope {
+        Envelope {
+            src: 1,
+            tag: 9,
+            context: 0,
+            len: 4,
+        }
+    }
+
+    #[test]
+    fn kind_names_and_bulk() {
+        let e = Packet::Eager {
+            env: env(),
+            send_id: 0,
+            needs_ack: false,
+            ready: false,
+            data: Bytes::from_static(b"abcd"),
+        };
+        assert_eq!(e.kind_name(), "eager");
+        assert!(!e.is_bulk());
+        assert_eq!(e.payload_len(), 4);
+
+        let d = Packet::RndvData {
+            recv_id: 3,
+            data: Bytes::from_static(b"xy"),
+        };
+        assert!(d.is_bulk());
+        assert_eq!(d.payload_len(), 2);
+        assert_eq!(Packet::Credit.payload_len(), 0);
+    }
+
+    #[test]
+    fn bare_wire_has_no_credit() {
+        let w = Wire::bare(2, Packet::Credit);
+        assert_eq!(w.src, 2);
+        assert_eq!(w.env_credit, 0);
+        assert_eq!(w.data_credit, 0);
+    }
+}

@@ -1,0 +1,193 @@
+//! Reduction operators for `reduce` / `allreduce` / `scan`.
+
+use crate::datatype::Loc;
+
+/// The MPI-1 predefined reduction operations.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum ReduceOp {
+    /// Elementwise sum.
+    Sum,
+    /// Elementwise product.
+    Prod,
+    /// Elementwise minimum.
+    Min,
+    /// Elementwise maximum.
+    Max,
+    /// Logical AND (nonzero = true, as in MPI's C binding).
+    Land,
+    /// Logical OR.
+    Lor,
+    /// Bitwise AND (integer types only).
+    Band,
+    /// Bitwise OR (integer types only).
+    Bor,
+    /// Bitwise XOR (integer types only).
+    Bxor,
+    /// Maximum value and its index ([`Loc`] types only).
+    MaxLoc,
+    /// Minimum value and its index ([`Loc`] types only).
+    MinLoc,
+}
+
+/// Element types usable in reductions. `accumulate` computes
+/// `acc[i] = op(acc[i], x[i])` and must be associative and commutative for
+/// every supported `op` (all predefined MPI ops are).
+///
+/// # Panics
+/// Implementations panic on ops that are undefined for the type (e.g.
+/// bitwise AND on floats, `MAXLOC` on plain numbers), mirroring MPI's
+/// "invalid datatype/op combination" error.
+pub trait Reducible: Copy {
+    /// Apply `op` elementwise: `acc[i] = op(acc[i], x[i])`.
+    fn accumulate(op: ReduceOp, acc: &mut [Self], x: &[Self]);
+}
+
+macro_rules! impl_reducible_int {
+    ($($t:ty),*) => {$(
+        impl Reducible for $t {
+            fn accumulate(op: ReduceOp, acc: &mut [Self], x: &[Self]) {
+                assert_eq!(acc.len(), x.len(), "reduce length mismatch");
+                match op {
+                    ReduceOp::Sum => acc.iter_mut().zip(x).for_each(|(a, &b)| *a = a.wrapping_add(b)),
+                    ReduceOp::Prod => acc.iter_mut().zip(x).for_each(|(a, &b)| *a = a.wrapping_mul(b)),
+                    ReduceOp::Min => acc.iter_mut().zip(x).for_each(|(a, &b)| *a = (*a).min(b)),
+                    ReduceOp::Max => acc.iter_mut().zip(x).for_each(|(a, &b)| *a = (*a).max(b)),
+                    ReduceOp::Land => acc.iter_mut().zip(x).for_each(|(a, &b)| {
+                        *a = ((*a != 0) && (b != 0)) as $t
+                    }),
+                    ReduceOp::Lor => acc.iter_mut().zip(x).for_each(|(a, &b)| {
+                        *a = ((*a != 0) || (b != 0)) as $t
+                    }),
+                    ReduceOp::Band => acc.iter_mut().zip(x).for_each(|(a, &b)| *a &= b),
+                    ReduceOp::Bor => acc.iter_mut().zip(x).for_each(|(a, &b)| *a |= b),
+                    ReduceOp::Bxor => acc.iter_mut().zip(x).for_each(|(a, &b)| *a ^= b),
+                    ReduceOp::MaxLoc | ReduceOp::MinLoc => {
+                        panic!("MAXLOC/MINLOC require Loc<T> elements")
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+impl_reducible_int!(u8, i8, u16, i16, u32, i32, u64, i64, usize, isize);
+
+macro_rules! impl_reducible_float {
+    ($($t:ty),*) => {$(
+        impl Reducible for $t {
+            fn accumulate(op: ReduceOp, acc: &mut [Self], x: &[Self]) {
+                assert_eq!(acc.len(), x.len(), "reduce length mismatch");
+                match op {
+                    ReduceOp::Sum => acc.iter_mut().zip(x).for_each(|(a, &b)| *a += b),
+                    ReduceOp::Prod => acc.iter_mut().zip(x).for_each(|(a, &b)| *a *= b),
+                    ReduceOp::Min => acc.iter_mut().zip(x).for_each(|(a, &b)| *a = a.min(b)),
+                    ReduceOp::Max => acc.iter_mut().zip(x).for_each(|(a, &b)| *a = a.max(b)),
+                    ReduceOp::Land => acc.iter_mut().zip(x).for_each(|(a, &b)| {
+                        *a = ((*a != 0.0) && (b != 0.0)) as u8 as $t
+                    }),
+                    ReduceOp::Lor => acc.iter_mut().zip(x).for_each(|(a, &b)| {
+                        *a = ((*a != 0.0) || (b != 0.0)) as u8 as $t
+                    }),
+                    ReduceOp::Band | ReduceOp::Bor | ReduceOp::Bxor => {
+                        panic!("bitwise reduction undefined for floating point")
+                    }
+                    ReduceOp::MaxLoc | ReduceOp::MinLoc => {
+                        panic!("MAXLOC/MINLOC require Loc<T> elements")
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+impl_reducible_float!(f32, f64);
+
+impl<T: Reducible + PartialOrd> Reducible for Loc<T> {
+    fn accumulate(op: ReduceOp, acc: &mut [Self], x: &[Self]) {
+        assert_eq!(acc.len(), x.len(), "reduce length mismatch");
+        match op {
+            ReduceOp::MaxLoc => acc.iter_mut().zip(x).for_each(|(a, b)| {
+                // Ties keep the smaller index, per the MPI definition.
+                if b.value > a.value || (b.value == a.value && b.index < a.index) {
+                    *a = *b;
+                }
+            }),
+            ReduceOp::MinLoc => acc.iter_mut().zip(x).for_each(|(a, b)| {
+                if b.value < a.value || (b.value == a.value && b.index < a.index) {
+                    *a = *b;
+                }
+            }),
+            other => panic!("{other:?} undefined for Loc<T>; use MAXLOC/MINLOC"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn integer_ops() {
+        let mut a = vec![1i32, 5, -3];
+        i32::accumulate(ReduceOp::Sum, &mut a, &[2, -1, 3]);
+        assert_eq!(a, vec![3, 4, 0]);
+        i32::accumulate(ReduceOp::Max, &mut a, &[0, 10, -5]);
+        assert_eq!(a, vec![3, 10, 0]);
+        i32::accumulate(ReduceOp::Min, &mut a, &[1, 1, 1]);
+        assert_eq!(a, vec![1, 1, 0]);
+        let mut b = vec![0b1100u8];
+        u8::accumulate(ReduceOp::Band, &mut b, &[0b1010]);
+        assert_eq!(b, vec![0b1000]);
+        u8::accumulate(ReduceOp::Bor, &mut b, &[0b0001]);
+        assert_eq!(b, vec![0b1001]);
+        u8::accumulate(ReduceOp::Bxor, &mut b, &[0b1001]);
+        assert_eq!(b, vec![0]);
+    }
+
+    #[test]
+    fn logical_ops_follow_c_semantics() {
+        let mut a = vec![2i32, 0];
+        i32::accumulate(ReduceOp::Land, &mut a, &[3, 5]);
+        assert_eq!(a, vec![1, 0]);
+        let mut b = vec![0i32, 0];
+        i32::accumulate(ReduceOp::Lor, &mut b, &[0, 7]);
+        assert_eq!(b, vec![0, 1]);
+    }
+
+    #[test]
+    fn float_ops() {
+        let mut a = vec![1.5f64, 2.0];
+        f64::accumulate(ReduceOp::Prod, &mut a, &[2.0, 0.5]);
+        assert_eq!(a, vec![3.0, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "bitwise reduction undefined")]
+    fn float_bitwise_panics() {
+        let mut a = vec![1.0f32];
+        f32::accumulate(ReduceOp::Band, &mut a, &[1.0]);
+    }
+
+    #[test]
+    fn maxloc_prefers_smaller_index_on_tie() {
+        let mut a = vec![Loc { value: 5.0f64, index: 3 }];
+        Loc::<f64>::accumulate(ReduceOp::MaxLoc, &mut a, &[Loc { value: 5.0, index: 1 }]);
+        assert_eq!(a[0].index, 1);
+        Loc::<f64>::accumulate(ReduceOp::MaxLoc, &mut a, &[Loc { value: 4.0, index: 0 }]);
+        assert_eq!(a[0].value, 5.0);
+    }
+
+    #[test]
+    fn minloc_tracks_minimum() {
+        let mut a = vec![Loc { value: 2i64, index: 0 }];
+        Loc::<i64>::accumulate(ReduceOp::MinLoc, &mut a, &[Loc { value: -7, index: 4 }]);
+        assert_eq!((a[0].value, a[0].index), (-7, 4));
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn length_mismatch_panics() {
+        let mut a = vec![0u32; 2];
+        u32::accumulate(ReduceOp::Sum, &mut a, &[1]);
+    }
+}

@@ -1,0 +1,198 @@
+//! Request table: the state machine of every in-flight nonblocking
+//! operation.
+//!
+//! Blocking calls are nonblocking calls plus an immediate wait, exactly as
+//! in MPICH's layering, so everything funnels through here.
+
+use std::collections::HashMap;
+
+use crate::error::{MpiError, MpiResult};
+use crate::types::Status;
+
+/// Where a receive delivers its payload.
+///
+/// # Safety contract
+/// The pointer originates from a `&mut [u8]` whose borrow is held for the
+/// lifetime of the owning `Request` (enforced by the lifetime parameter on
+/// the public `Request` type, and by `Request::drop` blocking until
+/// completion). The engine writes through it at most once, before marking
+/// the request done, from the single thread that owns the rank.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct RecvDest {
+    pub ptr: *mut u8,
+    pub cap: usize,
+}
+
+impl RecvDest {
+    /// Copy `data` into the destination, clamping to capacity. Returns the
+    /// per-request result: `Ok` with delivered length, or `Truncated`.
+    ///
+    /// # Safety
+    /// See the type-level contract: `ptr..ptr+cap` must be writable and
+    /// unaliased for the duration of the call.
+    pub(crate) unsafe fn deliver(&self, data: &[u8]) -> MpiResult<usize> {
+        let n = data.len().min(self.cap);
+        // SAFETY: caller upholds the type-level contract; `n <= cap`.
+        unsafe {
+            std::ptr::copy_nonoverlapping(data.as_ptr(), self.ptr, n);
+        }
+        if data.len() > self.cap {
+            Err(MpiError::Truncated {
+                message_len: data.len(),
+                buffer_len: self.cap,
+            })
+        } else {
+            Ok(n)
+        }
+    }
+}
+
+/// States of an in-flight request.
+#[derive(Debug)]
+pub(crate) enum ReqState {
+    /// Send queued behind flow control (or just posted); payload lives in
+    /// the pending queue. Standard and ready sends complete when actually
+    /// transmitted; buffered sends complete at post; synchronous sends move
+    /// on to an ack-wait state at transmission.
+    SendQueued,
+    /// Rendezvous envelope sent; waiting for the receiver's go-ahead. The
+    /// payload itself is parked in the engine's rendezvous store keyed by
+    /// request id, so standard-mode sends can complete (buffer reusable)
+    /// while the data still awaits the go-ahead.
+    SendRndvWait,
+    /// Eager synchronous send delivered; waiting for the match ack.
+    SendAckWait,
+    /// Receive posted, not yet matched.
+    RecvPosted { dst: RecvDest },
+    /// Receive matched a rendezvous envelope; waiting for the bulk data.
+    RecvRndvWait {
+        dst: RecvDest,
+        /// Matched envelope's (source, tag, length) for the final status.
+        status: Status,
+    },
+    /// Finished, result not yet collected by `wait`/`test`.
+    Done(MpiResult<Status>),
+}
+
+impl ReqState {
+    pub(crate) fn is_done(&self) -> bool {
+        matches!(self, ReqState::Done(_))
+    }
+}
+
+/// Allocator and store for request states. Ids are never reused, so a stale
+/// protocol packet referencing a completed request is detectable.
+#[derive(Debug, Default)]
+pub(crate) struct RequestTable {
+    slots: HashMap<u64, ReqState>,
+    next_id: u64,
+}
+
+impl RequestTable {
+    pub(crate) fn new() -> Self {
+        Self::default()
+    }
+
+    /// Insert a new request, returning its id.
+    pub(crate) fn alloc(&mut self, state: ReqState) -> u64 {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.slots.insert(id, state);
+        id
+    }
+
+    pub(crate) fn get(&self, id: u64) -> Option<&ReqState> {
+        self.slots.get(&id)
+    }
+
+    /// Replace the state of an existing request.
+    pub(crate) fn set(&mut self, id: u64, state: ReqState) {
+        let slot = self.slots.get_mut(&id).expect("set on unknown request");
+        *slot = state;
+    }
+
+    /// Mark a request complete.
+    pub(crate) fn complete(&mut self, id: u64, result: MpiResult<Status>) {
+        self.set(id, ReqState::Done(result));
+    }
+
+    /// If done, remove and return the result.
+    pub(crate) fn take_if_done(&mut self, id: u64) -> Option<MpiResult<Status>> {
+        if self.slots.get(&id)?.is_done() {
+            match self.slots.remove(&id) {
+                Some(ReqState::Done(r)) => Some(r),
+                _ => unreachable!("checked is_done"),
+            }
+        } else {
+            None
+        }
+    }
+
+    /// Remove a request outright (cancel path).
+    pub(crate) fn remove(&mut self, id: u64) -> Option<ReqState> {
+        self.slots.remove(&id)
+    }
+
+    /// Number of live requests (diagnostics).
+    #[allow(dead_code)] // exercised by unit tests
+    pub(crate) fn len(&self) -> usize {
+        self.slots.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_monotonic_and_unique() {
+        let mut t = RequestTable::new();
+        let a = t.alloc(ReqState::SendQueued);
+        let b = t.alloc(ReqState::SendAckWait);
+        assert_ne!(a, b);
+        assert!(b > a);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn take_if_done_only_when_done() {
+        let mut t = RequestTable::new();
+        let id = t.alloc(ReqState::SendAckWait);
+        assert!(t.take_if_done(id).is_none());
+        t.complete(
+            id,
+            Ok(Status {
+                source: 0,
+                tag: 0,
+                len: 0,
+            }),
+        );
+        let r = t.take_if_done(id).expect("now done");
+        assert!(r.is_ok());
+        assert!(t.take_if_done(id).is_none(), "slot removed after take");
+        assert_eq!(t.len(), 0);
+    }
+
+    #[test]
+    fn deliver_copies_and_detects_truncation() {
+        let mut buf = [0u8; 4];
+        let dst = RecvDest {
+            ptr: buf.as_mut_ptr(),
+            cap: buf.len(),
+        };
+        // SAFETY: `buf` outlives the calls and is unaliased.
+        let ok = unsafe { dst.deliver(b"ab") };
+        assert_eq!(ok, Ok(2));
+        assert_eq!(&buf[..2], b"ab");
+
+        let trunc = unsafe { dst.deliver(b"123456") };
+        assert_eq!(
+            trunc,
+            Err(MpiError::Truncated {
+                message_len: 6,
+                buffer_len: 4
+            })
+        );
+        assert_eq!(&buf, b"1234", "prefix delivered on truncation");
+    }
+}

@@ -1,0 +1,280 @@
+//! Property-based tests on the core data structures: the matching engine
+//! against a brute-force reference, derived-datatype pack/unpack, the
+//! element codec, and reduction-operator algebra.
+
+use lmpi_core::bench_internals::{MatchEngine, UnexpectedBody, UnexpectedMsg};
+use lmpi_core::{
+    from_bytes, to_bytes, DataType, Envelope, Loc, ReduceOp, Reducible, SourceSel, TagSel,
+};
+use proptest::prelude::*;
+
+// ----------------------------------------------------------------------
+// Matching engine vs a brute-force reference
+// ----------------------------------------------------------------------
+
+#[derive(Clone, Debug)]
+enum Op {
+    /// An envelope arrives from (src, tag).
+    Arrive { src: usize, tag: u32 },
+    /// A receive is posted with selectors.
+    Post { src: Option<usize>, tag: Option<u32> },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0..4usize, 0..3u32).prop_map(|(src, tag)| Op::Arrive { src, tag }),
+        (prop::option::of(0..4usize), prop::option::of(0..3u32))
+            .prop_map(|(src, tag)| Op::Post { src, tag }),
+    ]
+}
+
+/// Reference matcher: linear scans over Vec state, the MPI rules stated
+/// directly.
+#[derive(Default)]
+struct RefMatcher {
+    posted: Vec<(u64, Option<usize>, Option<u32>)>,
+    unexpected: Vec<(u64, usize, u32)>, // (send id, src, tag)
+    log: Vec<(u64, u64)>,               // (recv id, send id) matches
+    next_send: u64,
+    next_recv: u64,
+}
+
+impl RefMatcher {
+    fn arrive(&mut self, src: usize, tag: u32) {
+        let sid = self.next_send;
+        self.next_send += 1;
+        if let Some(pos) = self
+            .posted
+            .iter()
+            .position(|(_, s, t)| s.is_none_or(|s| s == src) && t.is_none_or(|t| t == tag))
+        {
+            let (rid, _, _) = self.posted.remove(pos);
+            self.log.push((rid, sid));
+        } else {
+            self.unexpected.push((sid, src, tag));
+        }
+    }
+
+    fn post(&mut self, src: Option<usize>, tag: Option<u32>) {
+        let rid = self.next_recv;
+        self.next_recv += 1;
+        if let Some(pos) = self
+            .unexpected
+            .iter()
+            .position(|&(_, s, t)| src.is_none_or(|x| x == s) && tag.is_none_or(|x| x == t))
+        {
+            let (sid, _, _) = self.unexpected.remove(pos);
+            self.log.push((rid, sid));
+        } else {
+            self.posted.push((rid, src, tag));
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn matching_engine_equals_reference(ops in prop::collection::vec(op_strategy(), 0..60)) {
+        let mut eng = MatchEngine::new();
+        let mut reference = RefMatcher::default();
+        let mut eng_log: Vec<(u64, u64)> = Vec::new();
+        let mut next_send = 0u64;
+        let mut next_recv = 0u64;
+
+        for op in &ops {
+            match *op {
+                Op::Arrive { src, tag } => {
+                    let sid = next_send;
+                    next_send += 1;
+                    let env = Envelope { src, tag, context: 0, len: 0 };
+                    match eng.match_incoming(&env) {
+                        Some(posted) => eng_log.push((posted.recv_id, sid)),
+                        None => eng.add_unexpected(UnexpectedMsg {
+                            env,
+                            body: UnexpectedBody::Rndv { send_id: sid },
+                        }),
+                    }
+                    reference.arrive(src, tag);
+                }
+                Op::Post { src, tag } => {
+                    let rid = next_recv;
+                    next_recv += 1;
+                    let ssel = src.map_or(SourceSel::Any, SourceSel::Rank);
+                    let tsel = tag.map_or(TagSel::Any, TagSel::Tag);
+                    if let Some(m) = eng.match_posted(rid, ssel, tsel, 0) {
+                        let UnexpectedBody::Rndv { send_id } = m.body else { unreachable!() };
+                        eng_log.push((rid, send_id));
+                    }
+                    reference.post(src, tag);
+                }
+            }
+        }
+        prop_assert_eq!(eng_log, reference.log);
+    }
+
+    #[test]
+    fn matching_is_non_overtaking_per_source(
+        tags in prop::collection::vec(0..2u32, 1..30),
+        any_tag in prop::collection::vec(any::<bool>(), 1..30),
+    ) {
+        // All messages from one source; receives match them in arrival
+        // order whenever their tag selectors allow.
+        let mut eng = MatchEngine::new();
+        for (sid, &tag) in tags.iter().enumerate() {
+            eng.add_unexpected(UnexpectedMsg {
+                env: Envelope { src: 0, tag, context: 0, len: 0 },
+                body: UnexpectedBody::Rndv { send_id: sid as u64 },
+            });
+        }
+        let mut claimed: Vec<u64> = Vec::new();
+        for (rid, &any) in any_tag.iter().enumerate() {
+            let tsel = if any { TagSel::Any } else { TagSel::Tag(0) };
+            if let Some(m) = eng.match_posted(rid as u64, SourceSel::Rank(0), tsel, 0) {
+                let UnexpectedBody::Rndv { send_id } = m.body else { unreachable!() };
+                // Among messages with the same tag, ids must come out in
+                // increasing (arrival) order.
+                let tag = tags[send_id as usize];
+                for &c in &claimed {
+                    if tags[c as usize] == tag {
+                        prop_assert!(c < send_id, "overtaking within tag {tag}");
+                    }
+                }
+                claimed.push(send_id);
+            }
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// Datatypes
+// ----------------------------------------------------------------------
+
+fn dtype_strategy() -> impl Strategy<Value = DataType> {
+    let leaf = (1usize..9).prop_map(DataType::base);
+    leaf.prop_recursive(3, 32, 4, |inner| {
+        prop_oneof![
+            (inner.clone(), 1usize..5).prop_map(|(t, c)| t.contiguous(c)),
+            (inner.clone(), 1usize..4, 1usize..3, 0usize..3).prop_map(|(t, c, b, extra)| {
+                let stride = b + extra;
+                t.vector(c, b, stride)
+            }),
+            (
+                prop::collection::vec((0usize..6, 1usize..3), 1..4),
+                inner.clone()
+            )
+                .prop_map(|(mut blocks, t)| {
+                    // Make displacements non-overlapping by accumulation.
+                    let mut at = 0;
+                    for (disp, len) in blocks.iter_mut() {
+                        *disp += at;
+                        at = *disp + *len;
+                    }
+                    DataType::Indexed { blocks, inner: Box::new(t) }
+                }),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn pack_unpack_roundtrip(t in dtype_strategy(), seed in any::<u64>()) {
+        let extent = t.extent();
+        let mem: Vec<u8> = (0..extent).map(|i| ((i as u64).wrapping_mul(seed | 1) >> 3) as u8).collect();
+        let packed = t.pack(&mem);
+        prop_assert_eq!(packed.len(), t.packed_size());
+        let mut out = vec![0u8; extent];
+        t.unpack(&packed, &mut out);
+        // Repacking the unpacked memory gives the same message bytes.
+        prop_assert_eq!(t.pack(&out), packed);
+    }
+
+    #[test]
+    fn packed_size_never_exceeds_extent(t in dtype_strategy()) {
+        prop_assert!(t.packed_size() <= t.extent().max(t.packed_size()));
+        // extent >= packed size for non-overlapping layouts
+        prop_assert!(t.extent() >= t.packed_size());
+    }
+
+    #[test]
+    fn element_codec_roundtrip_f64(xs in prop::collection::vec(any::<f64>(), 0..50)) {
+        let bytes = to_bytes(&xs);
+        let ys: Vec<f64> = from_bytes(&bytes, xs.len());
+        for (a, b) in xs.iter().zip(&ys) {
+            prop_assert!(a.to_bits() == b.to_bits());
+        }
+    }
+
+    #[test]
+    fn element_codec_roundtrip_loc(xs in prop::collection::vec((any::<i64>(), any::<u64>()), 0..40)) {
+        let locs: Vec<Loc<i64>> = xs.iter().map(|&(v, i)| Loc { value: v, index: i }).collect();
+        let ys: Vec<Loc<i64>> = from_bytes(&to_bytes(&locs), locs.len());
+        prop_assert_eq!(locs, ys);
+    }
+}
+
+// ----------------------------------------------------------------------
+// Reduction algebra
+// ----------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn integer_reduce_ops_are_associative_and_commutative(
+        a in prop::collection::vec(any::<i64>(), 1..20),
+        ops in prop::collection::vec(0..7usize, 1..4),
+        perm_seed in any::<u64>(),
+    ) {
+        use ReduceOp::*;
+        let all = [Sum, Prod, Min, Max, Band, Bor, Bxor];
+        for &opi in &ops {
+            let op = all[opi];
+            let b: Vec<i64> = a.iter().map(|x| x.rotate_left((perm_seed % 63) as u32)).collect();
+            let c: Vec<i64> = a.iter().map(|x| x.wrapping_add(perm_seed as i64)).collect();
+            // (a op b) op c == a op (b op c)
+            let mut left = a.clone();
+            i64::accumulate(op, &mut left, &b);
+            i64::accumulate(op, &mut left, &c);
+            let mut right_tail = b.clone();
+            i64::accumulate(op, &mut right_tail, &c);
+            let mut right = a.clone();
+            i64::accumulate(op, &mut right, &right_tail);
+            prop_assert_eq!(&left, &right, "associativity of {:?}", op);
+            // a op b == b op a
+            let mut ab = a.clone();
+            i64::accumulate(op, &mut ab, &b);
+            let mut ba = b.clone();
+            i64::accumulate(op, &mut ba, &a);
+            prop_assert_eq!(ab, ba, "commutativity of {:?}", op);
+        }
+    }
+
+    #[test]
+    fn maxloc_is_a_semilattice(
+        items in prop::collection::vec((any::<i32>(), 0..1000u64), 1..16),
+    ) {
+        let locs: Vec<Loc<i32>> = items.iter().map(|&(v, i)| Loc { value: v, index: i }).collect();
+        // Fold in two different orders; result must agree.
+        let mut fwd = vec![locs[0]];
+        for l in &locs[1..] {
+            Loc::accumulate(ReduceOp::MaxLoc, &mut fwd, std::slice::from_ref(l));
+        }
+        let mut rev = vec![*locs.last().unwrap()];
+        for l in locs[..locs.len() - 1].iter().rev() {
+            Loc::accumulate(ReduceOp::MaxLoc, &mut rev, std::slice::from_ref(l));
+        }
+        prop_assert_eq!(fwd[0].value, rev[0].value);
+        prop_assert_eq!(fwd[0].index, rev[0].index);
+        // And it matches the plain definition.
+        let best = items
+            .iter()
+            .map(|&(v, i)| (v, std::cmp::Reverse(i)))
+            .max()
+            .unwrap();
+        prop_assert_eq!(fwd[0].value, best.0);
+        prop_assert_eq!(fwd[0].index, best.1.0);
+    }
+}

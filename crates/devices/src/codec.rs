@@ -1,0 +1,324 @@
+//! Wire codec for the sockets transport: the paper's 25-byte header.
+//!
+//! > "Of the 25 bytes, 1 byte designates the type of message, such as
+//! > envelope, or DMA. 4 bytes are included for telling the destination how
+//! > much reserved space has been freed. The last 20 bytes are used for the
+//! > envelope, and DMA request information."
+//!
+//! We keep exactly that layout — 1 type byte, 4 credit bytes, 20
+//! envelope/request bytes — followed by the payload for data-bearing
+//! packets. (Our credit field packs envelope-slot and byte credits into the
+//! 4 bytes: 8 bits of slots, 24 bits of freed bytes — the 24-bit range
+//! comfortably covers the receive reserve.)
+
+use bytes::Bytes;
+use lmpi_core::{Envelope, Packet, Rank, Wire};
+
+/// Header length on the wire (the paper's 25 bytes).
+pub const HEADER_BYTES: usize = 25;
+
+const T_EAGER: u8 = 1;
+const T_EAGER_ACK_REQ: u8 = 2; // synchronous-mode eager
+const T_EAGER_READY: u8 = 3;
+const T_RNDV_REQ: u8 = 4;
+const T_RNDV_GO: u8 = 5;
+const T_RNDV_DATA: u8 = 6;
+const T_EAGER_ACK: u8 = 7;
+const T_CREDIT: u8 = 8;
+const T_HW_BCAST: u8 = 9;
+
+/// Total bytes `wire` occupies on the wire: 25-byte header plus payload.
+pub fn wire_bytes(wire: &Wire) -> usize {
+    HEADER_BYTES + wire.pkt.payload_len()
+}
+
+/// Encode a frame. The layout is self-contained: no external framing is
+/// needed beyond a leading length word added by the stream writer.
+pub fn encode(wire: &Wire) -> Vec<u8> {
+    let mut out = Vec::with_capacity(HEADER_BYTES + 8 + wire.pkt.payload_len());
+    // 1 byte: message type.
+    let (ty, payload): (u8, Option<&Bytes>) = match &wire.pkt {
+        Packet::Eager {
+            needs_ack, ready, data, ..
+        } => (
+            if *needs_ack {
+                T_EAGER_ACK_REQ
+            } else if *ready {
+                T_EAGER_READY
+            } else {
+                T_EAGER
+            },
+            Some(data),
+        ),
+        Packet::RndvReq { .. } => (T_RNDV_REQ, None),
+        Packet::RndvGo { .. } => (T_RNDV_GO, None),
+        Packet::RndvData { data, .. } => (T_RNDV_DATA, Some(data)),
+        Packet::EagerAck { .. } => (T_EAGER_ACK, None),
+        Packet::Credit => (T_CREDIT, None),
+        Packet::HwBcast { data, .. } => (T_HW_BCAST, Some(data)),
+    };
+    out.push(ty);
+    // 4 bytes: freed reserved space (credit return): 8 bits env, 24 bits
+    // data.
+    let env_c = wire.env_credit.min(0xFF);
+    let data_c = wire.data_credit.min(0xFF_FFFF);
+    let packed = ((env_c as u32) << 24) | (data_c as u32);
+    out.extend_from_slice(&packed.to_le_bytes());
+    // 20 bytes: envelope / request info.
+    let mut info = [0u8; 20];
+    info[0..4].copy_from_slice(&(wire.src as u32).to_le_bytes());
+    match &wire.pkt {
+        Packet::Eager {
+            env, send_id, ..
+        } => {
+            debug_assert!(*send_id <= u32::MAX as u64, "request id exceeds 20-byte envelope field");
+            encode_env(&mut info, env);
+            info[16..20].copy_from_slice(&(*send_id as u32).to_le_bytes());
+        }
+        Packet::RndvReq { env, send_id } => {
+            debug_assert!(*send_id <= u32::MAX as u64, "request id exceeds 20-byte envelope field");
+            encode_env(&mut info, env);
+            info[16..20].copy_from_slice(&(*send_id as u32).to_le_bytes());
+        }
+        Packet::RndvGo { send_id, recv_id } => {
+            info[4..8].copy_from_slice(&(*send_id as u32).to_le_bytes());
+            info[8..12].copy_from_slice(&(*recv_id as u32).to_le_bytes());
+        }
+        Packet::RndvData { recv_id, .. } => {
+            info[4..8].copy_from_slice(&(*recv_id as u32).to_le_bytes());
+        }
+        Packet::EagerAck { send_id } => {
+            info[4..8].copy_from_slice(&(*send_id as u32).to_le_bytes());
+        }
+        Packet::Credit => {}
+        Packet::HwBcast {
+            context, root, seq, ..
+        } => {
+            info[4..8].copy_from_slice(&context.to_le_bytes());
+            info[8..12].copy_from_slice(&(*root as u32).to_le_bytes());
+            info[12..16].copy_from_slice(&(*seq as u32).to_le_bytes());
+        }
+    }
+    out.extend_from_slice(&info);
+    // Payload (length-prefixed so the reader knows how much to take).
+    if let Some(data) = payload {
+        out.extend_from_slice(&(data.len() as u32).to_le_bytes());
+        out.extend_from_slice(data);
+    } else {
+        out.extend_from_slice(&0u32.to_le_bytes());
+    }
+    out
+}
+
+fn encode_env(info: &mut [u8; 20], env: &Envelope) {
+    // src already at [0..4] (wire.src == env.src for envelope packets).
+    info[4..8].copy_from_slice(&env.tag.to_le_bytes());
+    info[8..12].copy_from_slice(&env.context.to_le_bytes());
+    info[12..16].copy_from_slice(&(env.len as u32).to_le_bytes());
+}
+
+/// Error decoding a frame.
+#[derive(Debug, PartialEq, Eq)]
+pub struct DecodeError(pub String);
+
+/// Decode a frame previously produced by [`encode`]. Returns the frame and
+/// the number of bytes consumed.
+pub fn decode(buf: &[u8]) -> Result<(Wire, usize), DecodeError> {
+    if buf.len() < HEADER_BYTES + 4 {
+        return Err(DecodeError(format!("frame too short: {}", buf.len())));
+    }
+    let ty = buf[0];
+    let packed = u32::from_le_bytes(buf[1..5].try_into().unwrap());
+    let env_credit = packed >> 24;
+    let data_credit = (packed & 0xFF_FFFF) as u64;
+    let info: &[u8] = &buf[5..25];
+    let src = u32::from_le_bytes(info[0..4].try_into().unwrap()) as Rank;
+    let payload_len = u32::from_le_bytes(buf[25..29].try_into().unwrap()) as usize;
+    let total = HEADER_BYTES + 4 + payload_len;
+    if buf.len() < total {
+        return Err(DecodeError(format!(
+            "payload truncated: have {}, need {total}",
+            buf.len()
+        )));
+    }
+    let data = Bytes::copy_from_slice(&buf[29..29 + payload_len]);
+    let u32at = |r: std::ops::Range<usize>| u32::from_le_bytes(info[r].try_into().unwrap());
+    let env = || Envelope {
+        src,
+        tag: u32at(4..8),
+        context: u32at(8..12),
+        len: u32at(12..16) as usize,
+    };
+    let pkt = match ty {
+        T_EAGER | T_EAGER_ACK_REQ | T_EAGER_READY => Packet::Eager {
+            env: env(),
+            send_id: u32at(16..20) as u64,
+            needs_ack: ty == T_EAGER_ACK_REQ,
+            ready: ty == T_EAGER_READY,
+            data,
+        },
+        T_RNDV_REQ => Packet::RndvReq {
+            env: env(),
+            send_id: u32at(16..20) as u64,
+        },
+        T_RNDV_GO => Packet::RndvGo {
+            send_id: u32at(4..8) as u64,
+            recv_id: u32at(8..12) as u64,
+        },
+        T_RNDV_DATA => Packet::RndvData {
+            recv_id: u32at(4..8) as u64,
+            data,
+        },
+        T_EAGER_ACK => Packet::EagerAck {
+            send_id: u32at(4..8) as u64,
+        },
+        T_CREDIT => Packet::Credit,
+        T_HW_BCAST => Packet::HwBcast {
+            context: u32at(4..8),
+            root: u32at(8..12) as Rank,
+            seq: u32at(12..16) as u64,
+            data,
+        },
+        other => return Err(DecodeError(format!("unknown message type {other}"))),
+    };
+    Ok((
+        Wire {
+            src,
+            env_credit,
+            data_credit,
+            pkt,
+        },
+        total,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(wire: Wire) -> Wire {
+        let bytes = encode(&wire);
+        let (decoded, used) = decode(&bytes).expect("decode");
+        assert_eq!(used, bytes.len());
+        decoded
+    }
+
+    fn env() -> Envelope {
+        Envelope {
+            src: 3,
+            tag: 77,
+            context: 2,
+            len: 5,
+        }
+    }
+
+    #[test]
+    fn eager_roundtrip_with_credit() {
+        let w = roundtrip(Wire {
+            src: 3,
+            env_credit: 2,
+            data_credit: 1024,
+            pkt: Packet::Eager {
+                env: env(),
+                send_id: 42,
+                needs_ack: false,
+                ready: false,
+                data: Bytes::from_static(b"hello"),
+            },
+        });
+        assert_eq!(w.src, 3);
+        assert_eq!(w.env_credit, 2);
+        assert_eq!(w.data_credit, 1024);
+        match w.pkt {
+            Packet::Eager {
+                env: e,
+                send_id,
+                needs_ack,
+                ready,
+                data,
+            } => {
+                assert_eq!(e, env());
+                assert_eq!(send_id, 42);
+                assert!(!needs_ack && !ready);
+                assert_eq!(data.as_ref(), b"hello");
+            }
+            other => panic!("wrong packet {other:?}"),
+        }
+    }
+
+    #[test]
+    fn eager_modes_roundtrip() {
+        for (needs_ack, ready) in [(true, false), (false, true)] {
+            let w = roundtrip(Wire::bare(
+                0,
+                Packet::Eager {
+                    env: env(),
+                    send_id: 1,
+                    needs_ack,
+                    ready,
+                    data: Bytes::new(),
+                },
+            ));
+            match w.pkt {
+                Packet::Eager {
+                    needs_ack: na,
+                    ready: r,
+                    ..
+                } => assert_eq!((na, r), (needs_ack, ready)),
+                other => panic!("wrong packet {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn control_packets_roundtrip() {
+        let cases = vec![
+            Packet::RndvReq { env: env(), send_id: 9 },
+            Packet::RndvGo { send_id: 5, recv_id: 6 },
+            Packet::RndvData { recv_id: 6, data: Bytes::from(vec![1u8; 300]) },
+            Packet::EagerAck { send_id: 5 },
+            Packet::Credit,
+            Packet::HwBcast { context: 1, root: 2, seq: 3, data: Bytes::from_static(b"bb") },
+        ];
+        for pkt in cases {
+            let name = pkt.kind_name();
+            let w = roundtrip(Wire {
+                src: 1,
+                env_credit: 0,
+                data_credit: 77,
+                pkt,
+            });
+            assert_eq!(w.pkt.kind_name(), name);
+            assert_eq!(w.data_credit, 77);
+        }
+    }
+
+    #[test]
+    fn header_is_exactly_25_bytes_plus_framing() {
+        let w = Wire::bare(0, Packet::Credit);
+        // 25 header + 4-byte payload-length word, no payload.
+        assert_eq!(encode(&w).len(), HEADER_BYTES + 4);
+        assert_eq!(wire_bytes(&w), 25, "model cost counts the paper's 25 bytes");
+    }
+
+    #[test]
+    fn short_buffer_rejected() {
+        assert!(decode(&[0u8; 10]).is_err());
+        let w = Wire::bare(
+            0,
+            Packet::RndvData {
+                recv_id: 1,
+                data: Bytes::from(vec![0u8; 100]),
+            },
+        );
+        let enc = encode(&w);
+        assert!(decode(&enc[..enc.len() - 1]).is_err(), "truncated payload");
+    }
+
+    #[test]
+    fn unknown_type_rejected() {
+        let mut enc = encode(&Wire::bare(0, Packet::Credit));
+        enc[0] = 200;
+        assert!(decode(&enc).is_err());
+    }
+}

@@ -1,0 +1,584 @@
+//! Sockets device: the paper's §5 — MPI over TCP (or reliable UDP) on a
+//! cluster, with envelopes piggybacked on data and credit-based flow
+//! control.
+//!
+//! The device is written against a small [`MsgChannel`] abstraction with
+//! three implementations:
+//!
+//! * [`SimTcpChannel`] — the simulated kernel TCP socket over a simulated
+//!   Ethernet segment or ATM switch (`lmpi-netmodel`), reproducing the
+//!   paper's latency anatomy (Table 1);
+//! * [`SimUdpChannel`] — the simulated UDP socket under the reliability
+//!   layer (acks + retransmission), the paper's UDP variant;
+//! * [`RealTcpChannel`] — actual `std::net` TCP over loopback, proving the
+//!   same device code is a working transport.
+
+use std::io::{Read, Write as IoWrite};
+use std::net::{TcpListener, TcpStream};
+use std::sync::{Arc, Barrier, Mutex};
+use std::time::Instant;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use lmpi_core::{Cost, Device, DeviceDefaults, Mpi, MpiConfig, Rank, Wire};
+use lmpi_netmodel::ip::{Fabric, ReliableDgram, SockFabric, SockNode};
+use lmpi_netmodel::params::{AtmParams, CpuParams, EthParams, SocketParams};
+use lmpi_sim::{Proc, Sim, SimDur};
+
+use crate::codec;
+
+/// Reads the paper's MPI performs per incoming message: one for the type
+/// byte, one for the envelope together with the (small) data. Raw sockets
+/// perform one.
+pub const MPI_READS_PER_MSG: u32 = 2;
+
+/// Matching cost on the cluster nodes, µs (Table 1: "Overheads for
+/// matching").
+pub const MATCH_US: f64 = 35.0;
+
+/// Message transport abstraction under the sockets device.
+pub trait MsgChannel: Send {
+    /// Transmit `wire`, whose on-the-wire size is `nbytes`.
+    fn send(&self, dst: Rank, wire: Wire, nbytes: usize);
+    /// Non-blocking receive.
+    fn try_recv(&self) -> Option<Wire>;
+    /// Blocking receive.
+    fn recv_blocking(&self) -> Wire;
+    /// Charge `us` microseconds of local CPU (no-op on real transports).
+    fn charge_us(&self, _us: f64) {}
+    /// Elapsed seconds.
+    fn wtime(&self) -> f64;
+}
+
+/// The sockets MPI device: frames protocol packets with the paper's
+/// 25-byte header and maps protocol costs onto the channel.
+pub struct SockDevice<C> {
+    chan: C,
+    rank: Rank,
+    nprocs: usize,
+    cpu: CpuParams,
+    defaults: DeviceDefaults,
+}
+
+/// Cluster platform defaults: with ~1 ms round trips, piggybacking matters
+/// more than on the Meiko ("piggybacking data is more important than in
+/// the Meiko implementation"), so the eager threshold is large and the
+/// credit window generous.
+pub const SOCK_DEFAULTS: DeviceDefaults = DeviceDefaults {
+    eager_threshold: 8 << 10,
+    env_slots: 32,
+    recv_buf_per_sender: 256 << 10,
+};
+
+impl<C: MsgChannel> SockDevice<C> {
+    /// Wrap `chan` as the device for `rank` of `nprocs`.
+    pub fn new(chan: C, rank: Rank, nprocs: usize) -> Self {
+        SockDevice {
+            chan,
+            rank,
+            nprocs,
+            cpu: CpuParams::sgi_indy(),
+            defaults: SOCK_DEFAULTS,
+        }
+    }
+}
+
+impl<C: MsgChannel> Device for SockDevice<C> {
+    fn rank(&self) -> Rank {
+        self.rank
+    }
+
+    fn nprocs(&self) -> usize {
+        self.nprocs
+    }
+
+    fn send(&self, dst: Rank, wire: Wire) {
+        let nbytes = codec::wire_bytes(&wire);
+        self.chan.send(dst, wire, nbytes);
+    }
+
+    fn try_recv(&self) -> Option<Wire> {
+        self.chan.try_recv()
+    }
+
+    fn recv_blocking(&self) -> Wire {
+        self.chan.recv_blocking()
+    }
+
+    fn charge(&self, cost: Cost) {
+        let us = match cost {
+            Cost::Match => MATCH_US,
+            // Workstation memcpy is cheap next to the kernel path; the
+            // bounce-buffer copy is folded into the kernel copy rate and
+            // only truly unexpected data pays again.
+            Cost::BufferedCopy(n) => n as f64 * 0.05,
+            Cost::PostedCopy(_) => 0.0,
+            Cost::Flops(n) => n as f64 * self.cpu.us_per_flop,
+        };
+        if us > 0.0 {
+            self.chan.charge_us(us);
+        }
+    }
+
+    fn wtime(&self) -> f64 {
+        self.chan.wtime()
+    }
+
+    fn defaults(&self) -> DeviceDefaults {
+        self.defaults
+    }
+}
+
+// ----------------------------------------------------------------------
+// Simulated TCP
+// ----------------------------------------------------------------------
+
+/// Simulated kernel TCP socket channel.
+pub struct SimTcpChannel {
+    node: SockNode<Wire>,
+    proc: Proc,
+}
+
+impl SimTcpChannel {
+    /// Wrap a socket endpoint driven by simulated process `proc`.
+    pub fn new(node: SockNode<Wire>, proc: Proc) -> Self {
+        SimTcpChannel { node, proc }
+    }
+}
+
+impl MsgChannel for SimTcpChannel {
+    fn send(&self, dst: Rank, wire: Wire, nbytes: usize) {
+        self.node.send(&self.proc, dst, wire, nbytes);
+    }
+
+    fn try_recv(&self) -> Option<Wire> {
+        self.node.try_recv(&self.proc, MPI_READS_PER_MSG).map(|(w, _)| w)
+    }
+
+    fn recv_blocking(&self) -> Wire {
+        self.node.recv(&self.proc, MPI_READS_PER_MSG).0
+    }
+
+    fn charge_us(&self, us: f64) {
+        self.proc.advance(SimDur::from_us_f64(us));
+    }
+
+    fn wtime(&self) -> f64 {
+        self.proc.now().as_secs_f64()
+    }
+}
+
+// ----------------------------------------------------------------------
+// Simulated reliable UDP
+// ----------------------------------------------------------------------
+
+/// Simulated UDP channel under the ack/retransmit reliability layer.
+pub struct SimUdpChannel {
+    rel: Arc<ReliableDgram<Wire>>,
+    proc: Proc,
+}
+
+impl SimUdpChannel {
+    /// Wrap a reliable-datagram endpoint driven by `proc`.
+    pub fn new(rel: Arc<ReliableDgram<Wire>>, proc: Proc) -> Self {
+        SimUdpChannel { rel, proc }
+    }
+}
+
+impl MsgChannel for SimUdpChannel {
+    fn send(&self, dst: Rank, wire: Wire, nbytes: usize) {
+        self.rel.send(&self.proc, dst, wire, nbytes);
+    }
+
+    fn try_recv(&self) -> Option<Wire> {
+        self.rel.try_recv(&self.proc, MPI_READS_PER_MSG).map(|(w, _)| w)
+    }
+
+    fn recv_blocking(&self) -> Wire {
+        self.rel.recv(&self.proc, MPI_READS_PER_MSG).0
+    }
+
+    fn charge_us(&self, us: f64) {
+        self.proc.advance(SimDur::from_us_f64(us));
+    }
+
+    fn wtime(&self) -> f64 {
+        self.proc.now().as_secs_f64()
+    }
+}
+
+// ----------------------------------------------------------------------
+// Simulated-cluster launcher
+// ----------------------------------------------------------------------
+
+/// Which link layer the simulated cluster uses.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum ClusterNet {
+    /// Shared 10 Mbit/s Ethernet.
+    Ethernet,
+    /// 155 Mbit/s ATM switch.
+    Atm,
+}
+
+/// Which transport protocol runs over it.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum ClusterTransport {
+    /// Kernel TCP (reliable stream).
+    Tcp,
+    /// Kernel UDP plus the user-level reliability layer.
+    Udp,
+}
+
+/// Socket cost parameters for a (net, transport) pair.
+pub fn socket_params(net: ClusterNet, transport: ClusterTransport) -> SocketParams {
+    match (net, transport) {
+        (ClusterNet::Ethernet, ClusterTransport::Tcp) => SocketParams::tcp_eth(),
+        (ClusterNet::Ethernet, ClusterTransport::Udp) => SocketParams::udp_eth(),
+        (ClusterNet::Atm, ClusterTransport::Tcp) => SocketParams::tcp_atm(),
+        (ClusterNet::Atm, ClusterTransport::Udp) => SocketParams::udp_atm(),
+    }
+}
+
+fn make_fabric(sim: &Sim, net: ClusterNet, nprocs: usize) -> Fabric {
+    match net {
+        ClusterNet::Ethernet => Fabric::Eth(lmpi_netmodel::eth::EthFabric::new(sim, EthParams::default())),
+        ClusterNet::Atm => Fabric::Atm(lmpi_netmodel::atm::AtmFabric::new(sim, nprocs, AtmParams::default())),
+    }
+}
+
+/// Run an `nprocs`-rank MPI program on the simulated workstation cluster.
+/// Deterministic; returns per-rank results in rank order.
+pub fn run_cluster<T, F>(
+    nprocs: usize,
+    net: ClusterNet,
+    transport: ClusterTransport,
+    config: MpiConfig,
+    f: F,
+) -> Vec<T>
+where
+    T: Send + 'static,
+    F: Fn(Mpi) -> T + Send + Sync + 'static,
+{
+    let sim = Sim::new();
+    let fabric = make_fabric(&sim, net, nprocs);
+    let params = socket_params(net, transport);
+    let results: Arc<Mutex<Vec<Option<T>>>> =
+        Arc::new(Mutex::new((0..nprocs).map(|_| None).collect()));
+    let f = Arc::new(f);
+
+    match transport {
+        ClusterTransport::Tcp => {
+            let sock: SockFabric<Wire> = SockFabric::new(&sim, nprocs, fabric, params, 0.0, 12345);
+            for rank in 0..nprocs {
+                let node = sock.node(rank);
+                let f = f.clone();
+                let results = results.clone();
+                sim.spawn(format!("rank{rank}"), move |p| {
+                    let dev = SockDevice::new(SimTcpChannel::new(node, p.clone()), rank, nprocs);
+                    let out = f(Mpi::new(Box::new(dev), config));
+                    results.lock().unwrap()[rank] = Some(out);
+                });
+            }
+        }
+        ClusterTransport::Udp => {
+            let eps: Vec<ReliableDgram<Wire>> = ReliableDgram::fabric(
+                &sim,
+                nprocs,
+                fabric,
+                params,
+                0.0,
+                12345,
+                SimDur::from_ms(50),
+            );
+            for (rank, rel) in eps.into_iter().enumerate() {
+                let f = f.clone();
+                let results = results.clone();
+                let rel = Arc::new(rel);
+                sim.spawn(format!("rank{rank}"), move |p| {
+                    let dev = SockDevice::new(SimUdpChannel::new(rel, p.clone()), rank, nprocs);
+                    let out = f(Mpi::new(Box::new(dev), config));
+                    results.lock().unwrap()[rank] = Some(out);
+                });
+            }
+        }
+    }
+    sim.run();
+    Arc::try_unwrap(results)
+        .unwrap_or_else(|_| panic!("results still shared"))
+        .into_inner()
+        .unwrap()
+        .into_iter()
+        .map(|o| o.expect("rank produced no result"))
+        .collect()
+}
+
+// ----------------------------------------------------------------------
+// Real TCP over loopback
+// ----------------------------------------------------------------------
+
+/// Real `std::net` TCP channel: a full mesh of loopback connections with
+/// one reader thread per peer feeding a frame queue.
+pub struct RealTcpChannel {
+    writers: Vec<Option<Mutex<TcpStream>>>,
+    rx: Receiver<Wire>,
+    loopback_tx: Sender<Wire>,
+    t0: Instant,
+}
+
+impl RealTcpChannel {
+    /// Establish the full mesh for `nprocs` ranks. Call once per rank,
+    /// concurrently, with a shared `rendezvous` created by
+    /// [`RealTcpChannel::rendezvous`].
+    pub fn connect(rank: Rank, nprocs: usize, rendezvous: &TcpRendezvous) -> std::io::Result<Self> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        {
+            let mut addrs = rendezvous.addrs.lock().unwrap();
+            addrs[rank] = Some(listener.local_addr()?);
+        }
+        rendezvous.barrier.wait();
+
+        let (tx, rx) = unbounded();
+        let mut writers: Vec<Option<Mutex<TcpStream>>> = (0..nprocs).map(|_| None).collect();
+
+        // Deterministic handshake: connect to every lower rank, accept from
+        // every higher rank. Each connector announces its rank first.
+        for peer in 0..rank {
+            let addr = rendezvous.addrs.lock().unwrap()[peer].expect("peer addr");
+            let mut stream = TcpStream::connect(addr)?;
+            stream.set_nodelay(true)?;
+            stream.write_all(&(rank as u32).to_le_bytes())?;
+            spawn_reader(stream.try_clone()?, tx.clone());
+            writers[peer] = Some(Mutex::new(stream));
+        }
+        for _ in rank + 1..nprocs {
+            let (mut stream, _) = listener.accept()?;
+            stream.set_nodelay(true)?;
+            let mut id = [0u8; 4];
+            stream.read_exact(&mut id)?;
+            let peer = u32::from_le_bytes(id) as usize;
+            spawn_reader(stream.try_clone()?, tx.clone());
+            writers[peer] = Some(Mutex::new(stream));
+        }
+        Ok(RealTcpChannel {
+            writers,
+            loopback_tx: tx,
+            rx,
+            t0: rendezvous.t0,
+        })
+    }
+
+    /// Shared connection-setup state for one job.
+    pub fn rendezvous(nprocs: usize) -> TcpRendezvous {
+        TcpRendezvous {
+            addrs: Mutex::new(vec![None; nprocs]),
+            barrier: Barrier::new(nprocs),
+            t0: Instant::now(),
+        }
+    }
+}
+
+/// Shared state for establishing the mesh (addresses + barrier).
+pub struct TcpRendezvous {
+    addrs: Mutex<Vec<Option<std::net::SocketAddr>>>,
+    barrier: Barrier,
+    t0: Instant,
+}
+
+fn spawn_reader(mut stream: TcpStream, tx: Sender<Wire>) {
+    std::thread::spawn(move || {
+        loop {
+            let mut len = [0u8; 4];
+            if stream.read_exact(&mut len).is_err() {
+                return; // peer closed
+            }
+            let n = u32::from_le_bytes(len) as usize;
+            let mut buf = vec![0u8; n];
+            if stream.read_exact(&mut buf).is_err() {
+                return;
+            }
+            match codec::decode(&buf) {
+                Ok((wire, _)) => {
+                    if tx.send(wire).is_err() {
+                        return;
+                    }
+                }
+                Err(e) => panic!("corrupt frame on real TCP channel: {e:?}"),
+            }
+        }
+    });
+}
+
+impl MsgChannel for RealTcpChannel {
+    fn send(&self, dst: Rank, wire: Wire, _nbytes: usize) {
+        let buf = codec::encode(&wire);
+        match &self.writers[dst] {
+            Some(stream) => {
+                let mut s = stream.lock().unwrap();
+                let len = (buf.len() as u32).to_le_bytes();
+                // Peer teardown while trailing credits are in flight is
+                // benign, as in the shm device.
+                let _ = s.write_all(&len).and_then(|_| s.write_all(&buf));
+            }
+            None => {
+                // Self-send (hardware-broadcast fallback never does this,
+                // but keep loopback correct).
+                let (wire, _) = codec::decode(&buf).expect("own encoding");
+                let _ = self.loopback_tx.send(wire);
+            }
+        }
+    }
+
+    fn try_recv(&self) -> Option<Wire> {
+        self.rx.try_recv().ok()
+    }
+
+    fn recv_blocking(&self) -> Wire {
+        self.rx.recv().expect("all peers hung up while receiving")
+    }
+
+    fn wtime(&self) -> f64 {
+        self.t0.elapsed().as_secs_f64()
+    }
+}
+
+/// Run an `nprocs`-rank MPI program over real TCP loopback connections,
+/// one OS thread per rank. Returns per-rank results in rank order.
+pub fn run_real_tcp<T, F>(nprocs: usize, config: MpiConfig, f: F) -> Vec<T>
+where
+    T: Send + 'static,
+    F: Fn(Mpi) -> T + Send + Sync + 'static,
+{
+    let rendezvous = Arc::new(RealTcpChannel::rendezvous(nprocs));
+    let f = Arc::new(f);
+    let handles: Vec<_> = (0..nprocs)
+        .map(|rank| {
+            let rendezvous = rendezvous.clone();
+            let f = f.clone();
+            std::thread::Builder::new()
+                .name(format!("tcp-rank-{rank}"))
+                .spawn(move || {
+                    let chan = RealTcpChannel::connect(rank, nprocs, &rendezvous)
+                        .expect("tcp mesh setup failed");
+                    f(Mpi::new(
+                        Box::new(SockDevice::new(chan, rank, nprocs)),
+                        config,
+                    ))
+                })
+                .expect("spawn rank thread")
+        })
+        .collect();
+    handles
+        .into_iter()
+        .map(|h| h.join().expect("rank panicked"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pingpong_rtt_us(net: ClusterNet, transport: ClusterTransport, nbytes: usize) -> f64 {
+        run_cluster(2, net, transport, MpiConfig::device_defaults(), move |mpi| {
+            let world = mpi.world();
+            let buf = vec![7u8; nbytes];
+            let mut back = vec![0u8; nbytes];
+            if world.rank() == 0 {
+                world.send(&buf, 1, 0).unwrap();
+                world.recv(&mut back, 1, 0).unwrap();
+                let t0 = mpi.wtime();
+                for _ in 0..2 {
+                    world.send(&buf, 1, 0).unwrap();
+                    world.recv(&mut back, 1, 0).unwrap();
+                }
+                (mpi.wtime() - t0) / 2.0 * 1e6
+            } else {
+                for _ in 0..3 {
+                    world.recv(&mut back, 0, 0).unwrap();
+                    world.send(&back, 0, 0).unwrap();
+                }
+                0.0
+            }
+        })[0]
+    }
+
+    #[test]
+    fn mpi_tcp_eth_adds_per_message_overheads() {
+        let rtt = pingpong_rtt_us(ClusterNet::Ethernet, ClusterTransport::Tcp, 1);
+        // Raw TCP RTT is 925us; MPI adds the 25-byte header, the extra
+        // read, and matching each way: ~290us total.
+        assert!(
+            (1150.0..1350.0).contains(&rtt),
+            "MPI/TCP/Ethernet 1-byte RTT {rtt:.0}us (expect ~1215us)"
+        );
+    }
+
+    #[test]
+    fn mpi_tcp_atm_slightly_higher_fixed_cost() {
+        let eth = pingpong_rtt_us(ClusterNet::Ethernet, ClusterTransport::Tcp, 1);
+        let atm = pingpong_rtt_us(ClusterNet::Atm, ClusterTransport::Tcp, 1);
+        assert!(
+            atm > eth,
+            "at 1 byte ATM ({atm:.0}us) has the higher fixed cost (paper Fig. 5)"
+        );
+    }
+
+    #[test]
+    fn atm_wins_at_large_sizes() {
+        let eth = pingpong_rtt_us(ClusterNet::Ethernet, ClusterTransport::Tcp, 64 << 10);
+        let atm = pingpong_rtt_us(ClusterNet::Atm, ClusterTransport::Tcp, 64 << 10);
+        assert!(
+            atm * 3.0 < eth,
+            "64KiB: ATM ({atm:.0}us) should be several times faster than Ethernet ({eth:.0}us)"
+        );
+    }
+
+    #[test]
+    fn udp_transport_delivers_and_performs_like_tcp() {
+        let tcp = pingpong_rtt_us(ClusterNet::Ethernet, ClusterTransport::Tcp, 100);
+        let udp = pingpong_rtt_us(ClusterNet::Ethernet, ClusterTransport::Udp, 100);
+        // Paper: "the performance of the UDP implementation was very
+        // similar to that of TCP".
+        let ratio = udp / tcp;
+        assert!(
+            (0.7..1.5).contains(&ratio),
+            "UDP/TCP ratio {ratio:.2} (tcp {tcp:.0}us, udp {udp:.0}us)"
+        );
+    }
+
+    #[test]
+    fn real_tcp_roundtrip_works() {
+        let results = run_real_tcp(3, MpiConfig::device_defaults(), |mpi| {
+            let world = mpi.world();
+            let me = world.rank();
+            // Ring exchange + a collective for good measure.
+            let right = (me + 1) % 3;
+            let left = (me + 2) % 3;
+            let mut got = [0u64];
+            world
+                .sendrecv(&[me as u64 * 10], right, 0, &mut got, left, 0)
+                .unwrap();
+            let sum = world
+                .allreduce(&[got[0]], lmpi_core::ReduceOp::Sum)
+                .unwrap()[0];
+            sum
+        });
+        assert_eq!(results, vec![30, 30, 30]);
+    }
+
+    #[test]
+    fn real_tcp_large_rendezvous_message() {
+        let results = run_real_tcp(2, MpiConfig::device_defaults(), |mpi| {
+            let world = mpi.world();
+            if world.rank() == 0 {
+                let big: Vec<u32> = (0..200_000).collect();
+                world.send(&big, 1, 1).unwrap();
+                0
+            } else {
+                let mut buf = vec![0u32; 200_000];
+                world.recv(&mut buf, 0, 1).unwrap();
+                assert!(buf.iter().enumerate().all(|(i, &v)| v == i as u32));
+                1
+            }
+        });
+        assert_eq!(results, vec![0, 1]);
+    }
+}

@@ -1,0 +1,155 @@
+//! Property tests for the 25-byte-header wire codec: arbitrary frames
+//! round-trip exactly, and truncated or corrupted frames are rejected
+//! rather than misparsed.
+
+use bytes::Bytes;
+use lmpi_core::{Envelope, Packet, Wire};
+use lmpi_devices::codec::{decode, encode, wire_bytes, HEADER_BYTES};
+use proptest::prelude::*;
+
+fn envelope_strategy() -> impl Strategy<Value = Envelope> {
+    (0..64usize, 0..1000u32, 0..8u32, 0..10_000usize).prop_map(|(src, tag, context, len)| Envelope {
+        src,
+        tag,
+        context,
+        len,
+    })
+}
+
+fn payload_strategy() -> impl Strategy<Value = Bytes> {
+    prop::collection::vec(any::<u8>(), 0..600).prop_map(Bytes::from)
+}
+
+fn packet_strategy() -> impl Strategy<Value = Packet> {
+    prop_oneof![
+        (envelope_strategy(), 0..u32::MAX as u64, any::<bool>(), payload_strategy()).prop_map(
+            |(env, send_id, flag, data)| Packet::Eager {
+                env,
+                send_id,
+                // needs_ack and ready are mutually exclusive in practice.
+                needs_ack: flag,
+                ready: false,
+                data,
+            }
+        ),
+        (envelope_strategy(), 0..u32::MAX as u64).prop_map(|(env, send_id)| Packet::RndvReq {
+            env,
+            send_id
+        }),
+        (0..u32::MAX as u64, 0..u32::MAX as u64)
+            .prop_map(|(send_id, recv_id)| Packet::RndvGo { send_id, recv_id }),
+        (0..u32::MAX as u64, payload_strategy())
+            .prop_map(|(recv_id, data)| Packet::RndvData { recv_id, data }),
+        (0..u32::MAX as u64).prop_map(|send_id| Packet::EagerAck { send_id }),
+        Just(Packet::Credit),
+        (0..8u32, 0..64usize, 0..1000u64, payload_strategy()).prop_map(
+            |(context, root, seq, data)| Packet::HwBcast {
+                context,
+                root,
+                seq,
+                data
+            }
+        ),
+    ]
+}
+
+fn wire_strategy() -> impl Strategy<Value = Wire> {
+    (0..64usize, 0..200u32, 0..0xFF_FFFFu64, packet_strategy()).prop_map(
+        |(src, env_credit, data_credit, mut pkt)| {
+            // Protocol invariant the codec relies on (the 20-byte envelope
+            // stores the source once): envelope packets are always sent by
+            // their own source rank.
+            match &mut pkt {
+                Packet::Eager { env, .. } | Packet::RndvReq { env, .. } => env.src = src,
+                _ => {}
+            }
+            Wire {
+                src,
+                env_credit: env_credit.min(0xFF),
+                data_credit,
+                pkt,
+            }
+        },
+    )
+}
+
+fn assert_wire_eq(a: &Wire, b: &Wire) {
+    assert_eq!(a.src, b.src);
+    assert_eq!(a.env_credit, b.env_credit);
+    assert_eq!(a.data_credit, b.data_credit);
+    match (&a.pkt, &b.pkt) {
+        (
+            Packet::Eager { env: e1, send_id: s1, needs_ack: n1, ready: r1, data: d1 },
+            Packet::Eager { env: e2, send_id: s2, needs_ack: n2, ready: r2, data: d2 },
+        ) => {
+            assert_eq!(e1, e2);
+            assert_eq!(s1, s2);
+            assert_eq!((n1, r1), (n2, r2));
+            assert_eq!(d1, d2);
+        }
+        (
+            Packet::RndvReq { env: e1, send_id: s1 },
+            Packet::RndvReq { env: e2, send_id: s2 },
+        ) => {
+            assert_eq!(e1, e2);
+            assert_eq!(s1, s2);
+        }
+        (
+            Packet::RndvGo { send_id: s1, recv_id: r1 },
+            Packet::RndvGo { send_id: s2, recv_id: r2 },
+        ) => {
+            assert_eq!((s1, r1), (s2, r2));
+        }
+        (
+            Packet::RndvData { recv_id: r1, data: d1 },
+            Packet::RndvData { recv_id: r2, data: d2 },
+        ) => {
+            assert_eq!(r1, r2);
+            assert_eq!(d1, d2);
+        }
+        (Packet::EagerAck { send_id: s1 }, Packet::EagerAck { send_id: s2 }) => {
+            assert_eq!(s1, s2);
+        }
+        (Packet::Credit, Packet::Credit) => {}
+        (
+            Packet::HwBcast { context: c1, root: r1, seq: s1, data: d1 },
+            Packet::HwBcast { context: c2, root: r2, seq: s2, data: d2 },
+        ) => {
+            assert_eq!((c1, r1, s1), (c2, r2, s2));
+            assert_eq!(d1, d2);
+        }
+        (x, y) => panic!("packet kind changed: {} vs {}", x.kind_name(), y.kind_name()),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn roundtrip_any_frame(wire in wire_strategy()) {
+        let enc = encode(&wire);
+        let (dec, used) = decode(&enc).expect("well-formed frame");
+        prop_assert_eq!(used, enc.len());
+        assert_wire_eq(&wire, &dec);
+    }
+
+    #[test]
+    fn encoded_size_is_header_plus_payload(wire in wire_strategy()) {
+        let enc = encode(&wire);
+        // encode adds a 4-byte payload length word after the 25-byte header.
+        prop_assert_eq!(enc.len(), HEADER_BYTES + 4 + wire.pkt.payload_len());
+        prop_assert_eq!(wire_bytes(&wire), HEADER_BYTES + wire.pkt.payload_len());
+    }
+
+    #[test]
+    fn truncation_never_panics(wire in wire_strategy(), cut in 0usize..100) {
+        let enc = encode(&wire);
+        let cut = cut.min(enc.len());
+        let _ = decode(&enc[..enc.len() - cut]); // must not panic
+    }
+
+    #[test]
+    fn random_bytes_never_panic(bytes in prop::collection::vec(any::<u8>(), 0..200)) {
+        let _ = decode(&bytes); // must not panic; Err is fine
+    }
+}

@@ -1,0 +1,408 @@
+//! MPI semantics over the shared-memory device: modes, wildcards,
+//! nonblocking ops, collectives, communicators.
+
+use lmpi_core::{wait_all, Loc, MpiConfig, MpiError, ReduceOp, SourceSel, TagSel};
+use lmpi_devices::shm::{run, run_with_config};
+
+#[test]
+fn all_send_modes_deliver() {
+    run(2, |mpi| {
+        let world = mpi.world();
+        if world.rank() == 0 {
+            mpi.buffer_attach(1 << 16);
+            world.send(&[1i32], 1, 0).unwrap();
+            world.bsend(&[2i32], 1, 1).unwrap();
+            world.ssend(&[3i32], 1, 2).unwrap();
+            // Receiver pre-posts the tag-3 receive and signals readiness.
+            let mut token = [0u8; 0];
+            world.recv(&mut token, 1, 9).unwrap();
+            world.rsend(&[4i32], 1, 3).unwrap();
+            mpi.buffer_detach().unwrap();
+        } else {
+            let mut v = [0i32];
+            for tag in 0..3u32 {
+                world.recv(&mut v, 0, tag).unwrap();
+                assert_eq!(v[0], tag as i32 + 1);
+            }
+            let req = world.irecv(&mut v, 0, 3).unwrap();
+            world.send::<u8>(&[], 0, 9).unwrap();
+            req.wait().unwrap();
+            assert_eq!(v[0], 4);
+        }
+    });
+}
+
+#[test]
+fn wildcard_source_and_tag() {
+    run(4, |mpi| {
+        let world = mpi.world();
+        if world.rank() == 0 {
+            let mut seen = [false; 3];
+            for _ in 0..3 {
+                let mut v = [0u64];
+                let st = world.recv(&mut v, SourceSel::Any, TagSel::Any).unwrap();
+                assert_eq!(v[0] as usize, st.source);
+                assert_eq!(st.tag as usize, st.source * 10);
+                seen[st.source - 1] = true;
+            }
+            assert!(seen.iter().all(|&s| s));
+        } else {
+            let r = world.rank();
+            world.send(&[r as u64], 0, (r * 10) as u32).unwrap();
+        }
+    });
+}
+
+#[test]
+fn nonblocking_ring_like_paper_particles() {
+    // The paper's particle app pattern: isend to the right, blocking recv
+    // from the left, then wait on the send.
+    let n = 5;
+    let sums = run(n, move |mpi| {
+        let world = mpi.world();
+        let me = world.rank();
+        let right = (me + 1) % n;
+        let left = (me + n - 1) % n;
+        let mut token = me as u64;
+        let mut sum = token;
+        for _ in 0..n - 1 {
+            let send = [token];
+            let req = world.isend(&send, right, 7).unwrap();
+            let mut buf = [0u64];
+            world.recv(&mut buf, left, 7).unwrap();
+            req.wait().unwrap();
+            token = buf[0];
+            sum += token;
+        }
+        sum
+    });
+    let expect: u64 = (0..n as u64).sum();
+    assert!(sums.iter().all(|&s| s == expect));
+}
+
+#[test]
+fn probe_and_recv_vec() {
+    run(2, |mpi| {
+        let world = mpi.world();
+        if world.rank() == 0 {
+            world.send(&[9f64; 13], 1, 5).unwrap();
+        } else {
+            let st = world.probe(0, 5).unwrap();
+            assert_eq!(st.count::<f64>(), 13);
+            let (v, st2) = world.recv_vec::<f64>(0, 5).unwrap();
+            assert_eq!(st2.len, st.len);
+            assert_eq!(v, vec![9f64; 13]);
+        }
+    });
+}
+
+#[test]
+fn iprobe_returns_none_when_quiet() {
+    run(2, |mpi| {
+        let world = mpi.world();
+        if world.rank() == 1 {
+            assert!(world.iprobe(0, 99).unwrap().is_none());
+        }
+        world.barrier().unwrap();
+    });
+}
+
+#[test]
+fn truncation_error_surfaces() {
+    run(2, |mpi| {
+        let world = mpi.world();
+        if world.rank() == 0 {
+            world.send(&[1u8; 100], 1, 0).unwrap();
+        } else {
+            let mut tiny = [0u8; 10];
+            let err = world.recv(&mut tiny, 0, 0).unwrap_err();
+            assert!(matches!(err, MpiError::Truncated { message_len: 100, buffer_len: 10 }));
+        }
+    });
+}
+
+#[test]
+fn rendezvous_large_messages_roundtrip() {
+    // Well above any eager threshold: exercises RndvReq/Go/Data.
+    run_with_config(2, MpiConfig::device_defaults().with_eager_threshold(64), |mpi| {
+        let world = mpi.world();
+        let big: Vec<u64> = (0..100_000u64).collect();
+        if world.rank() == 0 {
+            world.send(&big, 1, 0).unwrap();
+            let mut back = vec![0u64; big.len()];
+            world.recv(&mut back, 1, 1).unwrap();
+            assert_eq!(back, big);
+        } else {
+            let mut buf = vec![0u64; big.len()];
+            world.recv(&mut buf, 0, 0).unwrap();
+            world.send(&buf, 0, 1).unwrap();
+        }
+        let c = mpi.counters();
+        assert!(c.rndv_sent >= 1, "large message must use rendezvous: {c:?}");
+    });
+}
+
+#[test]
+fn many_small_messages_respect_flow_control() {
+    // Single envelope slot: every second send must queue, yet all arrive in
+    // order.
+    run_with_config(
+        2,
+        MpiConfig::device_defaults().with_env_slots(1).with_recv_buf(256),
+        |mpi| {
+            let world = mpi.world();
+            if world.rank() == 0 {
+                for i in 0..200u32 {
+                    world.send(&[i], 1, 0).unwrap();
+                }
+            } else {
+                for i in 0..200u32 {
+                    let mut v = [0u32];
+                    world.recv(&mut v, 0, 0).unwrap();
+                    assert_eq!(v[0], i, "in-order delivery under flow control");
+                }
+            }
+        },
+    );
+}
+
+#[test]
+fn collectives_agree_with_serial_reference() {
+    let n = 7;
+    run(n, move |mpi| {
+        let world = mpi.world();
+        let me = world.rank();
+
+        // bcast
+        let mut data = if me == 3 { [3.5f64, -1.0] } else { [0.0; 2] };
+        world.bcast(&mut data, 3).unwrap();
+        assert_eq!(data, [3.5, -1.0]);
+
+        // gather / scatter
+        let gathered = world.gather(&[me as u32 * 2], 2).unwrap();
+        if me == 2 {
+            let g = gathered.unwrap();
+            assert_eq!(g, (0..n as u32).map(|r| r * 2).collect::<Vec<_>>());
+        }
+        let mut part = [0u32; 2];
+        let root_data: Vec<u32> = (0..2 * n as u32).collect();
+        world
+            .scatter(if me == 0 { Some(&root_data[..]) } else { None }, &mut part, 0)
+            .unwrap();
+        assert_eq!(part, [2 * me as u32, 2 * me as u32 + 1]);
+
+        // reduce / allreduce
+        let summed = world.reduce(&[me as i64, 1], ReduceOp::Sum, 1).unwrap();
+        if me == 1 {
+            let s = summed.unwrap();
+            assert_eq!(s, vec![(0..n as i64).sum::<i64>(), n as i64]);
+        }
+        let all = world.allreduce(&[me as i64], ReduceOp::Max).unwrap();
+        assert_eq!(all, vec![n as i64 - 1]);
+
+        // maxloc
+        let loc = world
+            .allreduce(
+                &[Loc { value: ((me * 3 + 2) % 11) as f64, index: me as u64 }],
+                ReduceOp::MaxLoc,
+            )
+            .unwrap();
+        // Reference: max value; ties keep the smallest rank.
+        let max_val = (0..n).map(|r| (r * 3 + 2) % 11).max().unwrap();
+        let min_idx = (0..n).find(|&r| (r * 3 + 2) % 11 == max_val).unwrap();
+        assert_eq!(loc[0].value, max_val as f64);
+        assert_eq!(loc[0].index as usize, min_idx);
+
+        // allgather / alltoall
+        let ag = world.allgather(&[me as u16, 100 + me as u16]).unwrap();
+        for r in 0..n {
+            assert_eq!(&ag[2 * r..2 * r + 2], &[r as u16, 100 + r as u16]);
+        }
+        let send: Vec<u32> = (0..n as u32).map(|d| (me as u32) * 100 + d).collect();
+        let recv = world.alltoall(&send).unwrap();
+        for s in 0..n as u32 {
+            assert_eq!(recv[s as usize], s * 100 + me as u32);
+        }
+
+        // scan
+        let sc = world.scan(&[1u64], ReduceOp::Sum).unwrap();
+        assert_eq!(sc, vec![me as u64 + 1]);
+
+        // reduce_scatter_block
+        let contrib: Vec<i32> = (0..n as i32).map(|b| b + me as i32).collect();
+        let mine = world.reduce_scatter_block(&contrib, ReduceOp::Sum).unwrap();
+        let expect: i32 = (0..n as i32).map(|r| me as i32 + r).sum();
+        assert_eq!(mine, vec![expect]);
+
+        // barrier (smoke: no deadlock, everyone passes)
+        world.barrier().unwrap();
+    });
+}
+
+#[test]
+fn communicator_dup_isolates_traffic() {
+    run(2, |mpi| {
+        let world = mpi.world();
+        let dup = world.dup().unwrap();
+        if world.rank() == 0 {
+            world.send(&[1u8], 1, 0).unwrap();
+            dup.send(&[2u8], 1, 0).unwrap();
+        } else {
+            // Receive from the dup first: same tag, same source — only the
+            // context tells them apart.
+            let mut v = [0u8];
+            dup.recv(&mut v, 0, 0).unwrap();
+            assert_eq!(v[0], 2);
+            world.recv(&mut v, 0, 0).unwrap();
+            assert_eq!(v[0], 1);
+        }
+    });
+}
+
+#[test]
+fn communicator_split_forms_groups() {
+    let n = 6;
+    run(n, move |mpi| {
+        let world = mpi.world();
+        let me = world.rank();
+        // Evens and odds; key reverses order within the group.
+        let sub = world
+            .split(Some((me % 2) as u64), (n - me) as u64)
+            .unwrap()
+            .expect("all ranks have a color");
+        assert_eq!(sub.size(), n / 2);
+        // Reversed key order: world rank 4 is local 0 of the even group.
+        let expect_local = (n / 2 - 1) - me / 2;
+        assert_eq!(sub.rank(), expect_local);
+
+        let total = sub.allreduce(&[me as u64], ReduceOp::Sum).unwrap()[0];
+        let expect: u64 = (0..n as u64).filter(|r| r % 2 == me as u64 % 2).sum();
+        assert_eq!(total, expect);
+
+        // Undefined color: returns None but still participates.
+        let none = world.split(None, 0).unwrap();
+        assert!(none.is_none());
+        world.barrier().unwrap();
+    });
+}
+
+#[test]
+fn sendrecv_exchanges_without_deadlock() {
+    let n = 4;
+    run(n, move |mpi| {
+        let world = mpi.world();
+        let me = world.rank();
+        let right = (me + 1) % n;
+        let left = (me + n - 1) % n;
+        let mut got = [0usize];
+        world
+            .sendrecv(&[me], right, 0, &mut got, left, 0)
+            .unwrap();
+        assert_eq!(got[0], left);
+    });
+}
+
+#[test]
+fn waitall_and_test_complete_requests() {
+    run(2, |mpi| {
+        let world = mpi.world();
+        if world.rank() == 0 {
+            let bufs: Vec<[u32; 1]> = (0..8).map(|i| [i]).collect();
+            let reqs: Vec<_> = bufs
+                .iter()
+                .enumerate()
+                .map(|(i, b)| world.isend(b, 1, i as u32).unwrap())
+                .collect();
+            let sts = wait_all(reqs).unwrap();
+            assert_eq!(sts.len(), 8);
+        } else {
+            for i in (0..8u32).rev() {
+                let mut v = [0u32];
+                world.recv(&mut v, 0, i).unwrap();
+                assert_eq!(v[0], i);
+            }
+        }
+    });
+}
+
+#[test]
+fn request_test_polls_to_completion() {
+    run(2, |mpi| {
+        let world = mpi.world();
+        if world.rank() == 0 {
+            std::thread::sleep(std::time::Duration::from_millis(10));
+            world.send(&[5u8], 1, 0).unwrap();
+        } else {
+            let mut v = [0u8];
+            let mut req = world.irecv(&mut v, 0, 0).unwrap();
+            let mut spins = 0u64;
+            let st = loop {
+                if let Some(st) = req.test().unwrap() {
+                    break st;
+                }
+                spins += 1;
+                std::hint::spin_loop();
+            };
+            assert_eq!(st.len, 1);
+            assert!(spins > 0, "send was delayed; test must have spun");
+            drop(req);
+            assert_eq!(v[0], 5);
+        }
+    });
+}
+
+#[test]
+fn bsend_overflow_reported() {
+    run(2, |mpi| {
+        let world = mpi.world();
+        if world.rank() == 0 {
+            mpi.buffer_attach(16);
+            let err = world.bsend(&[0u8; 64], 1, 0).unwrap_err();
+            assert!(matches!(err, MpiError::BufferOverflow { .. }));
+            world.send(&[1u8], 1, 1).unwrap(); // release receiver
+        } else {
+            let mut v = [0u8];
+            world.recv(&mut v, 0, 1).unwrap();
+        }
+    });
+}
+
+#[test]
+fn ssend_blocks_until_receiver_arrives() {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+    let flag = Arc::new(AtomicBool::new(false));
+    let f2 = flag.clone();
+    run(2, move |mpi| {
+        let world = mpi.world();
+        if world.rank() == 0 {
+            world.ssend(&[1u8], 1, 0).unwrap();
+            assert!(
+                f2.load(Ordering::SeqCst),
+                "ssend returned before the receive was posted"
+            );
+        } else {
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            f2.store(true, Ordering::SeqCst);
+            let mut v = [0u8];
+            world.recv(&mut v, 0, 0).unwrap();
+        }
+    });
+}
+
+#[test]
+fn finalize_flushes_and_synchronizes() {
+    run(3, |mpi| {
+        let world = mpi.world();
+        let me = world.rank();
+        if me > 0 {
+            world.send(&[me as u32], 0, 0).unwrap();
+        } else {
+            for _ in 0..2 {
+                let mut v = [0u32];
+                world.recv(&mut v, SourceSel::Any, 0).unwrap();
+            }
+        }
+        mpi.finalize().unwrap();
+    });
+}

@@ -1,0 +1,23 @@
+//! # lmpi-netmodel — calibrated 1996-era network models
+//!
+//! Deterministic discrete-event cost models of the paper's two platforms,
+//! built on `lmpi-sim`:
+//!
+//! * [`meiko`] — the Meiko CS/2 Elan network: control transactions, the
+//!   39 MB/s DMA engine, the hardware broadcast, and the tport widget
+//!   (52 µs round-trip floor).
+//! * [`eth`] — a shared 10 Mbit/s Ethernet segment (contention!).
+//! * [`atm`] — a Fore ASX-200-style output-queued ATM switch with
+//!   155 Mbit/s ports and the 53/48 cell tax.
+//! * [`ip`] — kernel TCP/UDP socket cost models over either fabric,
+//!   calibrated to the paper's Table 1, plus a reliable-datagram layer.
+//!
+//! Every constant in [`params`] cites the paper number it reproduces.
+
+#![warn(missing_docs)]
+
+pub mod atm;
+pub mod eth;
+pub mod ip;
+pub mod meiko;
+pub mod params;

@@ -1,0 +1,68 @@
+//! A 1-D heat-diffusion stencil with halo exchange, run on real threads
+//! and on the simulated cluster — a nearest-neighbour workload beyond the
+//! paper's own apps, showing the same API on both real and virtual time.
+//!
+//! ```sh
+//! cargo run --example heat_ring
+//! ```
+
+use lmpi::apps::heat;
+use lmpi::{run_cluster, run_threads, ClusterNet, ClusterTransport, MpiConfig};
+
+const CELLS: usize = 4096;
+const STEPS: usize = 200;
+
+fn initial() -> Vec<f64> {
+    (0..CELLS)
+        .map(|i| if (CELLS / 3..CELLS / 2).contains(&i) { 100.0 } else { 0.0 })
+        .collect()
+}
+
+fn main() {
+    // Serial reference for correctness.
+    let reference = heat::heat_serial(&initial(), 0.2, STEPS);
+
+    println!("== real threads ==");
+    for procs in [1usize, 2, 4, 8] {
+        let results = run_threads(procs, move |mpi| {
+            let world = mpi.world();
+            let t0 = mpi.wtime();
+            let block = heat::heat_distributed(&world, &initial(), 0.2, STEPS).unwrap();
+            (world.rank(), block, mpi.wtime() - t0)
+        });
+        let mut assembled = vec![0.0; CELLS];
+        let mut wall = 0.0f64;
+        let block_len = CELLS / procs;
+        for (rank, block, dt) in results {
+            assembled[rank * block_len..(rank + 1) * block_len].copy_from_slice(&block);
+            wall = wall.max(dt);
+        }
+        let err = assembled
+            .iter()
+            .zip(&reference)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max);
+        println!("  {procs} ranks: {wall:.4}s wall, max error vs serial {err:.2e}");
+        assert!(err < 1e-9);
+    }
+
+    println!("\n== simulated ATM cluster (virtual time) ==");
+    for procs in [1usize, 2, 4, 8] {
+        let t = run_cluster(
+            procs,
+            ClusterNet::Atm,
+            ClusterTransport::Tcp,
+            MpiConfig::device_defaults(),
+            move |mpi| {
+                let world = mpi.world();
+                let t0 = mpi.wtime();
+                let _ = heat::heat_distributed(&world, &initial(), 0.2, STEPS).unwrap();
+                mpi.wtime() - t0
+            },
+        );
+        println!("  {procs} ranks: {:.4}s virtual", t[0]);
+    }
+    println!("\n(halo exchanges are small and latency-bound: on a ~1 ms-RTT");
+    println!(" cluster the stencil only pays off for much larger problems,");
+    println!(" the same lesson as the paper's Fig. 9 discussion)");
+}
