@@ -1,0 +1,66 @@
+//! Loss-sweep smoke benchmark: 1-byte ping-pong latency over the
+//! reliable-UDP stack (go-back-N over a seeded lossy device) at 0%, 1% and
+//! 5% frame drop. Quantifies what the paper's §5 observation — reliability
+//! folded into the MPI library — costs as losses mount: retransmission
+//! timers, not protocol overhead, dominate the degradation.
+
+use std::time::{Duration, Instant};
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lmpi_core::MpiConfig;
+use lmpi_devices::faulty::{FaultConfig, FaultRates, FaultyDevice};
+use lmpi_devices::reliable::{RelConfig, ReliableDevice};
+use lmpi_devices::shm::{run_devices, ShmDevice};
+
+fn pingpong_duration(drop_pct: u64, iters: u64) -> Duration {
+    let devices: Vec<_> = ShmDevice::fabric(2)
+        .into_iter()
+        .enumerate()
+        .map(|(rank, dev)| {
+            let cfg = FaultConfig::uniform(
+                0xBE2C_0000 + rank as u64,
+                FaultRates::drop_only(drop_pct as f64 / 100.0),
+            );
+            ReliableDevice::new(FaultyDevice::new(dev, cfg), RelConfig::default())
+        })
+        .collect();
+    run_devices(devices, MpiConfig::device_defaults(), move |mpi| {
+        let world = mpi.world();
+        let buf = [0u8; 1];
+        let mut back = [0u8; 1];
+        if world.rank() == 0 {
+            world.send(&buf, 1, 0).unwrap();
+            world.recv(&mut back, 1, 0).unwrap();
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                world.send(&buf, 1, 0).unwrap();
+                world.recv(&mut back, 1, 0).unwrap();
+            }
+            t0.elapsed()
+        } else {
+            for _ in 0..iters + 1 {
+                world.recv(&mut back, 0, 0).unwrap();
+                world.send(&back, 0, 0).unwrap();
+            }
+            Duration::ZERO
+        }
+    })[0]
+}
+
+fn bench_faulty(c: &mut Criterion) {
+    let mut g = c.benchmark_group("reliable_pingpong_vs_drop_rate");
+    g.sample_size(10);
+    for drop_pct in [0u64, 1, 5] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("{drop_pct}pct")),
+            &drop_pct,
+            |b, &p| {
+                b.iter_custom(|iters| pingpong_duration(p, iters.max(1)));
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_faulty);
+criterion_main!(benches);

@@ -28,7 +28,8 @@ fn pingpong_duration(nbytes: usize, iters: u64) -> Duration {
             }
             Duration::ZERO
         }
-    })[0]
+    })
+    .expect("real tcp mesh")[0]
 }
 
 fn bench_real_tcp(c: &mut Criterion) {

@@ -109,7 +109,7 @@ impl Communicator {
             let ctx = self.coll_ctx();
             let data = self
                 .inner()
-                .progress_until(|eng| eng.take_coll_bcast(ctx, seq));
+                .progress_until(|eng| eng.take_coll_bcast(ctx, seq))?;
             if data.len() != T::byte_len(buf.len()) {
                 return Err(MpiError::CollectiveMismatch(format!(
                     "bcast: root sent {} bytes, local buffer holds {}",
@@ -206,7 +206,7 @@ impl Communicator {
                 let sel = self.src_sel_pub(src_g)?;
                 let ctx = self.coll_ctx();
                 self.inner()
-                    .progress_until(|eng| eng.probe(sel, TagSel::Tag(T_GATHER), ctx))
+                    .progress_until(|eng| eng.probe(sel, TagSel::Tag(T_GATHER), ctx))?
             };
             let mut buf = vec![T::default(); st.len / T::byte_len(1)];
             self.coll_recv(&mut buf, src, T_GATHER)?;
@@ -288,7 +288,7 @@ impl Communicator {
             let ctx = self.coll_ctx();
             let st = self
                 .inner()
-                .progress_until(|eng| eng.probe(src_g, TagSel::Tag(T_SCATTER), ctx));
+                .progress_until(|eng| eng.probe(src_g, TagSel::Tag(T_SCATTER), ctx))?;
             let mut buf = vec![T::default(); st.len / T::byte_len(1)];
             self.coll_recv(&mut buf, root, T_SCATTER)?;
             Ok(buf)

@@ -13,6 +13,12 @@ pub struct MpiConfig {
     pub env_slots: Option<u32>,
     /// Receiver bounce-buffer bytes reserved per sender.
     pub recv_buf_per_sender: Option<u64>,
+    /// Progress watchdog: if a blocking MPI call waits longer than this for
+    /// any frame to arrive, it returns [`crate::MpiError::Timeout`] instead
+    /// of hanging forever. `None` (the default) blocks indefinitely — the
+    /// right choice for simulated devices, whose virtual clock only advances
+    /// while blocked. Set it on real transports when frames can be lost.
+    pub progress_timeout_us: Option<u64>,
 }
 
 impl MpiConfig {
@@ -38,6 +44,14 @@ impl MpiConfig {
         self.recv_buf_per_sender = Some(bytes);
         self
     }
+
+    /// Arm the progress watchdog: blocking calls give up with
+    /// [`crate::MpiError::Timeout`] after waiting `us` microseconds of
+    /// wall-clock (device) time with no incoming frame.
+    pub fn with_progress_timeout_us(mut self, us: u64) -> Self {
+        self.progress_timeout_us = Some(us);
+        self
+    }
 }
 
 #[cfg(test)]
@@ -49,10 +63,13 @@ mod tests {
         let c = MpiConfig::device_defaults()
             .with_eager_threshold(180)
             .with_env_slots(1)
-            .with_recv_buf(4096);
+            .with_recv_buf(4096)
+            .with_progress_timeout_us(500_000);
         assert_eq!(c.eager_threshold, Some(180));
         assert_eq!(c.env_slots, Some(1));
         assert_eq!(c.recv_buf_per_sender, Some(4096));
+        assert_eq!(c.progress_timeout_us, Some(500_000));
         assert_eq!(MpiConfig::default().eager_threshold, None);
+        assert_eq!(MpiConfig::default().progress_timeout_us, None);
     }
 }

@@ -7,6 +7,7 @@
 //! (sender, receiver) pair, which the MPI non-overtaking guarantee relies
 //! on.
 
+use crate::error::MpiResult;
 use crate::packet::Wire;
 use crate::types::Rank;
 
@@ -60,11 +61,15 @@ pub trait Device: Send {
     /// Bulk packets (`Wire::pkt.is_bulk()`) may use a DMA/bandwidth path.
     fn send(&self, dst: Rank, wire: Wire);
 
-    /// Non-blocking poll for the next received frame.
-    fn try_recv(&self) -> Option<Wire>;
+    /// Non-blocking poll for the next received frame. `Err` means the
+    /// transport itself failed (peer disconnect mid-frame, corrupt framing,
+    /// retransmission exhausted) and the rank should surface a typed
+    /// [`crate::MpiError`] instead of panicking.
+    fn try_recv(&self) -> MpiResult<Option<Wire>>;
 
-    /// Block until a frame arrives and return it.
-    fn recv_blocking(&self) -> Wire;
+    /// Block until a frame arrives and return it, or report a transport
+    /// failure.
+    fn recv_blocking(&self) -> MpiResult<Wire>;
 
     /// Account a modelled local cost (no-op on real transports).
     fn charge(&self, _cost: Cost) {}
@@ -147,12 +152,13 @@ pub(crate) mod loopback {
                 self.sent.lock().unwrap().push((dst, wire));
             }
         }
-        fn try_recv(&self) -> Option<Wire> {
-            self.inbox.lock().unwrap().pop_front()
+        fn try_recv(&self) -> MpiResult<Option<Wire>> {
+            Ok(self.inbox.lock().unwrap().pop_front())
         }
-        fn recv_blocking(&self) -> Wire {
-            self.try_recv()
-                .expect("loopback recv_blocking would deadlock: inbox empty")
+        fn recv_blocking(&self) -> MpiResult<Wire> {
+            Ok(self
+                .try_recv()?
+                .expect("loopback recv_blocking would deadlock: inbox empty"))
         }
         fn charge(&self, cost: Cost) {
             self.charges.lock().unwrap().push(cost);

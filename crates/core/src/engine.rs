@@ -256,6 +256,8 @@ impl Engine {
             dst,
             Wire {
                 src: self.my_rank,
+                seq: 0, // sequenced (if at all) by the reliability sublayer
+                ack: 0,
                 env_credit,
                 data_credit,
                 pkt,
@@ -346,7 +348,13 @@ impl Engine {
     // ------------------------------------------------------------------
 
     /// Process one received frame.
-    pub(crate) fn handle_wire(&mut self, dev: &dyn Device, wire: Wire) {
+    ///
+    /// `Err` means the frame is impossible under the FIFO-ordered,
+    /// loss-free delivery the engine assumes of its device — evidence the
+    /// transport dropped, duplicated or reordered frames with no
+    /// reliability sublayer underneath. The error is typed
+    /// ([`MpiError::Transport`]) so the rank fails instead of panicking.
+    pub(crate) fn handle_wire(&mut self, dev: &dyn Device, wire: Wire) -> MpiResult<()> {
         self.counters.wires_handled += 1;
         self.flow.receive_return(wire.src, wire.env_credit, wire.data_credit);
         match wire.pkt {
@@ -365,7 +373,16 @@ impl Engine {
                     dev.charge(Cost::PostedCopy(data.len()));
                     let dst = match self.reqs.get(posted.recv_id) {
                         Some(ReqState::RecvPosted { dst }) => *dst,
-                        other => unreachable!("matched recv {} in state {other:?}", posted.recv_id),
+                        other => {
+                            return Err(MpiError::transport_peer(
+                                env.src,
+                                format!(
+                                    "eager frame matched recv {} in state {other:?} \
+                                     (duplicated or reordered frame?)",
+                                    posted.recv_id
+                                ),
+                            ));
+                        }
                     };
                     // SAFETY: RecvDest contract (see `consume_match`).
                     let delivered = unsafe { dst.deliver(&data) };
@@ -410,7 +427,16 @@ impl Engine {
                     dev.charge(Cost::Match);
                     let dst = match self.reqs.get(posted.recv_id) {
                         Some(ReqState::RecvPosted { dst }) => *dst,
-                        other => unreachable!("matched recv {} in state {other:?}", posted.recv_id),
+                        other => {
+                            return Err(MpiError::transport_peer(
+                                env.src,
+                                format!(
+                                    "rendezvous envelope matched recv {} in state {other:?} \
+                                     (duplicated or reordered frame?)",
+                                    posted.recv_id
+                                ),
+                            ));
+                        }
                     };
                     let status = Status {
                         source: env.src,
@@ -435,10 +461,16 @@ impl Engine {
                 }
             }
             Packet::RndvGo { send_id, recv_id } => {
-                let RndvPayload { data, buffered } = self
-                    .rndv_store
-                    .remove(&send_id)
-                    .expect("rendezvous go-ahead for unknown send");
+                let Some(RndvPayload { data, buffered }) = self.rndv_store.remove(&send_id)
+                else {
+                    return Err(MpiError::transport_peer(
+                        wire.src,
+                        format!(
+                            "rendezvous go-ahead for unknown send {send_id} \
+                             (duplicated or corrupted frame?)"
+                        ),
+                    ));
+                };
                 let len = data.len();
                 self.counters.bytes_sent += len as u64;
                 self.transmit(dev, wire.src, Packet::RndvData { recv_id, data });
@@ -461,7 +493,15 @@ impl Engine {
             Packet::RndvData { recv_id, data } => {
                 let (dst, status) = match self.reqs.get(recv_id) {
                     Some(ReqState::RecvRndvWait { dst, status }) => (*dst, *status),
-                    other => unreachable!("rndv data for recv {recv_id} in state {other:?}"),
+                    other => {
+                        return Err(MpiError::transport_peer(
+                            wire.src,
+                            format!(
+                                "rendezvous data for recv {recv_id} in state {other:?} \
+                                 (duplicated or reordered frame?)"
+                            ),
+                        ));
+                    }
                 };
                 // SAFETY: RecvDest contract (see `consume_match`).
                 let delivered = unsafe { dst.deliver(&data) };
@@ -474,18 +514,23 @@ impl Engine {
                 self.reqs.complete(recv_id, result);
             }
             Packet::EagerAck { send_id } => {
-                debug_assert!(matches!(
+                // Idempotent: a duplicated frame (lossy device, reliability
+                // off) can re-deliver the ack after the send completed, or
+                // after the id was recycled — only complete a send that is
+                // actually waiting.
+                if matches!(
                     self.reqs.get(send_id),
                     Some(ReqState::SendAckWait) | Some(ReqState::SendQueued)
-                ));
-                self.reqs.complete(
-                    send_id,
-                    Ok(Status {
-                        source: wire.src,
-                        tag: 0,
-                        len: 0,
-                    }),
-                );
+                ) {
+                    self.reqs.complete(
+                        send_id,
+                        Ok(Status {
+                            source: wire.src,
+                            tag: 0,
+                            len: 0,
+                        }),
+                    );
+                }
             }
             Packet::Credit => {
                 // Credits were applied above; nothing else to do.
@@ -498,6 +543,7 @@ impl Engine {
         }
         self.flush_pending(dev);
         self.explicit_credit_returns(dev);
+        Ok(())
     }
 
     /// Drain per-destination queues in FIFO order as credit allows.
@@ -651,12 +697,12 @@ mod tests {
             let mut moved = false;
             for (dst, wire) in da.sent.lock().unwrap().drain(..) {
                 assert_eq!(dst, b.my_rank);
-                b.handle_wire(db, wire);
+                b.handle_wire(db, wire).unwrap();
                 moved = true;
             }
             for (dst, wire) in db.sent.lock().unwrap().drain(..) {
                 assert_eq!(dst, a.my_rank);
-                a.handle_wire(da, wire);
+                a.handle_wire(da, wire).unwrap();
                 moved = true;
             }
             if !moved {
@@ -961,6 +1007,70 @@ mod tests {
     }
 
     #[test]
+    fn duplicate_eager_ack_is_ignored() {
+        let d0 = Loopback::new(0, 2);
+        let d1 = Loopback::new(1, 2);
+        let mut e0 = engine(0, 2);
+        let mut e1 = engine(1, 2);
+
+        let sid = e0
+            .post_send(&d0, 1, 0, 0, Bytes::from_static(b"x"), SendMode::Synchronous)
+            .unwrap();
+        let mut buf = [0u8; 1];
+        e1.post_recv(&d1, dest(&mut buf), SourceSel::Any, TagSel::Any, 0);
+        pump(&mut e0, &d0, &mut e1, &d1);
+        assert!(e0.reqs.take_if_done(sid).unwrap().is_ok());
+        // A lossy device re-delivers the ack after the send is gone; the
+        // engine must shrug, not panic or complete a recycled request.
+        e0.handle_wire(&d0, Wire::bare(1, Packet::EagerAck { send_id: sid }))
+            .unwrap();
+    }
+
+    #[test]
+    fn stray_rndv_go_is_typed_transport_error() {
+        let d0 = Loopback::new(0, 2);
+        let mut e0 = engine(0, 2);
+        let err = e0
+            .handle_wire(
+                &d0,
+                Wire::bare(
+                    1,
+                    Packet::RndvGo {
+                        send_id: 99,
+                        recv_id: 7,
+                    },
+                ),
+            )
+            .unwrap_err();
+        assert!(
+            matches!(err, MpiError::Transport { peer: Some(1), .. }),
+            "got {err:?}"
+        );
+    }
+
+    #[test]
+    fn stray_rndv_data_is_typed_transport_error() {
+        let d0 = Loopback::new(0, 2);
+        let mut e0 = engine(0, 2);
+        let err = e0
+            .handle_wire(
+                &d0,
+                Wire::bare(
+                    1,
+                    Packet::RndvData {
+                        recv_id: 42,
+                        data: Bytes::from_static(b"late"),
+                    },
+                ),
+            )
+            .unwrap_err();
+        assert!(
+            matches!(err, MpiError::Transport { peer: Some(1), .. }),
+            "got {err:?}"
+        );
+    }
+
+    #[test]
     fn bcast_seq_and_store() {
         let mut e = engine(0, 2);
         assert_eq!(e.next_bcast_seq(1), 0);
@@ -978,7 +1088,8 @@ mod tests {
                     data: Bytes::from_static(b"zz"),
                 },
             ),
-        );
+        )
+        .unwrap();
         assert!(e.take_coll_bcast(1, 0).is_none());
         assert_eq!(e.take_coll_bcast(1, 1).unwrap().as_ref(), b"zz");
         assert!(e.take_coll_bcast(1, 1).is_none(), "consumed");

@@ -54,8 +54,27 @@ pub enum MpiError {
     InvalidTag(i32),
     /// Count mismatch in a collective (e.g. differing reduce lengths).
     CollectiveMismatch(String),
-    /// The transport failed (real-socket substrates only).
-    Transport(String),
+    /// The transport failed: peer disconnect mid-frame, corrupt framing,
+    /// retransmission limit exhausted, or a protocol frame that is
+    /// impossible under FIFO delivery (duplicated/reordered by a lossy
+    /// device with no reliability sublayer). Fails the rank, not the
+    /// process.
+    Transport {
+        /// The peer involved, when the failure is attributable to one.
+        peer: Option<Rank>,
+        /// Human-readable description of what broke.
+        detail: String,
+    },
+    /// The progress watchdog fired: no frame arrived within the configured
+    /// deadline while a blocking MPI call was waiting, turning a silent
+    /// deadlock (lost frame with no retransmission, dead peer) into a
+    /// reportable error.
+    Timeout {
+        /// How long the progress loop waited, in microseconds.
+        waited_us: u64,
+        /// What the rank was waiting for.
+        context: String,
+    },
 }
 
 impl fmt::Display for MpiError {
@@ -84,7 +103,32 @@ impl fmt::Display for MpiError {
             MpiError::RequestConsumed => write!(f, "request already completed or consumed"),
             MpiError::InvalidTag(t) => write!(f, "invalid tag {t}"),
             MpiError::CollectiveMismatch(s) => write!(f, "collective argument mismatch: {s}"),
-            MpiError::Transport(s) => write!(f, "transport error: {s}"),
+            MpiError::Transport { peer, detail } => match peer {
+                Some(p) => write!(f, "transport error (peer rank {p}): {detail}"),
+                None => write!(f, "transport error: {detail}"),
+            },
+            MpiError::Timeout { waited_us, context } => write!(
+                f,
+                "progress watchdog timeout after {waited_us} us: {context}"
+            ),
+        }
+    }
+}
+
+impl MpiError {
+    /// A transport failure not attributable to a specific peer.
+    pub fn transport(detail: impl Into<String>) -> Self {
+        MpiError::Transport {
+            peer: None,
+            detail: detail.into(),
+        }
+    }
+
+    /// A transport failure attributable to a specific peer rank.
+    pub fn transport_peer(peer: Rank, detail: impl Into<String>) -> Self {
+        MpiError::Transport {
+            peer: Some(peer),
+            detail: detail.into(),
         }
     }
 }

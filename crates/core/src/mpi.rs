@@ -24,32 +24,67 @@ use crate::types::{Rank, SendMode, SourceSel, Status, Tag, TagSel, TAG_UB};
 pub(crate) struct Inner {
     pub(crate) device: Box<dyn Device>,
     pub(crate) eng: RefCell<Engine>,
+    /// Progress watchdog deadline (microseconds of device time); `None`
+    /// blocks indefinitely.
+    watchdog_us: Option<u64>,
 }
 
 impl Inner {
     /// Handle every frame already queued at the device, without blocking.
-    pub(crate) fn poll(&self) {
-        while let Some(wire) = self.device.try_recv() {
-            self.eng.borrow_mut().handle_wire(&*self.device, wire);
+    /// `Err` is a transport failure (device broke, or a frame arrived that
+    /// is impossible under loss-free FIFO delivery).
+    pub(crate) fn poll(&self) -> MpiResult<()> {
+        while let Some(wire) = self.device.try_recv()? {
+            self.eng.borrow_mut().handle_wire(&*self.device, wire)?;
         }
+        Ok(())
     }
 
     /// Make progress until `done` returns `Some`; blocks on the device
-    /// between frames.
-    pub(crate) fn progress_until<T>(&self, mut done: impl FnMut(&mut Engine) -> Option<T>) -> T {
+    /// between frames (bounded by the watchdog, if armed).
+    pub(crate) fn progress_until<T>(
+        &self,
+        mut done: impl FnMut(&mut Engine) -> Option<T>,
+    ) -> MpiResult<T> {
         loop {
-            self.poll();
+            self.poll()?;
             if let Some(v) = done(&mut self.eng.borrow_mut()) {
-                return v;
+                return Ok(v);
             }
-            let wire = self.device.recv_blocking();
-            self.eng.borrow_mut().handle_wire(&*self.device, wire);
+            let wire = self.next_wire_blocking()?;
+            self.eng.borrow_mut().handle_wire(&*self.device, wire)?;
+        }
+    }
+
+    /// Block for the next frame. With the watchdog armed, a silent wire
+    /// (lost frame and no retransmission, dead peer) becomes a typed
+    /// [`MpiError::Timeout`] instead of an eternal hang. The watchdog polls
+    /// instead of blocking, so it only makes sense on wall-clock devices;
+    /// simulated devices (whose virtual clock advances *because* recv
+    /// blocks) should leave it unset.
+    pub(crate) fn next_wire_blocking(&self) -> MpiResult<crate::packet::Wire> {
+        let Some(limit_us) = self.watchdog_us else {
+            return self.device.recv_blocking();
+        };
+        let t0 = self.device.wtime();
+        loop {
+            if let Some(wire) = self.device.try_recv()? {
+                return Ok(wire);
+            }
+            let waited_us = (self.device.wtime() - t0) * 1e6;
+            if waited_us >= limit_us as f64 {
+                return Err(MpiError::Timeout {
+                    waited_us: waited_us as u64,
+                    context: "progress loop saw no incoming frame".into(),
+                });
+            }
+            std::thread::yield_now();
         }
     }
 
     /// Block until request `id` completes and return its result.
     pub(crate) fn wait_request(&self, id: u64) -> MpiResult<Status> {
-        self.progress_until(|eng| eng.reqs.take_if_done(id))
+        self.progress_until(|eng| eng.reqs.take_if_done(id))?
     }
 }
 
@@ -75,6 +110,7 @@ impl Mpi {
             inner: Rc::new(Inner {
                 device,
                 eng: RefCell::new(eng),
+                watchdog_us: config.progress_timeout_us,
             }),
         }
     }
@@ -120,7 +156,7 @@ impl Mpi {
             } else {
                 None
             }
-        });
+        })?;
         self.inner.eng.borrow_mut().buffer_detach()
     }
 
@@ -143,7 +179,7 @@ impl Mpi {
             } else {
                 Some(())
             }
-        });
+        })?;
         self.world().barrier()
     }
 }
@@ -422,7 +458,7 @@ impl Communicator {
         let ctx = self.ctx;
         let st = self
             .inner
-            .progress_until(|eng| eng.probe(src_g, tag, ctx));
+            .progress_until(|eng| eng.probe(src_g, tag, ctx))?;
         Ok(self.localize(st))
     }
 
@@ -440,7 +476,7 @@ impl Communicator {
     ) -> MpiResult<Option<Status>> {
         let src_g = self.src_sel(src.into())?;
         let tag = tag.into();
-        self.inner.poll();
+        self.inner.poll()?;
         let st = self.inner.eng.borrow().probe(src_g, tag, self.ctx);
         Ok(st.map(|s| self.localize(s)))
     }
@@ -529,7 +565,7 @@ impl Request<'_> {
         let ReqHandle::Active(id) = self.state else {
             return Err(MpiError::RequestConsumed);
         };
-        self.inner.poll();
+        self.inner.poll()?;
         match self.inner.eng.borrow_mut().reqs.take_if_done(id) {
             Some(result) => {
                 self.state = ReqHandle::Consumed;
@@ -592,8 +628,8 @@ pub fn wait_any(reqs: &mut Vec<Request<'_>>) -> MpiResult<(usize, Status)> {
         }
         // Nothing ready: block on the device through the first request.
         let inner = reqs[0].inner.clone();
-        let wire = inner.device.recv_blocking();
-        inner.eng.borrow_mut().handle_wire(&*inner.device, wire);
+        let wire = inner.next_wire_blocking()?;
+        inner.eng.borrow_mut().handle_wire(&*inner.device, wire)?;
     }
 }
 
@@ -603,7 +639,7 @@ pub fn test_all(reqs: &mut [Request<'_>]) -> MpiResult<Option<Vec<Status>>> {
     if reqs.is_empty() {
         return Ok(Some(Vec::new()));
     }
-    reqs[0].inner.poll();
+    reqs[0].inner.poll()?;
     {
         let eng = reqs[0].inner.eng.borrow();
         let all_done = reqs.iter().all(|r| match r.state {

@@ -133,11 +133,21 @@ impl Packet {
     }
 }
 
-/// A framed protocol message: the packet plus piggybacked credit returns.
+/// A framed protocol message: the packet plus piggybacked credit returns
+/// and the reliability sublayer's sequence/ack numbers.
 #[derive(Clone, Debug)]
 pub struct Wire {
     /// Global rank of the sender of this frame.
     pub src: Rank,
+    /// Reliability sequence number on the (sender → receiver) channel,
+    /// assigned by the ack/retransmit sublayer (the paper's "reliable UDP"
+    /// transport). `0` means *unsequenced*: reliability is disabled, or the
+    /// frame is a sublayer-internal pure acknowledgment.
+    pub seq: u64,
+    /// Cumulative acknowledgment piggybacked next to the credit fields:
+    /// highest sequence number received in order from the frame's
+    /// destination. `0` means nothing acknowledged yet.
+    pub ack: u64,
     /// Envelope slots being returned to the receiver of this frame.
     pub env_credit: u32,
     /// Buffer bytes being returned to the receiver of this frame.
@@ -147,10 +157,12 @@ pub struct Wire {
 }
 
 impl Wire {
-    /// A frame with no piggybacked credit.
+    /// A frame with no piggybacked credit and no sequencing.
     pub fn bare(src: Rank, pkt: Packet) -> Self {
         Wire {
             src,
+            seq: 0,
+            ack: 0,
             env_credit: 0,
             data_credit: 0,
             pkt,
@@ -194,10 +206,12 @@ mod tests {
     }
 
     #[test]
-    fn bare_wire_has_no_credit() {
+    fn bare_wire_has_no_credit_and_no_sequencing() {
         let w = Wire::bare(2, Packet::Credit);
         assert_eq!(w.src, 2);
         assert_eq!(w.env_credit, 0);
         assert_eq!(w.data_credit, 0);
+        assert_eq!(w.seq, 0);
+        assert_eq!(w.ack, 0);
     }
 }

@@ -10,12 +10,33 @@
 //! packets. (Our credit field packs envelope-slot and byte credits into the
 //! 4 bytes: 8 bits of slots, 24 bits of freed bytes — the 24-bit range
 //! comfortably covers the receive reserve.)
+//!
+//! The paper's UDP variant additionally needs sequencing: next to the
+//! credit word we carry 8 bytes of reliability state (a 4-byte sequence
+//! number and a 4-byte cumulative ack), used by the ack/retransmit sublayer
+//! that upgrades a lossy datagram device to "reliable UDP". The cost model
+//! ([`wire_bytes`]) still charges the paper's 25 bytes so simulated
+//! latencies match the published figures.
 
 use bytes::Bytes;
 use lmpi_core::{Envelope, Packet, Rank, Wire};
 
-/// Header length on the wire (the paper's 25 bytes).
+/// Header length charged by the cost model (the paper's 25 bytes).
 pub const HEADER_BYTES: usize = 25;
+
+/// Extra encoded bytes for the reliability sublayer: 4-byte sequence
+/// number + 4-byte cumulative ack.
+pub const SEQ_ACK_BYTES: usize = 8;
+
+/// Offset of the 20 envelope/request-info bytes within an encoded frame:
+/// after the type byte, credit word and seq/ack words.
+const INFO_OFF: usize = 1 + 4 + SEQ_ACK_BYTES;
+
+/// Offset of the payload-length word.
+const LEN_OFF: usize = INFO_OFF + 20;
+
+/// Offset of the payload itself.
+const PAYLOAD_OFF: usize = LEN_OFF + 4;
 
 const T_EAGER: u8 = 1;
 const T_EAGER_ACK_REQ: u8 = 2; // synchronous-mode eager
@@ -35,7 +56,8 @@ pub fn wire_bytes(wire: &Wire) -> usize {
 /// Encode a frame. The layout is self-contained: no external framing is
 /// needed beyond a leading length word added by the stream writer.
 pub fn encode(wire: &Wire) -> Vec<u8> {
-    let mut out = Vec::with_capacity(HEADER_BYTES + 8 + wire.pkt.payload_len());
+    let mut out =
+        Vec::with_capacity(HEADER_BYTES + SEQ_ACK_BYTES + 8 + wire.pkt.payload_len());
     // 1 byte: message type.
     let (ty, payload): (u8, Option<&Bytes>) = match &wire.pkt {
         Packet::Eager {
@@ -64,6 +86,14 @@ pub fn encode(wire: &Wire) -> Vec<u8> {
     let data_c = wire.data_credit.min(0xFF_FFFF);
     let packed = ((env_c as u32) << 24) | (data_c as u32);
     out.extend_from_slice(&packed.to_le_bytes());
+    // 8 bytes: reliability sequence number and cumulative ack (the UDP
+    // variant's extension; zero when reliability is off).
+    debug_assert!(
+        wire.seq <= u32::MAX as u64 && wire.ack <= u32::MAX as u64,
+        "reliability counters exceed the 4-byte wire fields"
+    );
+    out.extend_from_slice(&(wire.seq as u32).to_le_bytes());
+    out.extend_from_slice(&(wire.ack as u32).to_le_bytes());
     // 20 bytes: envelope / request info.
     let mut info = [0u8; 20];
     info[0..4].copy_from_slice(&(wire.src as u32).to_le_bytes());
@@ -124,25 +154,32 @@ pub struct DecodeError(pub String);
 /// Decode a frame previously produced by [`encode`]. Returns the frame and
 /// the number of bytes consumed.
 pub fn decode(buf: &[u8]) -> Result<(Wire, usize), DecodeError> {
-    if buf.len() < HEADER_BYTES + 4 {
+    if buf.len() < PAYLOAD_OFF {
         return Err(DecodeError(format!("frame too short: {}", buf.len())));
     }
+    // Infallible fixed-width read (bounds checked above / by `total`).
+    let u32_le = |off: usize| {
+        let mut b = [0u8; 4];
+        b.copy_from_slice(&buf[off..off + 4]);
+        u32::from_le_bytes(b)
+    };
     let ty = buf[0];
-    let packed = u32::from_le_bytes(buf[1..5].try_into().unwrap());
+    let packed = u32_le(1);
     let env_credit = packed >> 24;
     let data_credit = (packed & 0xFF_FFFF) as u64;
-    let info: &[u8] = &buf[5..25];
-    let src = u32::from_le_bytes(info[0..4].try_into().unwrap()) as Rank;
-    let payload_len = u32::from_le_bytes(buf[25..29].try_into().unwrap()) as usize;
-    let total = HEADER_BYTES + 4 + payload_len;
+    let seq = u32_le(5) as u64;
+    let ack = u32_le(9) as u64;
+    let src = u32_le(INFO_OFF) as Rank;
+    let payload_len = u32_le(LEN_OFF) as usize;
+    let total = PAYLOAD_OFF + payload_len;
     if buf.len() < total {
         return Err(DecodeError(format!(
             "payload truncated: have {}, need {total}",
             buf.len()
         )));
     }
-    let data = Bytes::copy_from_slice(&buf[29..29 + payload_len]);
-    let u32at = |r: std::ops::Range<usize>| u32::from_le_bytes(info[r].try_into().unwrap());
+    let data = Bytes::copy_from_slice(&buf[PAYLOAD_OFF..total]);
+    let u32at = |r: std::ops::Range<usize>| u32_le(INFO_OFF + r.start);
     let env = || Envelope {
         src,
         tag: u32at(4..8),
@@ -184,6 +221,8 @@ pub fn decode(buf: &[u8]) -> Result<(Wire, usize), DecodeError> {
     Ok((
         Wire {
             src,
+            seq,
+            ack,
             env_credit,
             data_credit,
             pkt,
@@ -216,6 +255,8 @@ mod tests {
     fn eager_roundtrip_with_credit() {
         let w = roundtrip(Wire {
             src: 3,
+            seq: 17,
+            ack: 12,
             env_credit: 2,
             data_credit: 1024,
             pkt: Packet::Eager {
@@ -227,6 +268,8 @@ mod tests {
             },
         });
         assert_eq!(w.src, 3);
+        assert_eq!(w.seq, 17);
+        assert_eq!(w.ack, 12);
         assert_eq!(w.env_credit, 2);
         assert_eq!(w.data_credit, 1024);
         match w.pkt {
@@ -284,20 +327,23 @@ mod tests {
             let name = pkt.kind_name();
             let w = roundtrip(Wire {
                 src: 1,
+                seq: 5,
+                ack: 4,
                 env_credit: 0,
                 data_credit: 77,
                 pkt,
             });
             assert_eq!(w.pkt.kind_name(), name);
             assert_eq!(w.data_credit, 77);
+            assert_eq!((w.seq, w.ack), (5, 4));
         }
     }
 
     #[test]
     fn header_is_exactly_25_bytes_plus_framing() {
         let w = Wire::bare(0, Packet::Credit);
-        // 25 header + 4-byte payload-length word, no payload.
-        assert_eq!(encode(&w).len(), HEADER_BYTES + 4);
+        // 25 header + 8 seq/ack + 4-byte payload-length word, no payload.
+        assert_eq!(encode(&w).len(), HEADER_BYTES + SEQ_ACK_BYTES + 4);
         assert_eq!(wire_bytes(&w), 25, "model cost counts the paper's 25 bytes");
     }
 

@@ -8,10 +8,23 @@
 //! | `meiko` | simulated Meiko CS/2 Elan (transactions, DMA, hardware broadcast) | virtual | §4: the low-latency implementation (SPARC matching) and the MPICH/tport baseline (Elan matching) |
 //! | `sock`  | simulated kernel TCP/UDP over shared Ethernet or an ATM switch, and real `std::net` TCP | virtual / real | §5: the cluster implementation with credit flow control |
 //! | `shm`   | in-process channels between rank threads | real | functional testing and wall-clock benchmarks |
+//!
+//! Two composable wrappers complete the fault-tolerance story of the
+//! paper's "reliable UDP" variant:
+//!
+//! * [`faulty`] — deterministic, seeded drop/duplicate/reorder/delay fault
+//!   injection over any device;
+//! * [`reliable`] — a go-back-N ack/retransmit sublayer that upgrades a
+//!   lossy datagram device back to reliable FIFO delivery.
 
 #![warn(missing_docs)]
+// Transport code must fail the rank with a typed error, never panic: no
+// bare `unwrap` outside tests (the CI clippy gate enforces this).
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 pub mod codec;
+pub mod faulty;
 pub mod meiko;
+pub mod reliable;
 pub mod shm;
 pub mod sock;

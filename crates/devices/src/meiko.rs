@@ -15,9 +15,11 @@
 //!   receive gets its data deposited directly — no bounce copy), and
 //!   broadcast is built from point-to-point messages.
 
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 
-use lmpi_core::{Cost, Device, DeviceDefaults, Mpi, MpiConfig, Rank, Wire};
+use parking_lot::Mutex;
+
+use lmpi_core::{Cost, Device, DeviceDefaults, Mpi, MpiConfig, MpiResult, Rank, Wire};
 use lmpi_netmodel::meiko::MeikoNet;
 use lmpi_netmodel::params::{CpuParams, MeikoParams};
 use lmpi_sim::{Proc, Sim, SimDur, SimQueue};
@@ -130,12 +132,12 @@ impl Device for MeikoDevice {
         }
     }
 
-    fn try_recv(&self) -> Option<Wire> {
-        self.inbox.try_pop()
+    fn try_recv(&self) -> MpiResult<Option<Wire>> {
+        Ok(self.inbox.try_pop())
     }
 
-    fn recv_blocking(&self) -> Wire {
-        self.inbox.pop(&self.proc)
+    fn recv_blocking(&self) -> MpiResult<Wire> {
+        Ok(self.inbox.pop(&self.proc))
     }
 
     fn charge(&self, cost: Cost) {
@@ -212,14 +214,13 @@ where
             let dev = MeikoDevice::new(net, p.clone(), rank, variant);
             let mpi = Mpi::new(Box::new(dev), config);
             let out = f(mpi);
-            results.lock().unwrap()[rank] = Some(out);
+            results.lock()[rank] = Some(out);
         });
     }
     sim.run();
     Arc::try_unwrap(results)
         .unwrap_or_else(|_| panic!("results still shared"))
         .into_inner()
-        .unwrap()
         .into_iter()
         .map(|o| o.expect("rank produced no result"))
         .collect()

@@ -1,0 +1,612 @@
+//! Go-back-N ack/retransmit sublayer: the paper's "reliable UDP".
+//!
+//! §5 of the paper keeps TCP's reliability for its first cluster transport,
+//! then notes the way forward is raw, lossy datagrams (UDP, raw AAL) with
+//! reliability folded into the MPI library itself, where acknowledgments
+//! piggyback on traffic that is flowing anyway — exactly where the credit
+//! field already rides. [`ReliableDevice`] implements that sublayer over
+//! any datagram-like [`Device`]:
+//!
+//! * every outgoing frame gets a per-destination **sequence number**
+//!   ([`Wire::seq`], starting at 1; 0 means unsequenced) and carries a
+//!   **cumulative ack** ([`Wire::ack`]) for the reverse direction, sitting
+//!   next to the piggybacked credit fields in the sockets framing;
+//! * the receiver delivers strictly in sequence order — duplicates are
+//!   suppressed, gaps mean the frame is discarded and the sender goes back
+//!   and resends from the first unacknowledged frame (go-back-N), which
+//!   preserves the per-pair FIFO order MPI's non-overtaking rule needs;
+//! * unacknowledged frames are retransmitted on a timer with exponential
+//!   backoff; when one-sided traffic leaves no frame to piggyback on, a
+//!   pure-ack frame (a bare credit packet with zero credit) is sent;
+//! * a sender that exhausts its retries marks the channel failed, and the
+//!   failure surfaces as a typed [`MpiError::Timeout`] from the receive
+//!   path — the rank fails, the process does not.
+//!
+//! Self-sends and hardware broadcast bypass the sublayer: neither crosses
+//! the lossy datagram path being made reliable.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use lmpi_core::{Cost, Device, DeviceDefaults, MpiError, MpiResult, Packet, Rank, Wire};
+use parking_lot::Mutex;
+
+/// Tuning for the ack/retransmit machinery.
+#[derive(Copy, Clone, Debug)]
+pub struct RelConfig {
+    /// Maximum unacknowledged frames per destination; a full window stalls
+    /// the sender (pumping acks) until space frees up.
+    pub window: usize,
+    /// Initial retransmission timeout, microseconds.
+    pub rto_us: f64,
+    /// RTO multiplier per retransmission (exponential backoff).
+    pub backoff: f64,
+    /// RTO ceiling, microseconds.
+    pub rto_max_us: f64,
+    /// Consecutive retransmissions of the same window before the channel
+    /// is declared dead.
+    pub max_retries: u32,
+}
+
+impl Default for RelConfig {
+    fn default() -> Self {
+        RelConfig {
+            window: 32,
+            rto_us: 2_000.0,
+            backoff: 2.0,
+            rto_max_us: 100_000.0,
+            max_retries: 30,
+        }
+    }
+}
+
+/// Counters shared via [`ReliableDevice::stats_handle`].
+#[derive(Debug, Default)]
+pub struct RelStats {
+    /// Sequenced data frames sent (first transmissions).
+    pub data_sent: AtomicU64,
+    /// Frames retransmitted after an RTO.
+    pub retransmits: AtomicU64,
+    /// Duplicate frames suppressed at the receiver.
+    pub dup_suppressed: AtomicU64,
+    /// Out-of-order frames discarded (the go-back-N gap case).
+    pub ooo_dropped: AtomicU64,
+    /// Pure-ack frames sent (no data to piggyback on).
+    pub acks_sent: AtomicU64,
+}
+
+impl RelStats {
+    /// Snapshot of `(data_sent, retransmits, dup_suppressed, ooo_dropped,
+    /// acks_sent)`.
+    pub fn snapshot(&self) -> (u64, u64, u64, u64, u64) {
+        (
+            self.data_sent.load(Ordering::Relaxed),
+            self.retransmits.load(Ordering::Relaxed),
+            self.dup_suppressed.load(Ordering::Relaxed),
+            self.ooo_dropped.load(Ordering::Relaxed),
+            self.acks_sent.load(Ordering::Relaxed),
+        )
+    }
+}
+
+/// Both directions of one rank↔peer channel.
+struct PeerState {
+    /// Next sequence number to assign on send (starts at 1).
+    next_seq: u64,
+    /// Sent but unacknowledged frames, in sequence order.
+    unacked: VecDeque<Wire>,
+    /// Wall/virtual time when the retransmit timer fires, seconds.
+    rto_deadline: f64,
+    /// Current RTO, microseconds (doubles per retransmission).
+    cur_rto_us: f64,
+    /// Consecutive retransmissions without forward progress.
+    retries: u32,
+    /// Highest sequence number received in order from this peer.
+    recv_cum: u64,
+    /// Whether the peer is owed an ack it has not been sent yet.
+    owe_ack: bool,
+}
+
+impl PeerState {
+    fn new() -> Self {
+        PeerState {
+            next_seq: 1,
+            unacked: VecDeque::new(),
+            rto_deadline: f64::INFINITY,
+            cur_rto_us: 0.0,
+            retries: 0,
+            recv_cum: 0,
+            owe_ack: false,
+        }
+    }
+}
+
+struct RelState {
+    peers: Vec<PeerState>,
+    /// Frames cleared for delivery to the protocol engine, in order.
+    deliverable: VecDeque<Wire>,
+    /// Sticky channel failure; every receive surfaces it once set.
+    failed: Option<MpiError>,
+}
+
+/// The reliability wrapper. Stack as
+/// `ReliableDevice::new(FaultyDevice::new(inner, faults), RelConfig::default())`
+/// to run MPI correctly over a lossy transport.
+pub struct ReliableDevice<D: Device> {
+    inner: D,
+    cfg: RelConfig,
+    state: Mutex<RelState>,
+    stats: Arc<RelStats>,
+}
+
+/// A pure acknowledgment: a bare credit frame carrying only the cumulative
+/// ack. The receiving sublayer consumes it; the engine never sees it.
+fn pure_ack(src: Rank, ack: u64) -> Wire {
+    Wire {
+        src,
+        seq: 0,
+        ack,
+        env_credit: 0,
+        data_credit: 0,
+        pkt: Packet::Credit,
+    }
+}
+
+fn is_pure_ack(wire: &Wire) -> bool {
+    wire.seq == 0
+        && wire.env_credit == 0
+        && wire.data_credit == 0
+        && matches!(wire.pkt, Packet::Credit)
+}
+
+impl<D: Device> ReliableDevice<D> {
+    /// Wrap `inner` with go-back-N reliability.
+    pub fn new(inner: D, cfg: RelConfig) -> Self {
+        let nprocs = inner.nprocs();
+        ReliableDevice {
+            inner,
+            cfg,
+            state: Mutex::new(RelState {
+                peers: (0..nprocs).map(|_| PeerState::new()).collect(),
+                deliverable: VecDeque::new(),
+                failed: None,
+            }),
+            stats: Arc::new(RelStats::default()),
+        }
+    }
+
+    /// Clone a handle to the sublayer counters (take it before the device
+    /// moves into `Mpi::new`).
+    pub fn stats_handle(&self) -> Arc<RelStats> {
+        self.stats.clone()
+    }
+
+    /// The wrapped device.
+    pub fn inner(&self) -> &D {
+        &self.inner
+    }
+
+    fn now_s(&self) -> f64 {
+        self.inner.wtime()
+    }
+
+    /// Ingest one frame from the wire.
+    fn handle_incoming(&self, st: &mut RelState, wire: Wire) {
+        let from = wire.src;
+        let me = self.inner.rank();
+        if from == me {
+            // Self-delivery bypassed sequencing on the way out.
+            st.deliverable.push_back(wire);
+            return;
+        }
+        // The ack applies to frames we sent *to* this peer.
+        let p = &mut st.peers[from];
+        if wire.ack > 0 {
+            let before = p.unacked.len();
+            while p.unacked.front().is_some_and(|w| w.seq <= wire.ack) {
+                p.unacked.pop_front();
+            }
+            if p.unacked.len() < before {
+                // Forward progress: reset the backoff clock.
+                p.retries = 0;
+                p.cur_rto_us = self.cfg.rto_us;
+                p.rto_deadline = if p.unacked.is_empty() {
+                    f64::INFINITY
+                } else {
+                    self.now_s() + self.cfg.rto_us * 1e-6
+                };
+            }
+        }
+        if is_pure_ack(&wire) {
+            return; // sublayer-internal; nothing to deliver
+        }
+        if wire.seq == 0 {
+            // Unsequenced frame from a peer (reliability disabled there, or
+            // a broadcast side channel): pass through.
+            st.deliverable.push_back(wire);
+        } else if wire.seq == st.peers[from].recv_cum + 1 {
+            let p = &mut st.peers[from];
+            p.recv_cum += 1;
+            p.owe_ack = true;
+            st.deliverable.push_back(wire);
+        } else if wire.seq <= st.peers[from].recv_cum {
+            // Duplicate (retransmission of something we already have):
+            // drop it, but re-ack so the sender stops resending.
+            self.stats.dup_suppressed.fetch_add(1, Ordering::Relaxed);
+            st.peers[from].owe_ack = true;
+        } else {
+            // Gap: a predecessor was lost. Go-back-N discards and lets the
+            // sender's timer resend the window in order.
+            self.stats.ooo_dropped.fetch_add(1, Ordering::Relaxed);
+            st.peers[from].owe_ack = true;
+        }
+    }
+
+    /// One progress step: drain the wire, fire retransmit timers, flush
+    /// owed acks. Returns an error if the inner transport failed.
+    fn pump(&self, st: &mut RelState) -> MpiResult<()> {
+        while let Some(wire) = self.inner.try_recv()? {
+            self.handle_incoming(st, wire);
+        }
+        let now = self.now_s();
+        let me = self.inner.rank();
+        for (dst, p) in st.peers.iter_mut().enumerate() {
+            if !p.unacked.is_empty() && now >= p.rto_deadline {
+                p.retries += 1;
+                if p.retries > self.cfg.max_retries {
+                    st.failed = Some(MpiError::Timeout {
+                        waited_us: (p.cur_rto_us * p.retries as f64) as u64,
+                        context: format!(
+                            "retransmission to rank {dst} exhausted after {} attempts \
+                             (peer dead or all retransmits lost)",
+                            p.retries
+                        ),
+                    });
+                    break;
+                }
+                // Go-back-N: resend the whole unacked window in order,
+                // with a refreshed piggybacked ack.
+                for w in p.unacked.iter_mut() {
+                    w.ack = p.recv_cum;
+                    self.stats.retransmits.fetch_add(1, Ordering::Relaxed);
+                    self.inner.send(dst, w.clone());
+                }
+                p.owe_ack = false;
+                p.cur_rto_us = (p.cur_rto_us * self.cfg.backoff).min(self.cfg.rto_max_us);
+                p.rto_deadline = now + p.cur_rto_us * 1e-6;
+            }
+        }
+        for (dst, p) in st.peers.iter_mut().enumerate() {
+            if p.owe_ack {
+                p.owe_ack = false;
+                self.stats.acks_sent.fetch_add(1, Ordering::Relaxed);
+                self.inner.send(dst, pure_ack(me, p.recv_cum));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// How long a dropping device lingers to finish retransmitting
+/// still-unacknowledged frames, in seconds. MPI send semantics let a rank
+/// exit right after a fire-and-forget eager send; if that frame was lost,
+/// the retransmission must happen *after* the application is done with the
+/// rank — so the sublayer drains on drop instead of stranding the peer.
+const DRAIN_LINGER_S: f64 = 1.0;
+
+impl<D: Device> Drop for ReliableDevice<D> {
+    fn drop(&mut self) {
+        let deadline = self.now_s() + DRAIN_LINGER_S;
+        // Iteration cap so a virtual-clock device that no longer advances
+        // time can't spin the teardown forever.
+        for _ in 0..500_000 {
+            let mut st = self.state.lock();
+            if st.failed.is_some() || self.pump(&mut st).is_err() {
+                return;
+            }
+            let drained = st.peers.iter().all(|p| p.unacked.is_empty());
+            drop(st);
+            if drained || self.now_s() >= deadline {
+                return;
+            }
+            std::thread::yield_now();
+        }
+    }
+}
+
+impl<D: Device> Device for ReliableDevice<D> {
+    fn rank(&self) -> Rank {
+        self.inner.rank()
+    }
+
+    fn nprocs(&self) -> usize {
+        self.inner.nprocs()
+    }
+
+    fn send(&self, dst: Rank, mut wire: Wire) {
+        if dst == self.inner.rank() {
+            // Self-delivery is reliable by construction.
+            self.inner.send(dst, wire);
+            return;
+        }
+        let mut st = self.state.lock();
+        // A full window stalls the sender until acks arrive — mirroring
+        // the envelope-credit stall one layer up. A failed channel stops
+        // stalling; the error surfaces on the next receive.
+        while st.peers[dst].unacked.len() >= self.cfg.window && st.failed.is_none() {
+            if self.pump(&mut st).is_err() {
+                return; // inner transport failure; surfaces on receive
+            }
+            if st.peers[dst].unacked.len() >= self.cfg.window && st.failed.is_none() {
+                drop(st);
+                std::thread::yield_now();
+                st = self.state.lock();
+            }
+        }
+        if st.failed.is_some() {
+            return;
+        }
+        let now = self.now_s();
+        let p = &mut st.peers[dst];
+        wire.seq = p.next_seq;
+        p.next_seq += 1;
+        wire.ack = p.recv_cum;
+        p.owe_ack = false; // this frame carries the ack
+        if p.unacked.is_empty() {
+            p.cur_rto_us = self.cfg.rto_us;
+            p.rto_deadline = now + self.cfg.rto_us * 1e-6;
+        }
+        p.unacked.push_back(wire.clone());
+        self.stats.data_sent.fetch_add(1, Ordering::Relaxed);
+        self.inner.send(dst, wire);
+    }
+
+    fn try_recv(&self) -> MpiResult<Option<Wire>> {
+        let mut st = self.state.lock();
+        self.pump(&mut st)?;
+        if let Some(w) = st.deliverable.pop_front() {
+            return Ok(Some(w));
+        }
+        if let Some(e) = &st.failed {
+            return Err(e.clone());
+        }
+        Ok(None)
+    }
+
+    fn recv_blocking(&self) -> MpiResult<Wire> {
+        // The inner blocking receive can't be used: the retransmit timer
+        // must keep firing while we wait.
+        loop {
+            if let Some(w) = self.try_recv()? {
+                return Ok(w);
+            }
+            std::thread::yield_now();
+        }
+    }
+
+    fn charge(&self, cost: Cost) {
+        self.inner.charge(cost);
+    }
+
+    fn has_hw_bcast(&self) -> bool {
+        self.inner.has_hw_bcast()
+    }
+
+    fn hw_bcast(&self, group: &[Rank], wire: Wire) {
+        self.inner.hw_bcast(group, wire);
+    }
+
+    fn wtime(&self) -> f64 {
+        self.inner.wtime()
+    }
+
+    fn defaults(&self) -> DeviceDefaults {
+        self.inner.defaults()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex as StdMutex;
+
+    /// Inspectable mock transport with a manually advanced clock.
+    struct MockDev {
+        rank: Rank,
+        nprocs: usize,
+        inbox: StdMutex<VecDeque<Wire>>,
+        sent: StdMutex<Vec<(Rank, Wire)>>,
+        clock: StdMutex<f64>,
+    }
+
+    impl MockDev {
+        fn new(rank: Rank, nprocs: usize) -> Self {
+            MockDev {
+                rank,
+                nprocs,
+                inbox: StdMutex::new(VecDeque::new()),
+                sent: StdMutex::new(Vec::new()),
+                clock: StdMutex::new(0.0),
+            }
+        }
+
+        fn inject(&self, wire: Wire) {
+            self.inbox.lock().unwrap().push_back(wire);
+        }
+
+        fn advance(&self, dt_s: f64) {
+            *self.clock.lock().unwrap() += dt_s;
+        }
+
+        fn sent_frames(&self) -> Vec<(Rank, Wire)> {
+            self.sent.lock().unwrap().clone()
+        }
+    }
+
+    impl Device for MockDev {
+        fn rank(&self) -> Rank {
+            self.rank
+        }
+        fn nprocs(&self) -> usize {
+            self.nprocs
+        }
+        fn send(&self, dst: Rank, wire: Wire) {
+            self.sent.lock().unwrap().push((dst, wire));
+        }
+        fn try_recv(&self) -> MpiResult<Option<Wire>> {
+            Ok(self.inbox.lock().unwrap().pop_front())
+        }
+        fn recv_blocking(&self) -> MpiResult<Wire> {
+            Ok(self.try_recv()?.expect("mock inbox empty"))
+        }
+        fn wtime(&self) -> f64 {
+            *self.clock.lock().unwrap()
+        }
+        fn defaults(&self) -> DeviceDefaults {
+            DeviceDefaults {
+                eager_threshold: 180,
+                env_slots: 4,
+                recv_buf_per_sender: 1 << 16,
+            }
+        }
+    }
+
+    fn data_frame(src: Rank, seq: u64, ack: u64) -> Wire {
+        Wire {
+            src,
+            seq,
+            ack,
+            env_credit: 0,
+            data_credit: 0,
+            pkt: Packet::EagerAck { send_id: seq },
+        }
+    }
+
+    fn rel(rank: Rank, nprocs: usize) -> ReliableDevice<MockDev> {
+        ReliableDevice::new(MockDev::new(rank, nprocs), RelConfig::default())
+    }
+
+    #[test]
+    fn sends_get_consecutive_sequence_numbers() {
+        let d = rel(0, 2);
+        for _ in 0..3 {
+            d.send(1, Wire::bare(0, Packet::Credit));
+        }
+        let seqs: Vec<u64> = d.inner().sent_frames().iter().map(|(_, w)| w.seq).collect();
+        assert_eq!(seqs, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn in_order_frames_deliver_and_get_acked() {
+        let d = rel(0, 2);
+        d.inner().inject(data_frame(1, 1, 0));
+        d.inner().inject(data_frame(1, 2, 0));
+        assert_eq!(d.try_recv().unwrap().unwrap().seq, 1);
+        assert_eq!(d.try_recv().unwrap().unwrap().seq, 2);
+        // With no reverse traffic to piggyback on, a pure ack went out.
+        let acks: Vec<u64> = d
+            .inner()
+            .sent_frames()
+            .iter()
+            .filter(|(_, w)| is_pure_ack(w))
+            .map(|(_, w)| w.ack)
+            .collect();
+        assert_eq!(*acks.last().unwrap(), 2, "cumulative ack for both frames");
+    }
+
+    #[test]
+    fn duplicates_are_suppressed_and_reacked() {
+        let d = rel(0, 2);
+        d.inner().inject(data_frame(1, 1, 0));
+        d.inner().inject(data_frame(1, 1, 0)); // retransmitted copy
+        assert_eq!(d.try_recv().unwrap().unwrap().seq, 1);
+        assert!(d.try_recv().unwrap().is_none(), "duplicate must not deliver");
+        let (_, _, dups, _, acks) = d.stats_handle().snapshot();
+        assert_eq!(dups, 1);
+        assert!(acks >= 1, "duplicate triggers a re-ack");
+    }
+
+    #[test]
+    fn gap_frames_are_dropped_until_retransmission_fills_in() {
+        let d = rel(0, 2);
+        d.inner().inject(data_frame(1, 2, 0)); // seq 1 was lost
+        assert!(d.try_recv().unwrap().is_none(), "gap must not deliver");
+        let (_, _, _, ooo, _) = d.stats_handle().snapshot();
+        assert_eq!(ooo, 1);
+        // Sender goes back and resends 1, 2 in order.
+        d.inner().inject(data_frame(1, 1, 0));
+        d.inner().inject(data_frame(1, 2, 0));
+        assert_eq!(d.try_recv().unwrap().unwrap().seq, 1);
+        assert_eq!(d.try_recv().unwrap().unwrap().seq, 2);
+    }
+
+    #[test]
+    fn unacked_frames_are_retransmitted_with_backoff() {
+        let d = rel(0, 2);
+        d.send(1, Wire::bare(0, Packet::Credit));
+        assert_eq!(d.inner().sent_frames().len(), 1);
+        d.inner().advance(0.003); // past the 2ms initial RTO
+        let _ = d.try_recv().unwrap();
+        assert_eq!(d.inner().sent_frames().len(), 2, "first retransmission");
+        d.inner().advance(0.003); // backoff doubled: 4ms not yet reached
+        let _ = d.try_recv().unwrap();
+        assert_eq!(d.inner().sent_frames().len(), 2, "backoff holds fire");
+        d.inner().advance(0.002);
+        let _ = d.try_recv().unwrap();
+        assert_eq!(d.inner().sent_frames().len(), 3, "second retransmission");
+        let (_, retx, ..) = d.stats_handle().snapshot();
+        assert_eq!(retx, 2);
+    }
+
+    #[test]
+    fn ack_clears_the_window_and_stops_retransmission() {
+        let d = rel(0, 2);
+        d.send(1, Wire::bare(0, Packet::Credit));
+        d.send(1, Wire::bare(0, Packet::Credit));
+        d.inner().inject(pure_ack(1, 2)); // cumulative ack for both
+        let _ = d.try_recv().unwrap();
+        d.inner().advance(1.0);
+        let _ = d.try_recv().unwrap();
+        assert_eq!(
+            d.inner().sent_frames().len(),
+            2,
+            "nothing left to retransmit"
+        );
+    }
+
+    #[test]
+    fn retry_exhaustion_is_a_typed_timeout() {
+        let d = ReliableDevice::new(
+            MockDev::new(0, 2),
+            RelConfig {
+                max_retries: 3,
+                ..RelConfig::default()
+            },
+        );
+        d.send(1, Wire::bare(0, Packet::Credit));
+        let err = loop {
+            d.inner().advance(0.2); // well past any backoff step
+            match d.try_recv() {
+                Ok(_) => continue,
+                Err(e) => break e,
+            }
+        };
+        assert!(
+            matches!(err, MpiError::Timeout { .. }),
+            "expected Timeout, got {err:?}"
+        );
+        // The failure is sticky.
+        assert!(d.try_recv().is_err());
+    }
+
+    #[test]
+    fn piggybacked_ack_rides_on_data() {
+        let d = rel(0, 2);
+        d.inner().inject(data_frame(1, 1, 0));
+        let _ = d.try_recv().unwrap(); // recv_cum now 1, ack owed → pure ack sent
+        d.send(1, Wire::bare(0, Packet::Credit));
+        let (_, last) = d.inner().sent_frames().last().cloned().unwrap();
+        assert_eq!(last.ack, 1, "outgoing data carries the cumulative ack");
+    }
+}

@@ -9,7 +9,7 @@
 use std::time::Instant;
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
-use lmpi_core::{Device, DeviceDefaults, Mpi, MpiConfig, Rank, Wire};
+use lmpi_core::{Device, DeviceDefaults, Mpi, MpiConfig, MpiError, MpiResult, Rank, Wire};
 
 /// Device connecting `nprocs` ranks within one process.
 pub struct ShmDevice {
@@ -65,14 +65,14 @@ impl Device for ShmDevice {
         let _ = self.txs[dst].send(wire);
     }
 
-    fn try_recv(&self) -> Option<Wire> {
-        self.rx.try_recv().ok()
+    fn try_recv(&self) -> MpiResult<Option<Wire>> {
+        Ok(self.rx.try_recv().ok())
     }
 
-    fn recv_blocking(&self) -> Wire {
+    fn recv_blocking(&self) -> MpiResult<Wire> {
         self.rx
             .recv()
-            .expect("shm fabric torn down while receiving")
+            .map_err(|_| MpiError::transport("shm fabric torn down while receiving"))
     }
 
     fn wtime(&self) -> f64 {
@@ -102,7 +102,20 @@ where
     F: Fn(Mpi) -> T + Send + Sync + 'static,
 {
     assert!(nprocs > 0, "need at least one rank");
-    let devices = ShmDevice::fabric(nprocs);
+    run_devices(ShmDevice::fabric(nprocs), config, f)
+}
+
+/// Run an MPI program over an arbitrary pre-built set of connected devices,
+/// one thread per rank. This is how fault-injection harnesses run: build
+/// the [`ShmDevice::fabric`], wrap each device in
+/// [`crate::faulty::FaultyDevice`] and/or [`crate::reliable::ReliableDevice`],
+/// then hand the stack here.
+pub fn run_devices<D, T, F>(devices: Vec<D>, config: MpiConfig, f: F) -> Vec<T>
+where
+    D: Device + 'static,
+    T: Send + 'static,
+    F: Fn(Mpi) -> T + Send + Sync + 'static,
+{
     let f = std::sync::Arc::new(f);
     let handles: Vec<_> = devices
         .into_iter()

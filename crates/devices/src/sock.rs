@@ -14,12 +14,13 @@
 //!   same device code is a working transport.
 
 use std::io::{Read, Write as IoWrite};
-use std::net::{TcpListener, TcpStream};
-use std::sync::{Arc, Barrier, Mutex};
-use std::time::Instant;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
-use lmpi_core::{Cost, Device, DeviceDefaults, Mpi, MpiConfig, Rank, Wire};
+use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
+use lmpi_core::{Cost, Device, DeviceDefaults, Mpi, MpiConfig, MpiError, MpiResult, Rank, Wire};
+use parking_lot::Mutex;
 use lmpi_netmodel::ip::{Fabric, ReliableDgram, SockFabric, SockNode};
 use lmpi_netmodel::params::{AtmParams, CpuParams, EthParams, SocketParams};
 use lmpi_sim::{Proc, Sim, SimDur};
@@ -39,10 +40,11 @@ pub const MATCH_US: f64 = 35.0;
 pub trait MsgChannel: Send {
     /// Transmit `wire`, whose on-the-wire size is `nbytes`.
     fn send(&self, dst: Rank, wire: Wire, nbytes: usize);
-    /// Non-blocking receive.
-    fn try_recv(&self) -> Option<Wire>;
-    /// Blocking receive.
-    fn recv_blocking(&self) -> Wire;
+    /// Non-blocking receive; `Err` reports a broken transport (peer
+    /// disconnect mid-frame, corrupt framing).
+    fn try_recv(&self) -> MpiResult<Option<Wire>>;
+    /// Blocking receive, or a transport failure.
+    fn recv_blocking(&self) -> MpiResult<Wire>;
     /// Charge `us` microseconds of local CPU (no-op on real transports).
     fn charge_us(&self, _us: f64) {}
     /// Elapsed seconds.
@@ -96,11 +98,11 @@ impl<C: MsgChannel> Device for SockDevice<C> {
         self.chan.send(dst, wire, nbytes);
     }
 
-    fn try_recv(&self) -> Option<Wire> {
+    fn try_recv(&self) -> MpiResult<Option<Wire>> {
         self.chan.try_recv()
     }
 
-    fn recv_blocking(&self) -> Wire {
+    fn recv_blocking(&self) -> MpiResult<Wire> {
         self.chan.recv_blocking()
     }
 
@@ -150,12 +152,12 @@ impl MsgChannel for SimTcpChannel {
         self.node.send(&self.proc, dst, wire, nbytes);
     }
 
-    fn try_recv(&self) -> Option<Wire> {
-        self.node.try_recv(&self.proc, MPI_READS_PER_MSG).map(|(w, _)| w)
+    fn try_recv(&self) -> MpiResult<Option<Wire>> {
+        Ok(self.node.try_recv(&self.proc, MPI_READS_PER_MSG).map(|(w, _)| w))
     }
 
-    fn recv_blocking(&self) -> Wire {
-        self.node.recv(&self.proc, MPI_READS_PER_MSG).0
+    fn recv_blocking(&self) -> MpiResult<Wire> {
+        Ok(self.node.recv(&self.proc, MPI_READS_PER_MSG).0)
     }
 
     fn charge_us(&self, us: f64) {
@@ -189,12 +191,12 @@ impl MsgChannel for SimUdpChannel {
         self.rel.send(&self.proc, dst, wire, nbytes);
     }
 
-    fn try_recv(&self) -> Option<Wire> {
-        self.rel.try_recv(&self.proc, MPI_READS_PER_MSG).map(|(w, _)| w)
+    fn try_recv(&self) -> MpiResult<Option<Wire>> {
+        Ok(self.rel.try_recv(&self.proc, MPI_READS_PER_MSG).map(|(w, _)| w))
     }
 
-    fn recv_blocking(&self) -> Wire {
-        self.rel.recv(&self.proc, MPI_READS_PER_MSG).0
+    fn recv_blocking(&self) -> MpiResult<Wire> {
+        Ok(self.rel.recv(&self.proc, MPI_READS_PER_MSG).0)
     }
 
     fn charge_us(&self, us: f64) {
@@ -275,7 +277,7 @@ where
                 sim.spawn(format!("rank{rank}"), move |p| {
                     let dev = SockDevice::new(SimTcpChannel::new(node, p.clone()), rank, nprocs);
                     let out = f(Mpi::new(Box::new(dev), config));
-                    results.lock().unwrap()[rank] = Some(out);
+                    results.lock()[rank] = Some(out);
                 });
             }
         }
@@ -296,7 +298,7 @@ where
                 sim.spawn(format!("rank{rank}"), move |p| {
                     let dev = SockDevice::new(SimUdpChannel::new(rel, p.clone()), rank, nprocs);
                     let out = f(Mpi::new(Box::new(dev), config));
-                    results.lock().unwrap()[rank] = Some(out);
+                    results.lock()[rank] = Some(out);
                 });
             }
         }
@@ -305,7 +307,6 @@ where
     Arc::try_unwrap(results)
         .unwrap_or_else(|_| panic!("results still shared"))
         .into_inner()
-        .unwrap()
         .into_iter()
         .map(|o| o.expect("rank produced no result"))
         .collect()
@@ -315,23 +316,84 @@ where
 // Real TCP over loopback
 // ----------------------------------------------------------------------
 
+/// How long mesh setup keeps retrying a refused connection (or waiting for
+/// a straggler peer to dial in) before giving up.
+pub const CONNECT_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// First retry delay of the capped exponential connect backoff.
+const CONNECT_BACKOFF_START: Duration = Duration::from_millis(1);
+
+/// Backoff cap: retries never sleep longer than this.
+const CONNECT_BACKOFF_CAP: Duration = Duration::from_millis(200);
+
+/// `TcpStream::connect` with capped exponential backoff: retry refused /
+/// unreachable connections (the listener may not be accepting yet) until
+/// `timeout` elapses. Returns the last error once the deadline passes.
+pub fn connect_with_backoff(addr: SocketAddr, timeout: Duration) -> std::io::Result<TcpStream> {
+    let deadline = Instant::now() + timeout;
+    let mut delay = CONNECT_BACKOFF_START;
+    loop {
+        match TcpStream::connect(addr) {
+            Ok(s) => return Ok(s),
+            Err(e) => {
+                if Instant::now() >= deadline {
+                    return Err(e);
+                }
+                std::thread::sleep(delay.min(deadline.saturating_duration_since(Instant::now())));
+                delay = (delay * 2).min(CONNECT_BACKOFF_CAP);
+            }
+        }
+    }
+}
+
+/// Accept with a deadline: a peer that died before dialing in must not
+/// hang mesh setup forever.
+fn accept_with_deadline(
+    listener: &TcpListener,
+    timeout: Duration,
+) -> std::io::Result<(TcpStream, SocketAddr)> {
+    listener.set_nonblocking(true)?;
+    let deadline = Instant::now() + timeout;
+    loop {
+        match listener.accept() {
+            Ok((stream, addr)) => {
+                stream.set_nonblocking(false)?;
+                return Ok((stream, addr));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                if Instant::now() >= deadline {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::TimedOut,
+                        "timed out waiting for a peer to connect",
+                    ));
+                }
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
 /// Real `std::net` TCP channel: a full mesh of loopback connections with
-/// one reader thread per peer feeding a frame queue.
+/// one reader thread per peer feeding a frame queue. Reader threads report
+/// transport failures (disconnect mid-frame, corrupt framing) through the
+/// queue so the rank fails with a typed error instead of panicking.
 pub struct RealTcpChannel {
     writers: Vec<Option<Mutex<TcpStream>>>,
-    rx: Receiver<Wire>,
-    loopback_tx: Sender<Wire>,
+    rx: Receiver<MpiResult<Wire>>,
+    loopback_tx: Sender<MpiResult<Wire>>,
     t0: Instant,
 }
 
 impl RealTcpChannel {
     /// Establish the full mesh for `nprocs` ranks. Call once per rank,
     /// concurrently, with a shared `rendezvous` created by
-    /// [`RealTcpChannel::rendezvous`].
+    /// [`RealTcpChannel::rendezvous`]. Connections are retried with capped
+    /// exponential backoff up to [`CONNECT_TIMEOUT`].
     pub fn connect(rank: Rank, nprocs: usize, rendezvous: &TcpRendezvous) -> std::io::Result<Self> {
         let listener = TcpListener::bind("127.0.0.1:0")?;
         {
-            let mut addrs = rendezvous.addrs.lock().unwrap();
+            let mut addrs = rendezvous.addrs.lock();
             addrs[rank] = Some(listener.local_addr()?);
         }
         rendezvous.barrier.wait();
@@ -342,15 +404,17 @@ impl RealTcpChannel {
         // Deterministic handshake: connect to every lower rank, accept from
         // every higher rank. Each connector announces its rank first.
         for peer in 0..rank {
-            let addr = rendezvous.addrs.lock().unwrap()[peer].expect("peer addr");
-            let mut stream = TcpStream::connect(addr)?;
+            let addr = rendezvous.addrs.lock()[peer].ok_or_else(|| {
+                std::io::Error::other("peer address missing after rendezvous barrier")
+            })?;
+            let mut stream = connect_with_backoff(addr, CONNECT_TIMEOUT)?;
             stream.set_nodelay(true)?;
             stream.write_all(&(rank as u32).to_le_bytes())?;
             spawn_reader(stream.try_clone()?, tx.clone());
             writers[peer] = Some(Mutex::new(stream));
         }
         for _ in rank + 1..nprocs {
-            let (mut stream, _) = listener.accept()?;
+            let (mut stream, _) = accept_with_deadline(&listener, CONNECT_TIMEOUT)?;
             stream.set_nodelay(true)?;
             let mut id = [0u8; 4];
             stream.read_exact(&mut id)?;
@@ -378,30 +442,54 @@ impl RealTcpChannel {
 
 /// Shared state for establishing the mesh (addresses + barrier).
 pub struct TcpRendezvous {
-    addrs: Mutex<Vec<Option<std::net::SocketAddr>>>,
+    addrs: Mutex<Vec<Option<SocketAddr>>>,
     barrier: Barrier,
     t0: Instant,
 }
 
-fn spawn_reader(mut stream: TcpStream, tx: Sender<Wire>) {
+/// Sanity bound on incoming frame length words: anything larger is corrupt
+/// framing, not a real message.
+const MAX_FRAME_BYTES: usize = 1 << 30;
+
+fn spawn_reader(mut stream: TcpStream, tx: Sender<MpiResult<Wire>>) {
     std::thread::spawn(move || {
         loop {
             let mut len = [0u8; 4];
             if stream.read_exact(&mut len).is_err() {
-                return; // peer closed
+                // EOF at a frame boundary: the peer finished its program
+                // and closed cleanly — benign, as ranks exit at different
+                // times.
+                return;
             }
             let n = u32::from_le_bytes(len) as usize;
+            if n > MAX_FRAME_BYTES {
+                let _ = tx.send(Err(MpiError::transport(format!(
+                    "corrupt framing: {n}-byte length word"
+                ))));
+                return;
+            }
             let mut buf = vec![0u8; n];
-            if stream.read_exact(&mut buf).is_err() {
+            if let Err(e) = stream.read_exact(&mut buf) {
+                // Disconnect *mid-frame* is a real failure: the peer died
+                // with a message half-sent.
+                let _ = tx.send(Err(MpiError::transport(format!(
+                    "peer disconnected mid-frame: {e}"
+                ))));
                 return;
             }
             match codec::decode(&buf) {
                 Ok((wire, _)) => {
-                    if tx.send(wire).is_err() {
+                    if tx.send(Ok(wire)).is_err() {
                         return;
                     }
                 }
-                Err(e) => panic!("corrupt frame on real TCP channel: {e:?}"),
+                Err(e) => {
+                    let _ = tx.send(Err(MpiError::transport(format!(
+                        "corrupt frame on real TCP channel: {}",
+                        e.0
+                    ))));
+                    return;
+                }
             }
         }
     });
@@ -409,30 +497,37 @@ fn spawn_reader(mut stream: TcpStream, tx: Sender<Wire>) {
 
 impl MsgChannel for RealTcpChannel {
     fn send(&self, dst: Rank, wire: Wire, _nbytes: usize) {
-        let buf = codec::encode(&wire);
         match &self.writers[dst] {
             Some(stream) => {
-                let mut s = stream.lock().unwrap();
+                let buf = codec::encode(&wire);
+                let mut s = stream.lock();
                 let len = (buf.len() as u32).to_le_bytes();
                 // Peer teardown while trailing credits are in flight is
-                // benign, as in the shm device.
+                // benign, as in the shm device; a genuinely dead peer is
+                // detected on the receive path (or by the watchdog).
                 let _ = s.write_all(&len).and_then(|_| s.write_all(&buf));
             }
             None => {
-                // Self-send (hardware-broadcast fallback never does this,
-                // but keep loopback correct).
-                let (wire, _) = codec::decode(&buf).expect("own encoding");
-                let _ = self.loopback_tx.send(wire);
+                // Self-send: short-circuit into our own frame queue.
+                let _ = self.loopback_tx.send(Ok(wire));
             }
         }
     }
 
-    fn try_recv(&self) -> Option<Wire> {
-        self.rx.try_recv().ok()
+    fn try_recv(&self) -> MpiResult<Option<Wire>> {
+        match self.rx.try_recv() {
+            Ok(res) => res.map(Some),
+            Err(TryRecvError::Empty) => Ok(None),
+            Err(TryRecvError::Disconnected) => {
+                Err(MpiError::transport("frame queue closed: all readers gone"))
+            }
+        }
     }
 
-    fn recv_blocking(&self) -> Wire {
-        self.rx.recv().expect("all peers hung up while receiving")
+    fn recv_blocking(&self) -> MpiResult<Wire> {
+        self.rx
+            .recv()
+            .map_err(|_| MpiError::transport("frame queue closed: all readers gone"))?
     }
 
     fn wtime(&self) -> f64 {
@@ -441,8 +536,10 @@ impl MsgChannel for RealTcpChannel {
 }
 
 /// Run an `nprocs`-rank MPI program over real TCP loopback connections,
-/// one OS thread per rank. Returns per-rank results in rank order.
-pub fn run_real_tcp<T, F>(nprocs: usize, config: MpiConfig, f: F) -> Vec<T>
+/// one OS thread per rank. Returns per-rank results in rank order, or the
+/// first mesh-setup failure as a typed [`MpiError::Transport`]. Panics in
+/// rank closures still propagate.
+pub fn run_real_tcp<T, F>(nprocs: usize, config: MpiConfig, f: F) -> MpiResult<Vec<T>>
 where
     T: Send + 'static,
     F: Fn(Mpi) -> T + Send + Sync + 'static,
@@ -455,20 +552,27 @@ where
             let f = f.clone();
             std::thread::Builder::new()
                 .name(format!("tcp-rank-{rank}"))
-                .spawn(move || {
-                    let chan = RealTcpChannel::connect(rank, nprocs, &rendezvous)
-                        .expect("tcp mesh setup failed");
-                    f(Mpi::new(
+                .spawn(move || -> MpiResult<T> {
+                    let chan =
+                        RealTcpChannel::connect(rank, nprocs, &rendezvous).map_err(|e| {
+                            MpiError::transport(format!(
+                                "tcp mesh setup failed for rank {rank}: {e}"
+                            ))
+                        })?;
+                    Ok(f(Mpi::new(
                         Box::new(SockDevice::new(chan, rank, nprocs)),
                         config,
-                    ))
+                    )))
                 })
                 .expect("spawn rank thread")
         })
         .collect();
     handles
         .into_iter()
-        .map(|h| h.join().expect("rank panicked"))
+        .map(|h| match h.join() {
+            Ok(res) => res,
+            Err(p) => std::panic::resume_unwind(p),
+        })
         .collect()
 }
 
@@ -560,7 +664,8 @@ mod tests {
                 .allreduce(&[got[0]], lmpi_core::ReduceOp::Sum)
                 .unwrap()[0];
             sum
-        });
+        })
+        .unwrap();
         assert_eq!(results, vec![30, 30, 30]);
     }
 
@@ -578,7 +683,45 @@ mod tests {
                 assert!(buf.iter().enumerate().all(|(i, &v)| v == i as u32));
                 1
             }
-        });
+        })
+        .unwrap();
         assert_eq!(results, vec![0, 1]);
+    }
+
+    #[test]
+    fn connect_backoff_gives_up_after_timeout() {
+        // Nothing listens here: bind a port, learn the addr, drop the
+        // listener so connections are refused.
+        let addr = {
+            let l = TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap()
+        };
+        let t0 = Instant::now();
+        let res = connect_with_backoff(addr, Duration::from_millis(30));
+        assert!(res.is_err(), "connect to a dead port must fail");
+        assert!(
+            t0.elapsed() >= Duration::from_millis(30),
+            "should have kept retrying until the deadline"
+        );
+    }
+
+    #[test]
+    fn connect_backoff_survives_late_listener() {
+        // The listener appears only after a delay; plain connect would have
+        // been refused, the backoff loop must win through.
+        let addr = {
+            let l = TcpListener::bind("127.0.0.1:0").unwrap();
+            let a = l.local_addr().unwrap();
+            drop(l);
+            a
+        };
+        let accepter = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(50));
+            let l = TcpListener::bind(addr).expect("rebind");
+            let _ = l.accept();
+        });
+        let res = connect_with_backoff(addr, Duration::from_secs(5));
+        assert!(res.is_ok(), "backoff should outlast the late listener");
+        accepter.join().unwrap();
     }
 }

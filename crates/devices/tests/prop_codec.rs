@@ -4,7 +4,7 @@
 
 use bytes::Bytes;
 use lmpi_core::{Envelope, Packet, Wire};
-use lmpi_devices::codec::{decode, encode, wire_bytes, HEADER_BYTES};
+use lmpi_devices::codec::{decode, encode, wire_bytes, HEADER_BYTES, SEQ_ACK_BYTES};
 use proptest::prelude::*;
 
 fn envelope_strategy() -> impl Strategy<Value = Envelope> {
@@ -54,8 +54,15 @@ fn packet_strategy() -> impl Strategy<Value = Packet> {
 }
 
 fn wire_strategy() -> impl Strategy<Value = Wire> {
-    (0..64usize, 0..200u32, 0..0xFF_FFFFu64, packet_strategy()).prop_map(
-        |(src, env_credit, data_credit, mut pkt)| {
+    (
+        0..64usize,
+        0..200u32,
+        0..0xFF_FFFFu64,
+        0..u32::MAX as u64,
+        0..u32::MAX as u64,
+        packet_strategy(),
+    )
+        .prop_map(|(src, env_credit, data_credit, seq, ack, mut pkt)| {
             // Protocol invariant the codec relies on (the 20-byte envelope
             // stores the source once): envelope packets are always sent by
             // their own source rank.
@@ -65,16 +72,19 @@ fn wire_strategy() -> impl Strategy<Value = Wire> {
             }
             Wire {
                 src,
+                seq,
+                ack,
                 env_credit: env_credit.min(0xFF),
                 data_credit,
                 pkt,
             }
-        },
-    )
+        })
 }
 
 fn assert_wire_eq(a: &Wire, b: &Wire) {
     assert_eq!(a.src, b.src);
+    assert_eq!(a.seq, b.seq);
+    assert_eq!(a.ack, b.ack);
     assert_eq!(a.env_credit, b.env_credit);
     assert_eq!(a.data_credit, b.data_credit);
     match (&a.pkt, &b.pkt) {
@@ -136,8 +146,10 @@ proptest! {
     #[test]
     fn encoded_size_is_header_plus_payload(wire in wire_strategy()) {
         let enc = encode(&wire);
-        // encode adds a 4-byte payload length word after the 25-byte header.
-        prop_assert_eq!(enc.len(), HEADER_BYTES + 4 + wire.pkt.payload_len());
+        // encode adds the 8 seq/ack bytes of the reliability sublayer and a
+        // 4-byte payload length word to the paper's 25-byte header; the
+        // *cost model* (wire_bytes) still charges the paper's header alone.
+        prop_assert_eq!(enc.len(), HEADER_BYTES + SEQ_ACK_BYTES + 4 + wire.pkt.payload_len());
         prop_assert_eq!(wire_bytes(&wire), HEADER_BYTES + wire.pkt.payload_len());
     }
 

@@ -11,7 +11,13 @@
 //!   shared 10 Mbit/s Ethernet or a 155 Mbit/s ATM switch) —
 //!   [`run_cluster`];
 //! * **real threads** ([`run_threads`]) and **real TCP loopback**
-//!   ([`run_real_tcp`]) for functional use and wall-clock benchmarking.
+//!   ([`run_real_tcp`], which returns `MpiResult` — mesh setup can fail)
+//!   for functional use and wall-clock benchmarking.
+//!
+//! For fault-tolerance work, [`FaultyDevice`] injects deterministic seeded
+//! drop/duplicate/reorder/delay faults over any device and
+//! [`ReliableDevice`] layers go-back-N ack/retransmit on top (the paper's
+//! "reliable UDP"); [`run_devices`] runs a hand-built device stack.
 //!
 //! ```
 //! use lmpi::{run_threads, ReduceOp};
@@ -35,8 +41,12 @@ pub use lmpi_core::{
     Request, SendMode, SourceSel, Status, Tag, TagSel, TAG_UB,
 };
 
+pub use lmpi_devices::faulty::{FaultConfig, FaultRates, FaultStats, FaultyDevice, PacketClass};
 pub use lmpi_devices::meiko::{run_meiko, MeikoDevice, MeikoVariant};
-pub use lmpi_devices::shm::{run as run_threads, run_with_config as run_threads_with_config};
+pub use lmpi_devices::reliable::{RelConfig, RelStats, ReliableDevice};
+pub use lmpi_devices::shm::{
+    run as run_threads, run_devices, run_with_config as run_threads_with_config, ShmDevice,
+};
 pub use lmpi_devices::sock::{
     run_cluster, run_real_tcp, ClusterNet, ClusterTransport, SockDevice,
 };

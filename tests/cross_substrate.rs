@@ -99,7 +99,7 @@ fn all_substrates_agree() {
         workout,
     );
     assert_eq!(udp, reference, "sim ATM UDP disagrees");
-    let real = run_real_tcp(n, MpiConfig::device_defaults(), workout);
+    let real = run_real_tcp(n, MpiConfig::device_defaults(), workout).expect("real tcp mesh");
     assert_eq!(real, reference, "real TCP disagrees");
 }
 
