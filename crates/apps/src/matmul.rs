@@ -38,7 +38,11 @@ pub fn matmul_distributed(
     let rows = n / p;
 
     // Broadcast B to everyone.
-    let mut my_b = if me == 0 { b.to_vec() } else { vec![0.0; n * n] };
+    let mut my_b = if me == 0 {
+        b.to_vec()
+    } else {
+        vec![0.0; n * n]
+    };
     world.bcast(&mut my_b, 0)?;
 
     // Scatter block rows of A.

@@ -150,8 +150,16 @@ mod tests {
 
     #[test]
     fn pair_force_is_antisymmetric() {
-        let a = Particle { x: 0.0, y: 0.0, m: 2.0 };
-        let b = Particle { x: 1.0, y: 2.0, m: 3.0 };
+        let a = Particle {
+            x: 0.0,
+            y: 0.0,
+            m: 2.0,
+        };
+        let b = Particle {
+            x: 1.0,
+            y: 2.0,
+            m: 3.0,
+        };
         let (fx1, fy1) = pair_force(a, b);
         let (fx2, fy2) = pair_force(b, a);
         assert!((fx1 + fx2).abs() < 1e-12);
@@ -160,8 +168,16 @@ mod tests {
 
     #[test]
     fn force_points_toward_the_other_particle() {
-        let a = Particle { x: 0.0, y: 0.0, m: 1.0 };
-        let b = Particle { x: 1.0, y: 0.0, m: 1.0 };
+        let a = Particle {
+            x: 0.0,
+            y: 0.0,
+            m: 1.0,
+        };
+        let b = Particle {
+            x: 1.0,
+            y: 0.0,
+            m: 1.0,
+        };
         let (fx, fy) = pair_force(a, b);
         assert!(fx > 0.0);
         assert_eq!(fy, 0.0);
@@ -171,7 +187,9 @@ mod tests {
     fn serial_net_force_sums_to_zero() {
         let ps = generate_particles(24, 1);
         let fs = forces_serial(&ps);
-        let (sx, sy) = fs.iter().fold((0.0, 0.0), |(ax, ay), (fx, fy)| (ax + fx, ay + fy));
+        let (sx, sy) = fs
+            .iter()
+            .fold((0.0, 0.0), |(ax, ay), (fx, fy)| (ax + fx, ay + fy));
         assert!(sx.abs() < 1e-9, "net x force {sx}");
         assert!(sy.abs() < 1e-9, "net y force {sy}");
     }

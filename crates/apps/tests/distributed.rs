@@ -103,7 +103,11 @@ fn heat_matches_serial() {
         for (rank, u) in results {
             for (i, v) in u.iter().enumerate() {
                 let r = reference[rank * block + i];
-                assert!((v - r).abs() < 1e-12, "{nprocs} ranks: cell {} mismatch", rank * block + i);
+                assert!(
+                    (v - r).abs() < 1e-12,
+                    "{nprocs} ranks: cell {} mismatch",
+                    rank * block + i
+                );
             }
         }
     }

@@ -43,8 +43,14 @@ fn bench_latency(c: &mut Criterion) {
     }
     // Protocol ablation at one size that both mechanisms can carry.
     for (name, cfg) in [
-        ("force_eager_1k", MpiConfig::device_defaults().with_eager_threshold(1 << 20)),
-        ("force_rndv_1k", MpiConfig::device_defaults().with_eager_threshold(0)),
+        (
+            "force_eager_1k",
+            MpiConfig::device_defaults().with_eager_threshold(1 << 20),
+        ),
+        (
+            "force_rndv_1k",
+            MpiConfig::device_defaults().with_eager_threshold(0),
+        ),
     ] {
         g.bench_function(name, |b| {
             b.iter_custom(|iters| pingpong_duration(cfg, 1024, iters));

@@ -29,26 +29,32 @@ fn bench_matching(c: &mut Criterion) {
 
     // Scan depth: match against N unexpected messages of other tags.
     for depth in [4usize, 64, 512] {
-        g.bench_with_input(BenchmarkId::new("unexpected_scan", depth), &depth, |b, &d| {
-            b.iter_batched(
-                || {
-                    let mut m = MatchEngine::new();
-                    for i in 0..d as u32 {
+        g.bench_with_input(
+            BenchmarkId::new("unexpected_scan", depth),
+            &depth,
+            |b, &d| {
+                b.iter_batched(
+                    || {
+                        let mut m = MatchEngine::new();
+                        for i in 0..d as u32 {
+                            m.add_unexpected(UnexpectedMsg {
+                                env: env(1, 1000 + i),
+                                body: UnexpectedBody::Rndv { send_id: i as u64 },
+                            });
+                        }
                         m.add_unexpected(UnexpectedMsg {
-                            env: env(1, 1000 + i),
-                            body: UnexpectedBody::Rndv { send_id: i as u64 },
+                            env: env(1, 7),
+                            body: UnexpectedBody::Rndv { send_id: 999 },
                         });
-                    }
-                    m.add_unexpected(UnexpectedMsg {
-                        env: env(1, 7),
-                        body: UnexpectedBody::Rndv { send_id: 999 },
-                    });
-                    m
-                },
-                |mut m| std::hint::black_box(m.match_posted(1, SourceSel::Any, TagSel::Tag(7), 0)),
-                criterion::BatchSize::SmallInput,
-            );
-        });
+                        m
+                    },
+                    |mut m| {
+                        std::hint::black_box(m.match_posted(1, SourceSel::Any, TagSel::Tag(7), 0))
+                    },
+                    criterion::BatchSize::SmallInput,
+                );
+            },
+        );
     }
 
     // Wildcard receive against a deep posted queue.

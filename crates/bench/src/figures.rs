@@ -169,7 +169,10 @@ pub fn fig4(quick: bool) -> Report {
     r.check(
         "AAL slightly faster at 1 byte",
         small.2 < small.0 && small.2 < small.1,
-        format!("aal {:.0} vs tcp {:.0} / udp {:.0}", small.2, small.0, small.1),
+        format!(
+            "aal {:.0} vs tcp {:.0} / udp {:.0}",
+            small.2, small.0, small.1
+        ),
     );
     r.check(
         "indistinguishable at 4 KiB (within 10%)",
@@ -195,13 +198,25 @@ pub fn fig5(quick: bool) -> Report {
     let mut one = [0.0f64; 4];
     for &n in sizes {
         let mpi_atm = cluster_rtt_us(ClusterNet::Atm, ClusterTransport::Tcp, cfg, n, reps(quick));
-        let mpi_eth = cluster_rtt_us(ClusterNet::Ethernet, ClusterTransport::Tcp, cfg, n, reps(quick));
+        let mpi_eth = cluster_rtt_us(
+            ClusterNet::Ethernet,
+            ClusterTransport::Tcp,
+            cfg,
+            n,
+            reps(quick),
+        );
         let raw_atm = raw_sock_rtt_us(ClusterNet::Atm, RawProto::Tcp, n, reps(quick));
         let raw_eth = raw_sock_rtt_us(ClusterNet::Ethernet, RawProto::Tcp, n, reps(quick));
         if n == 1 {
             one = [mpi_atm, mpi_eth, raw_atm, raw_eth];
         }
-        r.row(vec![n.to_string(), us(mpi_atm), us(mpi_eth), us(raw_atm), us(raw_eth)]);
+        r.row(vec![
+            n.to_string(),
+            us(mpi_atm),
+            us(mpi_eth),
+            us(raw_atm),
+            us(raw_eth),
+        ]);
     }
     r.paper_ref("raw 1-byte RTT: 925us Ethernet, 1065us ATM; MPI adds the");
     r.paper_ref("envelope/control transfer and matching (~150-210us per RTT,");
@@ -233,13 +248,19 @@ pub fn fig6(quick: bool) -> Report {
     let cfg = MpiConfig::device_defaults();
     let mut last = [0.0f64; 4];
     for &n in sizes {
-        let mpi_atm = bw_mbs(n, cluster_rtt_us(ClusterNet::Atm, ClusterTransport::Tcp, cfg, n, 2));
+        let mpi_atm = bw_mbs(
+            n,
+            cluster_rtt_us(ClusterNet::Atm, ClusterTransport::Tcp, cfg, n, 2),
+        );
         let mpi_eth = bw_mbs(
             n,
             cluster_rtt_us(ClusterNet::Ethernet, ClusterTransport::Tcp, cfg, n, 2),
         );
         let raw_atm = bw_mbs(n, raw_sock_rtt_us(ClusterNet::Atm, RawProto::Tcp, n, 2));
-        let raw_eth = bw_mbs(n, raw_sock_rtt_us(ClusterNet::Ethernet, RawProto::Tcp, n, 2));
+        let raw_eth = bw_mbs(
+            n,
+            raw_sock_rtt_us(ClusterNet::Ethernet, RawProto::Tcp, n, 2),
+        );
         last = [mpi_atm, mpi_eth, raw_atm, raw_eth];
         r.row(vec![
             n.to_string(),
@@ -293,11 +314,41 @@ pub fn table1(quick: bool) -> Report {
     let match_eth = (mpi_eth_1 - raw_eth_1) / 2.0 - info_eth - read_eth;
     let match_atm = (mpi_atm_1 - raw_atm_1) / 2.0 - info_atm - read_atm;
 
-    r.row(vec!["1-byte RTT (raw)".into(), us(raw_atm_1), us(raw_eth_1), "1065".into(), "925".into()]);
-    r.row(vec!["25-byte info".into(), us(info_atm), us(info_eth), "5".into(), "45".into()]);
-    r.row(vec!["read: msg type".into(), us(read_atm), us(read_eth), "85".into(), "65".into()]);
-    r.row(vec!["read: envelope".into(), us(read_atm), us(read_eth), "85".into(), "65".into()]);
-    r.row(vec!["matching".into(), us(match_atm), us(match_eth), "35".into(), "35".into()]);
+    r.row(vec![
+        "1-byte RTT (raw)".into(),
+        us(raw_atm_1),
+        us(raw_eth_1),
+        "1065".into(),
+        "925".into(),
+    ]);
+    r.row(vec![
+        "25-byte info".into(),
+        us(info_atm),
+        us(info_eth),
+        "5".into(),
+        "45".into(),
+    ]);
+    r.row(vec![
+        "read: msg type".into(),
+        us(read_atm),
+        us(read_eth),
+        "85".into(),
+        "65".into(),
+    ]);
+    r.row(vec![
+        "read: envelope".into(),
+        us(read_atm),
+        us(read_eth),
+        "85".into(),
+        "65".into(),
+    ]);
+    r.row(vec![
+        "matching".into(),
+        us(match_atm),
+        us(match_eth),
+        "35".into(),
+        "35".into(),
+    ]);
     r.paper_ref("our framing merges the envelope and data reads (the paper's own");
     r.paper_ref("piggybacking optimization), so one read per message is charged");
     r.paper_ref("on top of the base; both read costs are the same syscall price");
@@ -324,7 +375,11 @@ pub fn fig7(quick: bool) -> Report {
         &["procs", "mpich", "low latency"],
     );
     let n = if quick { 64 } else { 192 };
-    let procs: &[usize] = if quick { &[1, 4, 16] } else { &[1, 2, 4, 8, 16, 32] };
+    let procs: &[usize] = if quick {
+        &[1, 4, 16]
+    } else {
+        &[1, 2, 4, 8, 16, 32]
+    };
     let mut series = Vec::new();
     for &p in procs {
         let time = |variant| {
@@ -376,7 +431,11 @@ pub fn fig8(quick: bool) -> Report {
         "Meiko particle pairwise interactions, 24 particles (us)",
         &["procs", "mpich", "low latency"],
     );
-    let procs: &[usize] = if quick { &[1, 4, 8] } else { &[1, 2, 3, 4, 6, 8] };
+    let procs: &[usize] = if quick {
+        &[1, 4, 8]
+    } else {
+        &[1, 2, 3, 4, 6, 8]
+    };
     let mut series = Vec::new();
     for &p in procs {
         let time = |variant| {
@@ -423,13 +482,19 @@ pub fn fig9(quick: bool) -> Report {
     let mut series = Vec::new();
     for &p in procs {
         let time = |net| {
-            run_cluster(p, net, ClusterTransport::Tcp, MpiConfig::device_defaults(), move |mpi| {
-                let world = mpi.world();
-                let ps = lmpi_apps::particles::generate_particles(128, 42);
-                let t0 = mpi.wtime();
-                let _ = lmpi_apps::particles::forces_ring(&world, &ps).unwrap();
-                (mpi.wtime() - t0) * 1e6
-            })[0]
+            run_cluster(
+                p,
+                net,
+                ClusterTransport::Tcp,
+                MpiConfig::device_defaults(),
+                move |mpi| {
+                    let world = mpi.world();
+                    let ps = lmpi_apps::particles::generate_particles(128, 42);
+                    let t0 = mpi.wtime();
+                    let _ = lmpi_apps::particles::forces_ring(&world, &ps).unwrap();
+                    (mpi.wtime() - t0) * 1e6
+                },
+            )[0]
         };
         let eth = time(ClusterNet::Ethernet);
         let atm = time(ClusterNet::Atm);
@@ -467,7 +532,11 @@ pub fn ablation_threshold(quick: bool) -> Report {
         "eager-threshold sweep, Meiko RTT (us)",
         &["bytes", "thr=0", "thr=64", "thr=180", "thr=1024", "thr=inf"],
     );
-    let sizes: &[usize] = if quick { &[32, 1024] } else { &[16, 32, 96, 180, 256, 512, 1024] };
+    let sizes: &[usize] = if quick {
+        &[32, 1024]
+    } else {
+        &[16, 32, 96, 180, 256, 512, 1024]
+    };
     let thresholds = [0usize, 64, 180, 1024, 1 << 20];
     let mut small_best = (usize::MAX, f64::INFINITY);
     let mut large_best = (usize::MAX, f64::INFINITY);
@@ -558,7 +627,11 @@ pub fn ablation_credit(quick: bool) -> Report {
         "credit window vs one-way flood throughput, ATM TCP (MB/s)",
         &["reserve bytes", "throughput"],
     );
-    let windows: &[u64] = if quick { &[4 << 10, 256 << 10] } else { &[4 << 10, 16 << 10, 64 << 10, 256 << 10, 1 << 20] };
+    let windows: &[u64] = if quick {
+        &[4 << 10, 256 << 10]
+    } else {
+        &[4 << 10, 16 << 10, 64 << 10, 256 << 10, 1 << 20]
+    };
     let msgs = if quick { 16 } else { 64 };
     let msg_size = 4 << 10; // eager-sized, so the window is the constraint
     let mut tp = Vec::new();

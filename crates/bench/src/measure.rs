@@ -56,7 +56,9 @@ pub fn cluster_rtt_us(
     nbytes: usize,
     reps: usize,
 ) -> f64 {
-    mpi_pingpong_rtt_us(nbytes, reps, move |f| run_cluster(2, net, transport, config, f))
+    mpi_pingpong_rtt_us(nbytes, reps, move |f| {
+        run_cluster(2, net, transport, config, f)
+    })
 }
 
 /// Bandwidth in MB/s from a ping-pong RTT: two transfers per round trip.

@@ -55,7 +55,10 @@ impl Report {
         self.check(
             what,
             ok,
-            format!("measured {measured:.2}, paper {paper:.2} (tol {:.0}%)", rel_tol * 100.0),
+            format!(
+                "measured {measured:.2}, paper {paper:.2} (tol {:.0}%)",
+                rel_tol * 100.0
+            ),
         );
     }
 
@@ -97,7 +100,11 @@ impl Report {
             }
         }
         for (what, ok, detail) in &self.checks {
-            let _ = writeln!(out, "[{}] {what}: {detail}", if *ok { "PASS" } else { "FAIL" });
+            let _ = writeln!(
+                out,
+                "[{}] {what}: {detail}",
+                if *ok { "PASS" } else { "FAIL" }
+            );
         }
         out
     }

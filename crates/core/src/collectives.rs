@@ -12,12 +12,13 @@
 use std::rc::Rc;
 
 use bytes::Bytes;
+use lmpi_obs::{CollOp, EventKind};
 
 use crate::datatype::{to_bytes, MpiData};
 use crate::error::{MpiError, MpiResult};
 use crate::mpi::Communicator;
 use crate::packet::{Packet, Wire};
-use crate::reduce_op::{Reducible, ReduceOp};
+use crate::reduce_op::{ReduceOp, Reducible};
 use crate::types::{Rank, SendMode, SourceSel, Status, Tag, TagSel};
 
 // Tags used on the collective context. They live in the ordinary tag space
@@ -37,13 +38,37 @@ impl Communicator {
     }
 
     fn coll_recv<T: MpiData>(&self, buf: &mut [T], src: Rank, tag: Tag) -> MpiResult<Status> {
-        let id = self.post_recv_raw(buf, SourceSel::Rank(src), TagSel::Tag(tag), self.coll_ctx())?;
+        let id =
+            self.post_recv_raw(buf, SourceSel::Rank(src), TagSel::Tag(tag), self.coll_ctx())?;
         let st = self.inner().wait_request(id)?;
         Ok(self.localize(st))
     }
 
+    /// Run `f` bracketed by `CollBegin`/`CollEnd` trace events. A no-op
+    /// branch when tracing is disabled; the end event is emitted even when
+    /// `f` errors so trace spans always close.
+    fn traced<R>(&self, op: CollOp, f: impl FnOnce() -> MpiResult<R>) -> MpiResult<R> {
+        let inner = self.inner();
+        inner
+            .eng
+            .borrow()
+            .tracer
+            .emit_with(|| inner.device.now_ns(), EventKind::CollBegin { op });
+        let r = f();
+        inner
+            .eng
+            .borrow()
+            .tracer
+            .emit_with(|| inner.device.now_ns(), EventKind::CollEnd { op });
+        r
+    }
+
     /// `MPI_Barrier`: dissemination algorithm, `ceil(log2 n)` rounds.
     pub fn barrier(&self) -> MpiResult<()> {
+        self.traced(CollOp::Barrier, || self.barrier_untraced())
+    }
+
+    fn barrier_untraced(&self) -> MpiResult<()> {
         let n = self.size();
         let me = self.rank();
         let mut dist = 1;
@@ -53,8 +78,12 @@ impl Communicator {
             let src = (me + n - dist) % n;
             let tag = T_BARRIER + (round << 4);
             let mut empty = [0u8; 0];
-            let rid =
-                self.post_recv_raw(&mut empty, SourceSel::Rank(src), TagSel::Tag(tag), self.coll_ctx())?;
+            let rid = self.post_recv_raw(
+                &mut empty,
+                SourceSel::Rank(src),
+                TagSel::Tag(tag),
+                self.coll_ctx(),
+            )?;
             self.coll_send::<u8>(&[], dst, tag)?;
             self.inner().wait_request(rid)?;
             dist <<= 1;
@@ -69,6 +98,10 @@ impl Communicator {
     /// otherwise a binomial tree of point-to-point messages (the paper's
     /// MPICH baseline behaviour, and its ATM/TCP implementation).
     pub fn bcast<T: MpiData>(&self, buf: &mut [T], root: Rank) -> MpiResult<()> {
+        self.traced(CollOp::Bcast, || self.bcast_untraced(buf, root))
+    }
+
+    fn bcast_untraced<T: MpiData>(&self, buf: &mut [T], root: Rank) -> MpiResult<()> {
         let n = self.size();
         self.global(root)?;
         if n == 1 {
@@ -81,7 +114,11 @@ impl Communicator {
     }
 
     fn bcast_hw<T: MpiData>(&self, buf: &mut [T], root: Rank) -> MpiResult<()> {
-        let seq = self.inner().eng.borrow_mut().next_bcast_seq(self.coll_ctx());
+        let seq = self
+            .inner()
+            .eng
+            .borrow_mut()
+            .next_bcast_seq(self.coll_ctx());
         let me = self.rank();
         if me == root {
             let data = Bytes::from(to_bytes(buf));
@@ -153,7 +190,19 @@ impl Communicator {
 
     /// `MPI_Gather` with equal contribution sizes: returns `Some(all)` at
     /// `root` (concatenated in rank order) and `None` elsewhere.
-    pub fn gather<T: MpiData + Default>(&self, send: &[T], root: Rank) -> MpiResult<Option<Vec<T>>> {
+    pub fn gather<T: MpiData + Default>(
+        &self,
+        send: &[T],
+        root: Rank,
+    ) -> MpiResult<Option<Vec<T>>> {
+        self.traced(CollOp::Gather, || self.gather_untraced(send, root))
+    }
+
+    fn gather_untraced<T: MpiData + Default>(
+        &self,
+        send: &[T],
+        root: Rank,
+    ) -> MpiResult<Option<Vec<T>>> {
         let n = self.size();
         let me = self.rank();
         self.global(root)?;
@@ -224,7 +273,21 @@ impl Communicator {
 
     /// `MPI_Scatter`: root's `send` (length `n * recv.len()`) is split into
     /// equal blocks, one per rank, in rank order.
-    pub fn scatter<T: MpiData>(&self, send: Option<&[T]>, recv: &mut [T], root: Rank) -> MpiResult<()> {
+    pub fn scatter<T: MpiData>(
+        &self,
+        send: Option<&[T]>,
+        recv: &mut [T],
+        root: Rank,
+    ) -> MpiResult<()> {
+        self.traced(CollOp::Scatter, || self.scatter_untraced(send, recv, root))
+    }
+
+    fn scatter_untraced<T: MpiData>(
+        &self,
+        send: Option<&[T]>,
+        recv: &mut [T],
+        root: Rank,
+    ) -> MpiResult<()> {
         let n = self.size();
         let me = self.rank();
         self.global(root)?;
@@ -298,6 +361,10 @@ impl Communicator {
     /// `MPI_Allgather`: ring algorithm, `n - 1` steps. Returns all
     /// contributions concatenated in rank order.
     pub fn allgather<T: MpiData + Default>(&self, send: &[T]) -> MpiResult<Vec<T>> {
+        self.traced(CollOp::Allgather, || self.allgather_untraced(send))
+    }
+
+    fn allgather_untraced<T: MpiData + Default>(&self, send: &[T]) -> MpiResult<Vec<T>> {
         let n = self.size();
         let me = self.rank();
         let count = send.len();
@@ -328,6 +395,10 @@ impl Communicator {
     /// `MPI_Alltoall`: `send` holds `n` equal blocks in destination order;
     /// the result holds `n` blocks in source order.
     pub fn alltoall<T: MpiData + Default>(&self, send: &[T]) -> MpiResult<Vec<T>> {
+        self.traced(CollOp::Alltoall, || self.alltoall_untraced(send))
+    }
+
+    fn alltoall_untraced<T: MpiData + Default>(&self, send: &[T]) -> MpiResult<Vec<T>> {
         let n = self.size();
         let me = self.rank();
         if send.len() % n != 0 {
@@ -359,6 +430,15 @@ impl Communicator {
     /// `MPI_Reduce`: elementwise reduction to `root` (binomial tree).
     /// Returns `Some(result)` at the root, `None` elsewhere.
     pub fn reduce<T: MpiData + Reducible + Default>(
+        &self,
+        send: &[T],
+        op: ReduceOp,
+        root: Rank,
+    ) -> MpiResult<Option<Vec<T>>> {
+        self.traced(CollOp::Reduce, || self.reduce_untraced(send, op, root))
+    }
+
+    fn reduce_untraced<T: MpiData + Reducible + Default>(
         &self,
         send: &[T],
         op: ReduceOp,
@@ -403,6 +483,14 @@ impl Communicator {
         send: &[T],
         op: ReduceOp,
     ) -> MpiResult<Vec<T>> {
+        self.traced(CollOp::Allreduce, || self.allreduce_untraced(send, op))
+    }
+
+    fn allreduce_untraced<T: MpiData + Reducible + Default>(
+        &self,
+        send: &[T],
+        op: ReduceOp,
+    ) -> MpiResult<Vec<T>> {
         let reduced = self.reduce(send, op, 0)?;
         let mut buf = reduced.unwrap_or_else(|| vec![T::default(); send.len()]);
         self.bcast(&mut buf, 0)?;
@@ -434,6 +522,14 @@ impl Communicator {
     /// `MPI_Scan`: inclusive prefix reduction; rank `i` gets the reduction
     /// of ranks `0..=i`.
     pub fn scan<T: MpiData + Reducible + Default>(
+        &self,
+        send: &[T],
+        op: ReduceOp,
+    ) -> MpiResult<Vec<T>> {
+        self.traced(CollOp::Scan, || self.scan_untraced(send, op))
+    }
+
+    fn scan_untraced<T: MpiData + Reducible + Default>(
         &self,
         send: &[T],
         op: ReduceOp,

@@ -10,6 +10,7 @@
 use crate::error::MpiResult;
 use crate::packet::Wire;
 use crate::types::Rank;
+use lmpi_obs::{secs_to_ns, Tracer};
 
 /// Modelled local costs the protocol engine reports to the device. Simulated
 /// devices convert these into virtual time (this is where the paper's 35 µs
@@ -47,6 +48,49 @@ pub struct DeviceDefaults {
     pub env_slots: u32,
     /// Receiver bounce-buffer bytes reserved per sender.
     pub recv_buf_per_sender: u64,
+}
+
+/// Cumulative reliability and fault-injection statistics surfaced by a
+/// device stack. Layered devices (`ReliableDevice` over `FaultyDevice`
+/// over a base transport) merge their own tallies with their inner
+/// device's, so [`crate::Mpi::transport_stats`] sees the whole stack.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct TransportStats {
+    /// Data frames accepted for (first) transmission by a reliability layer.
+    pub data_frames_sent: u64,
+    /// Frames resent by go-back-N retransmission.
+    pub retransmits: u64,
+    /// Duplicate arrivals suppressed by sequence checking.
+    pub dup_suppressed: u64,
+    /// Out-of-order arrivals dropped (go-back-N accepts in order only).
+    pub ooo_dropped: u64,
+    /// Pure (non-piggybacked) acknowledgement frames sent.
+    pub pure_acks_sent: u64,
+    /// Frames deliberately dropped by fault injection.
+    pub faults_dropped: u64,
+    /// Frames deliberately duplicated by fault injection.
+    pub faults_duplicated: u64,
+    /// Frames deliberately reordered by fault injection.
+    pub faults_reordered: u64,
+    /// Frames deliberately delayed by fault injection.
+    pub faults_delayed: u64,
+}
+
+impl TransportStats {
+    /// Sum of this layer's tallies and `inner`'s, field by field.
+    pub fn merged(self, inner: TransportStats) -> TransportStats {
+        TransportStats {
+            data_frames_sent: self.data_frames_sent + inner.data_frames_sent,
+            retransmits: self.retransmits + inner.retransmits,
+            dup_suppressed: self.dup_suppressed + inner.dup_suppressed,
+            ooo_dropped: self.ooo_dropped + inner.ooo_dropped,
+            pure_acks_sent: self.pure_acks_sent + inner.pure_acks_sent,
+            faults_dropped: self.faults_dropped + inner.faults_dropped,
+            faults_duplicated: self.faults_duplicated + inner.faults_duplicated,
+            faults_reordered: self.faults_reordered + inner.faults_reordered,
+            faults_delayed: self.faults_delayed + inner.faults_delayed,
+        }
+    }
 }
 
 /// Transport for one rank.
@@ -90,6 +134,27 @@ pub trait Device: Send {
     /// Elapsed time in seconds (virtual on simulated transports, wall-clock
     /// on real ones) — `MPI_Wtime`.
     fn wtime(&self) -> f64;
+
+    /// Elapsed nanoseconds on the same clock as [`Device::wtime`]. This is
+    /// the timestamp source for protocol tracing; the default derives it
+    /// from `wtime()`, which every device already implements for both
+    /// virtual and wall-clock time.
+    fn now_ns(&self) -> u64 {
+        secs_to_ns(self.wtime())
+    }
+
+    /// Install a tracer for *device-level* events (wire tx, retransmits,
+    /// injected faults). Called before the device is moved into
+    /// [`crate::Mpi::new`]; the default discards the tracer, so transports
+    /// without device-level emission need no code. Engine-level events are
+    /// installed separately via [`crate::Mpi::set_tracer`].
+    fn set_tracer(&mut self, _tracer: Tracer) {}
+
+    /// Cumulative reliability / fault-injection statistics for this device
+    /// stack (zeroes for transports with neither layer).
+    fn transport_stats(&self) -> TransportStats {
+        TransportStats::default()
+    }
 
     /// Protocol parameter defaults for this transport.
     fn defaults(&self) -> DeviceDefaults;

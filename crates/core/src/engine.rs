@@ -16,6 +16,8 @@ use std::collections::{HashMap, VecDeque};
 
 use bytes::Bytes;
 
+use lmpi_obs::{EventKind, Tracer};
+
 use crate::device::{Cost, Device};
 use crate::error::{MpiError, MpiResult};
 use crate::flow::FlowControl;
@@ -45,6 +47,17 @@ pub struct Counters {
     pub wires_handled: u64,
     /// Ready-mode sends that found no posted receive (erroneous programs).
     pub rsend_errors: u64,
+    /// High-water mark of the unexpected-message queue depth.
+    pub unexpected_hwm: u64,
+    /// Cumulative time sends spent queued waiting for credit, in
+    /// nanoseconds on the device clock.
+    pub credit_stall_ns: u64,
+    /// Envelopes matched at this receiver, posted or unexpected. Filled in
+    /// by [`crate::Mpi::counters`] from the matching engine.
+    pub matches: u64,
+    /// Matches satisfied from the unexpected queue. Filled in by
+    /// [`crate::Mpi::counters`] from the matching engine.
+    pub unexpected_hits: u64,
 }
 
 struct PendingSend {
@@ -83,6 +96,9 @@ pub(crate) struct Engine {
     /// Buffered-send pool state: (capacity, in_use); `None` = not attached.
     buffer_pool: Option<(usize, usize)>,
     pub(crate) counters: Counters,
+    /// Protocol-event tracer; disabled (a single-branch no-op) unless the
+    /// user installs one via [`crate::Mpi::set_tracer`].
+    pub(crate) tracer: Tracer,
     /// First ready-mode delivery error, surfaced by the next API call.
     pub(crate) pending_error: Option<MpiError>,
 }
@@ -109,6 +125,7 @@ impl Engine {
             next_context: 2,
             buffer_pool: None,
             counters: Counters::default(),
+            tracer: Tracer::disabled(),
             pending_error: None,
         }
     }
@@ -157,6 +174,14 @@ impl Engine {
         } else {
             ReqState::SendQueued
         });
+        self.tracer.emit_with(
+            || dev.now_ns(),
+            EventKind::SendPosted {
+                peer: dst as u32,
+                bytes: env.len as u32,
+                tag,
+            },
+        );
         let pending = PendingSend {
             req_id,
             env,
@@ -169,6 +194,9 @@ impl Engine {
         } else {
             self.counters.sends_queued += 1;
             self.flow.stalls += 1;
+            self.flow.stall_started(dst, dev.now_ns());
+            self.tracer
+                .emit_with(|| dev.now_ns(), EventKind::CreditStall { peer: dst as u32 });
             self.pending_out[dst].push_back(pending);
         }
         Ok(req_id)
@@ -212,6 +240,13 @@ impl Engine {
                     }),
                 ),
             }
+            self.tracer.emit_with(
+                || dev.now_ns(),
+                EventKind::EagerTx {
+                    peer: dst as u32,
+                    bytes: len as u32,
+                },
+            );
             let pkt = Packet::Eager {
                 env,
                 send_id: req_id,
@@ -236,6 +271,13 @@ impl Engine {
             if mode != SendMode::Buffered {
                 self.reqs.set(req_id, ReqState::SendRndvWait);
             }
+            self.tracer.emit_with(
+                || dev.now_ns(),
+                EventKind::RndvReqTx {
+                    peer: dst as u32,
+                    bytes: len as u32,
+                },
+            );
             let pkt = Packet::RndvReq {
                 env,
                 send_id: req_id,
@@ -281,7 +323,24 @@ impl Engine {
         context: ContextId,
     ) -> u64 {
         let req_id = self.reqs.alloc(ReqState::RecvPosted { dst });
+        self.tracer.emit_with(
+            || dev.now_ns(),
+            EventKind::RecvPosted {
+                tag: match tag {
+                    TagSel::Tag(t) => t,
+                    TagSel::Any => u32::MAX,
+                },
+            },
+        );
         if let Some(msg) = self.match_eng.match_posted(req_id, src, tag, context) {
+            self.tracer.emit_with(
+                || dev.now_ns(),
+                EventKind::EnvelopeMatched {
+                    peer: msg.env.src as u32,
+                    bytes: msg.env.len as u32,
+                    unexpected: true,
+                },
+            );
             self.consume_match(dev, req_id, dst, msg);
         }
         req_id
@@ -310,9 +369,22 @@ impl Engine {
                     len: n,
                 });
                 self.reqs.complete(req_id, result);
+                self.tracer.emit_with(
+                    || dev.now_ns(),
+                    EventKind::Delivered {
+                        peer: env.src as u32,
+                        bytes: env.len as u32,
+                    },
+                );
                 if needs_ack {
                     self.transmit(dev, env.src, Packet::EagerAck { send_id });
                     self.counters.acks_sent += 1;
+                    self.tracer.emit_with(
+                        || dev.now_ns(),
+                        EventKind::AckTx {
+                            peer: env.src as u32,
+                        },
+                    );
                 }
             }
             UnexpectedBody::Rndv { send_id } => {
@@ -321,7 +393,14 @@ impl Engine {
                     tag: env.tag,
                     len: env.len,
                 };
-                self.reqs.set(req_id, ReqState::RecvRndvWait { dst, status });
+                self.reqs
+                    .set(req_id, ReqState::RecvRndvWait { dst, status });
+                self.tracer.emit_with(
+                    || dev.now_ns(),
+                    EventKind::RndvGoTx {
+                        peer: env.src as u32,
+                    },
+                );
                 self.transmit(
                     dev,
                     env.src,
@@ -356,7 +435,15 @@ impl Engine {
     /// ([`MpiError::Transport`]) so the rank fails instead of panicking.
     pub(crate) fn handle_wire(&mut self, dev: &dyn Device, wire: Wire) -> MpiResult<()> {
         self.counters.wires_handled += 1;
-        self.flow.receive_return(wire.src, wire.env_credit, wire.data_credit);
+        self.tracer.emit_with(
+            || dev.now_ns(),
+            EventKind::WireRx {
+                peer: wire.src as u32,
+                kind: wire.pkt.obs_kind(),
+            },
+        );
+        self.flow
+            .receive_return(wire.src, wire.env_credit, wire.data_credit);
         match wire.pkt {
             Packet::Eager {
                 env,
@@ -371,6 +458,14 @@ impl Engine {
                 if let Some(posted) = self.match_eng.match_incoming(&env) {
                     dev.charge(Cost::Match);
                     dev.charge(Cost::PostedCopy(data.len()));
+                    self.tracer.emit_with(
+                        || dev.now_ns(),
+                        EventKind::EnvelopeMatched {
+                            peer: env.src as u32,
+                            bytes: env.len as u32,
+                            unexpected: false,
+                        },
+                    );
                     let dst = match self.reqs.get(posted.recv_id) {
                         Some(ReqState::RecvPosted { dst }) => *dst,
                         other => {
@@ -394,9 +489,22 @@ impl Engine {
                         len: n,
                     });
                     self.reqs.complete(posted.recv_id, result);
+                    self.tracer.emit_with(
+                        || dev.now_ns(),
+                        EventKind::Delivered {
+                            peer: env.src as u32,
+                            bytes: env.len as u32,
+                        },
+                    );
                     if needs_ack {
                         self.transmit(dev, env.src, Packet::EagerAck { send_id });
                         self.counters.acks_sent += 1;
+                        self.tracer.emit_with(
+                            || dev.now_ns(),
+                            EventKind::AckTx {
+                                peer: env.src as u32,
+                            },
+                        );
                     }
                 } else if ready {
                     // Ready-mode send with no posted receive: erroneous.
@@ -410,6 +518,13 @@ impl Engine {
                         });
                     }
                 } else {
+                    self.tracer.emit_with(
+                        || dev.now_ns(),
+                        EventKind::UnexpectedBuffered {
+                            peer: env.src as u32,
+                            bytes: env.len as u32,
+                        },
+                    );
                     self.match_eng.add_unexpected(UnexpectedMsg {
                         env,
                         body: UnexpectedBody::Eager {
@@ -418,6 +533,7 @@ impl Engine {
                             needs_ack,
                         },
                     });
+                    self.note_unexpected_depth();
                     // Data credit stays consumed until a receive matches.
                 }
             }
@@ -425,6 +541,14 @@ impl Engine {
                 self.flow.owe_env(env.src);
                 if let Some(posted) = self.match_eng.match_incoming(&env) {
                     dev.charge(Cost::Match);
+                    self.tracer.emit_with(
+                        || dev.now_ns(),
+                        EventKind::EnvelopeMatched {
+                            peer: env.src as u32,
+                            bytes: env.len as u32,
+                            unexpected: false,
+                        },
+                    );
                     let dst = match self.reqs.get(posted.recv_id) {
                         Some(ReqState::RecvPosted { dst }) => *dst,
                         other => {
@@ -445,6 +569,12 @@ impl Engine {
                     };
                     self.reqs
                         .set(posted.recv_id, ReqState::RecvRndvWait { dst, status });
+                    self.tracer.emit_with(
+                        || dev.now_ns(),
+                        EventKind::RndvGoTx {
+                            peer: env.src as u32,
+                        },
+                    );
                     self.transmit(
                         dev,
                         env.src,
@@ -454,15 +584,22 @@ impl Engine {
                         },
                     );
                 } else {
+                    self.tracer.emit_with(
+                        || dev.now_ns(),
+                        EventKind::UnexpectedBuffered {
+                            peer: env.src as u32,
+                            bytes: env.len as u32,
+                        },
+                    );
                     self.match_eng.add_unexpected(UnexpectedMsg {
                         env,
                         body: UnexpectedBody::Rndv { send_id },
                     });
+                    self.note_unexpected_depth();
                 }
             }
             Packet::RndvGo { send_id, recv_id } => {
-                let Some(RndvPayload { data, buffered }) = self.rndv_store.remove(&send_id)
-                else {
+                let Some(RndvPayload { data, buffered }) = self.rndv_store.remove(&send_id) else {
                     return Err(MpiError::transport_peer(
                         wire.src,
                         format!(
@@ -473,6 +610,19 @@ impl Engine {
                 };
                 let len = data.len();
                 self.counters.bytes_sent += len as u64;
+                self.tracer.emit_with(
+                    || dev.now_ns(),
+                    EventKind::RndvGoRx {
+                        peer: wire.src as u32,
+                    },
+                );
+                self.tracer.emit_with(
+                    || dev.now_ns(),
+                    EventKind::DmaStart {
+                        peer: wire.src as u32,
+                        bytes: len as u32,
+                    },
+                );
                 self.transmit(dev, wire.src, Packet::RndvData { recv_id, data });
                 if buffered {
                     self.buffer_release(len);
@@ -512,8 +662,28 @@ impl Engine {
                     len: n,
                 });
                 self.reqs.complete(recv_id, result);
+                self.tracer.emit_with(
+                    || dev.now_ns(),
+                    EventKind::DmaEnd {
+                        peer: wire.src as u32,
+                        bytes: data.len() as u32,
+                    },
+                );
+                self.tracer.emit_with(
+                    || dev.now_ns(),
+                    EventKind::Delivered {
+                        peer: wire.src as u32,
+                        bytes: data.len() as u32,
+                    },
+                );
             }
             Packet::EagerAck { send_id } => {
+                self.tracer.emit_with(
+                    || dev.now_ns(),
+                    EventKind::AckRx {
+                        peer: wire.src as u32,
+                    },
+                );
                 // Idempotent: a duplicated frame (lossy device, reliability
                 // off) can re-deliver the ack after the send completed, or
                 // after the id was recycled — only complete a send that is
@@ -549,6 +719,7 @@ impl Engine {
     /// Drain per-destination queues in FIFO order as credit allows.
     fn flush_pending(&mut self, dev: &dyn Device) {
         for dst in 0..self.pending_out.len() {
+            let mut drained_any = false;
             loop {
                 let sendable = match self.pending_out[dst].front() {
                     None => break,
@@ -565,6 +736,22 @@ impl Engine {
                 }
                 let p = self.pending_out[dst].pop_front().expect("checked front");
                 self.transmit_send(dev, dst, p);
+                drained_any = true;
+            }
+            if drained_any && self.pending_out[dst].is_empty() {
+                // The credit stall against this peer is over; close the
+                // interval the queueing opened in `post_send`.
+                let stalled_ns = self.flow.stall_ended(dst, dev.now_ns());
+                self.counters.credit_stall_ns += stalled_ns;
+                if stalled_ns > 0 {
+                    self.tracer.emit_with(
+                        || dev.now_ns(),
+                        EventKind::CreditResume {
+                            peer: dst as u32,
+                            stalled_ns,
+                        },
+                    );
+                }
             }
         }
     }
@@ -573,7 +760,17 @@ impl Engine {
     fn explicit_credit_returns(&mut self, dev: &dyn Device) {
         for peer in self.flow.peers_needing_explicit_return() {
             self.counters.credits_sent += 1;
+            self.tracer
+                .emit_with(|| dev.now_ns(), EventKind::CreditTx { peer: peer as u32 });
             self.transmit(dev, peer, Packet::Credit);
+        }
+    }
+
+    /// Record a new unexpected-queue depth into the high-water mark.
+    fn note_unexpected_depth(&mut self) {
+        let depth = self.match_eng.depths().1 as u64;
+        if depth > self.counters.unexpected_hwm {
+            self.counters.unexpected_hwm = depth;
         }
     }
 
@@ -663,9 +860,17 @@ impl Engine {
             self.reqs.remove(req_id);
             return true;
         }
-        for q in &mut self.pending_out {
-            if let Some(idx) = q.iter().position(|p| p.req_id == req_id) {
-                q.remove(idx);
+        for dst in 0..self.pending_out.len() {
+            if let Some(idx) = self.pending_out[dst]
+                .iter()
+                .position(|p| p.req_id == req_id)
+            {
+                self.pending_out[dst].remove(idx);
+                if self.pending_out[dst].is_empty() {
+                    // Cancellation, not credit, emptied the queue: drop the
+                    // open stall interval rather than accumulating it.
+                    self.flow.stall_abandoned(dst);
+                }
                 self.reqs.remove(req_id);
                 return true;
             }
@@ -721,7 +926,10 @@ mod tests {
         let sid = e0
             .post_send(&d0, 1, 7, 0, Bytes::from_static(b"hi"), SendMode::Standard)
             .unwrap();
-        assert!(e0.reqs.take_if_done(sid).unwrap().is_ok(), "standard eager done at post");
+        assert!(
+            e0.reqs.take_if_done(sid).unwrap().is_ok(),
+            "standard eager done at post"
+        );
 
         let mut buf = [0u8; 8];
         let rid = e1.post_recv(&d1, dest(&mut buf), SourceSel::Rank(0), TagSel::Tag(7), 0);
@@ -746,7 +954,14 @@ mod tests {
         let mut buf = vec![0u8; 1000];
         let rid = e1.post_recv(&d1, dest(&mut buf), SourceSel::Any, TagSel::Any, 0);
         let _sid = e0
-            .post_send(&d0, 1, 0, 0, Bytes::from(payload.clone()), SendMode::Standard)
+            .post_send(
+                &d0,
+                1,
+                0,
+                0,
+                Bytes::from(payload.clone()),
+                SendMode::Standard,
+            )
             .unwrap();
         pump(&mut e0, &d0, &mut e1, &d1);
         let st = e1.reqs.take_if_done(rid).unwrap().unwrap();
@@ -761,7 +976,10 @@ mod tests {
             .iter()
             .filter(|c| matches!(c, Cost::BufferedCopy(_)))
             .count();
-        assert_eq!(copies, 0, "direct delivery must avoid the bounce-buffer copy");
+        assert_eq!(
+            copies, 0,
+            "direct delivery must avoid the bounce-buffer copy"
+        );
     }
 
     #[test]
@@ -771,8 +989,15 @@ mod tests {
         let mut e0 = engine(0, 2);
         let mut e1 = engine(1, 2);
 
-        e0.post_send(&d0, 1, 3, 0, Bytes::from_static(b"early"), SendMode::Standard)
-            .unwrap();
+        e0.post_send(
+            &d0,
+            1,
+            3,
+            0,
+            Bytes::from_static(b"early"),
+            SendMode::Standard,
+        )
+        .unwrap();
         pump(&mut e0, &d0, &mut e1, &d1);
         assert_eq!(e1.match_eng.depths().1, 1, "message waits unexpected");
 
@@ -792,13 +1017,26 @@ mod tests {
         let mut e1 = engine(1, 2);
 
         let sid = e0
-            .post_send(&d0, 1, 0, 0, Bytes::from_static(b"x"), SendMode::Synchronous)
+            .post_send(
+                &d0,
+                1,
+                0,
+                0,
+                Bytes::from_static(b"x"),
+                SendMode::Synchronous,
+            )
             .unwrap();
-        assert!(e0.reqs.take_if_done(sid).is_none(), "ssend not done before match");
+        assert!(
+            e0.reqs.take_if_done(sid).is_none(),
+            "ssend not done before match"
+        );
         let mut buf = [0u8; 1];
         e1.post_recv(&d1, dest(&mut buf), SourceSel::Any, TagSel::Any, 0);
         pump(&mut e0, &d0, &mut e1, &d1);
-        assert!(e0.reqs.take_if_done(sid).unwrap().is_ok(), "ack completes ssend");
+        assert!(
+            e0.reqs.take_if_done(sid).unwrap().is_ok(),
+            "ack completes ssend"
+        );
         assert_eq!(e1.counters.acks_sent, 1);
     }
 
@@ -810,7 +1048,9 @@ mod tests {
         let mut e1 = engine(1, 2);
 
         let big = Bytes::from(vec![1u8; 500]);
-        let sid = e0.post_send(&d0, 1, 0, 0, big, SendMode::Synchronous).unwrap();
+        let sid = e0
+            .post_send(&d0, 1, 0, 0, big, SendMode::Synchronous)
+            .unwrap();
         assert!(e0.reqs.take_if_done(sid).is_none());
         let mut buf = vec![0u8; 500];
         let rid = e1.post_recv(&d1, dest(&mut buf), SourceSel::Any, TagSel::Any, 0);
@@ -828,8 +1068,15 @@ mod tests {
 
         let mut small = [0u8; 2];
         let rid = e1.post_recv(&d1, dest(&mut small), SourceSel::Any, TagSel::Any, 0);
-        e0.post_send(&d0, 1, 0, 0, Bytes::from_static(b"toolong"), SendMode::Standard)
-            .unwrap();
+        e0.post_send(
+            &d0,
+            1,
+            0,
+            0,
+            Bytes::from_static(b"toolong"),
+            SendMode::Standard,
+        )
+        .unwrap();
         pump(&mut e0, &d0, &mut e1, &d1);
         let err = e1.reqs.take_if_done(rid).unwrap().unwrap_err();
         assert_eq!(
@@ -854,7 +1101,10 @@ mod tests {
             .unwrap();
         e0.post_send(&d0, 1, 1, 0, Bytes::from_static(b"b"), SendMode::Standard)
             .unwrap();
-        assert!(e0.has_pending_sends(), "second send must queue on single slot");
+        assert!(
+            e0.has_pending_sends(),
+            "second send must queue on single slot"
+        );
         assert_eq!(e0.counters.sends_queued, 1);
 
         let mut b0 = [0u8; 1];
@@ -887,7 +1137,11 @@ mod tests {
         let r1 = e1.post_recv(&d1, dest(&mut b1), SourceSel::Rank(0), TagSel::Tag(5), 0);
         e1.reqs.take_if_done(r0).unwrap().unwrap();
         e1.reqs.take_if_done(r1).unwrap().unwrap();
-        assert_eq!((&b0, &b1), (b"1", b"2"), "messages must match in send order");
+        assert_eq!(
+            (&b0, &b1),
+            (b"1", b"2"),
+            "messages must match in send order"
+        );
     }
 
     #[test]
@@ -939,7 +1193,14 @@ mod tests {
         // Eager send released the space immediately; a 5-byte send still
         // cannot fit the 4-byte pool.
         let err = e0
-            .post_send(&d0, 1, 0, 0, Bytes::from_static(b"12345"), SendMode::Buffered)
+            .post_send(
+                &d0,
+                1,
+                0,
+                0,
+                Bytes::from_static(b"12345"),
+                SendMode::Buffered,
+            )
             .unwrap_err();
         assert!(matches!(err, MpiError::BufferOverflow { needed: 5, .. }));
         assert_eq!(e0.buffer_detach().unwrap(), 4);
@@ -982,6 +1243,120 @@ mod tests {
     }
 
     #[test]
+    fn tracer_records_protocol_events_in_order() {
+        let d0 = Loopback::new(0, 2);
+        let d1 = Loopback::new(1, 2);
+        let mut e0 = engine(0, 2);
+        let mut e1 = engine(1, 2);
+        e0.tracer = Tracer::enabled(0, 64);
+        e1.tracer = Tracer::enabled(1, 64);
+
+        let mut buf = [0u8; 2];
+        e1.post_recv(&d1, dest(&mut buf), SourceSel::Any, TagSel::Any, 0);
+        e0.post_send(&d0, 1, 7, 0, Bytes::from_static(b"hi"), SendMode::Standard)
+            .unwrap();
+        pump(&mut e0, &d0, &mut e1, &d1);
+
+        let sender: Vec<&str> = e0
+            .tracer
+            .snapshot()
+            .events
+            .iter()
+            .map(|e| e.kind.name())
+            .collect();
+        assert_eq!(sender, vec!["SendPosted", "EagerTx"]);
+        let receiver: Vec<&str> = e1
+            .tracer
+            .snapshot()
+            .events
+            .iter()
+            .map(|e| e.kind.name())
+            .collect();
+        assert_eq!(
+            receiver,
+            vec!["RecvPosted", "WireRx", "EnvelopeMatched", "Delivered"]
+        );
+    }
+
+    #[test]
+    fn rendezvous_trace_covers_all_three_legs() {
+        let d0 = Loopback::new(0, 2);
+        let d1 = Loopback::new(1, 2);
+        let mut e0 = engine(0, 2);
+        let mut e1 = engine(1, 2);
+        e0.tracer = Tracer::enabled(0, 64);
+        e1.tracer = Tracer::enabled(1, 64);
+
+        let mut buf = vec![0u8; 1000];
+        e1.post_recv(&d1, dest(&mut buf), SourceSel::Any, TagSel::Any, 0);
+        e0.post_send(
+            &d0,
+            1,
+            0,
+            0,
+            Bytes::from(vec![5u8; 1000]),
+            SendMode::Standard,
+        )
+        .unwrap();
+        pump(&mut e0, &d0, &mut e1, &d1);
+
+        let sender: Vec<&str> = e0
+            .tracer
+            .snapshot()
+            .events
+            .iter()
+            .map(|e| e.kind.name())
+            .collect();
+        assert_eq!(
+            sender,
+            vec!["SendPosted", "RndvReqTx", "WireRx", "RndvGoRx", "DmaStart"]
+        );
+        let receiver: Vec<&str> = e1
+            .tracer
+            .snapshot()
+            .events
+            .iter()
+            .map(|e| e.kind.name())
+            .collect();
+        assert_eq!(
+            receiver,
+            vec![
+                "RecvPosted",
+                "WireRx",
+                "EnvelopeMatched",
+                "RndvGoTx",
+                "WireRx",
+                "DmaEnd",
+                "Delivered"
+            ]
+        );
+    }
+
+    #[test]
+    fn unexpected_hwm_tracks_peak_queue_depth() {
+        let d0 = Loopback::new(0, 2);
+        let d1 = Loopback::new(1, 2);
+        let mut e0 = engine(0, 2);
+        let mut e1 = engine(1, 2);
+
+        for tag in 0..3 {
+            e0.post_send(&d0, 1, tag, 0, Bytes::from_static(b"x"), SendMode::Standard)
+                .unwrap();
+        }
+        pump(&mut e0, &d0, &mut e1, &d1);
+        assert_eq!(e1.counters.unexpected_hwm, 3);
+
+        // Draining the queue must not lower the high-water mark.
+        for tag in 0..3 {
+            let mut buf = [0u8; 1];
+            let rid = e1.post_recv(&d1, dest(&mut buf), SourceSel::Any, TagSel::Tag(tag), 0);
+            e1.reqs.take_if_done(rid).unwrap().unwrap();
+        }
+        assert_eq!(e1.match_eng.depths().1, 0);
+        assert_eq!(e1.counters.unexpected_hwm, 3);
+    }
+
+    #[test]
     fn credit_piggybacks_on_reverse_traffic() {
         let d0 = Loopback::new(0, 2);
         let d1 = Loopback::new(1, 2);
@@ -992,8 +1367,15 @@ mod tests {
         // carry the envelope + data credit back.
         let mut buf = [0u8; 4];
         e1.post_recv(&d1, dest(&mut buf), SourceSel::Any, TagSel::Any, 0);
-        e0.post_send(&d0, 1, 0, 0, Bytes::from_static(b"data"), SendMode::Standard)
-            .unwrap();
+        e0.post_send(
+            &d0,
+            1,
+            0,
+            0,
+            Bytes::from_static(b"data"),
+            SendMode::Standard,
+        )
+        .unwrap();
         pump(&mut e0, &d0, &mut e1, &d1);
         let before_env = e0.flow.env_available(1);
 
@@ -1014,7 +1396,14 @@ mod tests {
         let mut e1 = engine(1, 2);
 
         let sid = e0
-            .post_send(&d0, 1, 0, 0, Bytes::from_static(b"x"), SendMode::Synchronous)
+            .post_send(
+                &d0,
+                1,
+                0,
+                0,
+                Bytes::from_static(b"x"),
+                SendMode::Synchronous,
+            )
             .unwrap();
         let mut buf = [0u8; 1];
         e1.post_recv(&d1, dest(&mut buf), SourceSel::Any, TagSel::Any, 0);

@@ -31,6 +31,9 @@ struct PeerCredit {
     env_owed: u32,
     /// Bounce-buffer bytes we owe the peer.
     data_owed: u64,
+    /// When sends to this peer began queueing for credit (ns on the
+    /// device clock), if a stall is currently open.
+    stall_since: Option<u64>,
 }
 
 /// Per-rank flow-control ledger.
@@ -44,6 +47,10 @@ pub struct FlowControl {
     explicit_return_threshold: u64,
     /// Number of times a send had to wait for credit (reported in counters).
     pub stalls: u64,
+    /// Total time the per-peer send queues spent non-empty waiting for
+    /// credit, in nanoseconds on the device clock (reported in counters;
+    /// the paper's "when the sender runs out of space it must wait").
+    pub stall_ns_total: u64,
     /// Number of credit returns that would have pushed available credit past
     /// the reserve and were clamped. Nonzero only when the transport
     /// re-delivers frames (duplication with no reliability sublayer): the
@@ -62,6 +69,7 @@ impl FlowControl {
                     data_avail: recv_buf,
                     env_owed: 0,
                     data_owed: 0,
+                    stall_since: None,
                 };
                 nprocs
             ],
@@ -69,8 +77,39 @@ impl FlowControl {
             recv_buf,
             explicit_return_threshold: (recv_buf / 4).max(1),
             stalls: 0,
+            stall_ns_total: 0,
             over_returns: 0,
         }
+    }
+
+    /// A send to `dst` was queued for lack of credit at `now_ns`. Opens a
+    /// stall interval if one is not already open (the interval covers the
+    /// whole time the queue is non-empty, not each queued send).
+    pub fn stall_started(&mut self, dst: Rank, now_ns: u64) {
+        let p = &mut self.peers[dst];
+        if p.stall_since.is_none() {
+            p.stall_since = Some(now_ns);
+        }
+    }
+
+    /// The send queue for `dst` fully drained at `now_ns`. Closes the open
+    /// stall interval, accumulates it into [`Self::stall_ns_total`], and
+    /// returns its length (0 if no stall was open).
+    pub fn stall_ended(&mut self, dst: Rank, now_ns: u64) -> u64 {
+        match self.peers[dst].stall_since.take() {
+            Some(t0) => {
+                let d = now_ns.saturating_sub(t0);
+                self.stall_ns_total += d;
+                d
+            }
+            None => 0,
+        }
+    }
+
+    /// Drop the open stall interval for `dst` without accumulating it
+    /// (used when cancellation, not returned credit, empties the queue).
+    pub fn stall_abandoned(&mut self, dst: Rank) {
+        self.peers[dst].stall_since = None;
     }
 
     /// Can we send an eager message of `len` payload bytes to `dst` now?
@@ -130,7 +169,10 @@ impl FlowControl {
     /// Take everything owed to `dst` for piggybacking on an outgoing frame.
     pub fn take_owed(&mut self, dst: Rank) -> (u32, u64) {
         let p = &mut self.peers[dst];
-        (std::mem::take(&mut p.env_owed), std::mem::take(&mut p.data_owed))
+        (
+            std::mem::take(&mut p.env_owed),
+            std::mem::take(&mut p.data_owed),
+        )
     }
 
     /// Peers owed enough that an explicit credit packet is warranted
@@ -272,6 +314,23 @@ mod tests {
         assert!(!f.can_eager(1, 1));
         f.receive_return(1, 1, 1000);
         assert!(f.can_eager(1, 1000));
+    }
+
+    #[test]
+    fn stall_timing_accumulates_per_interval() {
+        let mut f = FlowControl::new(2, 1, 100);
+        assert_eq!(f.stall_ended(1, 50), 0, "no stall open");
+        f.stall_started(1, 100);
+        f.stall_started(1, 150); // second queued send: same interval
+        assert_eq!(f.stall_ended(1, 400), 300);
+        assert_eq!(f.stall_ended(1, 500), 0, "closed");
+        f.stall_started(1, 1_000);
+        assert_eq!(f.stall_ended(1, 1_250), 250);
+        assert_eq!(f.stall_ns_total, 550);
+        // Intervals are per-peer.
+        f.stall_started(0, 0);
+        assert_eq!(f.stall_ended(0, 75), 75);
+        assert_eq!(f.stall_ns_total, 625);
     }
 
     #[test]

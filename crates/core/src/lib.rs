@@ -55,16 +55,21 @@ pub mod bench_internals {
     pub use crate::matching::{MatchEngine, PostedRecv, UnexpectedBody, UnexpectedMsg};
 }
 
+/// The observability crate (tracing, histograms, Table-1 reports),
+/// re-exported so applications need not depend on `lmpi-obs` directly.
+pub use lmpi_obs as obs;
+
 pub use config::MpiConfig;
 pub use datatype::{from_bytes, to_bytes, Loc, MpiData};
-pub use device::{Cost, Device, DeviceDefaults};
+pub use device::{Cost, Device, DeviceDefaults, TransportStats};
 pub use dtype::DataType;
 pub use engine::Counters;
 pub use error::{MpiError, MpiResult};
 pub use group::Group;
-pub use persistent::{start_all, PersistentRecv, PersistentSend};
-pub use topology::{dims_create, CartComm};
+pub use lmpi_obs::{EventKind, TraceBuffer, Tracer};
 pub use mpi::{test_all, wait_all, wait_any, Communicator, Mpi, Request};
 pub use packet::{ContextId, Envelope, Packet, Wire, ENVELOPE_WIRE_BYTES};
-pub use reduce_op::{Reducible, ReduceOp};
+pub use persistent::{start_all, PersistentRecv, PersistentSend};
+pub use reduce_op::{ReduceOp, Reducible};
+pub use topology::{dims_create, CartComm};
 pub use types::{Rank, SendMode, SourceSel, Status, Tag, TagSel, TAG_UB};

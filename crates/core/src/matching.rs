@@ -81,10 +81,9 @@ impl MatchEngine {
 
     /// An envelope arrived: take the first matching posted receive, if any.
     pub fn match_incoming(&mut self, env: &Envelope) -> Option<PostedRecv> {
-        let idx = self
-            .posted
-            .iter()
-            .position(|p| p.context == env.context && p.src.matches(env.src) && p.tag.matches(env.tag))?;
+        let idx = self.posted.iter().position(|p| {
+            p.context == env.context && p.src.matches(env.src) && p.tag.matches(env.tag)
+        })?;
         self.matches += 1;
         self.posted.remove(idx)
     }
@@ -120,9 +119,9 @@ impl MatchEngine {
     }
 
     fn find_unexpected(&self, src: SourceSel, tag: TagSel, context: ContextId) -> Option<usize> {
-        self.unexpected
-            .iter()
-            .position(|u| u.env.context == context && src.matches(u.env.src) && tag.matches(u.env.tag))
+        self.unexpected.iter().position(|u| {
+            u.env.context == context && src.matches(u.env.src) && tag.matches(u.env.tag)
+        })
     }
 
     /// Store an early arrival.
@@ -171,7 +170,9 @@ mod tests {
     #[test]
     fn posted_then_incoming_matches() {
         let mut m = MatchEngine::new();
-        assert!(m.match_posted(1, SourceSel::Rank(0), TagSel::Tag(5), 0).is_none());
+        assert!(m
+            .match_posted(1, SourceSel::Rank(0), TagSel::Tag(5), 0)
+            .is_none());
         let hit = m.match_incoming(&env(0, 5, 0)).expect("should match");
         assert_eq!(hit.recv_id, 1);
         assert_eq!(m.matches, 1);
@@ -205,7 +206,8 @@ mod tests {
         let mut m = MatchEngine::new();
         m.add_unexpected(rndv(0, 5, 1, 1));
         assert!(
-            m.match_posted(1, SourceSel::Rank(0), TagSel::Tag(5), 2).is_none(),
+            m.match_posted(1, SourceSel::Rank(0), TagSel::Tag(5), 2)
+                .is_none(),
             "different context must not match"
         );
         // The receive is now posted on context 2; an incoming on 1 misses it.

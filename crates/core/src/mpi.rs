@@ -12,9 +12,11 @@ use std::rc::Rc;
 
 use bytes::Bytes;
 
+use lmpi_obs::Tracer;
+
 use crate::config::MpiConfig;
 use crate::datatype::{to_bytes, MpiData};
-use crate::device::{Cost, Device};
+use crate::device::{Cost, Device, TransportStats};
 use crate::engine::{Counters, Engine};
 use crate::error::{MpiError, MpiResult};
 use crate::packet::ContextId;
@@ -161,8 +163,31 @@ impl Mpi {
     }
 
     /// Protocol counters accumulated so far (Table-1 instrumentation).
+    /// Matching-engine tallies (`matches`, `unexpected_hits`) are folded in
+    /// here so callers see one coherent snapshot.
     pub fn counters(&self) -> Counters {
-        self.inner.eng.borrow().counters.clone()
+        let eng = self.inner.eng.borrow();
+        let mut c = eng.counters.clone();
+        c.matches = eng.match_eng.matches;
+        c.unexpected_hits = eng.match_eng.unexpected_hits;
+        c
+    }
+
+    /// Install a protocol-event tracer on this rank's engine. Clones of an
+    /// enabled tracer share one ring, so keep a clone to snapshot after the
+    /// run. Pass [`Tracer::disabled`] to turn tracing back off.
+    ///
+    /// Engine-level events only; for device-level events (wire tx,
+    /// retransmits, injected faults) call [`Device::set_tracer`] on the
+    /// device *before* moving it into [`Mpi::new`].
+    pub fn set_tracer(&self, tracer: Tracer) {
+        self.inner.eng.borrow_mut().tracer = tracer;
+    }
+
+    /// Cumulative reliability / fault-injection statistics from the device
+    /// stack under this rank (zeroes for plain transports).
+    pub fn transport_stats(&self) -> TransportStats {
+        self.inner.device.transport_stats()
     }
 
     /// The eager/rendezvous crossover in effect.
@@ -221,10 +246,13 @@ impl Communicator {
     }
 
     pub(crate) fn global(&self, local: Rank) -> MpiResult<Rank> {
-        self.group.get(local).copied().ok_or(MpiError::RankOutOfRange {
-            rank: local,
-            size: self.group.len(),
-        })
+        self.group
+            .get(local)
+            .copied()
+            .ok_or(MpiError::RankOutOfRange {
+                rank: local,
+                size: self.group.len(),
+            })
     }
 
     pub(crate) fn local(&self, global: Rank) -> Rank {
@@ -409,22 +437,42 @@ impl Communicator {
     }
 
     /// `MPI_Isend`.
-    pub fn isend<'a, T: MpiData>(&self, buf: &'a [T], dst: Rank, tag: Tag) -> MpiResult<Request<'a>> {
+    pub fn isend<'a, T: MpiData>(
+        &self,
+        buf: &'a [T],
+        dst: Rank,
+        tag: Tag,
+    ) -> MpiResult<Request<'a>> {
         self.isend_mode(buf, dst, tag, SendMode::Standard)
     }
 
     /// `MPI_Ibsend`.
-    pub fn ibsend<'a, T: MpiData>(&self, buf: &'a [T], dst: Rank, tag: Tag) -> MpiResult<Request<'a>> {
+    pub fn ibsend<'a, T: MpiData>(
+        &self,
+        buf: &'a [T],
+        dst: Rank,
+        tag: Tag,
+    ) -> MpiResult<Request<'a>> {
         self.isend_mode(buf, dst, tag, SendMode::Buffered)
     }
 
     /// `MPI_Issend`.
-    pub fn issend<'a, T: MpiData>(&self, buf: &'a [T], dst: Rank, tag: Tag) -> MpiResult<Request<'a>> {
+    pub fn issend<'a, T: MpiData>(
+        &self,
+        buf: &'a [T],
+        dst: Rank,
+        tag: Tag,
+    ) -> MpiResult<Request<'a>> {
         self.isend_mode(buf, dst, tag, SendMode::Synchronous)
     }
 
     /// `MPI_Irsend`.
-    pub fn irsend<'a, T: MpiData>(&self, buf: &'a [T], dst: Rank, tag: Tag) -> MpiResult<Request<'a>> {
+    pub fn irsend<'a, T: MpiData>(
+        &self,
+        buf: &'a [T],
+        dst: Rank,
+        tag: Tag,
+    ) -> MpiResult<Request<'a>> {
         self.isend_mode(buf, dst, tag, SendMode::Ready)
     }
 

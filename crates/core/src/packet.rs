@@ -119,9 +119,9 @@ impl Packet {
     /// Payload bytes carried (for bandwidth accounting).
     pub fn payload_len(&self) -> usize {
         match self {
-            Packet::Eager { data, .. } | Packet::RndvData { data, .. } | Packet::HwBcast { data, .. } => {
-                data.len()
-            }
+            Packet::Eager { data, .. }
+            | Packet::RndvData { data, .. }
+            | Packet::HwBcast { data, .. } => data.len(),
             _ => 0,
         }
     }
@@ -130,6 +130,20 @@ impl Packet {
     /// path) as opposed to a small control transaction.
     pub fn is_bulk(&self) -> bool {
         matches!(self, Packet::RndvData { .. })
+    }
+
+    /// The observability packet classification for trace events.
+    pub fn obs_kind(&self) -> lmpi_obs::PacketKind {
+        use lmpi_obs::PacketKind as K;
+        match self {
+            Packet::Eager { .. } => K::Eager,
+            Packet::RndvReq { .. } => K::RndvReq,
+            Packet::RndvGo { .. } => K::RndvGo,
+            Packet::RndvData { .. } => K::RndvData,
+            Packet::EagerAck { .. } => K::EagerAck,
+            Packet::Credit => K::Credit,
+            Packet::HwBcast { .. } => K::HwBcast,
+        }
     }
 }
 

@@ -170,17 +170,44 @@ mod tests {
 
     #[test]
     fn maxloc_prefers_smaller_index_on_tie() {
-        let mut a = vec![Loc { value: 5.0f64, index: 3 }];
-        Loc::<f64>::accumulate(ReduceOp::MaxLoc, &mut a, &[Loc { value: 5.0, index: 1 }]);
+        let mut a = vec![Loc {
+            value: 5.0f64,
+            index: 3,
+        }];
+        Loc::<f64>::accumulate(
+            ReduceOp::MaxLoc,
+            &mut a,
+            &[Loc {
+                value: 5.0,
+                index: 1,
+            }],
+        );
         assert_eq!(a[0].index, 1);
-        Loc::<f64>::accumulate(ReduceOp::MaxLoc, &mut a, &[Loc { value: 4.0, index: 0 }]);
+        Loc::<f64>::accumulate(
+            ReduceOp::MaxLoc,
+            &mut a,
+            &[Loc {
+                value: 4.0,
+                index: 0,
+            }],
+        );
         assert_eq!(a[0].value, 5.0);
     }
 
     #[test]
     fn minloc_tracks_minimum() {
-        let mut a = vec![Loc { value: 2i64, index: 0 }];
-        Loc::<i64>::accumulate(ReduceOp::MinLoc, &mut a, &[Loc { value: -7, index: 4 }]);
+        let mut a = vec![Loc {
+            value: 2i64,
+            index: 0,
+        }];
+        Loc::<i64>::accumulate(
+            ReduceOp::MinLoc,
+            &mut a,
+            &[Loc {
+                value: -7,
+                index: 4,
+            }],
+        );
         assert_eq!((a[0].value, a[0].index), (-7, 4));
     }
 

@@ -98,10 +98,7 @@ impl CartComm {
     pub fn coords_of(&self, rank: Rank) -> MpiResult<Vec<usize>> {
         let cells: usize = self.dims.iter().product();
         if rank >= cells {
-            return Err(MpiError::RankOutOfRange {
-                rank,
-                size: cells,
-            });
+            return Err(MpiError::RankOutOfRange { rank, size: cells });
         }
         let mut rem = rank;
         let mut coords = vec![0; self.dims.len()];
@@ -206,7 +203,11 @@ impl CartComm {
         Ok(CartComm {
             comm,
             dims: if dims.is_empty() { vec![1] } else { dims },
-            periods: if periods.is_empty() { vec![false] } else { periods },
+            periods: if periods.is_empty() {
+                vec![false]
+            } else {
+                periods
+            },
         })
     }
 }
@@ -224,7 +225,10 @@ mod tests {
         assert_eq!(dims_create(16, 2), vec![4, 4]);
         let d = dims_create(24, 3);
         assert_eq!(d.iter().product::<usize>(), 24);
-        assert!(d.windows(2).all(|w| w[0] >= w[1]), "{d:?} sorted descending");
+        assert!(
+            d.windows(2).all(|w| w[0] >= w[1]),
+            "{d:?} sorted descending"
+        );
     }
 
     // Grid math is testable without a live communicator via a fabricated

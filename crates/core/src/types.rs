@@ -98,7 +98,11 @@ impl Status {
 
 impl fmt::Display for Status {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "from {} tag {} ({} bytes)", self.source, self.tag, self.len)
+        write!(
+            f,
+            "from {} tag {} ({} bytes)",
+            self.source, self.tag, self.len
+        )
     }
 }
 

@@ -17,7 +17,10 @@ enum Op {
     /// An envelope arrives from (src, tag).
     Arrive { src: usize, tag: u32 },
     /// A receive is posted with selectors.
-    Post { src: Option<usize>, tag: Option<u32> },
+    Post {
+        src: Option<usize>,
+        tag: Option<u32>,
+    },
 }
 
 fn op_strategy() -> impl Strategy<Value = Op> {
@@ -170,7 +173,10 @@ fn dtype_strategy() -> impl Strategy<Value = DataType> {
                         *disp += at;
                         at = *disp + *len;
                     }
-                    DataType::Indexed { blocks, inner: Box::new(t) }
+                    DataType::Indexed {
+                        blocks,
+                        inner: Box::new(t),
+                    }
                 }),
         ]
     })

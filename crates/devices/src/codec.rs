@@ -56,12 +56,14 @@ pub fn wire_bytes(wire: &Wire) -> usize {
 /// Encode a frame. The layout is self-contained: no external framing is
 /// needed beyond a leading length word added by the stream writer.
 pub fn encode(wire: &Wire) -> Vec<u8> {
-    let mut out =
-        Vec::with_capacity(HEADER_BYTES + SEQ_ACK_BYTES + 8 + wire.pkt.payload_len());
+    let mut out = Vec::with_capacity(HEADER_BYTES + SEQ_ACK_BYTES + 8 + wire.pkt.payload_len());
     // 1 byte: message type.
     let (ty, payload): (u8, Option<&Bytes>) = match &wire.pkt {
         Packet::Eager {
-            needs_ack, ready, data, ..
+            needs_ack,
+            ready,
+            data,
+            ..
         } => (
             if *needs_ack {
                 T_EAGER_ACK_REQ
@@ -98,15 +100,19 @@ pub fn encode(wire: &Wire) -> Vec<u8> {
     let mut info = [0u8; 20];
     info[0..4].copy_from_slice(&(wire.src as u32).to_le_bytes());
     match &wire.pkt {
-        Packet::Eager {
-            env, send_id, ..
-        } => {
-            debug_assert!(*send_id <= u32::MAX as u64, "request id exceeds 20-byte envelope field");
+        Packet::Eager { env, send_id, .. } => {
+            debug_assert!(
+                *send_id <= u32::MAX as u64,
+                "request id exceeds 20-byte envelope field"
+            );
             encode_env(&mut info, env);
             info[16..20].copy_from_slice(&(*send_id as u32).to_le_bytes());
         }
         Packet::RndvReq { env, send_id } => {
-            debug_assert!(*send_id <= u32::MAX as u64, "request id exceeds 20-byte envelope field");
+            debug_assert!(
+                *send_id <= u32::MAX as u64,
+                "request id exceeds 20-byte envelope field"
+            );
             encode_env(&mut info, env);
             info[16..20].copy_from_slice(&(*send_id as u32).to_le_bytes());
         }
@@ -316,12 +322,26 @@ mod tests {
     #[test]
     fn control_packets_roundtrip() {
         let cases = vec![
-            Packet::RndvReq { env: env(), send_id: 9 },
-            Packet::RndvGo { send_id: 5, recv_id: 6 },
-            Packet::RndvData { recv_id: 6, data: Bytes::from(vec![1u8; 300]) },
+            Packet::RndvReq {
+                env: env(),
+                send_id: 9,
+            },
+            Packet::RndvGo {
+                send_id: 5,
+                recv_id: 6,
+            },
+            Packet::RndvData {
+                recv_id: 6,
+                data: Bytes::from(vec![1u8; 300]),
+            },
             Packet::EagerAck { send_id: 5 },
             Packet::Credit,
-            Packet::HwBcast { context: 1, root: 2, seq: 3, data: Bytes::from_static(b"bb") },
+            Packet::HwBcast {
+                context: 1,
+                root: 2,
+                seq: 3,
+                data: Bytes::from_static(b"bb"),
+            },
         ];
         for pkt in cases {
             let name = pkt.kind_name();

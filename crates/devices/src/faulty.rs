@@ -22,7 +22,8 @@ use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use lmpi_core::{Cost, Device, DeviceDefaults, MpiResult, Packet, Rank, Wire};
+use lmpi_core::{Cost, Device, DeviceDefaults, MpiResult, Packet, Rank, TransportStats, Wire};
+use lmpi_obs::{EventKind, FaultKind, Tracer};
 use lmpi_sim::SplitMix64;
 use parking_lot::Mutex;
 
@@ -183,6 +184,7 @@ pub struct FaultyDevice<D: Device> {
     cfg: FaultConfig,
     state: Mutex<FaultState>,
     stats: Arc<FaultStats>,
+    tracer: Tracer,
 }
 
 impl<D: Device> FaultyDevice<D> {
@@ -198,7 +200,18 @@ impl<D: Device> FaultyDevice<D> {
                 delayq: VecDeque::new(),
             }),
             stats: Arc::new(FaultStats::default()),
+            tracer: Tracer::disabled(),
         }
+    }
+
+    fn trace_fault(&self, dst: Rank, fault: FaultKind) {
+        self.tracer.emit_with(
+            || self.inner.now_ns(),
+            EventKind::FaultInjected {
+                peer: dst as u32,
+                fault,
+            },
+        );
     }
 
     /// Clone a handle to the fault counters. Keep it before the device
@@ -269,16 +282,20 @@ impl<D: Device> Device for FaultyDevice<D> {
 
         if roll_drop {
             self.stats.dropped.fetch_add(1, Ordering::Relaxed);
+            self.trace_fault(dst, FaultKind::Drop);
         } else if roll_dup {
             self.stats.duplicated.fetch_add(1, Ordering::Relaxed);
+            self.trace_fault(dst, FaultKind::Duplicate);
             self.inner.send(dst, wire.clone());
             self.inner.send(dst, wire);
         } else if roll_reorder && held.is_none() {
             // Hold this frame back; the next frame to `dst` goes first.
             self.stats.reordered.fetch_add(1, Ordering::Relaxed);
+            self.trace_fault(dst, FaultKind::Reorder);
             st.holdback[dst] = Some((wire, self.inner.wtime()));
         } else if roll_delay {
             self.stats.delayed.fetch_add(1, Ordering::Relaxed);
+            self.trace_fault(dst, FaultKind::Delay);
             let due = self.inner.wtime() + rates.delay_us as f64 * 1e-6;
             st.delayq.push_back((due, dst, wire));
         } else {
@@ -325,6 +342,23 @@ impl<D: Device> Device for FaultyDevice<D> {
 
     fn wtime(&self) -> f64 {
         self.inner.wtime()
+    }
+
+    fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer.clone();
+        self.inner.set_tracer(tracer);
+    }
+
+    fn transport_stats(&self) -> TransportStats {
+        let (_, dropped, duplicated, reordered, delayed) = self.stats.snapshot();
+        TransportStats {
+            faults_dropped: dropped,
+            faults_duplicated: duplicated,
+            faults_reordered: reordered,
+            faults_delayed: delayed,
+            ..TransportStats::default()
+        }
+        .merged(self.inner.transport_stats())
     }
 
     fn defaults(&self) -> DeviceDefaults {

@@ -28,3 +28,4 @@ pub mod meiko;
 pub mod reliable;
 pub mod shm;
 pub mod sock;
+pub mod udp;

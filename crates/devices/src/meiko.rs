@@ -22,6 +22,7 @@ use parking_lot::Mutex;
 use lmpi_core::{Cost, Device, DeviceDefaults, Mpi, MpiConfig, MpiResult, Rank, Wire};
 use lmpi_netmodel::meiko::MeikoNet;
 use lmpi_netmodel::params::{CpuParams, MeikoParams};
+use lmpi_obs::{EventKind, Tracer};
 use lmpi_sim::{Proc, Sim, SimDur, SimQueue};
 
 /// Which Meiko MPI implementation to model.
@@ -43,6 +44,7 @@ pub struct MeikoDevice {
     rank: Rank,
     variant: MeikoVariant,
     cpu: CpuParams,
+    tracer: Tracer,
 }
 
 impl MeikoDevice {
@@ -56,6 +58,7 @@ impl MeikoDevice {
             rank,
             variant,
             cpu: CpuParams::meiko_sparc(),
+            tracer: Tracer::disabled(),
         }
     }
 
@@ -80,6 +83,14 @@ impl Device for MeikoDevice {
     }
 
     fn send(&self, dst: Rank, wire: Wire) {
+        self.tracer.emit_with(
+            || self.now_ns(),
+            EventKind::WireTx {
+                peer: dst as u32,
+                kind: wire.pkt.obs_kind(),
+                bytes: wire.pkt.payload_len() as u32,
+            },
+        );
         let p = *self.params();
         match &wire.pkt {
             lmpi_core::Packet::RndvData { data, .. } => {
@@ -108,8 +119,7 @@ impl Device for MeikoDevice {
                 // the SPARC. This is why Fig. 2's MPICH curve is a constant
                 // offset above the tport curve with no 180-byte bend.
                 let nbytes = data.len();
-                self.proc
-                    .advance(SimDur::from_us_f64(p.mpich_send_ovh_us));
+                self.proc.advance(SimDur::from_us_f64(p.mpich_send_ovh_us));
                 let delay = SimDur::from_us_f64(
                     p.tport_base_us + nbytes as f64 * (p.tport_per_byte_us + p.mpich_per_byte_us),
                 );
@@ -122,8 +132,7 @@ impl Device for MeikoDevice {
                 // per-message overhead for the baseline variant.
                 if self.variant == MeikoVariant::Mpich {
                     if let lmpi_core::Packet::RndvReq { .. } = &wire.pkt {
-                        self.proc
-                            .advance(SimDur::from_us_f64(p.mpich_send_ovh_us));
+                        self.proc.advance(SimDur::from_us_f64(p.mpich_send_ovh_us));
                     }
                 }
                 let nbytes = Self::ctl_bytes(&wire);
@@ -173,6 +182,10 @@ impl Device for MeikoDevice {
 
     fn wtime(&self) -> f64 {
         self.proc.now().as_secs_f64()
+    }
+
+    fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 
     fn defaults(&self) -> DeviceDefaults {

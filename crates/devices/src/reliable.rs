@@ -29,7 +29,10 @@ use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use lmpi_core::{Cost, Device, DeviceDefaults, MpiError, MpiResult, Packet, Rank, Wire};
+use lmpi_core::{
+    Cost, Device, DeviceDefaults, MpiError, MpiResult, Packet, Rank, TransportStats, Wire,
+};
+use lmpi_obs::{EventKind, Tracer};
 use parking_lot::Mutex;
 
 /// Tuning for the ack/retransmit machinery.
@@ -138,6 +141,7 @@ pub struct ReliableDevice<D: Device> {
     cfg: RelConfig,
     state: Mutex<RelState>,
     stats: Arc<RelStats>,
+    tracer: Tracer,
 }
 
 /// A pure acknowledgment: a bare credit frame carrying only the cumulative
@@ -173,6 +177,7 @@ impl<D: Device> ReliableDevice<D> {
                 failed: None,
             }),
             stats: Arc::new(RelStats::default()),
+            tracer: Tracer::disabled(),
         }
     }
 
@@ -234,6 +239,13 @@ impl<D: Device> ReliableDevice<D> {
             // Duplicate (retransmission of something we already have):
             // drop it, but re-ack so the sender stops resending.
             self.stats.dup_suppressed.fetch_add(1, Ordering::Relaxed);
+            self.tracer.emit_with(
+                || self.inner.now_ns(),
+                EventKind::DupSuppressed {
+                    peer: from as u32,
+                    seq: wire.seq as u32,
+                },
+            );
             st.peers[from].owe_ack = true;
         } else {
             // Gap: a predecessor was lost. Go-back-N discards and lets the
@@ -270,6 +282,13 @@ impl<D: Device> ReliableDevice<D> {
                 for w in p.unacked.iter_mut() {
                     w.ack = p.recv_cum;
                     self.stats.retransmits.fetch_add(1, Ordering::Relaxed);
+                    self.tracer.emit_with(
+                        || self.inner.now_ns(),
+                        EventKind::Retransmit {
+                            peer: dst as u32,
+                            seq: w.seq as u32,
+                        },
+                    );
                     self.inner.send(dst, w.clone());
                 }
                 p.owe_ack = false;
@@ -281,6 +300,10 @@ impl<D: Device> ReliableDevice<D> {
             if p.owe_ack {
                 p.owe_ack = false;
                 self.stats.acks_sent.fetch_add(1, Ordering::Relaxed);
+                self.tracer.emit_with(
+                    || self.inner.now_ns(),
+                    EventKind::PureAckTx { peer: dst as u32 },
+                );
                 self.inner.send(dst, pure_ack(me, p.recv_cum));
             }
         }
@@ -399,6 +422,25 @@ impl<D: Device> Device for ReliableDevice<D> {
 
     fn wtime(&self) -> f64 {
         self.inner.wtime()
+    }
+
+    fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer.clone();
+        self.inner.set_tracer(tracer);
+    }
+
+    fn transport_stats(&self) -> TransportStats {
+        let (data_frames_sent, retransmits, dup_suppressed, ooo_dropped, pure_acks_sent) =
+            self.stats.snapshot();
+        TransportStats {
+            data_frames_sent,
+            retransmits,
+            dup_suppressed,
+            ooo_dropped,
+            pure_acks_sent,
+            ..TransportStats::default()
+        }
+        .merged(self.inner.transport_stats())
     }
 
     fn defaults(&self) -> DeviceDefaults {
@@ -521,7 +563,10 @@ mod tests {
         d.inner().inject(data_frame(1, 1, 0));
         d.inner().inject(data_frame(1, 1, 0)); // retransmitted copy
         assert_eq!(d.try_recv().unwrap().unwrap().seq, 1);
-        assert!(d.try_recv().unwrap().is_none(), "duplicate must not deliver");
+        assert!(
+            d.try_recv().unwrap().is_none(),
+            "duplicate must not deliver"
+        );
         let (_, _, dups, _, acks) = d.stats_handle().snapshot();
         assert_eq!(dups, 1);
         assert!(acks >= 1, "duplicate triggers a re-ack");

@@ -10,6 +10,7 @@ use std::time::Instant;
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use lmpi_core::{Device, DeviceDefaults, Mpi, MpiConfig, MpiError, MpiResult, Rank, Wire};
+use lmpi_obs::{EventKind, Tracer};
 
 /// Device connecting `nprocs` ranks within one process.
 pub struct ShmDevice {
@@ -19,6 +20,7 @@ pub struct ShmDevice {
     txs: Vec<Sender<Wire>>,
     t0: Instant,
     defaults: DeviceDefaults,
+    tracer: Tracer,
 }
 
 /// Shared-memory platform defaults: latency is sub-microsecond, so a large
@@ -43,6 +45,7 @@ impl ShmDevice {
                 txs: txs.clone(),
                 t0,
                 defaults: SHM_DEFAULTS,
+                tracer: Tracer::disabled(),
             })
             .collect()
     }
@@ -58,6 +61,14 @@ impl Device for ShmDevice {
     }
 
     fn send(&self, dst: Rank, wire: Wire) {
+        self.tracer.emit_with(
+            || self.now_ns(),
+            EventKind::WireTx {
+                peer: dst as u32,
+                kind: wire.pkt.obs_kind(),
+                bytes: wire.pkt.payload_len() as u32,
+            },
+        );
         // A peer that already returned from its program has dropped its
         // receiver; late frames to it (typically trailing credit returns)
         // are harmless and dropped, as a real NIC would drop frames for a
@@ -77,6 +88,10 @@ impl Device for ShmDevice {
 
     fn wtime(&self) -> f64 {
         self.t0.elapsed().as_secs_f64()
+    }
+
+    fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 
     fn defaults(&self) -> DeviceDefaults {
@@ -132,9 +147,10 @@ where
         .enumerate()
         .map(|(rank, h)| match h.join() {
             Ok(v) => v,
-            Err(e) => std::panic::resume_unwind(
-                Box::new(format!("rank {rank} panicked: {e:?}")) as Box<dyn std::any::Any + Send>
-            ),
+            Err(e) => {
+                std::panic::resume_unwind(Box::new(format!("rank {rank} panicked: {e:?}"))
+                    as Box<dyn std::any::Any + Send>)
+            }
         })
         .collect()
 }

@@ -20,10 +20,11 @@ use std::time::{Duration, Instant};
 
 use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
 use lmpi_core::{Cost, Device, DeviceDefaults, Mpi, MpiConfig, MpiError, MpiResult, Rank, Wire};
-use parking_lot::Mutex;
 use lmpi_netmodel::ip::{Fabric, ReliableDgram, SockFabric, SockNode};
 use lmpi_netmodel::params::{AtmParams, CpuParams, EthParams, SocketParams};
+use lmpi_obs::{EventKind, Tracer};
 use lmpi_sim::{Proc, Sim, SimDur};
+use parking_lot::Mutex;
 
 use crate::codec;
 
@@ -59,6 +60,7 @@ pub struct SockDevice<C> {
     nprocs: usize,
     cpu: CpuParams,
     defaults: DeviceDefaults,
+    tracer: Tracer,
 }
 
 /// Cluster platform defaults: with ~1 ms round trips, piggybacking matters
@@ -80,6 +82,7 @@ impl<C: MsgChannel> SockDevice<C> {
             nprocs,
             cpu: CpuParams::sgi_indy(),
             defaults: SOCK_DEFAULTS,
+            tracer: Tracer::disabled(),
         }
     }
 }
@@ -94,6 +97,14 @@ impl<C: MsgChannel> Device for SockDevice<C> {
     }
 
     fn send(&self, dst: Rank, wire: Wire) {
+        self.tracer.emit_with(
+            || self.now_ns(),
+            EventKind::WireTx {
+                peer: dst as u32,
+                kind: wire.pkt.obs_kind(),
+                bytes: wire.pkt.payload_len() as u32,
+            },
+        );
         let nbytes = codec::wire_bytes(&wire);
         self.chan.send(dst, wire, nbytes);
     }
@@ -125,6 +136,10 @@ impl<C: MsgChannel> Device for SockDevice<C> {
         self.chan.wtime()
     }
 
+    fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
+    }
+
     fn defaults(&self) -> DeviceDefaults {
         self.defaults
     }
@@ -153,7 +168,10 @@ impl MsgChannel for SimTcpChannel {
     }
 
     fn try_recv(&self) -> MpiResult<Option<Wire>> {
-        Ok(self.node.try_recv(&self.proc, MPI_READS_PER_MSG).map(|(w, _)| w))
+        Ok(self
+            .node
+            .try_recv(&self.proc, MPI_READS_PER_MSG)
+            .map(|(w, _)| w))
     }
 
     fn recv_blocking(&self) -> MpiResult<Wire> {
@@ -192,7 +210,10 @@ impl MsgChannel for SimUdpChannel {
     }
 
     fn try_recv(&self) -> MpiResult<Option<Wire>> {
-        Ok(self.rel.try_recv(&self.proc, MPI_READS_PER_MSG).map(|(w, _)| w))
+        Ok(self
+            .rel
+            .try_recv(&self.proc, MPI_READS_PER_MSG)
+            .map(|(w, _)| w))
     }
 
     fn recv_blocking(&self) -> MpiResult<Wire> {
@@ -242,8 +263,15 @@ pub fn socket_params(net: ClusterNet, transport: ClusterTransport) -> SocketPara
 
 fn make_fabric(sim: &Sim, net: ClusterNet, nprocs: usize) -> Fabric {
     match net {
-        ClusterNet::Ethernet => Fabric::Eth(lmpi_netmodel::eth::EthFabric::new(sim, EthParams::default())),
-        ClusterNet::Atm => Fabric::Atm(lmpi_netmodel::atm::AtmFabric::new(sim, nprocs, AtmParams::default())),
+        ClusterNet::Ethernet => Fabric::Eth(lmpi_netmodel::eth::EthFabric::new(
+            sim,
+            EthParams::default(),
+        )),
+        ClusterNet::Atm => Fabric::Atm(lmpi_netmodel::atm::AtmFabric::new(
+            sim,
+            nprocs,
+            AtmParams::default(),
+        )),
     }
 }
 
@@ -553,12 +581,9 @@ where
             std::thread::Builder::new()
                 .name(format!("tcp-rank-{rank}"))
                 .spawn(move || -> MpiResult<T> {
-                    let chan =
-                        RealTcpChannel::connect(rank, nprocs, &rendezvous).map_err(|e| {
-                            MpiError::transport(format!(
-                                "tcp mesh setup failed for rank {rank}: {e}"
-                            ))
-                        })?;
+                    let chan = RealTcpChannel::connect(rank, nprocs, &rendezvous).map_err(|e| {
+                        MpiError::transport(format!("tcp mesh setup failed for rank {rank}: {e}"))
+                    })?;
                     Ok(f(Mpi::new(
                         Box::new(SockDevice::new(chan, rank, nprocs)),
                         config,
@@ -581,27 +606,33 @@ mod tests {
     use super::*;
 
     fn pingpong_rtt_us(net: ClusterNet, transport: ClusterTransport, nbytes: usize) -> f64 {
-        run_cluster(2, net, transport, MpiConfig::device_defaults(), move |mpi| {
-            let world = mpi.world();
-            let buf = vec![7u8; nbytes];
-            let mut back = vec![0u8; nbytes];
-            if world.rank() == 0 {
-                world.send(&buf, 1, 0).unwrap();
-                world.recv(&mut back, 1, 0).unwrap();
-                let t0 = mpi.wtime();
-                for _ in 0..2 {
+        run_cluster(
+            2,
+            net,
+            transport,
+            MpiConfig::device_defaults(),
+            move |mpi| {
+                let world = mpi.world();
+                let buf = vec![7u8; nbytes];
+                let mut back = vec![0u8; nbytes];
+                if world.rank() == 0 {
                     world.send(&buf, 1, 0).unwrap();
                     world.recv(&mut back, 1, 0).unwrap();
+                    let t0 = mpi.wtime();
+                    for _ in 0..2 {
+                        world.send(&buf, 1, 0).unwrap();
+                        world.recv(&mut back, 1, 0).unwrap();
+                    }
+                    (mpi.wtime() - t0) / 2.0 * 1e6
+                } else {
+                    for _ in 0..3 {
+                        world.recv(&mut back, 0, 0).unwrap();
+                        world.send(&back, 0, 0).unwrap();
+                    }
+                    0.0
                 }
-                (mpi.wtime() - t0) / 2.0 * 1e6
-            } else {
-                for _ in 0..3 {
-                    world.recv(&mut back, 0, 0).unwrap();
-                    world.send(&back, 0, 0).unwrap();
-                }
-                0.0
-            }
-        })[0]
+            },
+        )[0]
     }
 
     #[test]

@@ -8,11 +8,13 @@ use lmpi_devices::codec::{decode, encode, wire_bytes, HEADER_BYTES, SEQ_ACK_BYTE
 use proptest::prelude::*;
 
 fn envelope_strategy() -> impl Strategy<Value = Envelope> {
-    (0..64usize, 0..1000u32, 0..8u32, 0..10_000usize).prop_map(|(src, tag, context, len)| Envelope {
-        src,
-        tag,
-        context,
-        len,
+    (0..64usize, 0..1000u32, 0..8u32, 0..10_000usize).prop_map(|(src, tag, context, len)| {
+        Envelope {
+            src,
+            tag,
+            context,
+            len,
+        }
     })
 }
 
@@ -22,20 +24,22 @@ fn payload_strategy() -> impl Strategy<Value = Bytes> {
 
 fn packet_strategy() -> impl Strategy<Value = Packet> {
     prop_oneof![
-        (envelope_strategy(), 0..u32::MAX as u64, any::<bool>(), payload_strategy()).prop_map(
-            |(env, send_id, flag, data)| Packet::Eager {
+        (
+            envelope_strategy(),
+            0..u32::MAX as u64,
+            any::<bool>(),
+            payload_strategy()
+        )
+            .prop_map(|(env, send_id, flag, data)| Packet::Eager {
                 env,
                 send_id,
                 // needs_ack and ready are mutually exclusive in practice.
                 needs_ack: flag,
                 ready: false,
                 data,
-            }
-        ),
-        (envelope_strategy(), 0..u32::MAX as u64).prop_map(|(env, send_id)| Packet::RndvReq {
-            env,
-            send_id
-        }),
+            }),
+        (envelope_strategy(), 0..u32::MAX as u64)
+            .prop_map(|(env, send_id)| Packet::RndvReq { env, send_id }),
         (0..u32::MAX as u64, 0..u32::MAX as u64)
             .prop_map(|(send_id, recv_id)| Packet::RndvGo { send_id, recv_id }),
         (0..u32::MAX as u64, payload_strategy())
@@ -89,8 +93,20 @@ fn assert_wire_eq(a: &Wire, b: &Wire) {
     assert_eq!(a.data_credit, b.data_credit);
     match (&a.pkt, &b.pkt) {
         (
-            Packet::Eager { env: e1, send_id: s1, needs_ack: n1, ready: r1, data: d1 },
-            Packet::Eager { env: e2, send_id: s2, needs_ack: n2, ready: r2, data: d2 },
+            Packet::Eager {
+                env: e1,
+                send_id: s1,
+                needs_ack: n1,
+                ready: r1,
+                data: d1,
+            },
+            Packet::Eager {
+                env: e2,
+                send_id: s2,
+                needs_ack: n2,
+                ready: r2,
+                data: d2,
+            },
         ) => {
             assert_eq!(e1, e2);
             assert_eq!(s1, s2);
@@ -98,21 +114,39 @@ fn assert_wire_eq(a: &Wire, b: &Wire) {
             assert_eq!(d1, d2);
         }
         (
-            Packet::RndvReq { env: e1, send_id: s1 },
-            Packet::RndvReq { env: e2, send_id: s2 },
+            Packet::RndvReq {
+                env: e1,
+                send_id: s1,
+            },
+            Packet::RndvReq {
+                env: e2,
+                send_id: s2,
+            },
         ) => {
             assert_eq!(e1, e2);
             assert_eq!(s1, s2);
         }
         (
-            Packet::RndvGo { send_id: s1, recv_id: r1 },
-            Packet::RndvGo { send_id: s2, recv_id: r2 },
+            Packet::RndvGo {
+                send_id: s1,
+                recv_id: r1,
+            },
+            Packet::RndvGo {
+                send_id: s2,
+                recv_id: r2,
+            },
         ) => {
             assert_eq!((s1, r1), (s2, r2));
         }
         (
-            Packet::RndvData { recv_id: r1, data: d1 },
-            Packet::RndvData { recv_id: r2, data: d2 },
+            Packet::RndvData {
+                recv_id: r1,
+                data: d1,
+            },
+            Packet::RndvData {
+                recv_id: r2,
+                data: d2,
+            },
         ) => {
             assert_eq!(r1, r2);
             assert_eq!(d1, d2);
@@ -122,13 +156,27 @@ fn assert_wire_eq(a: &Wire, b: &Wire) {
         }
         (Packet::Credit, Packet::Credit) => {}
         (
-            Packet::HwBcast { context: c1, root: r1, seq: s1, data: d1 },
-            Packet::HwBcast { context: c2, root: r2, seq: s2, data: d2 },
+            Packet::HwBcast {
+                context: c1,
+                root: r1,
+                seq: s1,
+                data: d1,
+            },
+            Packet::HwBcast {
+                context: c2,
+                root: r2,
+                seq: s2,
+                data: d2,
+            },
         ) => {
             assert_eq!((c1, r1, s1), (c2, r2, s2));
             assert_eq!(d1, d2);
         }
-        (x, y) => panic!("packet kind changed: {} vs {}", x.kind_name(), y.kind_name()),
+        (x, y) => panic!(
+            "packet kind changed: {} vs {}",
+            x.kind_name(),
+            y.kind_name()
+        ),
     }
 }
 

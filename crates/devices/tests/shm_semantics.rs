@@ -116,7 +116,13 @@ fn truncation_error_surfaces() {
         } else {
             let mut tiny = [0u8; 10];
             let err = world.recv(&mut tiny, 0, 0).unwrap_err();
-            assert!(matches!(err, MpiError::Truncated { message_len: 100, buffer_len: 10 }));
+            assert!(matches!(
+                err,
+                MpiError::Truncated {
+                    message_len: 100,
+                    buffer_len: 10
+                }
+            ));
         }
     });
 }
@@ -124,22 +130,26 @@ fn truncation_error_surfaces() {
 #[test]
 fn rendezvous_large_messages_roundtrip() {
     // Well above any eager threshold: exercises RndvReq/Go/Data.
-    run_with_config(2, MpiConfig::device_defaults().with_eager_threshold(64), |mpi| {
-        let world = mpi.world();
-        let big: Vec<u64> = (0..100_000u64).collect();
-        if world.rank() == 0 {
-            world.send(&big, 1, 0).unwrap();
-            let mut back = vec![0u64; big.len()];
-            world.recv(&mut back, 1, 1).unwrap();
-            assert_eq!(back, big);
-        } else {
-            let mut buf = vec![0u64; big.len()];
-            world.recv(&mut buf, 0, 0).unwrap();
-            world.send(&buf, 0, 1).unwrap();
-        }
-        let c = mpi.counters();
-        assert!(c.rndv_sent >= 1, "large message must use rendezvous: {c:?}");
-    });
+    run_with_config(
+        2,
+        MpiConfig::device_defaults().with_eager_threshold(64),
+        |mpi| {
+            let world = mpi.world();
+            let big: Vec<u64> = (0..100_000u64).collect();
+            if world.rank() == 0 {
+                world.send(&big, 1, 0).unwrap();
+                let mut back = vec![0u64; big.len()];
+                world.recv(&mut back, 1, 1).unwrap();
+                assert_eq!(back, big);
+            } else {
+                let mut buf = vec![0u64; big.len()];
+                world.recv(&mut buf, 0, 0).unwrap();
+                world.send(&buf, 0, 1).unwrap();
+            }
+            let c = mpi.counters();
+            assert!(c.rndv_sent >= 1, "large message must use rendezvous: {c:?}");
+        },
+    );
 }
 
 #[test]
@@ -148,7 +158,9 @@ fn many_small_messages_respect_flow_control() {
     // order.
     run_with_config(
         2,
-        MpiConfig::device_defaults().with_env_slots(1).with_recv_buf(256),
+        MpiConfig::device_defaults()
+            .with_env_slots(1)
+            .with_recv_buf(256),
         |mpi| {
             let world = mpi.world();
             if world.rank() == 0 {
@@ -187,7 +199,11 @@ fn collectives_agree_with_serial_reference() {
         let mut part = [0u32; 2];
         let root_data: Vec<u32> = (0..2 * n as u32).collect();
         world
-            .scatter(if me == 0 { Some(&root_data[..]) } else { None }, &mut part, 0)
+            .scatter(
+                if me == 0 { Some(&root_data[..]) } else { None },
+                &mut part,
+                0,
+            )
             .unwrap();
         assert_eq!(part, [2 * me as u32, 2 * me as u32 + 1]);
 
@@ -203,7 +219,10 @@ fn collectives_agree_with_serial_reference() {
         // maxloc
         let loc = world
             .allreduce(
-                &[Loc { value: ((me * 3 + 2) % 11) as f64, index: me as u64 }],
+                &[Loc {
+                    value: ((me * 3 + 2) % 11) as f64,
+                    index: me as u64,
+                }],
                 ReduceOp::MaxLoc,
             )
             .unwrap();
@@ -295,9 +314,7 @@ fn sendrecv_exchanges_without_deadlock() {
         let right = (me + 1) % n;
         let left = (me + n - 1) % n;
         let mut got = [0usize];
-        world
-            .sendrecv(&[me], right, 0, &mut got, left, 0)
-            .unwrap();
+        world.sendrecv(&[me], right, 0, &mut got, left, 0).unwrap();
         assert_eq!(got[0], left);
     });
 }

@@ -32,7 +32,14 @@ pub enum Fabric {
 }
 
 impl Fabric {
-    fn transmit(&self, src: usize, dst: usize, t0: lmpi_sim::SimTime, nbytes: usize, copy: f64) -> lmpi_sim::SimTime {
+    fn transmit(
+        &self,
+        src: usize,
+        dst: usize,
+        t0: lmpi_sim::SimTime,
+        nbytes: usize,
+        copy: f64,
+    ) -> lmpi_sim::SimTime {
         match self {
             Fabric::Eth(f) => f.transmit(t0, nbytes, copy),
             Fabric::Atm(f) => f.transmit(src, dst, t0, nbytes, copy),
@@ -139,7 +146,9 @@ impl<T: Send + 'static> SockNode<T> {
         proc.advance(SimDur::from_us_f64(p.send_fixed_us));
         let t0 = proc.now();
         proc.advance(SimDur::from_us_f64(nbytes as f64 * p.copy_per_byte_us));
-        let arrival = inner.fabric.transmit(self.node, dst, t0, nbytes, p.copy_per_byte_us);
+        let arrival = inner
+            .fabric
+            .transmit(self.node, dst, t0, nbytes, p.copy_per_byte_us);
         if inner.loss > 0.0 && inner.rng.lock().chance(inner.loss) {
             *inner.dropped.lock() += 1;
             return;
@@ -343,8 +352,7 @@ impl<T: Clone + Send + 'static> ReliableDgram<T> {
                         // Drain consecutively parked followers.
                         loop {
                             let next = st.next_recv_seq[src];
-                            let Some(pos) =
-                                st.parked[src].iter().position(|(s, _, _)| *s == next)
+                            let Some(pos) = st.parked[src].iter().position(|(s, _, _)| *s == next)
                             else {
                                 break;
                             };

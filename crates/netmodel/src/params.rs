@@ -265,9 +265,8 @@ mod tests {
         // crossover: eager pays per-byte txn + copy; rendezvous pays an
         // extra control round + DMA setup but moves data at DMA rate.
         let eager = |n: f64| n * (p.txn_per_byte_us + p.copy_rate_us);
-        let rndv = |n: f64| {
-            p.txn_wire_us + p.dma_setup_us + p.dma_notify_us + n * p.dma_per_byte_us
-        };
+        let rndv =
+            |n: f64| p.txn_wire_us + p.dma_setup_us + p.dma_notify_us + n * p.dma_per_byte_us;
         let crossover = (0..4096)
             .find(|&n| eager(n as f64) > rndv(n as f64))
             .unwrap();
@@ -288,24 +287,39 @@ mod tests {
     fn tcp_round_trips_match_table_1() {
         let eth = SocketParams::tcp_eth();
         let e = EthParams::default();
-        let one_way =
-            eth.send_fixed_us + eth.copy_per_byte_us + 1.0 * e.wire_per_byte_us + e.prop_us
-                + eth.recv_fixed_us + eth.read_fixed_us;
-        assert!((2.0 * one_way - 925.0).abs() < 10.0, "eth rtt {}", 2.0 * one_way);
+        let one_way = eth.send_fixed_us
+            + eth.copy_per_byte_us
+            + 1.0 * e.wire_per_byte_us
+            + e.prop_us
+            + eth.recv_fixed_us
+            + eth.read_fixed_us;
+        assert!(
+            (2.0 * one_way - 925.0).abs() < 10.0,
+            "eth rtt {}",
+            2.0 * one_way
+        );
 
         let atm = SocketParams::tcp_atm();
         let a = AtmParams::default();
-        let one_way = atm.send_fixed_us + atm.copy_per_byte_us + a.cell_time_us + a.switch_us
-            + atm.recv_fixed_us + atm.read_fixed_us;
-        assert!((2.0 * one_way - 1065.0).abs() < 10.0, "atm rtt {}", 2.0 * one_way);
+        let one_way = atm.send_fixed_us
+            + atm.copy_per_byte_us
+            + a.cell_time_us
+            + a.switch_us
+            + atm.recv_fixed_us
+            + atm.read_fixed_us;
+        assert!(
+            (2.0 * one_way - 1065.0).abs() < 10.0,
+            "atm rtt {}",
+            2.0 * one_way
+        );
     }
 
     #[test]
     fn marginal_25_byte_costs_match_table_1() {
         // Table 1: +45us on Ethernet, +5us on ATM for 25 bytes of protocol
         // info (per direction, small messages: copy + wire, unpipelined).
-        let eth_marginal =
-            25.0 * (SocketParams::tcp_eth().copy_per_byte_us + EthParams::default().wire_per_byte_us);
+        let eth_marginal = 25.0
+            * (SocketParams::tcp_eth().copy_per_byte_us + EthParams::default().wire_per_byte_us);
         assert!((eth_marginal - 45.0).abs() < 2.0, "{eth_marginal}");
         // ATM: 25 extra bytes stay within the same cell or add one cell;
         // the copy cost dominates the marginal.

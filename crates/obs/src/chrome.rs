@@ -1,0 +1,283 @@
+//! Chrome trace-event JSON exporter.
+//!
+//! Emits the "JSON array format" understood by `chrome://tracing` and
+//! Perfetto: one `ph:"M"` metadata record naming each rank's process row,
+//! a `ph:"i"` instant per protocol event, and `ph:"X"` duration spans for
+//! the two event pairs that have natural extents (credit stalls and
+//! collectives). Timestamps are microseconds as floats, so nanosecond
+//! event times keep sub-microsecond precision on the timeline.
+
+use std::collections::HashMap;
+
+use crate::event::{Event, EventKind};
+use crate::json::{array, Obj};
+use crate::tracer::TraceBuffer;
+
+fn ts_us(t_ns: u64) -> f64 {
+    t_ns as f64 / 1_000.0
+}
+
+/// Per-kind `args` payload for the timeline tooltip.
+fn args_json(kind: &EventKind) -> String {
+    match *kind {
+        EventKind::SendPosted { peer, bytes, tag } => Obj::new()
+            .u64("peer", peer as u64)
+            .u64("bytes", bytes as u64)
+            .u64("tag", tag as u64)
+            .finish(),
+        EventKind::EagerTx { peer, bytes }
+        | EventKind::RndvReqTx { peer, bytes }
+        | EventKind::DmaStart { peer, bytes }
+        | EventKind::DmaEnd { peer, bytes }
+        | EventKind::UnexpectedBuffered { peer, bytes }
+        | EventKind::Delivered { peer, bytes } => Obj::new()
+            .u64("peer", peer as u64)
+            .u64("bytes", bytes as u64)
+            .finish(),
+        EventKind::EnvelopeMatched {
+            peer,
+            bytes,
+            unexpected,
+        } => Obj::new()
+            .u64("peer", peer as u64)
+            .u64("bytes", bytes as u64)
+            .bool("unexpected", unexpected)
+            .finish(),
+        EventKind::RndvGoTx { peer }
+        | EventKind::RndvGoRx { peer }
+        | EventKind::AckTx { peer }
+        | EventKind::AckRx { peer }
+        | EventKind::CreditStall { peer }
+        | EventKind::CreditTx { peer }
+        | EventKind::PureAckTx { peer } => Obj::new().u64("peer", peer as u64).finish(),
+        EventKind::RecvPosted { tag } => Obj::new().u64("tag", tag as u64).finish(),
+        EventKind::CreditResume { peer, stalled_ns } => Obj::new()
+            .u64("peer", peer as u64)
+            .u64("stalled_ns", stalled_ns)
+            .finish(),
+        EventKind::WireRx { peer, kind } => Obj::new()
+            .u64("peer", peer as u64)
+            .str("packet", kind.name())
+            .finish(),
+        EventKind::WireTx { peer, kind, bytes } => Obj::new()
+            .u64("peer", peer as u64)
+            .str("packet", kind.name())
+            .u64("bytes", bytes as u64)
+            .finish(),
+        EventKind::Retransmit { peer, seq } | EventKind::DupSuppressed { peer, seq } => Obj::new()
+            .u64("peer", peer as u64)
+            .u64("seq", seq as u64)
+            .finish(),
+        EventKind::FaultInjected { peer, fault } => Obj::new()
+            .u64("peer", peer as u64)
+            .str("fault", fault.name())
+            .finish(),
+        EventKind::CollBegin { op } | EventKind::CollEnd { op } => {
+            Obj::new().str("op", op.name()).finish()
+        }
+    }
+}
+
+fn instant(rank: u32, ev: &Event) -> String {
+    Obj::new()
+        .str("ph", "i")
+        .str("name", ev.kind.name())
+        .f64("ts", ts_us(ev.t_ns))
+        .u64("pid", rank as u64)
+        .u64("tid", 0)
+        .str("s", "t")
+        .raw("args", &args_json(&ev.kind))
+        .finish()
+}
+
+fn span(rank: u32, name: &str, start_ns: u64, end_ns: u64, args: String) -> String {
+    Obj::new()
+        .str("ph", "X")
+        .str("name", name)
+        .f64("ts", ts_us(start_ns))
+        .f64("dur", ts_us(end_ns.saturating_sub(start_ns)))
+        .u64("pid", rank as u64)
+        .u64("tid", 0)
+        .raw("args", &args)
+        .finish()
+}
+
+/// Render multi-rank trace buffers as a Chrome trace-event JSON array.
+///
+/// Load the result in Perfetto (<https://ui.perfetto.dev>) or
+/// `chrome://tracing`; each rank appears as a process row.
+pub fn chrome_trace_json(bufs: &[TraceBuffer]) -> String {
+    let mut records = Vec::new();
+    for buf in bufs {
+        records.push(
+            Obj::new()
+                .str("ph", "M")
+                .str("name", "process_name")
+                .u64("pid", buf.rank as u64)
+                .u64("tid", 0)
+                .raw(
+                    "args",
+                    &Obj::new()
+                        .str("name", &format!("rank {}", buf.rank))
+                        .finish(),
+                )
+                .finish(),
+        );
+        // Open-span bookkeeping: credit stalls keyed by peer, collectives
+        // keyed by op name.
+        let mut coll_open: HashMap<&'static str, u64> = HashMap::new();
+        for ev in &buf.events {
+            records.push(instant(buf.rank, ev));
+            match ev.kind {
+                EventKind::CreditResume { peer, stalled_ns } if stalled_ns > 0 => {
+                    records.push(span(
+                        buf.rank,
+                        "credit stall",
+                        ev.t_ns.saturating_sub(stalled_ns),
+                        ev.t_ns,
+                        Obj::new().u64("peer", peer as u64).finish(),
+                    ));
+                }
+                EventKind::CollBegin { op } => {
+                    coll_open.insert(op.name(), ev.t_ns);
+                }
+                EventKind::CollEnd { op } => {
+                    if let Some(start) = coll_open.remove(op.name()) {
+                        records.push(span(
+                            buf.rank,
+                            &format!("coll:{}", op.name()),
+                            start,
+                            ev.t_ns,
+                            Obj::new().str("op", op.name()).finish(),
+                        ));
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    array(&records)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{CollOp, PacketKind};
+    use crate::json::validate;
+    use crate::tracer::Tracer;
+
+    #[test]
+    fn export_validates_and_names_ranks() {
+        let t0 = Tracer::enabled(0, 64);
+        let t1 = Tracer::enabled(1, 64);
+        t0.emit_at(
+            1_000,
+            EventKind::SendPosted {
+                peer: 1,
+                bytes: 64,
+                tag: 9,
+            },
+        );
+        t0.emit_at(1_500, EventKind::EagerTx { peer: 1, bytes: 64 });
+        t0.emit_at(2_000, EventKind::CreditStall { peer: 1 });
+        t0.emit_at(
+            9_000,
+            EventKind::CreditResume {
+                peer: 1,
+                stalled_ns: 7_000,
+            },
+        );
+        t1.emit_at(
+            3_000,
+            EventKind::WireRx {
+                peer: 0,
+                kind: PacketKind::Eager,
+            },
+        );
+        t1.emit_at(
+            4_000,
+            EventKind::CollBegin {
+                op: CollOp::Barrier,
+            },
+        );
+        t1.emit_at(
+            6_000,
+            EventKind::CollEnd {
+                op: CollOp::Barrier,
+            },
+        );
+        let json = chrome_trace_json(&[t0.snapshot(), t1.snapshot()]);
+        validate(&json).unwrap();
+        assert!(json.contains(r#""name":"rank 0""#));
+        assert!(json.contains(r#""name":"rank 1""#));
+        assert!(json.contains(r#""name":"credit stall""#));
+        assert!(json.contains(r#""name":"coll:barrier""#));
+        assert!(json.contains(r#""packet":"Eager""#));
+    }
+
+    #[test]
+    fn empty_input_is_an_empty_array() {
+        assert_eq!(chrome_trace_json(&[]), "[]");
+    }
+
+    #[test]
+    fn every_event_kind_renders_valid_args() {
+        use EventKind::*;
+        let kinds = [
+            SendPosted {
+                peer: 1,
+                bytes: 2,
+                tag: 3,
+            },
+            EagerTx { peer: 1, bytes: 2 },
+            RndvReqTx { peer: 1, bytes: 2 },
+            RndvGoTx { peer: 1 },
+            RndvGoRx { peer: 1 },
+            DmaStart { peer: 1, bytes: 2 },
+            DmaEnd { peer: 1, bytes: 2 },
+            EnvelopeMatched {
+                peer: 1,
+                bytes: 2,
+                unexpected: true,
+            },
+            UnexpectedBuffered { peer: 1, bytes: 2 },
+            Delivered { peer: 1, bytes: 2 },
+            RecvPosted { tag: u32::MAX },
+            AckTx { peer: 1 },
+            AckRx { peer: 1 },
+            CreditStall { peer: 1 },
+            CreditResume {
+                peer: 1,
+                stalled_ns: 5,
+            },
+            CreditTx { peer: 1 },
+            WireRx {
+                peer: 1,
+                kind: PacketKind::Credit,
+            },
+            WireTx {
+                peer: 1,
+                kind: PacketKind::RndvData,
+                bytes: 9,
+            },
+            Retransmit { peer: 1, seq: 4 },
+            DupSuppressed { peer: 1, seq: 4 },
+            PureAckTx { peer: 1 },
+            FaultInjected {
+                peer: 1,
+                fault: crate::event::FaultKind::Drop,
+            },
+            CollBegin {
+                op: CollOp::Allreduce,
+            },
+            CollEnd {
+                op: CollOp::Allreduce,
+            },
+        ];
+        let t = Tracer::enabled(0, kinds.len());
+        for (i, k) in kinds.iter().enumerate() {
+            t.emit_at(i as u64, *k);
+        }
+        validate(&chrome_trace_json(&[t.snapshot()])).unwrap();
+    }
+}

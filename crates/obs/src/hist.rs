@@ -1,0 +1,262 @@
+//! Log-bucketed latency histograms.
+//!
+//! HDR-style layout: values below 2^3 get exact buckets; above that each
+//! power-of-two octave is split into 8 sub-buckets, bounding relative
+//! quantile error at 12.5% across the full `u64` nanosecond range in a
+//! fixed 496-slot table. Recording is O(1) with no allocation, so the
+//! histogram itself stays inside the tracing overhead budget.
+
+/// Sub-bucket resolution: 2^3 = 8 slices per octave.
+const SUB_BITS: u32 = 3;
+const SUB_COUNT: u64 = 1 << SUB_BITS;
+const NBUCKETS: usize = ((64 - SUB_BITS as usize) << SUB_BITS as usize) + SUB_COUNT as usize;
+
+fn bucket_index(v: u64) -> usize {
+    let v = v.max(1);
+    let octave = 63 - v.leading_zeros();
+    if octave < SUB_BITS {
+        v as usize
+    } else {
+        let sub = (v >> (octave - SUB_BITS)) & (SUB_COUNT - 1);
+        (((octave - SUB_BITS + 1) as usize) << SUB_BITS as usize) + sub as usize
+    }
+}
+
+/// Upper bound of the value range covered by bucket `idx`.
+fn bucket_high(idx: usize) -> u64 {
+    if idx < SUB_COUNT as usize {
+        idx as u64
+    } else {
+        let octave = (idx >> SUB_BITS as usize) as u32 + SUB_BITS - 1;
+        let sub = (idx as u64) & (SUB_COUNT - 1);
+        let width = 1u64 << (octave - SUB_BITS);
+        (1u64 << octave) + sub * width + (width - 1)
+    }
+}
+
+/// Percentile roll-up of a [`LatencyHist`].
+#[derive(Copy, Clone, Debug, Default, PartialEq)]
+pub struct PercentileSummary {
+    /// Number of recorded samples.
+    pub count: u64,
+    /// Exact minimum, ns.
+    pub min_ns: u64,
+    /// Exact maximum, ns.
+    pub max_ns: u64,
+    /// Exact mean, ns.
+    pub mean_ns: f64,
+    /// Median (≤ 12.5% bucket error), ns.
+    pub p50_ns: u64,
+    /// 90th percentile, ns.
+    pub p90_ns: u64,
+    /// 99th percentile, ns.
+    pub p99_ns: u64,
+}
+
+/// Fixed-size log-bucketed histogram of nanosecond latencies.
+#[derive(Clone)]
+pub struct LatencyHist {
+    counts: Box<[u64; NBUCKETS]>,
+    count: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl Default for LatencyHist {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHist {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        LatencyHist {
+            counts: Box::new([0; NBUCKETS]),
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Record one sample.
+    #[inline]
+    pub fn record(&mut self, ns: u64) {
+        self.counts[bucket_index(ns)] += 1;
+        self.count += 1;
+        self.sum += ns as u128;
+        self.min = self.min.min(ns);
+        self.max = self.max.max(ns);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact minimum recorded, or 0 if empty.
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Exact maximum recorded.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Exact mean, or 0.0 if empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Value at quantile `q` (0.0 ..= 1.0), within 12.5% bucket error,
+    /// clamped to the exact observed [min, max]. Returns 0 if empty.
+    pub fn percentile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (idx, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return bucket_high(idx).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Fold `other` into `self`.
+    pub fn merge(&mut self, other: &LatencyHist) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Roll up count / min / max / mean / p50 / p90 / p99.
+    pub fn summary(&self) -> PercentileSummary {
+        PercentileSummary {
+            count: self.count,
+            min_ns: self.min(),
+            max_ns: self.max,
+            mean_ns: self.mean(),
+            p50_ns: self.percentile(0.50),
+            p90_ns: self.percentile(0.90),
+            p99_ns: self.percentile(0.99),
+        }
+    }
+}
+
+impl std::fmt::Debug for LatencyHist {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = self.summary();
+        write!(
+            f,
+            "LatencyHist(n={} min={} p50={} p99={} max={})",
+            s.count, s.min_ns, s.p50_ns, s.p99_ns, s.max_ns
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_is_monotone_and_in_range() {
+        let mut last = 0usize;
+        for shift in 0..64u32 {
+            for near in [0i64, 1, 7] {
+                let v = (1u64 << shift).saturating_add_signed(near);
+                let idx = bucket_index(v);
+                assert!(idx < NBUCKETS, "v={v} idx={idx}");
+                assert!(idx >= last, "not monotone at v={v}");
+                last = idx;
+            }
+        }
+    }
+
+    #[test]
+    fn bucket_high_bounds_its_values() {
+        for v in [1u64, 5, 8, 100, 1_000, 65_536, 1_000_000, u64::MAX / 2] {
+            let idx = bucket_index(v);
+            let hi = bucket_high(idx);
+            assert!(hi >= v, "v={v} hi={hi}");
+            // Relative error bounded by one sub-bucket width (12.5%).
+            assert!(hi as f64 <= v as f64 * 1.125 + 1.0, "v={v} hi={hi}");
+        }
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = LatencyHist::new();
+        for v in 0..8u64 {
+            h.record(v);
+        }
+        assert!(h.percentile(0.0) <= 1); // 0 shares bucket 1 (values clamp to ≥ 1)
+        assert_eq!(h.count(), 8);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 7);
+    }
+
+    #[test]
+    fn percentiles_of_uniform_ramp() {
+        let mut h = LatencyHist::new();
+        for v in 1..=1000u64 {
+            h.record(v * 1000); // 1 µs .. 1 ms
+        }
+        let s = h.summary();
+        assert_eq!(s.count, 1000);
+        let within = |got: u64, want: u64| {
+            let lo = (want as f64 * 0.875) as u64;
+            let hi = (want as f64 * 1.13) as u64;
+            (lo..=hi).contains(&got)
+        };
+        assert!(within(s.p50_ns, 500_000), "p50={}", s.p50_ns);
+        assert!(within(s.p90_ns, 900_000), "p90={}", s.p90_ns);
+        assert!(within(s.p99_ns, 990_000), "p99={}", s.p99_ns);
+        assert!((s.mean_ns - 500_500.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn merge_equals_combined_recording() {
+        let mut a = LatencyHist::new();
+        let mut b = LatencyHist::new();
+        let mut both = LatencyHist::new();
+        for v in [3u64, 77, 1_000, 123_456] {
+            a.record(v);
+            both.record(v);
+        }
+        for v in [9u64, 5_000_000] {
+            b.record(v);
+            both.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.summary(), both.summary());
+    }
+
+    #[test]
+    fn empty_histogram_is_quiet() {
+        let h = LatencyHist::new();
+        let s = h.summary();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.min_ns, 0);
+        assert_eq!(s.p99_ns, 0);
+        assert_eq!(s.mean_ns, 0.0);
+    }
+}

@@ -1,0 +1,44 @@
+//! # lmpi-obs — observability for the MPI protocol stack
+//!
+//! The paper's central contribution is a *latency accounting*: Table 1
+//! decomposes the TCP round trip into API, protocol-engine, and wire
+//! components, and Fig. 2 shows where the Meiko 104 µs vs 210 µs gap comes
+//! from. This crate supplies the machinery to reproduce that accounting on
+//! the reimplementation:
+//!
+//! * [`Clock`] — one nanosecond time abstraction over both the simulator's
+//!   virtual clock and real monotonic time ([`MonotonicClock`],
+//!   [`ManualClock`], [`secs_to_ns`]);
+//! * [`Tracer`] — a cloneable handle onto a per-rank overwriting ring
+//!   buffer of typed protocol [`Event`]s. A disabled tracer (the default)
+//!   reduces every emission to a single branch on an `Option`, so
+//!   instrumented hot paths stay within the overhead budget;
+//! * [`LatencyHist`] — log-bucketed (HDR-style octave + sub-bucket)
+//!   latency histograms with percentile summaries;
+//! * exporters — [`chrome_trace_json`] renders multi-rank timelines
+//!   loadable in Perfetto / `chrome://tracing`, and [`report`] walks
+//!   paired event streams to attribute each ping-pong half-trip to
+//!   API / protocol / wire phases, reproducing Table 1.
+//!
+//! The crate is dependency-light by design (only `parking_lot`): it sits
+//! *below* `lmpi-core` in the crate graph so the engine and every device
+//! can emit events without cycles. Timestamps are raw `u64` nanoseconds;
+//! the tracer never owns a clock — callers pass time in, which is what
+//! lets one event schema span virtual and wall-clock substrates.
+
+#![warn(missing_docs)]
+
+mod chrome;
+mod clock;
+mod event;
+mod hist;
+mod json;
+pub mod report;
+mod tracer;
+
+pub use chrome::chrome_trace_json;
+pub use clock::{secs_to_ns, Clock, ManualClock, MonotonicClock};
+pub use event::{CollOp, Event, EventKind, FaultKind, PacketKind};
+pub use hist::{LatencyHist, PercentileSummary};
+pub use report::{attribute_ping_pong, table1_json, PhaseBreakdown, Table1Row};
+pub use tracer::{TraceBuffer, Tracer};

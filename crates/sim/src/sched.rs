@@ -247,7 +247,10 @@ impl Sim {
                 if let Err(payload) = result {
                     let msg = payload_to_string(payload.as_ref());
                     if st.panicked.is_none() {
-                        st.panicked = Some(format!("process '{}' panicked: {msg}", proc.name_locked(&st)));
+                        st.panicked = Some(format!(
+                            "process '{}' panicked: {msg}",
+                            proc.name_locked(&st)
+                        ));
                     }
                 }
                 st.token = Token::Scheduler;

@@ -125,7 +125,11 @@ impl Histogram {
 
     /// Record one sample.
     pub fn record(&mut self, x: u64) {
-        let idx = if x == 0 { 0 } else { 64 - x.leading_zeros() as usize };
+        let idx = if x == 0 {
+            0
+        } else {
+            64 - x.leading_zeros() as usize
+        };
         self.buckets[idx] += 1;
         self.total += 1;
     }

@@ -82,7 +82,10 @@ impl SimDur {
     /// Construct from fractional microseconds (rounds to nearest ns).
     #[inline]
     pub fn from_us_f64(us: f64) -> Self {
-        assert!(us >= 0.0 && us.is_finite(), "duration must be finite and non-negative");
+        assert!(
+            us >= 0.0 && us.is_finite(),
+            "duration must be finite and non-negative"
+        );
         SimDur {
             ns: (us * 1_000.0).round() as u64,
         }
@@ -97,7 +100,10 @@ impl SimDur {
     /// Construct from fractional seconds (rounds to nearest ns).
     #[inline]
     pub fn from_secs_f64(secs: f64) -> Self {
-        assert!(secs >= 0.0 && secs.is_finite(), "duration must be finite and non-negative");
+        assert!(
+            secs >= 0.0 && secs.is_finite(),
+            "duration must be finite and non-negative"
+        );
         SimDur {
             ns: (secs * 1_000_000_000.0).round() as u64,
         }

@@ -14,7 +14,13 @@ const STEPS: usize = 200;
 
 fn initial() -> Vec<f64> {
     (0..CELLS)
-        .map(|i| if (CELLS / 3..CELLS / 2).contains(&i) { 100.0 } else { 0.0 })
+        .map(|i| {
+            if (CELLS / 3..CELLS / 2).contains(&i) {
+                100.0
+            } else {
+                0.0
+            }
+        })
         .collect()
 }
 

@@ -16,7 +16,10 @@ fn main() {
         .and_then(|s| s.parse().ok())
         .unwrap_or(96);
     println!("solving a {n}x{n} dense system on a simulated Meiko CS/2\n");
-    println!("{:>6} {:>18} {:>18} {:>9}", "procs", "low-latency (s)", "MPICH (s)", "speedup");
+    println!(
+        "{:>6} {:>18} {:>18} {:>9}",
+        "procs", "low-latency (s)", "MPICH (s)", "speedup"
+    );
 
     for procs in [1usize, 2, 4, 8, 16] {
         let time = |variant| {

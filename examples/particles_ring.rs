@@ -12,7 +12,10 @@ use lmpi::{run_cluster, run_meiko, ClusterNet, ClusterTransport, MeikoVariant, M
 
 fn main() {
     println!("== Meiko CS/2, 24 particles (the paper's Fig. 8) ==");
-    println!("{:>6} {:>16} {:>16}", "procs", "low-latency (us)", "MPICH (us)");
+    println!(
+        "{:>6} {:>16} {:>16}",
+        "procs", "low-latency (us)", "MPICH (us)"
+    );
     for procs in [1usize, 2, 4, 8] {
         let time = |variant| {
             run_meiko(procs, variant, MpiConfig::device_defaults(), move |mpi| {

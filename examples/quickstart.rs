@@ -59,7 +59,12 @@ fn main() {
     }
 
     println!("== simulated Meiko CS/2 (virtual time) ==");
-    for line in run_meiko(4, MeikoVariant::LowLatency, MpiConfig::device_defaults(), demo) {
+    for line in run_meiko(
+        4,
+        MeikoVariant::LowLatency,
+        MpiConfig::device_defaults(),
+        demo,
+    ) {
         println!("  {line}");
     }
 

@@ -10,9 +10,10 @@
 //! * a **simulated workstation cluster** (kernel TCP or reliable UDP over
 //!   shared 10 Mbit/s Ethernet or a 155 Mbit/s ATM switch) —
 //!   [`run_cluster`];
-//! * **real threads** ([`run_threads`]) and **real TCP loopback**
-//!   ([`run_real_tcp`], which returns `MpiResult` — mesh setup can fail)
-//!   for functional use and wall-clock benchmarking.
+//! * **real threads** ([`run_threads`]), **real TCP loopback**
+//!   ([`run_real_tcp`]) and **real UDP loopback under go-back-N**
+//!   ([`run_real_udp`]) — both socket launchers return `MpiResult`, as
+//!   mesh setup can fail — for functional use and wall-clock benchmarking.
 //!
 //! For fault-tolerance work, [`FaultyDevice`] injects deterministic seeded
 //! drop/duplicate/reorder/delay faults over any device and
@@ -38,8 +39,13 @@ pub use lmpi_core::{
     dims_create, from_bytes, start_all, test_all, to_bytes, wait_all, wait_any, CartComm,
     Communicator, Cost, Counters, DataType, Device, DeviceDefaults, Group, Loc, Mpi, MpiConfig,
     MpiData, MpiError, MpiResult, PersistentRecv, PersistentSend, Rank, ReduceOp, Reducible,
-    Request, SendMode, SourceSel, Status, Tag, TagSel, TAG_UB,
+    Request, SendMode, SourceSel, Status, Tag, TagSel, TransportStats, TAG_UB,
 };
+
+/// Protocol observability: tracing, histograms, trace export, Table-1
+/// report generation (re-exported from `lmpi-obs`).
+pub use lmpi_core::obs;
+pub use lmpi_core::{EventKind, TraceBuffer, Tracer};
 
 pub use lmpi_devices::faulty::{FaultConfig, FaultRates, FaultStats, FaultyDevice, PacketClass};
 pub use lmpi_devices::meiko::{run_meiko, MeikoDevice, MeikoVariant};
@@ -47,9 +53,8 @@ pub use lmpi_devices::reliable::{RelConfig, RelStats, ReliableDevice};
 pub use lmpi_devices::shm::{
     run as run_threads, run_devices, run_with_config as run_threads_with_config, ShmDevice,
 };
-pub use lmpi_devices::sock::{
-    run_cluster, run_real_tcp, ClusterNet, ClusterTransport, SockDevice,
-};
+pub use lmpi_devices::sock::{run_cluster, run_real_tcp, ClusterNet, ClusterTransport, SockDevice};
+pub use lmpi_devices::udp::{run_real_udp, UdpDevice};
 
 /// The paper's application kernels (re-exported from `lmpi-apps`).
 pub mod apps {

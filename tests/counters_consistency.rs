@@ -1,0 +1,206 @@
+//! Counter-consistency under seeded fault schedules: the protocol counters
+//! and the merged transport statistics must tell one coherent story no
+//! matter what the fault injector does to the wire. Go-back-N plus
+//! duplicate suppression makes delivery exactly-once, so receiver-side
+//! envelope matches must equal sender-side eager + rendezvous sends — net
+//! of however many retransmissions and duplicates it took to get there.
+//!
+//! Also exercises the ISSUE 2 satellite accessor: [`Mpi::transport_stats`]
+//! reads the stacked `ReliableDevice<FaultyDevice<ShmDevice>>` statistics
+//! *after* the devices have moved into `Mpi::new`, and its merged view must
+//! agree with the per-layer stats handles held outside the run.
+
+use std::sync::Arc;
+
+use lmpi::{
+    run_devices, Counters, FaultConfig, FaultRates, FaultStats, FaultyDevice, Mpi, MpiConfig,
+    RelConfig, RelStats, ReliableDevice, ShmDevice, TransportStats,
+};
+use proptest::prelude::*;
+
+type Stack = ReliableDevice<FaultyDevice<ShmDevice>>;
+
+/// Shm fabric wrapped in per-rank seeded fault injection plus go-back-N,
+/// with the layer-local stats handles kept for post-run cross-checks.
+fn lossy_fabric(
+    nprocs: usize,
+    base_seed: u64,
+    rates: FaultRates,
+) -> (Vec<Stack>, Vec<Arc<FaultStats>>, Vec<Arc<RelStats>>) {
+    let mut fault_stats = Vec::new();
+    let mut rel_stats = Vec::new();
+    let devices = ShmDevice::fabric(nprocs)
+        .into_iter()
+        .enumerate()
+        .map(|(rank, dev)| {
+            let faulty =
+                FaultyDevice::new(dev, FaultConfig::uniform(base_seed + rank as u64, rates));
+            fault_stats.push(faulty.stats_handle());
+            let rel = ReliableDevice::new(faulty, RelConfig::default());
+            rel_stats.push(rel.stats_handle());
+            rel
+        })
+        .collect();
+    (devices, fault_stats, rel_stats)
+}
+
+/// Per-rank traffic: one request/reply exchange per entry of `lens`
+/// (request payload of that many bytes 0 → 1, a 4-byte reply back), with
+/// contents verified on both sides. Returns the rank's protocol counters
+/// and merged transport stats, both read through `Mpi` after the device
+/// stack has been moved out of reach.
+fn exchange(mpi: &Mpi, lens: &[usize]) -> (Counters, TransportStats) {
+    let world = mpi.world();
+    if world.rank() == 0 {
+        for (i, &len) in lens.iter().enumerate() {
+            let payload: Vec<u8> = (0..len).map(|j| (i.wrapping_mul(37) ^ j) as u8).collect();
+            world.send(&payload, 1, i as u32).unwrap();
+            let mut ack = [0u32];
+            world.recv(&mut ack, 1, 1000).unwrap();
+            assert_eq!(ack[0], i as u32, "reply {i} corrupted");
+        }
+    } else {
+        for (i, &len) in lens.iter().enumerate() {
+            let mut buf = vec![0u8; len];
+            world.recv(&mut buf, 0, i as u32).unwrap();
+            assert!(
+                buf.iter()
+                    .enumerate()
+                    .all(|(j, &b)| b == (i.wrapping_mul(37) ^ j) as u8),
+                "request {i} corrupted"
+            );
+            world.send(&[i as u32], 0, 1000).unwrap();
+        }
+    }
+    (mpi.counters(), mpi.transport_stats())
+}
+
+/// Every field of the in-run merged snapshot must be bounded by the
+/// post-run totals from the layer handles (the handles keep counting
+/// through teardown acks, so `<=`, not `==`).
+fn assert_within_postrun(rank: usize, inside: &TransportStats, rel: &RelStats, fault: &FaultStats) {
+    let (data_sent, retransmits, dup_suppressed, ooo_dropped, acks_sent) = rel.snapshot();
+    let (_, dropped, duplicated, reordered, delayed) = fault.snapshot();
+    let bounds = [
+        ("data_frames_sent", inside.data_frames_sent, data_sent),
+        ("retransmits", inside.retransmits, retransmits),
+        ("dup_suppressed", inside.dup_suppressed, dup_suppressed),
+        ("ooo_dropped", inside.ooo_dropped, ooo_dropped),
+        ("pure_acks_sent", inside.pure_acks_sent, acks_sent),
+        ("faults_dropped", inside.faults_dropped, dropped),
+        ("faults_duplicated", inside.faults_duplicated, duplicated),
+        ("faults_reordered", inside.faults_reordered, reordered),
+        ("faults_delayed", inside.faults_delayed, delayed),
+    ];
+    for (name, got, max) in bounds {
+        assert!(
+            got <= max,
+            "rank {rank}: merged {name} = {got} exceeds post-run layer total {max}"
+        );
+    }
+}
+
+proptest! {
+    // Each case spawns a 2-rank fabric with real threads; keep it modest.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The core property: for any seeded fault schedule and any mix of
+    /// eager- and rendezvous-sized messages, receiver matches equal sender
+    /// eager + rendezvous sends in each direction — retransmits and
+    /// duplicates never inflate (or deflate) the protocol-level counts.
+    #[test]
+    fn matches_equal_net_sends_under_seeded_faults(
+        seed in any::<u64>(),
+        lens in prop::collection::vec(
+            prop_oneof![1usize..300, 2000usize..6000],
+            1..8,
+        ),
+        drop in prop_oneof![Just(0.0f64), Just(0.02), Just(0.06)],
+    ) {
+        let rates = FaultRates { drop, dup: 0.03, reorder: 0.04, delay: 0.02, delay_us: 200 };
+        let (devices, fault_stats, rel_stats) = lossy_fabric(2, seed, rates);
+        // Pin the threshold so the strategy's small/large split really does
+        // exercise both the eager and the rendezvous paths.
+        let cfg = MpiConfig::device_defaults().with_eager_threshold(512);
+        let lens2 = lens.clone();
+        let results = run_devices(devices, cfg, move |mpi: Mpi| exchange(&mpi, &lens2));
+
+        let n = lens.len() as u64;
+        let sent_by = |r: usize| results[r].0.eager_sent + results[r].0.rndv_sent;
+        // Each direction carried exactly one user message per exchange.
+        prop_assert_eq!(sent_by(0), n, "rank 0 sends");
+        prop_assert_eq!(sent_by(1), n, "rank 1 replies");
+        // Exactly-once: receiver matches == sender sends, per direction.
+        prop_assert_eq!(results[1].0.matches, sent_by(0), "0->1 matches vs sends");
+        prop_assert_eq!(results[0].0.matches, sent_by(1), "1->0 matches vs sends");
+        for (rank, (c, _)) in results.iter().enumerate() {
+            prop_assert!(
+                c.unexpected_hits <= c.matches,
+                "rank {}: unexpected_hits {} > matches {}",
+                rank, c.unexpected_hits, c.matches
+            );
+            prop_assert!(
+                c.unexpected_hwm <= c.matches + 1,
+                "rank {}: unexpected HWM {} implausible for {} matches",
+                rank, c.unexpected_hwm, c.matches
+            );
+        }
+        // The merged accessor never reports more than the layers recorded.
+        for rank in 0..2 {
+            assert_within_postrun(rank, &results[rank].1, &rel_stats[rank], &fault_stats[rank]);
+        }
+    }
+}
+
+/// Deterministic heavy-loss companion (same traffic shape and seed family
+/// as the proven `faulty_reliable` acceptance tests): enough frames cross
+/// the injector that drops, retransmissions and both stats layers are all
+/// guaranteed to show up in the merged [`Mpi::transport_stats`] view.
+#[test]
+fn merged_transport_stats_see_both_layers_under_heavy_loss() {
+    let rates = FaultRates {
+        drop: 0.05,
+        dup: 0.03,
+        reorder: 0.05,
+        delay: 0.03,
+        delay_us: 300,
+    };
+    let (devices, fault_stats, rel_stats) = lossy_fabric(2, 0xFA00, rates);
+    let lens: Vec<usize> = (0..150).map(|i| 1 + (i % 64)).chain([40_000]).collect();
+    let lens2 = lens.clone();
+    let results = run_devices(devices, MpiConfig::device_defaults(), move |mpi: Mpi| {
+        exchange(&mpi, &lens2)
+    });
+
+    let n = lens.len() as u64;
+    assert_eq!(results[1].0.matches, n, "0->1 exactly-once");
+    assert_eq!(results[0].0.matches, n, "1->0 exactly-once");
+
+    // The injector fired and go-back-N recovered — visible both through the
+    // post-run layer handles and through the merged in-run accessor.
+    let dropped: u64 = fault_stats.iter().map(|s| s.snapshot().1).sum();
+    let retransmits: u64 = rel_stats.iter().map(|s| s.snapshot().1).sum();
+    assert!(dropped > 0, "the fault injector never fired");
+    assert!(
+        retransmits > 0,
+        "losses occurred but nothing was retransmitted"
+    );
+    let merged_frames: u64 = results.iter().map(|(_, t)| t.data_frames_sent).sum();
+    let merged_faults: u64 = results
+        .iter()
+        .map(|(_, t)| {
+            t.faults_dropped + t.faults_duplicated + t.faults_reordered + t.faults_delayed
+        })
+        .sum();
+    assert!(
+        merged_frames > 0,
+        "merged stats lost the reliability layer's counters"
+    );
+    assert!(
+        merged_faults > 0,
+        "merged stats lost the fault layer's counters"
+    );
+    for rank in 0..2 {
+        assert_within_postrun(rank, &results[rank].1, &rel_stats[rank], &fault_stats[rank]);
+    }
+}

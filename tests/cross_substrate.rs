@@ -4,8 +4,8 @@
 //! simulated substrates are exactly deterministic.
 
 use lmpi::{
-    run_cluster, run_meiko, run_real_tcp, run_threads, ClusterNet, ClusterTransport,
-    MeikoVariant, Mpi, MpiConfig, ReduceOp, SourceSel, TagSel,
+    run_cluster, run_meiko, run_real_tcp, run_threads, ClusterNet, ClusterTransport, MeikoVariant,
+    Mpi, MpiConfig, ReduceOp, SourceSel, TagSel,
 };
 
 /// A program exercising p2p (all modes), wildcards, nonblocking ops and
@@ -47,7 +47,9 @@ fn workout(mpi: Mpi) -> Vec<u64> {
 
     // A large message (rendezvous on most substrates) echoed between
     // neighbours by parity.
-    let big: Vec<u64> = (0..4000).map(|i| (i as u64).wrapping_mul(me as u64 + 7)).collect();
+    let big: Vec<u64> = (0..4000)
+        .map(|i| (i as u64).wrapping_mul(me as u64 + 7))
+        .collect();
     if n >= 2 {
         let peer = me ^ 1;
         if peer < n {
@@ -79,9 +81,19 @@ fn workout(mpi: Mpi) -> Vec<u64> {
 fn all_substrates_agree() {
     let n = 4;
     let reference = run_threads(n, workout);
-    let meiko = run_meiko(n, MeikoVariant::LowLatency, MpiConfig::device_defaults(), workout);
+    let meiko = run_meiko(
+        n,
+        MeikoVariant::LowLatency,
+        MpiConfig::device_defaults(),
+        workout,
+    );
     assert_eq!(meiko, reference, "simulated Meiko disagrees with threads");
-    let mpich = run_meiko(n, MeikoVariant::Mpich, MpiConfig::device_defaults(), workout);
+    let mpich = run_meiko(
+        n,
+        MeikoVariant::Mpich,
+        MpiConfig::device_defaults(),
+        workout,
+    );
     assert_eq!(mpich, reference, "MPICH baseline disagrees");
     let eth = run_cluster(
         n,
@@ -106,10 +118,15 @@ fn all_substrates_agree() {
 #[test]
 fn simulated_runs_are_bit_reproducible() {
     fn run_once() -> Vec<(Vec<u64>, u64)> {
-        run_meiko(3, MeikoVariant::LowLatency, MpiConfig::device_defaults(), |mpi| {
-            let digest = workout(mpi);
-            (digest, 0)
-        })
+        run_meiko(
+            3,
+            MeikoVariant::LowLatency,
+            MpiConfig::device_defaults(),
+            |mpi| {
+                let digest = workout(mpi);
+                (digest, 0)
+            },
+        )
         .into_iter()
         .collect()
     }
@@ -196,7 +213,10 @@ fn communicator_split_traffic_isolated_under_load() {
     run_threads(n, move |mpi| {
         let world = mpi.world();
         let me = world.rank();
-        let sub = world.split(Some((me % 3) as u64), me as u64).unwrap().unwrap();
+        let sub = world
+            .split(Some((me % 3) as u64), me as u64)
+            .unwrap()
+            .unwrap();
         // Same tags flying on world and on each color group concurrently.
         let w_sum = world.allreduce(&[1u64], ReduceOp::Sum).unwrap()[0];
         let s_sum = sub.allreduce(&[1u64], ReduceOp::Sum).unwrap()[0];

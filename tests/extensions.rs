@@ -48,7 +48,11 @@ fn cartesian_grid_navigation_and_halo() {
             .expect("grid fills the world");
         let me = cart.comm().rank();
         let coords = cart.my_coords();
-        assert_eq!(cart.rank_at(&[coords[0] as isize, coords[1] as isize]).unwrap(), me);
+        assert_eq!(
+            cart.rank_at(&[coords[0] as isize, coords[1] as isize])
+                .unwrap(),
+            me
+        );
 
         // Vertical (non-periodic) shift: edges see None.
         let (up, down) = cart.shift(0, 1).unwrap();
@@ -75,7 +79,10 @@ fn cartesian_grid_navigation_and_halo() {
         let rows = cart.sub(&[false, true]).unwrap();
         assert_eq!(rows.comm().size(), 3);
         assert_eq!(rows.dims(), &[3]);
-        let sum = rows.comm().allreduce(&[coords[0] as u64], ReduceOp::Sum).unwrap()[0];
+        let sum = rows
+            .comm()
+            .allreduce(&[coords[0] as u64], ReduceOp::Sum)
+            .unwrap()[0];
         assert_eq!(sum as usize, coords[0] * 3, "row members share coords[0]");
     });
 }

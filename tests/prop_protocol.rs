@@ -16,7 +16,10 @@ struct Msg {
 
 fn msgs_strategy() -> impl Strategy<Value = Vec<Msg>> {
     prop::collection::vec(
-        (0..3u32, prop_oneof![0usize..64, 100usize..300, 5000usize..9000])
+        (
+            0..3u32,
+            prop_oneof![0usize..64, 100usize..300, 5000usize..9000],
+        )
             .prop_map(|(tag, len)| Msg { tag, len }),
         1..12,
     )
