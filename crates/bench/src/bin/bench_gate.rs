@@ -1,0 +1,219 @@
+//! Regression gate over the `matching_engine` criterion results.
+//!
+//! Run after `cargo bench -p lmpi-bench --bench matching_engine`:
+//!
+//! ```text
+//! cargo run --release -p lmpi-bench --bin bench_gate            # check
+//! cargo run --release -p lmpi-bench --bin bench_gate -- --record # calibrate
+//! ```
+//!
+//! Two kinds of check, in order of trustworthiness:
+//!
+//! 1. **Ratio gates** (always enforced): binned-vs-linear on the same
+//!    machine in the same run, so they hold on any hardware, including
+//!    noisy CI runners. The binned matcher must be ≥5x the linear scan at
+//!    depth 1024 (posted and unexpected sides) and must not regress the
+//!    depth-1 hot path by more than 10% (plus a small absolute grace,
+//!    because at the ~10 ns scale a single cache miss is 10%).
+//! 2. **Absolute gates** against the committed baseline
+//!    (`baselines/matching_engine.json`): each binned median must be
+//!    within the baseline's tolerance (25%). Entries are `null` until
+//!    someone calibrates with `--record` on the reference machine; null
+//!    entries are reported and skipped, so the gate is still meaningful
+//!    on fresh checkouts while staying strict once calibrated.
+//!
+//! No JSON dependency is available in this workspace, so both criterion's
+//! `estimates.json` and the baseline file are parsed by direct scanning.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// Depths the gate checks; keep in sync with `benches/matching_engine.rs`.
+const DEPTHS: [usize; 3] = [1, 64, 1024];
+
+/// Required speedup of binned over linear at the deepest point.
+const MIN_SPEEDUP_AT_DEPTH: f64 = 5.0;
+
+/// Allowed depth-1 regression of binned relative to linear: 10%…
+const MAX_DEPTH1_RATIO: f64 = 1.10;
+
+/// …plus this absolute grace, since both operations sit near the
+/// measurement floor where one cache miss outweighs 10%.
+const DEPTH1_GRACE_NS: f64 = 3.0;
+
+fn main() -> ExitCode {
+    let record = std::env::args().any(|a| a == "--record");
+    let criterion_dir = std::env::var("CRITERION_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| PathBuf::from("target/criterion"));
+    let baseline_path =
+        Path::new(env!("CARGO_MANIFEST_DIR")).join("baselines/matching_engine.json");
+
+    let mut failures = Vec::new();
+    let mut medians = Vec::new(); // (bench key, median ns)
+
+    for family in ["binned_specific_posted", "linear_specific_posted"] {
+        for depth in DEPTHS {
+            let key = format!("matching/{family}/{depth}");
+            match read_median_ns(&criterion_dir, family, Some(depth)) {
+                Ok(ns) => medians.push((key, ns)),
+                Err(e) => failures.push(format!("{key}: {e}")),
+            }
+        }
+    }
+    for family in ["binned_specific_unexpected", "linear_specific_unexpected"] {
+        let key = format!("matching/{family}/1024");
+        match read_median_ns(&criterion_dir, family, Some(1024)) {
+            Ok(ns) => medians.push((key, ns)),
+            Err(e) => failures.push(format!("{key}: {e}")),
+        }
+    }
+
+    if !failures.is_empty() {
+        eprintln!("bench_gate: missing criterion results (run the bench first):");
+        for f in &failures {
+            eprintln!("  {f}");
+        }
+        return ExitCode::FAILURE;
+    }
+
+    let get = |key: &str| -> f64 {
+        medians
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, ns)| *ns)
+            .unwrap_or(f64::NAN)
+    };
+
+    // --- Ratio gates ---------------------------------------------------
+    let ratio_deep =
+        get("matching/linear_specific_posted/1024") / get("matching/binned_specific_posted/1024");
+    println!("posted @1024: binned is {ratio_deep:.1}x linear (need ≥{MIN_SPEEDUP_AT_DEPTH}x)");
+    if ratio_deep < MIN_SPEEDUP_AT_DEPTH || ratio_deep.is_nan() {
+        failures.push(format!(
+            "binned matcher only {ratio_deep:.2}x linear at depth 1024 (posted side)"
+        ));
+    }
+
+    let ratio_unexp = get("matching/linear_specific_unexpected/1024")
+        / get("matching/binned_specific_unexpected/1024");
+    println!(
+        "unexpected @1024: binned is {ratio_unexp:.1}x linear (need ≥{MIN_SPEEDUP_AT_DEPTH}x)"
+    );
+    if ratio_unexp < MIN_SPEEDUP_AT_DEPTH || ratio_unexp.is_nan() {
+        failures.push(format!(
+            "binned matcher only {ratio_unexp:.2}x linear at depth 1024 (unexpected side)"
+        ));
+    }
+
+    let binned1 = get("matching/binned_specific_posted/1");
+    let linear1 = get("matching/linear_specific_posted/1");
+    let limit1 = linear1 * MAX_DEPTH1_RATIO + DEPTH1_GRACE_NS;
+    println!("posted @1: binned {binned1:.1} ns vs linear {linear1:.1} ns (limit {limit1:.1} ns)");
+    if binned1 > limit1 || binned1.is_nan() {
+        failures.push(format!(
+            "binned matcher regresses depth 1: {binned1:.2} ns vs linear {linear1:.2} ns \
+             (limit {limit1:.2} ns)"
+        ));
+    }
+
+    // --- Absolute gates vs committed baseline --------------------------
+    let baseline_text = match std::fs::read_to_string(&baseline_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("bench_gate: cannot read {}: {e}", baseline_path.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let tolerance = json_entry_number(&baseline_text, "tolerance").unwrap_or(0.25);
+
+    if record {
+        let mut entries = String::new();
+        for (i, (key, ns)) in medians.iter().enumerate() {
+            let sep = if i + 1 == medians.len() { "" } else { "," };
+            entries.push_str(&format!("    \"{key}\": {ns:.2}{sep}\n"));
+        }
+        let out = format!(
+            "{{\n  \"_comment\": \"matching_engine medians, ns; regenerate with \
+             `cargo bench -p lmpi-bench --bench matching_engine` then \
+             `cargo run --release -p lmpi-bench --bin bench_gate -- --record`\",\n  \
+             \"calibrated\": true,\n  \"tolerance\": {tolerance},\n  \"median_ns\": {{\n{entries}  }}\n}}\n"
+        );
+        if let Err(e) = std::fs::write(&baseline_path, out) {
+            eprintln!("bench_gate: cannot write {}: {e}", baseline_path.display());
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "recorded {} medians to {}",
+            medians.len(),
+            baseline_path.display()
+        );
+    } else {
+        for depth in DEPTHS {
+            let key = format!("matching/binned_specific_posted/{depth}");
+            let measured = get(&key);
+            match json_entry_number(&baseline_text, &key) {
+                Some(baseline) => {
+                    let limit = baseline * (1.0 + tolerance);
+                    println!(
+                        "{key}: {measured:.1} ns vs baseline {baseline:.1} ns (limit {limit:.1} ns)"
+                    );
+                    if measured > limit || measured.is_nan() {
+                        failures.push(format!(
+                            "{key}: {measured:.2} ns exceeds baseline {baseline:.2} ns \
+                             by more than {:.0}%",
+                            tolerance * 100.0
+                        ));
+                    }
+                }
+                None => println!("{key}: baseline uncalibrated (null) — absolute check skipped"),
+            }
+        }
+    }
+
+    if failures.is_empty() {
+        println!("bench_gate: all checks passed");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("bench_gate: FAILED:");
+        for f in &failures {
+            eprintln!("  {f}");
+        }
+        ExitCode::FAILURE
+    }
+}
+
+/// Median point estimate (ns) from criterion's `estimates.json` for one
+/// benchmark. Criterion reports times in nanoseconds.
+fn read_median_ns(
+    criterion_dir: &Path,
+    function: &str,
+    depth: Option<usize>,
+) -> Result<f64, String> {
+    let mut path = criterion_dir.join("matching").join(function);
+    if let Some(d) = depth {
+        path = path.join(d.to_string());
+    }
+    path = path.join("new/estimates.json");
+    let text = std::fs::read_to_string(&path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    let median_at = text
+        .find("\"median\"")
+        .ok_or_else(|| format!("no \"median\" in {}", path.display()))?;
+    json_entry_number(&text[median_at..], "point_estimate")
+        .ok_or_else(|| format!("no median point_estimate in {}", path.display()))
+}
+
+/// First `"key": <number>` in `text` (key may contain slashes); `None` for
+/// `null` or a missing key.
+fn json_entry_number(text: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\"");
+    let at = text.find(&needle)? + needle.len();
+    let rest = text[at..].trim_start().strip_prefix(':')?.trim_start();
+    let end = rest
+        .find(|c: char| {
+            !(c.is_ascii_digit() || c == '.' || c == '-' || c == '+' || c == 'e' || c == 'E')
+        })
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}

@@ -11,10 +11,9 @@
 
 use std::rc::Rc;
 
-use bytes::Bytes;
 use lmpi_obs::{CollOp, EventKind};
 
-use crate::datatype::{to_bytes, MpiData};
+use crate::datatype::MpiData;
 use crate::error::{MpiError, MpiResult};
 use crate::mpi::Communicator;
 use crate::packet::{Packet, Wire};
@@ -121,7 +120,7 @@ impl Communicator {
             .next_bcast_seq(self.coll_ctx());
         let me = self.rank();
         if me == root {
-            let data = Bytes::from(to_bytes(buf));
+            let data = self.inner().eng.borrow_mut().stage_payload(buf);
             let my_global = self.global(me)?;
             let others: Vec<Rank> = self
                 .group_ranks()

@@ -5,6 +5,12 @@
 //! with no padding in slice form); the compound [`Loc`] type used by
 //! `MAXLOC`/`MINLOC` reductions converts field-by-field so padding bytes are
 //! never read.
+//!
+//! `write_to` is generic over [`bytes::BufMut`] so the hot send path can
+//! stage payloads directly into the engine's reusable
+//! [`FramePool`](crate::packet::FramePool) without an intermediate `Vec`.
+
+use bytes::BufMut;
 
 /// A type that can travel through MPI messages.
 ///
@@ -15,8 +21,9 @@ pub trait MpiData: Copy + Send + 'static {
     /// Encoded size of `n` elements.
     fn byte_len(n: usize) -> usize;
 
-    /// Append the encoding of `slice` to `buf`.
-    fn write_to(buf: &mut Vec<u8>, slice: &[Self]);
+    /// Append the encoding of `slice` to `buf`. The caller reserves
+    /// capacity (`byte_len`) up front on the hot path.
+    fn write_to<B: BufMut>(buf: &mut B, slice: &[Self]);
 
     /// Decode `bytes` into `out`.
     ///
@@ -34,7 +41,7 @@ macro_rules! impl_pod_data {
             }
 
             #[inline]
-            fn write_to(buf: &mut Vec<u8>, slice: &[$t]) {
+            fn write_to<B: BufMut>(buf: &mut B, slice: &[$t]) {
                 // SAFETY: `$t` is a primitive numeric type: its slice
                 // representation is contiguous initialized bytes with no
                 // padding, so viewing it as bytes is sound.
@@ -44,7 +51,7 @@ macro_rules! impl_pod_data {
                         std::mem::size_of_val(slice),
                     )
                 };
-                buf.extend_from_slice(bytes);
+                buf.put_slice(bytes);
             }
 
             #[inline]
@@ -78,8 +85,10 @@ impl MpiData for bool {
         n
     }
 
-    fn write_to(buf: &mut Vec<u8>, slice: &[bool]) {
-        buf.extend(slice.iter().map(|&b| b as u8));
+    fn write_to<B: BufMut>(buf: &mut B, slice: &[bool]) {
+        for &b in slice {
+            buf.put_u8(b as u8);
+        }
     }
 
     fn read_from(bytes: &[u8], out: &mut [bool]) {
@@ -105,10 +114,10 @@ impl<T: MpiData> MpiData for Loc<T> {
         n * (T::byte_len(1) + 8)
     }
 
-    fn write_to(buf: &mut Vec<u8>, slice: &[Self]) {
+    fn write_to<B: BufMut>(buf: &mut B, slice: &[Self]) {
         for item in slice {
             T::write_to(buf, std::slice::from_ref(&item.value));
-            buf.extend_from_slice(&item.index.to_le_bytes());
+            buf.put_slice(&item.index.to_le_bytes());
         }
     }
 

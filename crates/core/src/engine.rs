@@ -18,11 +18,12 @@ use bytes::Bytes;
 
 use lmpi_obs::{EventKind, Tracer};
 
+use crate::datatype::MpiData;
 use crate::device::{Cost, Device};
 use crate::error::{MpiError, MpiResult};
 use crate::flow::FlowControl;
 use crate::matching::{MatchEngine, UnexpectedBody, UnexpectedMsg};
-use crate::packet::{ContextId, Envelope, Packet, Wire};
+use crate::packet::{ContextId, Envelope, FramePool, Packet, Wire};
 use crate::request::{RecvDest, ReqState, RequestTable};
 use crate::types::{Rank, SendMode, SourceSel, Status, TagSel};
 
@@ -58,6 +59,10 @@ pub struct Counters {
     /// Matches satisfied from the unexpected queue. Filled in by
     /// [`crate::Mpi::counters`] from the matching engine.
     pub unexpected_hits: u64,
+    /// High-water mark of simultaneously occupied matching bins (posted +
+    /// unexpected hash bins; wildcard queue excluded). Filled in by
+    /// [`crate::Mpi::counters`] from the matching engine.
+    pub match_bins_hwm: u64,
 }
 
 struct PendingSend {
@@ -95,6 +100,10 @@ pub(crate) struct Engine {
     pub(crate) next_context: ContextId,
     /// Buffered-send pool state: (capacity, in_use); `None` = not attached.
     buffer_pool: Option<(usize, usize)>,
+    /// Reusable staging pool for outgoing payload bytes (see [`FramePool`]).
+    payload_pool: FramePool,
+    /// Scratch buffer reused by `explicit_credit_returns` each tick.
+    credit_scratch: Vec<Rank>,
     pub(crate) counters: Counters,
     /// Protocol-event tracer; disabled (a single-branch no-op) unless the
     /// user installs one via [`crate::Mpi::set_tracer`].
@@ -124,6 +133,8 @@ impl Engine {
             // 0 = world point-to-point, 1 = world collectives.
             next_context: 2,
             buffer_pool: None,
+            payload_pool: FramePool::new(),
+            credit_scratch: Vec::new(),
             counters: Counters::default(),
             tracer: Tracer::disabled(),
             pending_error: None,
@@ -132,6 +143,13 @@ impl Engine {
 
     pub(crate) fn eager_threshold(&self) -> usize {
         self.eager_threshold
+    }
+
+    /// Encode a typed payload into the engine's reusable staging pool.
+    /// Steady state (previous payload delivered and dropped) is
+    /// allocation-free; see [`FramePool`].
+    pub(crate) fn stage_payload<T: MpiData>(&mut self, buf: &[T]) -> Bytes {
+        self.payload_pool.stage(buf)
     }
 
     // ------------------------------------------------------------------
@@ -190,7 +208,7 @@ impl Engine {
             data,
         };
         if self.pending_out[dst].is_empty() && self.can_transmit(dst, &pending) {
-            self.transmit_send(dev, dst, pending);
+            self.transmit_send(dev, dst, pending)?;
         } else {
             self.counters.sends_queued += 1;
             self.flow.stalls += 1;
@@ -214,7 +232,9 @@ impl Engine {
         }
     }
 
-    fn transmit_send(&mut self, dev: &dyn Device, dst: Rank, p: PendingSend) {
+    /// `Err` only on a flow-accounting invariant violation
+    /// ([`MpiError::Internal`]): callers check `can_*` before calling.
+    fn transmit_send(&mut self, dev: &dyn Device, dst: Rank, p: PendingSend) -> MpiResult<()> {
         let PendingSend {
             req_id,
             env,
@@ -225,7 +245,7 @@ impl Engine {
         let len = env.len;
         let tag = env.tag;
         if mode == SendMode::Ready || len <= self.eager_threshold {
-            self.flow.spend_eager(dst, len);
+            self.flow.spend_eager(dst, len)?;
             self.counters.eager_sent += 1;
             self.counters.bytes_sent += len as u64;
             match mode {
@@ -256,7 +276,7 @@ impl Engine {
             };
             self.transmit(dev, dst, pkt);
         } else {
-            self.flow.spend_rndv(dst);
+            self.flow.spend_rndv(dst)?;
             self.counters.rndv_sent += 1;
             self.rndv_store.insert(
                 req_id,
@@ -289,6 +309,7 @@ impl Engine {
             // (Rendezvous buffered sends release in the RndvGo handler.)
             self.buffer_release(len);
         }
+        Ok(())
     }
 
     /// Attach piggybacked credit returns and hand the frame to the device.
@@ -434,6 +455,16 @@ impl Engine {
     /// reliability sublayer underneath. The error is typed
     /// ([`MpiError::Transport`]) so the rank fails instead of panicking.
     pub(crate) fn handle_wire(&mut self, dev: &dyn Device, wire: Wire) -> MpiResult<()> {
+        // Validate the wire-supplied source rank before it indexes any
+        // per-peer table (flow ledger, pending queues): a corrupt or
+        // malicious frame must be a typed error, not a panic.
+        let nprocs = self.pending_out.len();
+        if wire.src >= nprocs {
+            return Err(MpiError::transport(format!(
+                "frame claims source rank {} but the job has {nprocs} ranks (corrupt frame?)",
+                wire.src
+            )));
+        }
         self.counters.wires_handled += 1;
         self.tracer.emit_with(
             || dev.now_ns(),
@@ -452,6 +483,17 @@ impl Engine {
                 ready,
                 data,
             } => {
+                // The envelope source must also be in range (it normally
+                // equals `wire.src`, but hand-crafted frames may disagree).
+                if env.src >= nprocs {
+                    return Err(MpiError::transport_peer(
+                        wire.src,
+                        format!(
+                            "eager envelope claims source rank {} of {nprocs} (corrupt frame?)",
+                            env.src
+                        ),
+                    ));
+                }
                 // The envelope slot is freed as soon as the envelope is
                 // copied into matching structures — i.e. now.
                 self.flow.owe_env(env.src);
@@ -538,6 +580,16 @@ impl Engine {
                 }
             }
             Packet::RndvReq { env, send_id } => {
+                if env.src >= nprocs {
+                    return Err(MpiError::transport_peer(
+                        wire.src,
+                        format!(
+                            "rendezvous envelope claims source rank {} of {nprocs} \
+                             (corrupt frame?)",
+                            env.src
+                        ),
+                    ));
+                }
                 self.flow.owe_env(env.src);
                 if let Some(posted) = self.match_eng.match_incoming(&env) {
                     dev.charge(Cost::Match);
@@ -711,13 +763,13 @@ impl Engine {
                 self.coll_bcasts.push_back((context, seq, data));
             }
         }
-        self.flush_pending(dev);
+        self.flush_pending(dev)?;
         self.explicit_credit_returns(dev);
         Ok(())
     }
 
     /// Drain per-destination queues in FIFO order as credit allows.
-    fn flush_pending(&mut self, dev: &dyn Device) {
+    fn flush_pending(&mut self, dev: &dyn Device) -> MpiResult<()> {
         for dst in 0..self.pending_out.len() {
             let mut drained_any = false;
             loop {
@@ -735,7 +787,7 @@ impl Engine {
                     break;
                 }
                 let p = self.pending_out[dst].pop_front().expect("checked front");
-                self.transmit_send(dev, dst, p);
+                self.transmit_send(dev, dst, p)?;
                 drained_any = true;
             }
             if drained_any && self.pending_out[dst].is_empty() {
@@ -754,16 +806,22 @@ impl Engine {
                 }
             }
         }
+        Ok(())
     }
 
-    /// Send explicit credit packets to peers owed above threshold.
+    /// Send explicit credit packets to peers owed above threshold. Runs on
+    /// every progress tick, so the rank list goes through a reused scratch
+    /// buffer instead of a fresh allocation.
     fn explicit_credit_returns(&mut self, dev: &dyn Device) {
-        for peer in self.flow.peers_needing_explicit_return() {
+        let mut scratch = std::mem::take(&mut self.credit_scratch);
+        self.flow.peers_needing_explicit_return(&mut scratch);
+        for &peer in &scratch {
             self.counters.credits_sent += 1;
             self.tracer
                 .emit_with(|| dev.now_ns(), EventKind::CreditTx { peer: peer as u32 });
             self.transmit(dev, peer, Packet::Credit);
         }
+        self.credit_scratch = scratch;
     }
 
     /// Record a new unexpected-queue depth into the high-water mark.
@@ -1482,5 +1540,66 @@ mod tests {
         assert!(e.take_coll_bcast(1, 0).is_none());
         assert_eq!(e.take_coll_bcast(1, 1).unwrap().as_ref(), b"zz");
         assert!(e.take_coll_bcast(1, 1).is_none(), "consumed");
+    }
+
+    /// Fuzz-style sweep of wire-supplied ranks: every out-of-range source
+    /// must surface as a typed transport error before it can index any
+    /// per-peer table — no panic, in debug *or* release (release matters:
+    /// slice indexing is the only guard the flow ledger used to have).
+    #[test]
+    fn out_of_range_wire_src_is_a_typed_error() {
+        let d = Loopback::new(0, 2);
+        let mut e = engine(0, 2);
+        for src in [2usize, 3, 64, 1 << 20, usize::MAX] {
+            let err = e
+                .handle_wire(&d, Wire::bare(src, Packet::Credit))
+                .expect_err("out-of-range rank must be rejected");
+            assert!(
+                matches!(err, MpiError::Transport { .. }),
+                "expected Transport, got {err:?}"
+            );
+        }
+        // In-range frames still work afterwards.
+        e.handle_wire(&d, Wire::bare(1, Packet::Credit)).unwrap();
+        assert_eq!(e.counters.wires_handled, 1, "rejected frames not counted");
+    }
+
+    /// A frame whose outer source is valid but whose *envelope* claims an
+    /// out-of-range rank (impossible from our own encoder, possible from a
+    /// corrupt or hostile peer) is also a typed error.
+    #[test]
+    fn out_of_range_envelope_src_is_a_typed_error() {
+        let d = Loopback::new(0, 2);
+        let mut e = engine(0, 2);
+        for (mk, name) in [
+            (
+                (|env| Packet::Eager {
+                    env,
+                    send_id: 1,
+                    needs_ack: false,
+                    ready: false,
+                    data: Bytes::from_static(b"x"),
+                }) as fn(Envelope) -> Packet,
+                "eager",
+            ),
+            (
+                (|env| Packet::RndvReq { env, send_id: 1 }) as fn(Envelope) -> Packet,
+                "rndv-req",
+            ),
+        ] {
+            let env = Envelope {
+                src: 9,
+                tag: 0,
+                context: 0,
+                len: 1,
+            };
+            let err = e
+                .handle_wire(&d, Wire::bare(1, mk(env)))
+                .expect_err("envelope rank out of range must be rejected");
+            assert!(
+                matches!(err, MpiError::Transport { .. }),
+                "{name}: expected Transport, got {err:?}"
+            );
+        }
     }
 }

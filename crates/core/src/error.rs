@@ -75,6 +75,14 @@ pub enum MpiError {
         /// What the rank was waiting for.
         context: String,
     },
+    /// An internal accounting invariant broke (e.g. a credit spend past the
+    /// window). Indicates a library bug; surfaced as a typed error so a
+    /// release build fails loudly instead of wrapping a ledger and
+    /// corrupting flow control silently.
+    Internal {
+        /// Which invariant broke.
+        detail: String,
+    },
 }
 
 impl fmt::Display for MpiError {
@@ -114,6 +122,9 @@ impl fmt::Display for MpiError {
                 f,
                 "progress watchdog timeout after {waited_us} us: {context}"
             ),
+            MpiError::Internal { detail } => {
+                write!(f, "internal accounting error (library bug): {detail}")
+            }
         }
     }
 }
@@ -131,6 +142,13 @@ impl MpiError {
     pub fn transport_peer(peer: Rank, detail: impl Into<String>) -> Self {
         MpiError::Transport {
             peer: Some(peer),
+            detail: detail.into(),
+        }
+    }
+
+    /// An internal invariant violation (library bug, not user error).
+    pub fn internal(detail: impl Into<String>) -> Self {
+        MpiError::Internal {
             detail: detail.into(),
         }
     }

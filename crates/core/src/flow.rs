@@ -17,6 +17,7 @@
 //! envelopes (they are copied into matching structures on arrival) and
 //! returns data credits when eager payloads leave the bounce buffer.
 
+use crate::error::{MpiError, MpiResult};
 use crate::types::Rank;
 
 /// Credit state against one peer, from the sender's point of view, plus the
@@ -124,19 +125,37 @@ impl FlowControl {
     }
 
     /// Consume credit for an eager send. Caller must have checked
-    /// [`can_eager`](Self::can_eager).
-    pub fn spend_eager(&mut self, dst: Rank, len: usize) {
+    /// [`can_eager`](Self::can_eager); a spend past the window is an
+    /// internal accounting bug and is surfaced as a typed error instead of
+    /// silently wrapping the ledger in release builds.
+    pub fn spend_eager(&mut self, dst: Rank, len: usize) -> MpiResult<()> {
         let p = &mut self.peers[dst];
-        debug_assert!(p.env_avail >= 1 && p.data_avail >= len as u64);
-        p.env_avail -= 1;
-        p.data_avail -= len as u64;
+        let env = p.env_avail.checked_sub(1).ok_or_else(|| {
+            MpiError::internal(format!("eager send to rank {dst} with no envelope credit"))
+        })?;
+        let data = p.data_avail.checked_sub(len as u64).ok_or_else(|| {
+            MpiError::internal(format!(
+                "eager send of {len} bytes to rank {dst} with only {} data bytes of credit",
+                p.data_avail
+            ))
+        })?;
+        // Debit only once both checks pass, so a failed spend leaves the
+        // ledger untouched.
+        p.env_avail = env;
+        p.data_avail = data;
+        Ok(())
     }
 
-    /// Consume credit for a rendezvous envelope.
-    pub fn spend_rndv(&mut self, dst: Rank) {
+    /// Consume credit for a rendezvous envelope. Same contract as
+    /// [`spend_eager`](Self::spend_eager).
+    pub fn spend_rndv(&mut self, dst: Rank) -> MpiResult<()> {
         let p = &mut self.peers[dst];
-        debug_assert!(p.env_avail >= 1);
-        p.env_avail -= 1;
+        p.env_avail = p.env_avail.checked_sub(1).ok_or_else(|| {
+            MpiError::internal(format!(
+                "rendezvous envelope to rank {dst} with no envelope credit"
+            ))
+        })?;
+        Ok(())
     }
 
     /// Record a credit return received from `src` (piggybacked or explicit).
@@ -176,17 +195,22 @@ impl FlowControl {
     }
 
     /// Peers owed enough that an explicit credit packet is warranted
-    /// (called when the engine has no traffic to piggyback on).
-    pub fn peers_needing_explicit_return(&self) -> Vec<Rank> {
-        self.peers
-            .iter()
-            .enumerate()
-            .filter(|(_, p)| {
-                p.data_owed >= self.explicit_return_threshold
-                    || p.env_owed >= self.env_slots.div_ceil(2).max(1)
-            })
-            .map(|(r, _)| r)
-            .collect()
+    /// (called when the engine has no traffic to piggyback on). Fills the
+    /// caller-owned `out` (cleared first) instead of allocating: this runs
+    /// on every progress tick, so the engine passes a reused scratch
+    /// buffer.
+    pub fn peers_needing_explicit_return(&self, out: &mut Vec<Rank>) {
+        out.clear();
+        out.extend(
+            self.peers
+                .iter()
+                .enumerate()
+                .filter(|(_, p)| {
+                    p.data_owed >= self.explicit_return_threshold
+                        || p.env_owed >= self.env_slots.div_ceil(2).max(1)
+                })
+                .map(|(r, _)| r),
+        );
     }
 
     /// Outstanding envelope credit against `dst` (for tests/diagnostics).
@@ -206,14 +230,20 @@ impl FlowControl {
 mod tests {
     use super::*;
 
+    fn explicit_returns(f: &FlowControl) -> Vec<Rank> {
+        let mut out = Vec::new();
+        f.peers_needing_explicit_return(&mut out);
+        out
+    }
+
     #[test]
     fn spend_and_return_roundtrip() {
         let mut f = FlowControl::new(2, 2, 1000);
         assert!(f.can_eager(1, 600));
-        f.spend_eager(1, 600);
+        f.spend_eager(1, 600).unwrap();
         assert!(!f.can_eager(1, 600), "only 400 bytes left");
         assert!(f.can_eager(1, 400));
-        f.spend_eager(1, 400);
+        f.spend_eager(1, 400).unwrap();
         assert!(!f.can_rndv(1), "both envelope slots used");
         f.receive_return(1, 2, 1000);
         assert!(f.can_eager(1, 1000));
@@ -223,10 +253,31 @@ mod tests {
     fn single_slot_meiko_policy() {
         let mut f = FlowControl::new(2, 1, 1 << 20);
         assert!(f.can_rndv(1));
-        f.spend_rndv(1);
+        f.spend_rndv(1).unwrap();
         assert!(!f.can_rndv(1), "single slot: second envelope must wait");
         f.receive_return(1, 1, 0);
         assert!(f.can_rndv(1));
+    }
+
+    #[test]
+    fn overspend_is_a_typed_error_not_a_wrap() {
+        // Satellite: in release builds the old `debug_assert!` compiled out
+        // and an overspend wrapped `data_avail` to ~u64::MAX, silently
+        // minting unlimited credit. Must now be a typed internal error that
+        // leaves the ledger untouched (also in release mode).
+        let mut f = FlowControl::new(2, 1, 100);
+        f.spend_eager(1, 60).unwrap();
+        let err = f.spend_eager(1, 60).expect_err("no envelope credit left");
+        assert!(matches!(err, MpiError::Internal { .. }), "got {err:?}");
+        f.receive_return(1, 1, 0);
+        let err = f.spend_eager(1, 60).expect_err("only 40 data bytes left");
+        assert!(matches!(err, MpiError::Internal { .. }), "got {err:?}");
+        assert_eq!(f.data_available(1), 40, "failed spend must not debit");
+        assert_eq!(f.env_available(1), 1, "failed spend must not debit");
+        let err = f.spend_rndv(1).err();
+        assert!(err.is_none(), "envelope credit is back: {err:?}");
+        let err = f.spend_rndv(1).expect_err("slot used again");
+        assert!(matches!(err, MpiError::Internal { .. }), "got {err:?}");
     }
 
     #[test]
@@ -243,9 +294,23 @@ mod tests {
     fn explicit_return_threshold_trips() {
         let mut f = FlowControl::new(2, 8, 1000);
         f.owe_data(1, 200);
-        assert!(f.peers_needing_explicit_return().is_empty());
+        assert!(explicit_returns(&f).is_empty());
         f.owe_data(1, 100); // total 300 >= 250
-        assert_eq!(f.peers_needing_explicit_return(), vec![1]);
+        assert_eq!(explicit_returns(&f), vec![1]);
+    }
+
+    #[test]
+    fn explicit_return_scratch_is_cleared_before_reuse() {
+        // The caller-owned scratch buffer must not accumulate stale ranks
+        // across progress ticks.
+        let mut f = FlowControl::new(3, 8, 1000);
+        f.owe_data(1, 500);
+        let mut scratch = vec![0, 2, 2]; // garbage from a previous tick
+        f.peers_needing_explicit_return(&mut scratch);
+        assert_eq!(scratch, vec![1]);
+        f.take_owed(1);
+        f.peers_needing_explicit_return(&mut scratch);
+        assert!(scratch.is_empty());
     }
 
     #[test]
@@ -262,10 +327,10 @@ mod tests {
         // Satellite: a sender that exhausts its window must stall (can_*
         // false) and resume only when the receiver hands credit back.
         let mut f = FlowControl::new(2, 2, 512);
-        f.spend_eager(1, 512);
+        f.spend_eager(1, 512).unwrap();
         assert!(!f.can_eager(1, 1), "data credit exhausted");
         assert!(f.can_rndv(1), "one envelope slot remains");
-        f.spend_rndv(1);
+        f.spend_rndv(1).unwrap();
         assert!(!f.can_rndv(1), "envelope slots exhausted");
         // A partial return is not enough for a full-window eager send...
         f.receive_return(1, 1, 100);
@@ -283,15 +348,15 @@ mod tests {
         // the slots are owed, or a one-sided sender deadlocks.
         let mut f = FlowControl::new(2, 4, 1 << 20);
         f.owe_env(1);
-        assert!(f.peers_needing_explicit_return().is_empty(), "1 of 4 owed");
+        assert!(explicit_returns(&f).is_empty(), "1 of 4 owed");
         f.owe_env(1);
         assert_eq!(
-            f.peers_needing_explicit_return(),
+            explicit_returns(&f),
             vec![1],
             "2 of 4 owed: explicit return due"
         );
         f.take_owed(1);
-        assert!(f.peers_needing_explicit_return().is_empty(), "drained");
+        assert!(explicit_returns(&f).is_empty(), "drained");
     }
 
     #[test]
@@ -299,7 +364,7 @@ mod tests {
         // Satellite: when a duplicated frame re-delivers a piggybacked
         // return, the second copy must not mint credit beyond the reserve.
         let mut f = FlowControl::new(2, 4, 1000);
-        f.spend_eager(1, 600);
+        f.spend_eager(1, 600).unwrap();
         assert_eq!(f.data_available(1), 400);
         // The receiver frees the 600 bytes; the frame carrying the return is
         // duplicated by the wire and processed twice.
@@ -310,7 +375,7 @@ mod tests {
         assert_eq!(f.env_available(1), 4, "clamped, not 5");
         assert_eq!(f.over_returns, 1);
         // Accounting still works for a subsequent genuine spend/return.
-        f.spend_eager(1, 1000);
+        f.spend_eager(1, 1000).unwrap();
         assert!(!f.can_eager(1, 1));
         f.receive_return(1, 1, 1000);
         assert!(f.can_eager(1, 1000));
@@ -337,7 +402,7 @@ mod tests {
     fn zero_length_eager_needs_envelope_only() {
         let mut f = FlowControl::new(2, 1, 0);
         assert!(f.can_eager(1, 0));
-        f.spend_eager(1, 0);
+        f.spend_eager(1, 0).unwrap();
         assert!(!f.can_eager(1, 0));
     }
 }

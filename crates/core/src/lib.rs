@@ -52,7 +52,9 @@ mod types;
 /// Internal matching-engine types, exposed for the benchmark harness only.
 #[doc(hidden)]
 pub mod bench_internals {
-    pub use crate::matching::{MatchEngine, PostedRecv, UnexpectedBody, UnexpectedMsg};
+    pub use crate::matching::{
+        LinearMatchEngine, MatchEngine, PostedRecv, UnexpectedBody, UnexpectedMsg,
+    };
 }
 
 /// The observability crate (tracing, histograms, Table-1 reports),
@@ -68,7 +70,7 @@ pub use error::{MpiError, MpiResult};
 pub use group::Group;
 pub use lmpi_obs::{EventKind, TraceBuffer, Tracer};
 pub use mpi::{test_all, wait_all, wait_any, Communicator, Mpi, Request};
-pub use packet::{ContextId, Envelope, Packet, Wire, ENVELOPE_WIRE_BYTES};
+pub use packet::{ContextId, Envelope, FramePool, Packet, Wire, ENVELOPE_WIRE_BYTES};
 pub use persistent::{start_all, PersistentRecv, PersistentSend};
 pub use reduce_op::{ReduceOp, Reducible};
 pub use topology::{dims_create, CartComm};

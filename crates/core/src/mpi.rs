@@ -10,12 +10,10 @@ use std::cell::RefCell;
 use std::marker::PhantomData;
 use std::rc::Rc;
 
-use bytes::Bytes;
-
 use lmpi_obs::Tracer;
 
 use crate::config::MpiConfig;
-use crate::datatype::{to_bytes, MpiData};
+use crate::datatype::MpiData;
 use crate::device::{Cost, Device, TransportStats};
 use crate::engine::{Counters, Engine};
 use crate::error::{MpiError, MpiResult};
@@ -163,13 +161,15 @@ impl Mpi {
     }
 
     /// Protocol counters accumulated so far (Table-1 instrumentation).
-    /// Matching-engine tallies (`matches`, `unexpected_hits`) are folded in
-    /// here so callers see one coherent snapshot.
+    /// Matching-engine tallies (`matches`, `unexpected_hits`,
+    /// `match_bins_hwm`) are folded in here so callers see one coherent
+    /// snapshot.
     pub fn counters(&self) -> Counters {
         let eng = self.inner.eng.borrow();
         let mut c = eng.counters.clone();
         c.matches = eng.match_eng.matches;
         c.unexpected_hits = eng.match_eng.unexpected_hits;
+        c.match_bins_hwm = eng.match_eng.bins_hwm;
         c
     }
 
@@ -306,15 +306,12 @@ impl Communicator {
         Self::check_tag(tag)?;
         self.take_pending_error()?;
         let dst_g = self.global(dst)?;
-        let data = Bytes::from(to_bytes(buf));
-        let id = self.inner.eng.borrow_mut().post_send(
-            &*self.inner.device,
-            dst_g,
-            tag,
-            ctx,
-            data,
-            mode,
-        )?;
+        let mut eng = self.inner.eng.borrow_mut();
+        // Stage through the engine's reusable pool: the hot eager path
+        // allocates nothing once warm.
+        let data = eng.stage_payload(buf);
+        let id = eng.post_send(&*self.inner.device, dst_g, tag, ctx, data, mode)?;
+        drop(eng);
         self.inner.wait_request(id).map(|_| ())
     }
 
@@ -424,15 +421,10 @@ impl Communicator {
         Self::check_tag(tag)?;
         self.take_pending_error()?;
         let dst_g = self.global(dst)?;
-        let data = Bytes::from(to_bytes(buf));
-        let id = self.inner.eng.borrow_mut().post_send(
-            &*self.inner.device,
-            dst_g,
-            tag,
-            self.ctx,
-            data,
-            mode,
-        )?;
+        let mut eng = self.inner.eng.borrow_mut();
+        let data = eng.stage_payload(buf);
+        let id = eng.post_send(&*self.inner.device, dst_g, tag, self.ctx, data, mode)?;
+        drop(eng);
         Ok(self.request(id))
     }
 

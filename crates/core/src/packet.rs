@@ -10,8 +10,9 @@
 //! fields piggyback flow-control returns exactly like the 4-byte
 //! "reserved space freed" field of the paper's 25-byte TCP header.
 
-use bytes::Bytes;
+use bytes::{BufMut, Bytes, BytesMut};
 
+use crate::datatype::MpiData;
 use crate::types::{Rank, Tag};
 
 /// Communicator context id; disambiguates messages of different
@@ -184,6 +185,43 @@ impl Wire {
     }
 }
 
+/// A reusable bounce/staging buffer for eager payloads.
+///
+/// Ownership rule: the pool owns one `BytesMut`; [`stage`](Self::stage)
+/// appends the encoded payload and splits it off as an immutable [`Bytes`]
+/// handle that travels inside a [`Packet`]. Once every handle from a
+/// previous `stage` has been dropped (the frame was delivered and copied
+/// out), the next `reserve` reclaims the same allocation — so a
+/// steady-state ping-pong stages every payload into the same memory and
+/// never touches the allocator. While old handles are still alive the pool
+/// transparently grows a fresh block; correctness never depends on
+/// reclamation.
+#[derive(Debug, Default)]
+pub struct FramePool {
+    buf: BytesMut,
+}
+
+impl FramePool {
+    /// An empty pool (first `stage` allocates).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Encode a typed slice into pooled storage and freeze it as `Bytes`.
+    pub fn stage<T: MpiData>(&mut self, slice: &[T]) -> Bytes {
+        self.buf.reserve(T::byte_len(slice.len()));
+        T::write_to(&mut self.buf, slice);
+        self.buf.split().freeze()
+    }
+
+    /// Copy raw bytes into pooled storage and freeze them as `Bytes`.
+    pub fn stage_bytes(&mut self, bytes: &[u8]) -> Bytes {
+        self.buf.reserve(bytes.len());
+        self.buf.put_slice(bytes);
+        self.buf.split().freeze()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -227,5 +265,37 @@ mod tests {
         assert_eq!(w.data_credit, 0);
         assert_eq!(w.seq, 0);
         assert_eq!(w.ack, 0);
+    }
+
+    #[test]
+    fn frame_pool_stages_correct_bytes() {
+        let mut pool = FramePool::new();
+        let a = pool.stage(&[1u16, 2, 3]);
+        assert_eq!(&a[..], &[1, 0, 2, 0, 3, 0]);
+        let b = pool.stage_bytes(b"hello");
+        assert_eq!(&b[..], b"hello");
+        // The earlier handle is unaffected by later staging.
+        assert_eq!(&a[..], &[1, 0, 2, 0, 3, 0]);
+    }
+
+    #[test]
+    fn frame_pool_reclaims_storage_once_handles_drop() {
+        let mut pool = FramePool::new();
+        let a = pool.stage_bytes(&[7u8; 64]);
+        let ptr = a.as_ptr();
+        drop(a);
+        // All handles dropped: `reserve` reclaims the same allocation, so
+        // the steady-state ping-pong is allocation-free.
+        let b = pool.stage_bytes(&[9u8; 64]);
+        assert_eq!(b.as_ptr(), ptr);
+    }
+
+    #[test]
+    fn frame_pool_grows_while_old_handles_live() {
+        let mut pool = FramePool::new();
+        let a = pool.stage_bytes(&[1u8; 32]);
+        let b = pool.stage_bytes(&[2u8; 32]);
+        assert_eq!(&a[..], &[1u8; 32]);
+        assert_eq!(&b[..], &[2u8; 32]);
     }
 }

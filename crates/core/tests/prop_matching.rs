@@ -1,0 +1,187 @@
+//! Differential property test: the hashed-bin [`MatchEngine`] must be
+//! observably identical to the linear-scan [`LinearMatchEngine`] it
+//! replaced — same match outcomes, same FIFO (non-overtaking) order, same
+//! queue depths and counters — under random schedules of posts, arrivals,
+//! cancels and probes, including wildcard/specific interleavings.
+//!
+//! The linear matcher is the executable specification: a plain front-first
+//! scan is self-evidently the MPI ordering rule, so any divergence is a bug
+//! in the binned fast path (most plausibly in the oldest-candidate
+//! selection across bins and the wildcard queue).
+
+use lmpi_core::bench_internals::{LinearMatchEngine, MatchEngine, UnexpectedBody, UnexpectedMsg};
+use lmpi_core::{ContextId, Envelope, Rank, SourceSel, Tag, TagSel};
+use proptest::prelude::*;
+
+/// One step of a matching schedule. Small value domains on purpose: the
+/// interesting bugs live where keys collide and wildcards straddle bins.
+#[derive(Debug, Clone)]
+enum Op {
+    /// `irecv`: post a receive (engine assigns the next recv_id).
+    Post {
+        src: SourceSel,
+        tag: TagSel,
+        context: ContextId,
+    },
+    /// An envelope arrives off the wire (always fully concrete). If no
+    /// posted receive matches, it becomes an unexpected message, exactly as
+    /// the protocol engine does.
+    Arrive {
+        src: Rank,
+        tag: Tag,
+        context: ContextId,
+    },
+    /// `cancel` of some previously assigned recv_id (possibly already
+    /// matched or cancelled — both engines must agree it is gone).
+    Cancel { recv_id: u64 },
+    /// Non-consuming `probe`.
+    Probe {
+        src: SourceSel,
+        tag: TagSel,
+        context: ContextId,
+    },
+}
+
+fn source_sel() -> impl Strategy<Value = SourceSel> {
+    prop_oneof![
+        3 => (0..4usize).prop_map(SourceSel::Rank),
+        1 => Just(SourceSel::Any),
+    ]
+}
+
+fn tag_sel() -> impl Strategy<Value = TagSel> {
+    prop_oneof![
+        3 => (0..3u32).prop_map(TagSel::Tag),
+        1 => Just(TagSel::Any),
+    ]
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => (source_sel(), tag_sel(), 0..2u32).prop_map(|(src, tag, context)| Op::Post {
+            src,
+            tag,
+            context
+        }),
+        4 => (0..4usize, 0..3u32, 0..2u32).prop_map(|(src, tag, context)| Op::Arrive {
+            src,
+            tag,
+            context
+        }),
+        1 => (0..40u64).prop_map(|recv_id| Op::Cancel { recv_id }),
+        1 => (source_sel(), tag_sel(), 0..2u32).prop_map(|(src, tag, context)| Op::Probe {
+            src,
+            tag,
+            context
+        }),
+    ]
+}
+
+/// The observable identity of an unexpected message: its envelope plus the
+/// sender-side id we stamped into the body.
+fn unexpected_fingerprint(msg: &UnexpectedMsg) -> (usize, Tag, ContextId, usize, u64) {
+    let send_id = match msg.body {
+        UnexpectedBody::Rndv { send_id } => send_id,
+        UnexpectedBody::Eager { send_id, .. } => send_id,
+    };
+    (
+        msg.env.src,
+        msg.env.tag,
+        msg.env.context,
+        msg.env.len,
+        send_id,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn binned_matcher_is_observably_identical_to_linear(ops in prop::collection::vec(op_strategy(), 0..80)) {
+        let mut binned = MatchEngine::new();
+        let mut linear = LinearMatchEngine::new();
+        let mut next_recv_id = 0u64;
+        let mut next_send_id = 0u64;
+
+        for (step, op) in ops.iter().enumerate() {
+            match *op {
+                Op::Post { src, tag, context } => {
+                    let id = next_recv_id;
+                    next_recv_id += 1;
+                    let b = binned.match_posted(id, src, tag, context);
+                    let l = linear.match_posted(id, src, tag, context);
+                    prop_assert_eq!(
+                        b.as_ref().map(unexpected_fingerprint),
+                        l.as_ref().map(unexpected_fingerprint),
+                        "step {}: post matched different unexpected messages", step
+                    );
+                }
+                Op::Arrive { src, tag, context } => {
+                    let env = Envelope { src, tag, context, len: 4 };
+                    let b = binned.match_incoming(&env);
+                    let l = linear.match_incoming(&env);
+                    prop_assert_eq!(
+                        b.as_ref().map(|r| r.recv_id),
+                        l.as_ref().map(|r| r.recv_id),
+                        "step {}: arrival matched different posted receives", step
+                    );
+                    if b.is_none() {
+                        // Unmatched arrival becomes an unexpected message in
+                        // both engines, as the protocol engine would do.
+                        let send_id = next_send_id;
+                        next_send_id += 1;
+                        binned.add_unexpected(UnexpectedMsg {
+                            env,
+                            body: UnexpectedBody::Rndv { send_id },
+                        });
+                        linear.add_unexpected(UnexpectedMsg {
+                            env,
+                            body: UnexpectedBody::Rndv { send_id },
+                        });
+                    }
+                }
+                Op::Cancel { recv_id } => {
+                    prop_assert_eq!(
+                        binned.cancel_posted(recv_id),
+                        linear.cancel_posted(recv_id),
+                        "step {}: cancel outcome diverged", step
+                    );
+                }
+                Op::Probe { src, tag, context } => {
+                    prop_assert_eq!(
+                        binned.probe(src, tag, context).map(unexpected_fingerprint),
+                        linear.probe(src, tag, context).map(unexpected_fingerprint),
+                        "step {}: probe saw different messages", step
+                    );
+                }
+            }
+            prop_assert_eq!(binned.depths(), linear.depths(), "step {}: depths diverged", step);
+        }
+
+        prop_assert_eq!(binned.matches, linear.matches);
+        prop_assert_eq!(binned.unexpected_hits, linear.unexpected_hits);
+
+        // Drain check: wildcard receives must empty both engines in the
+        // same order (final FIFO agreement over everything left queued).
+        for ctx in 0..2u32 {
+            loop {
+                let id = next_recv_id;
+                next_recv_id += 1;
+                let b = binned.match_posted(id, SourceSel::Any, TagSel::Any, ctx);
+                let l = linear.match_posted(id, SourceSel::Any, TagSel::Any, ctx);
+                prop_assert_eq!(
+                    b.as_ref().map(unexpected_fingerprint),
+                    l.as_ref().map(unexpected_fingerprint),
+                    "drain of context {} diverged", ctx
+                );
+                if b.is_none() {
+                    // The unmatched drain receive is now posted in both;
+                    // cancel it so the next context starts clean.
+                    prop_assert!(binned.cancel_posted(id));
+                    prop_assert!(linear.cancel_posted(id));
+                    break;
+                }
+            }
+        }
+    }
+}

@@ -12,11 +12,14 @@
 //! comfortably covers the receive reserve.)
 //!
 //! The paper's UDP variant additionally needs sequencing: next to the
-//! credit word we carry 8 bytes of reliability state (a 4-byte sequence
-//! number and a 4-byte cumulative ack), used by the ack/retransmit sublayer
-//! that upgrades a lossy datagram device to "reliable UDP". The cost model
-//! ([`wire_bytes`]) still charges the paper's 25 bytes so simulated
-//! latencies match the published figures.
+//! credit word we carry 16 bytes of reliability state (an 8-byte sequence
+//! number and an 8-byte cumulative ack), used by the ack/retransmit
+//! sublayer that upgrades a lossy datagram device to "reliable UDP". Frame
+//! layout **version 2**: version 1 carried these as 4-byte fields, which
+//! silently truncated the sublayer's u64 counters after 2^32 frames on a
+//! long-lived connection and corrupted go-back-N state — they are now
+//! encoded in full. The cost model ([`wire_bytes`]) still charges the
+//! paper's 25 bytes so simulated latencies match the published figures.
 
 use bytes::Bytes;
 use lmpi_core::{Envelope, Packet, Rank, Wire};
@@ -24,9 +27,10 @@ use lmpi_core::{Envelope, Packet, Rank, Wire};
 /// Header length charged by the cost model (the paper's 25 bytes).
 pub const HEADER_BYTES: usize = 25;
 
-/// Extra encoded bytes for the reliability sublayer: 4-byte sequence
-/// number + 4-byte cumulative ack.
-pub const SEQ_ACK_BYTES: usize = 8;
+/// Extra encoded bytes for the reliability sublayer: 8-byte sequence
+/// number + 8-byte cumulative ack (layout v2; v1 used 4-byte fields that
+/// wrapped after 2^32 frames).
+pub const SEQ_ACK_BYTES: usize = 16;
 
 /// Offset of the 20 envelope/request-info bytes within an encoded frame:
 /// after the type byte, credit word and seq/ack words.
@@ -53,10 +57,21 @@ pub fn wire_bytes(wire: &Wire) -> usize {
     HEADER_BYTES + wire.pkt.payload_len()
 }
 
-/// Encode a frame. The layout is self-contained: no external framing is
-/// needed beyond a leading length word added by the stream writer.
+/// Encode a frame into a fresh vector. See [`encode_into`] for the
+/// allocation-free variant used on the hot path.
 pub fn encode(wire: &Wire) -> Vec<u8> {
-    let mut out = Vec::with_capacity(HEADER_BYTES + SEQ_ACK_BYTES + 8 + wire.pkt.payload_len());
+    let mut out = Vec::new();
+    encode_into(wire, &mut out);
+    out
+}
+
+/// Encode a frame into `out` (cleared first). The layout is self-contained:
+/// no external framing is needed beyond a leading length word added by the
+/// stream writer. Devices keep a reusable scratch vector and call this per
+/// frame, so steady-state encoding does not allocate.
+pub fn encode_into(wire: &Wire, out: &mut Vec<u8>) {
+    out.clear();
+    out.reserve(HEADER_BYTES + SEQ_ACK_BYTES + 4 + wire.pkt.payload_len());
     // 1 byte: message type.
     let (ty, payload): (u8, Option<&Bytes>) = match &wire.pkt {
         Packet::Eager {
@@ -88,14 +103,11 @@ pub fn encode(wire: &Wire) -> Vec<u8> {
     let data_c = wire.data_credit.min(0xFF_FFFF);
     let packed = ((env_c as u32) << 24) | (data_c as u32);
     out.extend_from_slice(&packed.to_le_bytes());
-    // 8 bytes: reliability sequence number and cumulative ack (the UDP
-    // variant's extension; zero when reliability is off).
-    debug_assert!(
-        wire.seq <= u32::MAX as u64 && wire.ack <= u32::MAX as u64,
-        "reliability counters exceed the 4-byte wire fields"
-    );
-    out.extend_from_slice(&(wire.seq as u32).to_le_bytes());
-    out.extend_from_slice(&(wire.ack as u32).to_le_bytes());
+    // 16 bytes: reliability sequence number and cumulative ack (the UDP
+    // variant's extension; zero when reliability is off). Full u64s: the
+    // sublayer's counters never wrap, so neither may the wire fields.
+    out.extend_from_slice(&wire.seq.to_le_bytes());
+    out.extend_from_slice(&wire.ack.to_le_bytes());
     // 20 bytes: envelope / request info.
     let mut info = [0u8; 20];
     info[0..4].copy_from_slice(&(wire.src as u32).to_le_bytes());
@@ -143,7 +155,6 @@ pub fn encode(wire: &Wire) -> Vec<u8> {
     } else {
         out.extend_from_slice(&0u32.to_le_bytes());
     }
-    out
 }
 
 fn encode_env(info: &mut [u8; 20], env: &Envelope) {
@@ -163,18 +174,23 @@ pub fn decode(buf: &[u8]) -> Result<(Wire, usize), DecodeError> {
     if buf.len() < PAYLOAD_OFF {
         return Err(DecodeError(format!("frame too short: {}", buf.len())));
     }
-    // Infallible fixed-width read (bounds checked above / by `total`).
+    // Infallible fixed-width reads (bounds checked above / by `total`).
     let u32_le = |off: usize| {
         let mut b = [0u8; 4];
         b.copy_from_slice(&buf[off..off + 4]);
         u32::from_le_bytes(b)
     };
+    let u64_le = |off: usize| {
+        let mut b = [0u8; 8];
+        b.copy_from_slice(&buf[off..off + 8]);
+        u64::from_le_bytes(b)
+    };
     let ty = buf[0];
     let packed = u32_le(1);
     let env_credit = packed >> 24;
     let data_credit = (packed & 0xFF_FFFF) as u64;
-    let seq = u32_le(5) as u64;
-    let ack = u32_le(9) as u64;
+    let seq = u64_le(5);
+    let ack = u64_le(13);
     let src = u32_le(INFO_OFF) as Rank;
     let payload_len = u32_le(LEN_OFF) as usize;
     let total = PAYLOAD_OFF + payload_len;
@@ -362,9 +378,64 @@ mod tests {
     #[test]
     fn header_is_exactly_25_bytes_plus_framing() {
         let w = Wire::bare(0, Packet::Credit);
-        // 25 header + 8 seq/ack + 4-byte payload-length word, no payload.
+        // 25 header + 16 seq/ack + 4-byte payload-length word, no payload.
         assert_eq!(encode(&w).len(), HEADER_BYTES + SEQ_ACK_BYTES + 4);
         assert_eq!(wire_bytes(&w), 25, "model cost counts the paper's 25 bytes");
+    }
+
+    #[test]
+    fn seq_ack_survive_the_u32_boundary() {
+        // Regression (runs in release mode too): layout v1 encoded seq/ack
+        // as u32s guarded only by a debug_assert!, so a release build wrapped
+        // them after 2^32 frames and corrupted go-back-N state. Counters at
+        // and beyond the boundary must now round-trip exactly.
+        for extra in [0u64, 1, 5, 1 << 20] {
+            let seq = u32::MAX as u64 + extra;
+            let ack = u32::MAX as u64 + extra / 2;
+            let w = roundtrip(Wire {
+                src: 1,
+                seq,
+                ack,
+                env_credit: 0,
+                data_credit: 0,
+                pkt: Packet::Credit,
+            });
+            assert_eq!(w.seq, seq, "seq must not truncate at the u32 boundary");
+            assert_eq!(w.ack, ack, "ack must not truncate at the u32 boundary");
+        }
+        let w = roundtrip(Wire {
+            src: 0,
+            seq: u64::MAX,
+            ack: u64::MAX - 1,
+            env_credit: 0,
+            data_credit: 0,
+            pkt: Packet::Credit,
+        });
+        assert_eq!((w.seq, w.ack), (u64::MAX, u64::MAX - 1));
+    }
+
+    #[test]
+    fn encode_into_reuses_and_clears_the_scratch_buffer() {
+        let mut scratch = Vec::new();
+        let big = Wire::bare(
+            0,
+            Packet::RndvData {
+                recv_id: 1,
+                data: Bytes::from(vec![7u8; 256]),
+            },
+        );
+        encode_into(&big, &mut scratch);
+        assert_eq!(scratch, encode(&big));
+        let cap = scratch.capacity();
+        // A smaller frame reuses the same storage and leaves no stale tail.
+        let small = Wire::bare(0, Packet::Credit);
+        encode_into(&small, &mut scratch);
+        assert_eq!(scratch, encode(&small));
+        assert_eq!(
+            scratch.capacity(),
+            cap,
+            "no reallocation for smaller frames"
+        );
     }
 
     #[test]

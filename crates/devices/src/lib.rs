@@ -29,3 +29,23 @@ pub mod reliable;
 pub mod shm;
 pub mod sock;
 pub mod udp;
+
+/// Emit the [`lmpi_obs::EventKind::WireTx`] trace event every device sends
+/// from its `Device::send` entry point — one definition so the event's
+/// field conventions (peer = destination, bytes = payload only) cannot
+/// drift between transports. `now` is only evaluated when tracing is on.
+pub(crate) fn trace_wire_tx(
+    tracer: &lmpi_obs::Tracer,
+    now: impl FnOnce() -> u64,
+    dst: lmpi_core::Rank,
+    wire: &lmpi_core::Wire,
+) {
+    tracer.emit_with(
+        now,
+        lmpi_obs::EventKind::WireTx {
+            peer: dst as u32,
+            kind: wire.pkt.obs_kind(),
+            bytes: wire.pkt.payload_len() as u32,
+        },
+    );
+}

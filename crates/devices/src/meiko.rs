@@ -22,7 +22,7 @@ use parking_lot::Mutex;
 use lmpi_core::{Cost, Device, DeviceDefaults, Mpi, MpiConfig, MpiResult, Rank, Wire};
 use lmpi_netmodel::meiko::MeikoNet;
 use lmpi_netmodel::params::{CpuParams, MeikoParams};
-use lmpi_obs::{EventKind, Tracer};
+use lmpi_obs::Tracer;
 use lmpi_sim::{Proc, Sim, SimDur, SimQueue};
 
 /// Which Meiko MPI implementation to model.
@@ -83,14 +83,7 @@ impl Device for MeikoDevice {
     }
 
     fn send(&self, dst: Rank, wire: Wire) {
-        self.tracer.emit_with(
-            || self.now_ns(),
-            EventKind::WireTx {
-                peer: dst as u32,
-                kind: wire.pkt.obs_kind(),
-                bytes: wire.pkt.payload_len() as u32,
-            },
-        );
+        crate::trace_wire_tx(&self.tracer, || self.now_ns(), dst, &wire);
         let p = *self.params();
         match &wire.pkt {
             lmpi_core::Packet::RndvData { data, .. } => {

@@ -205,6 +205,14 @@ impl<D: Device> ReliableDevice<D> {
             st.deliverable.push_back(wire);
             return;
         }
+        if from >= st.peers.len() {
+            // A frame claiming a source rank outside the job would index
+            // out of bounds below. On a lossy medium a corrupt frame is
+            // indistinguishable from a drop, so discard it; a genuinely
+            // lost frame is retransmitted by its real sender.
+            self.stats.ooo_dropped.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
         // The ack applies to frames we sent *to* this peer.
         let p = &mut st.peers[from];
         if wire.ack > 0 {
@@ -643,6 +651,21 @@ mod tests {
         );
         // The failure is sticky.
         assert!(d.try_recv().is_err());
+    }
+
+    #[test]
+    fn frame_with_out_of_range_source_rank_is_dropped_not_a_panic() {
+        let d = rel(0, 2);
+        // A corrupt frame claiming to come from rank 7 of a 2-rank job
+        // must not index the per-peer table out of bounds — including in
+        // release builds, where there is no debug bounds insurance beyond
+        // the slice check itself. It is treated as line noise and dropped.
+        d.inner().inject(data_frame(7, 1, 0));
+        d.inner().inject(data_frame(usize::MAX, 1, 0));
+        assert!(d.try_recv().unwrap().is_none(), "corrupt frames dropped");
+        // The channel still works afterwards.
+        d.inner().inject(data_frame(1, 1, 0));
+        assert_eq!(d.try_recv().unwrap().unwrap().seq, 1);
     }
 
     #[test]

@@ -10,7 +10,7 @@ use std::time::Instant;
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use lmpi_core::{Device, DeviceDefaults, Mpi, MpiConfig, MpiError, MpiResult, Rank, Wire};
-use lmpi_obs::{EventKind, Tracer};
+use lmpi_obs::Tracer;
 
 /// Device connecting `nprocs` ranks within one process.
 pub struct ShmDevice {
@@ -61,14 +61,7 @@ impl Device for ShmDevice {
     }
 
     fn send(&self, dst: Rank, wire: Wire) {
-        self.tracer.emit_with(
-            || self.now_ns(),
-            EventKind::WireTx {
-                peer: dst as u32,
-                kind: wire.pkt.obs_kind(),
-                bytes: wire.pkt.payload_len() as u32,
-            },
-        );
+        crate::trace_wire_tx(&self.tracer, || self.now_ns(), dst, &wire);
         // A peer that already returned from its program has dropped its
         // receiver; late frames to it (typically trailing credit returns)
         // are harmless and dropped, as a real NIC would drop frames for a

@@ -22,7 +22,7 @@ use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
 use lmpi_core::{Cost, Device, DeviceDefaults, Mpi, MpiConfig, MpiError, MpiResult, Rank, Wire};
 use lmpi_netmodel::ip::{Fabric, ReliableDgram, SockFabric, SockNode};
 use lmpi_netmodel::params::{AtmParams, CpuParams, EthParams, SocketParams};
-use lmpi_obs::{EventKind, Tracer};
+use lmpi_obs::Tracer;
 use lmpi_sim::{Proc, Sim, SimDur};
 use parking_lot::Mutex;
 
@@ -97,14 +97,7 @@ impl<C: MsgChannel> Device for SockDevice<C> {
     }
 
     fn send(&self, dst: Rank, wire: Wire) {
-        self.tracer.emit_with(
-            || self.now_ns(),
-            EventKind::WireTx {
-                peer: dst as u32,
-                kind: wire.pkt.obs_kind(),
-                bytes: wire.pkt.payload_len() as u32,
-            },
-        );
+        crate::trace_wire_tx(&self.tracer, || self.now_ns(), dst, &wire);
         let nbytes = codec::wire_bytes(&wire);
         self.chan.send(dst, wire, nbytes);
     }
@@ -411,6 +404,10 @@ pub struct RealTcpChannel {
     rx: Receiver<MpiResult<Wire>>,
     loopback_tx: Sender<MpiResult<Wire>>,
     t0: Instant,
+    /// Reusable encode buffer: frames are serialized into this scratch and
+    /// written out under the same lock, so the send path stops allocating a
+    /// fresh `Vec` per frame once the high-water mark is reached.
+    encode_scratch: Mutex<Vec<u8>>,
 }
 
 impl RealTcpChannel {
@@ -455,6 +452,7 @@ impl RealTcpChannel {
             loopback_tx: tx,
             rx,
             t0: rendezvous.t0,
+            encode_scratch: Mutex::new(Vec::new()),
         })
     }
 
@@ -527,7 +525,8 @@ impl MsgChannel for RealTcpChannel {
     fn send(&self, dst: Rank, wire: Wire, _nbytes: usize) {
         match &self.writers[dst] {
             Some(stream) => {
-                let buf = codec::encode(&wire);
+                let mut buf = self.encode_scratch.lock();
+                codec::encode_into(&wire, &mut buf);
                 let mut s = stream.lock();
                 let len = (buf.len() as u32).to_le_bytes();
                 // Peer teardown while trailing credits are in flight is

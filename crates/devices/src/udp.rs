@@ -30,7 +30,7 @@ use std::sync::{Arc, Barrier};
 use std::time::Instant;
 
 use lmpi_core::{Device, DeviceDefaults, Mpi, MpiConfig, MpiError, MpiResult, Rank, Wire};
-use lmpi_obs::{EventKind, Tracer};
+use lmpi_obs::Tracer;
 use parking_lot::Mutex;
 
 use crate::codec;
@@ -104,7 +104,17 @@ pub struct UdpDevice {
     t0: Instant,
     next_frame: AtomicU64,
     state: Mutex<RecvState>,
+    /// Reusable send-path scratch (frame encode + datagram assembly), so
+    /// steady-state sends stop allocating once the buffers reach their
+    /// high-water marks.
+    tx_scratch: Mutex<TxScratch>,
     tracer: Tracer,
+}
+
+#[derive(Default)]
+struct TxScratch {
+    frame: Vec<u8>,
+    dgram: Vec<u8>,
 }
 
 impl UdpDevice {
@@ -150,6 +160,7 @@ impl UdpDevice {
                 order: VecDeque::new(),
                 ready: VecDeque::new(),
             }),
+            tx_scratch: Mutex::new(TxScratch::default()),
             tracer: Tracer::disabled(),
         })
     }
@@ -252,30 +263,26 @@ impl Device for UdpDevice {
     }
 
     fn send(&self, dst: Rank, wire: Wire) {
-        self.tracer.emit_with(
-            || self.now_ns(),
-            EventKind::WireTx {
-                peer: dst as u32,
-                kind: wire.pkt.obs_kind(),
-                bytes: wire.pkt.payload_len() as u32,
-            },
-        );
+        crate::trace_wire_tx(&self.tracer, || self.now_ns(), dst, &wire);
         if dst == self.rank {
             // Self-delivery never crosses the lossy socket (and must not:
             // the reliability layer does not sequence self-sends).
             self.state.lock().ready.push_back(wire);
             return;
         }
-        let buf = codec::encode(&wire);
+        let mut tx = self.tx_scratch.lock();
+        let TxScratch { frame, dgram } = &mut *tx;
+        codec::encode_into(&wire, frame);
         let frame_id = ((self.rank as u64) << 48) | self.next_frame.fetch_add(1, Ordering::Relaxed);
-        let count = buf.len().div_ceil(FRAG_PAYLOAD).max(1) as u32;
-        for (idx, chunk) in buf.chunks(FRAG_PAYLOAD).enumerate() {
-            let mut dgram = Vec::with_capacity(FRAG_HEADER + chunk.len());
+        let count = frame.len().div_ceil(FRAG_PAYLOAD).max(1) as u32;
+        for (idx, chunk) in frame.chunks(FRAG_PAYLOAD).enumerate() {
+            dgram.clear();
+            dgram.reserve(FRAG_HEADER + chunk.len());
             dgram.extend_from_slice(&frag_header(frame_id, idx as u32, count));
             dgram.extend_from_slice(chunk);
             // Send errors (full kernel buffer, dead peer) are drops on a
             // lossy medium; the reliability layer above recovers.
-            let _ = self.sock.send_to(&dgram, self.peers[dst]);
+            let _ = self.sock.send_to(dgram, self.peers[dst]);
         }
     }
 

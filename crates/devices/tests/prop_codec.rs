@@ -62,8 +62,10 @@ fn wire_strategy() -> impl Strategy<Value = Wire> {
         0..64usize,
         0..200u32,
         0..0xFF_FFFFu64,
-        0..u32::MAX as u64,
-        0..u32::MAX as u64,
+        // Full u64 range: layout v2 carries seq/ack uncompressed, so frames
+        // past the old u32 boundary must round-trip too.
+        any::<u64>(),
+        any::<u64>(),
         packet_strategy(),
     )
         .prop_map(|(src, env_credit, data_credit, seq, ack, mut pkt)| {
@@ -194,7 +196,7 @@ proptest! {
     #[test]
     fn encoded_size_is_header_plus_payload(wire in wire_strategy()) {
         let enc = encode(&wire);
-        // encode adds the 8 seq/ack bytes of the reliability sublayer and a
+        // encode adds the 16 seq/ack bytes of the reliability sublayer and a
         // 4-byte payload length word to the paper's 25-byte header; the
         // *cost model* (wire_bytes) still charges the paper's header alone.
         prop_assert_eq!(enc.len(), HEADER_BYTES + SEQ_ACK_BYTES + 4 + wire.pkt.payload_len());
