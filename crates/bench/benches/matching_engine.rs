@@ -40,6 +40,7 @@ fn env(src: usize, tag: u32) -> Envelope {
 fn unexpected(src: usize, tag: u32, send_id: u64) -> UnexpectedMsg {
     UnexpectedMsg {
         env: env(src, tag),
+        msg_seq: 0,
         body: UnexpectedBody::Rndv { send_id },
     }
 }

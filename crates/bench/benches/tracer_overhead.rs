@@ -1,0 +1,71 @@
+//! Tracer overhead on the shm eager hot path: the same 64-byte ping-pong
+//! with the flight-recorder tracer disabled (the default — every emission
+//! is one branch on an `Option`) versus enabled with a live ring on both
+//! the engine and the device. `bench_gate` bounds the enabled/disabled
+//! ratio so instrumentation cost cannot silently creep into the hot path.
+
+use std::time::{Duration, Instant};
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lmpi_core::{Device, MpiConfig, Tracer};
+use lmpi_devices::shm::{run_devices, ShmDevice};
+
+const NBYTES: usize = 64;
+/// Big enough that the overwriting ring never reallocates; overwriting
+/// old events is the steady state being measured.
+const RING: usize = 1 << 16;
+
+fn pingpong_duration(traced: bool, iters: u64) -> Duration {
+    let mut devices = ShmDevice::fabric(2);
+    let tracers: Vec<Tracer> = (0..2u32)
+        .map(|r| {
+            if traced {
+                Tracer::enabled(r, RING)
+            } else {
+                Tracer::disabled()
+            }
+        })
+        .collect();
+    for (rank, dev) in devices.iter_mut().enumerate() {
+        dev.set_tracer(tracers[rank].clone());
+    }
+    let out = run_devices(devices, MpiConfig::device_defaults(), move |mpi| {
+        let world = mpi.world();
+        mpi.set_tracer(tracers[world.rank()].clone());
+        let buf = vec![0u8; NBYTES];
+        let mut back = vec![0u8; NBYTES];
+        if world.rank() == 0 {
+            // Warmup.
+            world.send(&buf, 1, 0).unwrap();
+            world.recv(&mut back, 1, 0).unwrap();
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                world.send(&buf, 1, 0).unwrap();
+                world.recv(&mut back, 1, 0).unwrap();
+            }
+            t0.elapsed()
+        } else {
+            for _ in 0..iters + 1 {
+                world.recv(&mut back, 0, 0).unwrap();
+                world.send(&back, 0, 0).unwrap();
+            }
+            Duration::ZERO
+        }
+    });
+    out[0]
+}
+
+fn bench_tracer_overhead(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tracer_overhead");
+    g.sample_size(20);
+    g.bench_function("disabled", |b| {
+        b.iter_custom(|iters| pingpong_duration(false, iters))
+    });
+    g.bench_function("enabled", |b| {
+        b.iter_custom(|iters| pingpong_duration(true, iters))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_tracer_overhead);
+criterion_main!(benches);

@@ -1,6 +1,8 @@
-//! Regression gate over the `matching_engine` criterion results.
+//! Regression gate over the `matching_engine` and `tracer_overhead`
+//! criterion results.
 //!
-//! Run after `cargo bench -p lmpi-bench --bench matching_engine`:
+//! Run after `cargo bench -p lmpi-bench --bench matching_engine` and
+//! `cargo bench -p lmpi-bench --bench tracer_overhead`:
 //!
 //! ```text
 //! cargo run --release -p lmpi-bench --bin bench_gate            # check
@@ -41,6 +43,14 @@ const MAX_DEPTH1_RATIO: f64 = 1.10;
 /// measurement floor where one cache miss outweighs 10%.
 const DEPTH1_GRACE_NS: f64 = 3.0;
 
+/// Flight-recorder overhead bound: the 64 B shm ping-pong with the tracer
+/// enabled may cost at most this multiple of the untraced run…
+const MAX_TRACED_RATIO: f64 = 1.30;
+
+/// …plus this absolute grace for scheduler jitter between the two
+/// thread-pair runs (the ping-pong itself is a microsecond-scale RTT).
+const TRACED_GRACE_NS: f64 = 300.0;
+
 fn main() -> ExitCode {
     let record = std::env::args().any(|a| a == "--record");
     let criterion_dir = std::env::var("CRITERION_DIR")
@@ -55,7 +65,7 @@ fn main() -> ExitCode {
     for family in ["binned_specific_posted", "linear_specific_posted"] {
         for depth in DEPTHS {
             let key = format!("matching/{family}/{depth}");
-            match read_median_ns(&criterion_dir, family, Some(depth)) {
+            match read_median_ns(&criterion_dir, "matching", family, Some(depth)) {
                 Ok(ns) => medians.push((key, ns)),
                 Err(e) => failures.push(format!("{key}: {e}")),
             }
@@ -63,7 +73,14 @@ fn main() -> ExitCode {
     }
     for family in ["binned_specific_unexpected", "linear_specific_unexpected"] {
         let key = format!("matching/{family}/1024");
-        match read_median_ns(&criterion_dir, family, Some(1024)) {
+        match read_median_ns(&criterion_dir, "matching", family, Some(1024)) {
+            Ok(ns) => medians.push((key, ns)),
+            Err(e) => failures.push(format!("{key}: {e}")),
+        }
+    }
+    for variant in ["disabled", "enabled"] {
+        let key = format!("tracer_overhead/{variant}");
+        match read_median_ns(&criterion_dir, "tracer_overhead", variant, None) {
             Ok(ns) => medians.push((key, ns)),
             Err(e) => failures.push(format!("{key}: {e}")),
         }
@@ -114,6 +131,20 @@ fn main() -> ExitCode {
         failures.push(format!(
             "binned matcher regresses depth 1: {binned1:.2} ns vs linear {linear1:.2} ns \
              (limit {limit1:.2} ns)"
+        ));
+    }
+
+    let untraced = get("tracer_overhead/disabled");
+    let traced = get("tracer_overhead/enabled");
+    let traced_limit = untraced * MAX_TRACED_RATIO + TRACED_GRACE_NS;
+    println!(
+        "tracer overhead: enabled {traced:.1} ns vs disabled {untraced:.1} ns \
+         (limit {traced_limit:.1} ns)"
+    );
+    if traced > traced_limit || traced.is_nan() {
+        failures.push(format!(
+            "enabled tracer costs {traced:.2} ns vs {untraced:.2} ns untraced \
+             (limit {traced_limit:.2} ns = {MAX_TRACED_RATIO}x + {TRACED_GRACE_NS} ns)"
         ));
     }
 
@@ -187,10 +218,11 @@ fn main() -> ExitCode {
 /// benchmark. Criterion reports times in nanoseconds.
 fn read_median_ns(
     criterion_dir: &Path,
+    group: &str,
     function: &str,
     depth: Option<usize>,
 ) -> Result<f64, String> {
-    let mut path = criterion_dir.join("matching").join(function);
+    let mut path = criterion_dir.join(group).join(function);
     if let Some(d) = depth {
         path = path.join(d.to_string());
     }

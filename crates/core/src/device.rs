@@ -54,7 +54,9 @@ pub struct DeviceDefaults {
 /// device stack. Layered devices (`ReliableDevice` over `FaultyDevice`
 /// over a base transport) merge their own tallies with their inner
 /// device's, so [`crate::Mpi::transport_stats`] sees the whole stack.
-#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+/// All fields are cumulative frame counts; serializes to JSON via
+/// [`lmpi_obs::to_json`] for the metrics snapshot exporter.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq, serde::Serialize)]
 pub struct TransportStats {
     /// Data frames accepted for (first) transmission by a reliability layer.
     pub data_frames_sent: u64,

@@ -16,7 +16,7 @@ use std::collections::{HashMap, VecDeque};
 
 use bytes::Bytes;
 
-use lmpi_obs::{EventKind, Tracer};
+use lmpi_obs::{EventKind, MsgId, Tracer};
 
 use crate::datatype::MpiData;
 use crate::device::{Cost, Device};
@@ -27,8 +27,11 @@ use crate::packet::{ContextId, Envelope, FramePool, Packet, Wire};
 use crate::request::{RecvDest, ReqState, RequestTable};
 use crate::types::{Rank, SendMode, SourceSel, Status, TagSel};
 
-/// Protocol event counters, used by the Table-1 experiment and by tests.
-#[derive(Clone, Debug, Default, PartialEq, Eq)]
+/// Protocol event counters, used by the Table-1 experiment, the metrics
+/// snapshot exporter, and tests. Serializes to JSON via
+/// [`lmpi_obs::to_json`] (all fields are plain `u64`s; time-valued
+/// fields state their unit in the name and doc).
+#[derive(Clone, Debug, Default, PartialEq, Eq, serde::Serialize)]
 pub struct Counters {
     /// Eager (optimistic) messages transmitted.
     pub eager_sent: u64,
@@ -48,10 +51,12 @@ pub struct Counters {
     pub wires_handled: u64,
     /// Ready-mode sends that found no posted receive (erroneous programs).
     pub rsend_errors: u64,
-    /// High-water mark of the unexpected-message queue depth.
+    /// High-water mark of the unexpected-message queue depth. Unit:
+    /// messages (a gauge-style maximum, not a cumulative count).
     pub unexpected_hwm: u64,
-    /// Cumulative time sends spent queued waiting for credit, in
-    /// nanoseconds on the device clock.
+    /// Cumulative time sends spent queued waiting for credit. Unit:
+    /// nanoseconds on the device clock (virtual ns on simulated
+    /// platforms, monotonic wall ns on real ones).
     pub credit_stall_ns: u64,
     /// Envelopes matched at this receiver, posted or unexpected. Filled in
     /// by [`crate::Mpi::counters`] from the matching engine.
@@ -60,13 +65,15 @@ pub struct Counters {
     /// [`crate::Mpi::counters`] from the matching engine.
     pub unexpected_hits: u64,
     /// High-water mark of simultaneously occupied matching bins (posted +
-    /// unexpected hash bins; wildcard queue excluded). Filled in by
-    /// [`crate::Mpi::counters`] from the matching engine.
+    /// unexpected hash bins; wildcard queue excluded). Unit: bins. Filled
+    /// in by [`crate::Mpi::counters`] from the matching engine.
     pub match_bins_hwm: u64,
 }
 
 struct PendingSend {
     req_id: u64,
+    /// Flight-recorder sequence number minted at `post_send`.
+    msg_seq: u32,
     env: Envelope,
     mode: SendMode,
     needs_ack: bool,
@@ -76,6 +83,8 @@ struct PendingSend {
 struct RndvPayload {
     data: Bytes,
     buffered: bool,
+    /// Flight-recorder sequence number of the owning message.
+    msg_seq: u32,
 }
 
 /// Per-rank protocol state. All methods take `&mut self` plus the rank's
@@ -110,7 +119,17 @@ pub(crate) struct Engine {
     pub(crate) tracer: Tracer,
     /// First ready-mode delivery error, surfaced by the next API call.
     pub(crate) pending_error: Option<MpiError>,
+    /// Next flight-recorder message number to mint (per-sender
+    /// monotonic, starts at 1 — 0 is the "no message" sentinel).
+    next_msg_seq: u32,
+    /// Periodic metrics snapshot hook: `(interval_ns, next_due_ns,
+    /// callback)`. Checked only on frame handling, so an unset hook
+    /// costs one `Option` branch.
+    metrics_hook: Option<(u64, u64, MetricsHookFn)>,
 }
+
+/// Callback type for [`crate::Mpi::set_metrics_hook`].
+pub(crate) type MetricsHookFn = Box<dyn FnMut(&crate::metrics::MetricsSnapshot) + Send>;
 
 impl Engine {
     pub(crate) fn new(
@@ -138,6 +157,63 @@ impl Engine {
             counters: Counters::default(),
             tracer: Tracer::disabled(),
             pending_error: None,
+            next_msg_seq: 1,
+            metrics_hook: None,
+        }
+    }
+
+    /// The flight-recorder identity of a message this rank sourced.
+    fn my_msg(&self, seq: u32) -> MsgId {
+        MsgId {
+            src: self.my_rank as u32,
+            seq,
+        }
+    }
+
+    /// Counters with the matching-engine tallies folded in — the full
+    /// per-rank picture the snapshot exporter and [`crate::Mpi::counters`]
+    /// both report.
+    pub(crate) fn folded_counters(&self) -> Counters {
+        let mut c = self.counters.clone();
+        c.matches = self.match_eng.matches;
+        c.unexpected_hits = self.match_eng.unexpected_hits;
+        c.match_bins_hwm = self.match_eng.bins_hwm;
+        c
+    }
+
+    /// Install (or replace) the periodic snapshot hook: `cb` fires from
+    /// frame handling whenever at least `every_ns` device-clock
+    /// nanoseconds have passed since the previous firing.
+    pub(crate) fn set_metrics_hook(&mut self, dev: &dyn Device, every_ns: u64, cb: MetricsHookFn) {
+        let every_ns = every_ns.max(1);
+        self.metrics_hook = Some((every_ns, dev.now_ns().saturating_add(every_ns), cb));
+    }
+
+    /// Build a point-in-time metrics snapshot.
+    pub(crate) fn metrics_snapshot(&self, dev: &dyn Device) -> crate::metrics::MetricsSnapshot {
+        crate::metrics::MetricsSnapshot::new(
+            self.my_rank as u32,
+            dev.now_ns(),
+            self.folded_counters(),
+            dev.transport_stats(),
+        )
+    }
+
+    /// Fire the metrics hook if due. Called from frame handling; an
+    /// unset hook costs one branch.
+    fn maybe_snapshot(&mut self, dev: &dyn Device) {
+        let Some((every_ns, next_due_ns, _)) = self.metrics_hook.as_ref() else {
+            return;
+        };
+        let now = dev.now_ns();
+        if now < *next_due_ns {
+            return;
+        }
+        let every_ns = *every_ns;
+        let snap = self.metrics_snapshot(dev);
+        if let Some((_, next_due, cb)) = self.metrics_hook.as_mut() {
+            *next_due = now.saturating_add(every_ns);
+            cb(&snap);
         }
     }
 
@@ -192,7 +268,13 @@ impl Engine {
         } else {
             ReqState::SendQueued
         });
-        self.tracer.emit_with(
+        // Mint the flight-recorder identity: per-sender monotonic,
+        // starting at 1 (0 is the "no message" sentinel, skipped on the
+        // astronomically distant wrap).
+        let msg_seq = self.next_msg_seq;
+        self.next_msg_seq = self.next_msg_seq.wrapping_add(1).max(1);
+        self.tracer.emit_msg_with(
+            self.my_msg(msg_seq),
             || dev.now_ns(),
             EventKind::SendPosted {
                 peer: dst as u32,
@@ -202,6 +284,7 @@ impl Engine {
         );
         let pending = PendingSend {
             req_id,
+            msg_seq,
             env,
             mode,
             needs_ack,
@@ -213,8 +296,11 @@ impl Engine {
             self.counters.sends_queued += 1;
             self.flow.stalls += 1;
             self.flow.stall_started(dst, dev.now_ns());
-            self.tracer
-                .emit_with(|| dev.now_ns(), EventKind::CreditStall { peer: dst as u32 });
+            self.tracer.emit_msg_with(
+                self.my_msg(msg_seq),
+                || dev.now_ns(),
+                EventKind::CreditStall { peer: dst as u32 },
+            );
             self.pending_out[dst].push_back(pending);
         }
         Ok(req_id)
@@ -237,6 +323,7 @@ impl Engine {
     fn transmit_send(&mut self, dev: &dyn Device, dst: Rank, p: PendingSend) -> MpiResult<()> {
         let PendingSend {
             req_id,
+            msg_seq,
             env,
             mode,
             needs_ack,
@@ -260,7 +347,8 @@ impl Engine {
                     }),
                 ),
             }
-            self.tracer.emit_with(
+            self.tracer.emit_msg_with(
+                self.my_msg(msg_seq),
                 || dev.now_ns(),
                 EventKind::EagerTx {
                     peer: dst as u32,
@@ -274,7 +362,7 @@ impl Engine {
                 ready: mode == SendMode::Ready,
                 data,
             };
-            self.transmit(dev, dst, pkt);
+            self.transmit(dev, dst, pkt, msg_seq);
         } else {
             self.flow.spend_rndv(dst)?;
             self.counters.rndv_sent += 1;
@@ -282,6 +370,7 @@ impl Engine {
                 req_id,
                 RndvPayload {
                     data,
+                    msg_seq,
                     buffered: mode == SendMode::Buffered,
                 },
             );
@@ -291,7 +380,8 @@ impl Engine {
             if mode != SendMode::Buffered {
                 self.reqs.set(req_id, ReqState::SendRndvWait);
             }
-            self.tracer.emit_with(
+            self.tracer.emit_msg_with(
+                self.my_msg(msg_seq),
                 || dev.now_ns(),
                 EventKind::RndvReqTx {
                     peer: dst as u32,
@@ -302,7 +392,7 @@ impl Engine {
                 env,
                 send_id: req_id,
             };
-            self.transmit(dev, dst, pkt);
+            self.transmit(dev, dst, pkt, msg_seq);
         }
         if mode == SendMode::Buffered && len <= self.eager_threshold {
             // Eager transmission: the payload has left; release pool bytes.
@@ -313,7 +403,12 @@ impl Engine {
     }
 
     /// Attach piggybacked credit returns and hand the frame to the device.
-    fn transmit(&mut self, dev: &dyn Device, dst: Rank, pkt: Packet) {
+    ///
+    /// `msg_seq` is the flight-recorder sequence of the message this frame
+    /// serves (0 for frames that belong to no message, e.g. explicit
+    /// credit returns). For reply packets (`RndvGo`, `EagerAck`) it names
+    /// the *destination's* message — see [`Wire::msg_id`].
+    fn transmit(&mut self, dev: &dyn Device, dst: Rank, pkt: Packet, msg_seq: u32) {
         let (env_credit, data_credit) = self.flow.take_owed(dst);
         dev.send(
             dst,
@@ -323,6 +418,7 @@ impl Engine {
                 ack: 0,
                 env_credit,
                 data_credit,
+                msg_seq,
                 pkt,
             },
         );
@@ -354,7 +450,11 @@ impl Engine {
             },
         );
         if let Some(msg) = self.match_eng.match_posted(req_id, src, tag, context) {
-            self.tracer.emit_with(
+            self.tracer.emit_msg_with(
+                MsgId {
+                    src: msg.env.src as u32,
+                    seq: msg.msg_seq,
+                },
                 || dev.now_ns(),
                 EventKind::EnvelopeMatched {
                     peer: msg.env.src as u32,
@@ -372,6 +472,10 @@ impl Engine {
     fn consume_match(&mut self, dev: &dyn Device, req_id: u64, dst: RecvDest, msg: UnexpectedMsg) {
         dev.charge(Cost::Match);
         let env = msg.env;
+        let wmsg = MsgId {
+            src: env.src as u32,
+            seq: msg.msg_seq,
+        };
         match msg.body {
             UnexpectedBody::Eager {
                 data,
@@ -390,7 +494,8 @@ impl Engine {
                     len: n,
                 });
                 self.reqs.complete(req_id, result);
-                self.tracer.emit_with(
+                self.tracer.emit_msg_with(
+                    wmsg,
                     || dev.now_ns(),
                     EventKind::Delivered {
                         peer: env.src as u32,
@@ -398,9 +503,10 @@ impl Engine {
                     },
                 );
                 if needs_ack {
-                    self.transmit(dev, env.src, Packet::EagerAck { send_id });
+                    self.transmit(dev, env.src, Packet::EagerAck { send_id }, msg.msg_seq);
                     self.counters.acks_sent += 1;
-                    self.tracer.emit_with(
+                    self.tracer.emit_msg_with(
+                        wmsg,
                         || dev.now_ns(),
                         EventKind::AckTx {
                             peer: env.src as u32,
@@ -416,7 +522,8 @@ impl Engine {
                 };
                 self.reqs
                     .set(req_id, ReqState::RecvRndvWait { dst, status });
-                self.tracer.emit_with(
+                self.tracer.emit_msg_with(
+                    wmsg,
                     || dev.now_ns(),
                     EventKind::RndvGoTx {
                         peer: env.src as u32,
@@ -429,6 +536,7 @@ impl Engine {
                         send_id,
                         recv_id: req_id,
                     },
+                    msg.msg_seq,
                 );
             }
         }
@@ -466,7 +574,12 @@ impl Engine {
             )));
         }
         self.counters.wires_handled += 1;
-        self.tracer.emit_with(
+        // Resolve the frame's flight-recorder identity before `wire.pkt`
+        // is moved below: reply packets name *our* message, forward
+        // packets the sender's (see `Wire::msg_id`).
+        let wmsg = wire.msg_id(self.my_rank);
+        self.tracer.emit_msg_with(
+            wmsg,
             || dev.now_ns(),
             EventKind::WireRx {
                 peer: wire.src as u32,
@@ -500,7 +613,8 @@ impl Engine {
                 if let Some(posted) = self.match_eng.match_incoming(&env) {
                     dev.charge(Cost::Match);
                     dev.charge(Cost::PostedCopy(data.len()));
-                    self.tracer.emit_with(
+                    self.tracer.emit_msg_with(
+                        wmsg,
                         || dev.now_ns(),
                         EventKind::EnvelopeMatched {
                             peer: env.src as u32,
@@ -531,7 +645,8 @@ impl Engine {
                         len: n,
                     });
                     self.reqs.complete(posted.recv_id, result);
-                    self.tracer.emit_with(
+                    self.tracer.emit_msg_with(
+                        wmsg,
                         || dev.now_ns(),
                         EventKind::Delivered {
                             peer: env.src as u32,
@@ -539,9 +654,10 @@ impl Engine {
                         },
                     );
                     if needs_ack {
-                        self.transmit(dev, env.src, Packet::EagerAck { send_id });
+                        self.transmit(dev, env.src, Packet::EagerAck { send_id }, wire.msg_seq);
                         self.counters.acks_sent += 1;
-                        self.tracer.emit_with(
+                        self.tracer.emit_msg_with(
+                            wmsg,
                             || dev.now_ns(),
                             EventKind::AckTx {
                                 peer: env.src as u32,
@@ -560,7 +676,8 @@ impl Engine {
                         });
                     }
                 } else {
-                    self.tracer.emit_with(
+                    self.tracer.emit_msg_with(
+                        wmsg,
                         || dev.now_ns(),
                         EventKind::UnexpectedBuffered {
                             peer: env.src as u32,
@@ -569,6 +686,7 @@ impl Engine {
                     );
                     self.match_eng.add_unexpected(UnexpectedMsg {
                         env,
+                        msg_seq: wire.msg_seq,
                         body: UnexpectedBody::Eager {
                             data,
                             send_id,
@@ -593,7 +711,8 @@ impl Engine {
                 self.flow.owe_env(env.src);
                 if let Some(posted) = self.match_eng.match_incoming(&env) {
                     dev.charge(Cost::Match);
-                    self.tracer.emit_with(
+                    self.tracer.emit_msg_with(
+                        wmsg,
                         || dev.now_ns(),
                         EventKind::EnvelopeMatched {
                             peer: env.src as u32,
@@ -621,7 +740,8 @@ impl Engine {
                     };
                     self.reqs
                         .set(posted.recv_id, ReqState::RecvRndvWait { dst, status });
-                    self.tracer.emit_with(
+                    self.tracer.emit_msg_with(
+                        wmsg,
                         || dev.now_ns(),
                         EventKind::RndvGoTx {
                             peer: env.src as u32,
@@ -634,9 +754,11 @@ impl Engine {
                             send_id,
                             recv_id: posted.recv_id,
                         },
+                        wire.msg_seq,
                     );
                 } else {
-                    self.tracer.emit_with(
+                    self.tracer.emit_msg_with(
+                        wmsg,
                         || dev.now_ns(),
                         EventKind::UnexpectedBuffered {
                             peer: env.src as u32,
@@ -645,13 +767,19 @@ impl Engine {
                     );
                     self.match_eng.add_unexpected(UnexpectedMsg {
                         env,
+                        msg_seq: wire.msg_seq,
                         body: UnexpectedBody::Rndv { send_id },
                     });
                     self.note_unexpected_depth();
                 }
             }
             Packet::RndvGo { send_id, recv_id } => {
-                let Some(RndvPayload { data, buffered }) = self.rndv_store.remove(&send_id) else {
+                let Some(RndvPayload {
+                    data,
+                    msg_seq,
+                    buffered,
+                }) = self.rndv_store.remove(&send_id)
+                else {
                     return Err(MpiError::transport_peer(
                         wire.src,
                         format!(
@@ -660,22 +788,28 @@ impl Engine {
                         ),
                     ));
                 };
+                // The stashed sequence is authoritative: it identifies our
+                // outbound message even if the go-ahead frame was minted by
+                // an engine that did not echo it.
+                let gmsg = self.my_msg(msg_seq);
                 let len = data.len();
                 self.counters.bytes_sent += len as u64;
-                self.tracer.emit_with(
+                self.tracer.emit_msg_with(
+                    gmsg,
                     || dev.now_ns(),
                     EventKind::RndvGoRx {
                         peer: wire.src as u32,
                     },
                 );
-                self.tracer.emit_with(
+                self.tracer.emit_msg_with(
+                    gmsg,
                     || dev.now_ns(),
                     EventKind::DmaStart {
                         peer: wire.src as u32,
                         bytes: len as u32,
                     },
                 );
-                self.transmit(dev, wire.src, Packet::RndvData { recv_id, data });
+                self.transmit(dev, wire.src, Packet::RndvData { recv_id, data }, msg_seq);
                 if buffered {
                     self.buffer_release(len);
                 }
@@ -714,14 +848,16 @@ impl Engine {
                     len: n,
                 });
                 self.reqs.complete(recv_id, result);
-                self.tracer.emit_with(
+                self.tracer.emit_msg_with(
+                    wmsg,
                     || dev.now_ns(),
                     EventKind::DmaEnd {
                         peer: wire.src as u32,
                         bytes: data.len() as u32,
                     },
                 );
-                self.tracer.emit_with(
+                self.tracer.emit_msg_with(
+                    wmsg,
                     || dev.now_ns(),
                     EventKind::Delivered {
                         peer: wire.src as u32,
@@ -730,7 +866,8 @@ impl Engine {
                 );
             }
             Packet::EagerAck { send_id } => {
-                self.tracer.emit_with(
+                self.tracer.emit_msg_with(
+                    wmsg,
                     || dev.now_ns(),
                     EventKind::AckRx {
                         peer: wire.src as u32,
@@ -765,6 +902,7 @@ impl Engine {
         }
         self.flush_pending(dev)?;
         self.explicit_credit_returns(dev);
+        self.maybe_snapshot(dev);
         Ok(())
     }
 
@@ -819,7 +957,7 @@ impl Engine {
             self.counters.credits_sent += 1;
             self.tracer
                 .emit_with(|| dev.now_ns(), EventKind::CreditTx { peer: peer as u32 });
-            self.transmit(dev, peer, Packet::Credit);
+            self.transmit(dev, peer, Packet::Credit, 0);
         }
         self.credit_scratch = scratch;
     }

@@ -41,6 +41,7 @@ mod error;
 mod flow;
 mod group;
 mod matching;
+mod metrics;
 mod mpi;
 mod packet;
 mod persistent;
@@ -68,7 +69,8 @@ pub use dtype::DataType;
 pub use engine::Counters;
 pub use error::{MpiError, MpiResult};
 pub use group::Group;
-pub use lmpi_obs::{EventKind, TraceBuffer, Tracer};
+pub use lmpi_obs::{EventKind, MsgId, TraceBuffer, Tracer};
+pub use metrics::{validate_prometheus, HistEntry, MetricsSnapshot};
 pub use mpi::{test_all, wait_all, wait_any, Communicator, Mpi, Request};
 pub use packet::{ContextId, Envelope, FramePool, Packet, Wire, ENVELOPE_WIRE_BYTES};
 pub use persistent::{start_all, PersistentRecv, PersistentSend};

@@ -129,6 +129,10 @@ pub enum UnexpectedBody {
 pub struct UnexpectedMsg {
     /// The envelope as received.
     pub env: Envelope,
+    /// Flight-recorder sequence from the carrying frame (0 = untagged),
+    /// preserved across the unexpected-queue dwell so the eventual match
+    /// and delivery events can name the message.
+    pub msg_seq: u32,
     /// Eager payload or rendezvous token.
     pub body: UnexpectedBody,
 }
@@ -503,6 +507,7 @@ mod tests {
     fn rndv(src: Rank, tag: u32, ctx: ContextId, send_id: u64) -> UnexpectedMsg {
         UnexpectedMsg {
             env: env(src, tag, ctx),
+            msg_seq: 0,
             body: UnexpectedBody::Rndv { send_id },
         }
     }

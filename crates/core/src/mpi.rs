@@ -17,6 +17,7 @@ use crate::datatype::MpiData;
 use crate::device::{Cost, Device, TransportStats};
 use crate::engine::{Counters, Engine};
 use crate::error::{MpiError, MpiResult};
+use crate::metrics::MetricsSnapshot;
 use crate::packet::ContextId;
 use crate::request::{RecvDest, ReqState};
 use crate::types::{Rank, SendMode, SourceSel, Status, Tag, TagSel, TAG_UB};
@@ -165,12 +166,31 @@ impl Mpi {
     /// `match_bins_hwm`) are folded in here so callers see one coherent
     /// snapshot.
     pub fn counters(&self) -> Counters {
-        let eng = self.inner.eng.borrow();
-        let mut c = eng.counters.clone();
-        c.matches = eng.match_eng.matches;
-        c.unexpected_hits = eng.match_eng.unexpected_hits;
-        c.match_bins_hwm = eng.match_eng.bins_hwm;
-        c
+        self.inner.eng.borrow().folded_counters()
+    }
+
+    /// Build a point-in-time [`MetricsSnapshot`]: folded counters plus the
+    /// device stack's [`TransportStats`], stamped with the device clock.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.inner
+            .eng
+            .borrow()
+            .metrics_snapshot(&*self.inner.device)
+    }
+
+    /// Install a periodic metrics hook: `cb` fires from frame handling
+    /// whenever at least `every_ns` device-clock nanoseconds have passed
+    /// since the previous firing. One hook per rank; installing again
+    /// replaces it. The hook must not call back into this `Mpi` handle.
+    pub fn set_metrics_hook(
+        &self,
+        every_ns: u64,
+        cb: impl FnMut(&MetricsSnapshot) + Send + 'static,
+    ) {
+        self.inner
+            .eng
+            .borrow_mut()
+            .set_metrics_hook(&*self.inner.device, every_ns, Box::new(cb));
     }
 
     /// Install a protocol-event tracer on this rank's engine. Clones of an

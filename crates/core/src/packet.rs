@@ -167,12 +167,22 @@ pub struct Wire {
     pub env_credit: u32,
     /// Buffer bytes being returned to the receiver of this frame.
     pub data_credit: u64,
+    /// Flight-recorder message identity: the per-sender monotonic
+    /// sequence number (starting at 1) of the user message this frame
+    /// belongs to, assigned at `post_send`. Combined with the message's
+    /// *source* rank it forms the stable cross-rank `MsgId`. `0` means
+    /// the frame serves no single message (credit returns, pure acks).
+    /// Note the owning message's source is not always [`Wire::src`]:
+    /// reply packets (`RndvGo`, `EagerAck`) travel from the receiver
+    /// back to the message's sender.
+    pub msg_seq: u32,
     /// The protocol packet.
     pub pkt: Packet,
 }
 
 impl Wire {
-    /// A frame with no piggybacked credit and no sequencing.
+    /// A frame with no piggybacked credit, no sequencing, and no message
+    /// attribution.
     pub fn bare(src: Rank, pkt: Packet) -> Self {
         Wire {
             src,
@@ -180,7 +190,30 @@ impl Wire {
             ack: 0,
             env_credit: 0,
             data_credit: 0,
+            msg_seq: 0,
             pkt,
+        }
+    }
+
+    /// The flight-recorder identity of the message this frame serves.
+    /// `dst` is the frame's *destination* rank (the transmitting device
+    /// passes its send target; the receiving engine passes its own
+    /// rank). Forward packets (eager data, rendezvous request/data,
+    /// broadcast) belong to a message sourced at the frame's sender;
+    /// reply packets (`RndvGo`, `EagerAck`) belong to a message sourced
+    /// at the frame's destination. Returns [`lmpi_obs::MsgId::NONE`]
+    /// for unattributed frames (`msg_seq == 0`, credit returns).
+    pub fn msg_id(&self, dst: Rank) -> lmpi_obs::MsgId {
+        if self.msg_seq == 0 {
+            return lmpi_obs::MsgId::NONE;
+        }
+        let src = match self.pkt {
+            Packet::RndvGo { .. } | Packet::EagerAck { .. } => dst,
+            _ => self.src,
+        };
+        lmpi_obs::MsgId {
+            src: src as u32,
+            seq: self.msg_seq,
         }
     }
 }
@@ -265,6 +298,37 @@ mod tests {
         assert_eq!(w.data_credit, 0);
         assert_eq!(w.seq, 0);
         assert_eq!(w.ack, 0);
+        assert_eq!(w.msg_seq, 0);
+        assert_eq!(w.msg_id(7), lmpi_obs::MsgId::NONE);
+    }
+
+    #[test]
+    fn msg_id_points_at_the_message_source_for_forward_and_reply_packets() {
+        // Forward: eager data from rank 2 to rank 5 — message source 2.
+        let mut fwd = Wire::bare(
+            2,
+            Packet::Eager {
+                env: env(),
+                send_id: 0,
+                needs_ack: false,
+                ready: false,
+                data: Bytes::from_static(b"abcd"),
+            },
+        );
+        fwd.msg_seq = 9;
+        assert_eq!(fwd.msg_id(5), lmpi_obs::MsgId { src: 2, seq: 9 });
+
+        // Reply: RndvGo from receiver 5 back to sender 2 — the message
+        // it serves is sourced at the frame's destination.
+        let mut rep = Wire::bare(
+            5,
+            Packet::RndvGo {
+                send_id: 1,
+                recv_id: 2,
+            },
+        );
+        rep.msg_seq = 9;
+        assert_eq!(rep.msg_id(2), lmpi_obs::MsgId { src: 2, seq: 9 });
     }
 
     #[test]

@@ -95,6 +95,7 @@ proptest! {
                         Some(posted) => eng_log.push((posted.recv_id, sid)),
                         None => eng.add_unexpected(UnexpectedMsg {
                             env,
+                            msg_seq: 0,
                             body: UnexpectedBody::Rndv { send_id: sid },
                         }),
                     }
@@ -127,6 +128,7 @@ proptest! {
         for (sid, &tag) in tags.iter().enumerate() {
             eng.add_unexpected(UnexpectedMsg {
                 env: Envelope { src: 0, tag, context: 0, len: 0 },
+                msg_seq: 0,
                 body: UnexpectedBody::Rndv { send_id: sid as u64 },
             });
         }

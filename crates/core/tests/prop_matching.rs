@@ -132,10 +132,12 @@ proptest! {
                         next_send_id += 1;
                         binned.add_unexpected(UnexpectedMsg {
                             env,
+                            msg_seq: 0,
                             body: UnexpectedBody::Rndv { send_id },
                         });
                         linear.add_unexpected(UnexpectedMsg {
                             env,
+                            msg_seq: 0,
                             body: UnexpectedBody::Rndv { send_id },
                         });
                     }

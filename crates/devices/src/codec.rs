@@ -14,11 +14,15 @@
 //! The paper's UDP variant additionally needs sequencing: next to the
 //! credit word we carry 16 bytes of reliability state (an 8-byte sequence
 //! number and an 8-byte cumulative ack), used by the ack/retransmit
-//! sublayer that upgrades a lossy datagram device to "reliable UDP". Frame
-//! layout **version 2**: version 1 carried these as 4-byte fields, which
-//! silently truncated the sublayer's u64 counters after 2^32 frames on a
-//! long-lived connection and corrupted go-back-N state — they are now
-//! encoded in full. The cost model ([`wire_bytes`]) still charges the
+//! sublayer that upgrades a lossy datagram device to "reliable UDP".
+//! Version 1 carried these as 4-byte fields, which silently truncated the
+//! sublayer's u64 counters after 2^32 frames on a long-lived connection
+//! and corrupted go-back-N state — version 2 encodes them in full.
+//!
+//! Frame layout **version 3** adds 4 bytes after the seq/ack words: the
+//! flight-recorder message sequence ([`Wire::msg_seq`], 0 = untagged),
+//! which lets the cross-rank trace correlator stitch both ends of a frame
+//! to one message. The cost model ([`wire_bytes`]) still charges the
 //! paper's 25 bytes so simulated latencies match the published figures.
 
 use bytes::Bytes;
@@ -32,9 +36,16 @@ pub const HEADER_BYTES: usize = 25;
 /// wrapped after 2^32 frames).
 pub const SEQ_ACK_BYTES: usize = 16;
 
-/// Offset of the 20 envelope/request-info bytes within an encoded frame:
-/// after the type byte, credit word and seq/ack words.
-const INFO_OFF: usize = 1 + 4 + SEQ_ACK_BYTES;
+/// Extra encoded bytes for the flight recorder: the 4-byte message
+/// sequence (layout v3).
+pub const MSG_SEQ_BYTES: usize = 4;
+
+/// Offset of the flight-recorder message sequence: after the type byte,
+/// credit word and seq/ack words.
+const MSG_SEQ_OFF: usize = 1 + 4 + SEQ_ACK_BYTES;
+
+/// Offset of the 20 envelope/request-info bytes within an encoded frame.
+const INFO_OFF: usize = MSG_SEQ_OFF + MSG_SEQ_BYTES;
 
 /// Offset of the payload-length word.
 const LEN_OFF: usize = INFO_OFF + 20;
@@ -71,7 +82,7 @@ pub fn encode(wire: &Wire) -> Vec<u8> {
 /// frame, so steady-state encoding does not allocate.
 pub fn encode_into(wire: &Wire, out: &mut Vec<u8>) {
     out.clear();
-    out.reserve(HEADER_BYTES + SEQ_ACK_BYTES + 4 + wire.pkt.payload_len());
+    out.reserve(HEADER_BYTES + SEQ_ACK_BYTES + MSG_SEQ_BYTES + 4 + wire.pkt.payload_len());
     // 1 byte: message type.
     let (ty, payload): (u8, Option<&Bytes>) = match &wire.pkt {
         Packet::Eager {
@@ -108,6 +119,8 @@ pub fn encode_into(wire: &Wire, out: &mut Vec<u8>) {
     // sublayer's counters never wrap, so neither may the wire fields.
     out.extend_from_slice(&wire.seq.to_le_bytes());
     out.extend_from_slice(&wire.ack.to_le_bytes());
+    // 4 bytes: flight-recorder message sequence (0 = untagged frame).
+    out.extend_from_slice(&wire.msg_seq.to_le_bytes());
     // 20 bytes: envelope / request info.
     let mut info = [0u8; 20];
     info[0..4].copy_from_slice(&(wire.src as u32).to_le_bytes());
@@ -191,6 +204,7 @@ pub fn decode(buf: &[u8]) -> Result<(Wire, usize), DecodeError> {
     let data_credit = (packed & 0xFF_FFFF) as u64;
     let seq = u64_le(5);
     let ack = u64_le(13);
+    let msg_seq = u32_le(MSG_SEQ_OFF);
     let src = u32_le(INFO_OFF) as Rank;
     let payload_len = u32_le(LEN_OFF) as usize;
     let total = PAYLOAD_OFF + payload_len;
@@ -247,6 +261,7 @@ pub fn decode(buf: &[u8]) -> Result<(Wire, usize), DecodeError> {
             ack,
             env_credit,
             data_credit,
+            msg_seq,
             pkt,
         },
         total,
@@ -281,6 +296,7 @@ mod tests {
             ack: 12,
             env_credit: 2,
             data_credit: 1024,
+            msg_seq: 99,
             pkt: Packet::Eager {
                 env: env(),
                 send_id: 42,
@@ -294,6 +310,7 @@ mod tests {
         assert_eq!(w.ack, 12);
         assert_eq!(w.env_credit, 2);
         assert_eq!(w.data_credit, 1024);
+        assert_eq!(w.msg_seq, 99, "flight-recorder tag survives the wire");
         match w.pkt {
             Packet::Eager {
                 env: e,
@@ -367,19 +384,25 @@ mod tests {
                 ack: 4,
                 env_credit: 0,
                 data_credit: 77,
+                msg_seq: 8,
                 pkt,
             });
             assert_eq!(w.pkt.kind_name(), name);
             assert_eq!(w.data_credit, 77);
             assert_eq!((w.seq, w.ack), (5, 4));
+            assert_eq!(w.msg_seq, 8);
         }
     }
 
     #[test]
     fn header_is_exactly_25_bytes_plus_framing() {
         let w = Wire::bare(0, Packet::Credit);
-        // 25 header + 16 seq/ack + 4-byte payload-length word, no payload.
-        assert_eq!(encode(&w).len(), HEADER_BYTES + SEQ_ACK_BYTES + 4);
+        // 25 header + 16 seq/ack + 4 msg-seq + 4-byte payload-length word,
+        // no payload.
+        assert_eq!(
+            encode(&w).len(),
+            HEADER_BYTES + SEQ_ACK_BYTES + MSG_SEQ_BYTES + 4
+        );
         assert_eq!(wire_bytes(&w), 25, "model cost counts the paper's 25 bytes");
     }
 
@@ -398,6 +421,7 @@ mod tests {
                 ack,
                 env_credit: 0,
                 data_credit: 0,
+                msg_seq: 0,
                 pkt: Packet::Credit,
             });
             assert_eq!(w.seq, seq, "seq must not truncate at the u32 boundary");
@@ -409,9 +433,11 @@ mod tests {
             ack: u64::MAX - 1,
             env_credit: 0,
             data_credit: 0,
+            msg_seq: u32::MAX,
             pkt: Packet::Credit,
         });
         assert_eq!((w.seq, w.ack), (u64::MAX, u64::MAX - 1));
+        assert_eq!(w.msg_seq, u32::MAX);
     }
 
     #[test]

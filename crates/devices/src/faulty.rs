@@ -204,8 +204,9 @@ impl<D: Device> FaultyDevice<D> {
         }
     }
 
-    fn trace_fault(&self, dst: Rank, fault: FaultKind) {
-        self.tracer.emit_with(
+    fn trace_fault(&self, dst: Rank, wire: &Wire, fault: FaultKind) {
+        self.tracer.emit_msg_with(
+            wire.msg_id(dst),
             || self.inner.now_ns(),
             EventKind::FaultInjected {
                 peer: dst as u32,
@@ -282,20 +283,20 @@ impl<D: Device> Device for FaultyDevice<D> {
 
         if roll_drop {
             self.stats.dropped.fetch_add(1, Ordering::Relaxed);
-            self.trace_fault(dst, FaultKind::Drop);
+            self.trace_fault(dst, &wire, FaultKind::Drop);
         } else if roll_dup {
             self.stats.duplicated.fetch_add(1, Ordering::Relaxed);
-            self.trace_fault(dst, FaultKind::Duplicate);
+            self.trace_fault(dst, &wire, FaultKind::Duplicate);
             self.inner.send(dst, wire.clone());
             self.inner.send(dst, wire);
         } else if roll_reorder && held.is_none() {
             // Hold this frame back; the next frame to `dst` goes first.
             self.stats.reordered.fetch_add(1, Ordering::Relaxed);
-            self.trace_fault(dst, FaultKind::Reorder);
+            self.trace_fault(dst, &wire, FaultKind::Reorder);
             st.holdback[dst] = Some((wire, self.inner.wtime()));
         } else if roll_delay {
             self.stats.delayed.fetch_add(1, Ordering::Relaxed);
-            self.trace_fault(dst, FaultKind::Delay);
+            self.trace_fault(dst, &wire, FaultKind::Delay);
             let due = self.inner.wtime() + rates.delay_us as f64 * 1e-6;
             st.delayq.push_back((due, dst, wire));
         } else {

@@ -40,7 +40,8 @@ pub(crate) fn trace_wire_tx(
     dst: lmpi_core::Rank,
     wire: &lmpi_core::Wire,
 ) {
-    tracer.emit_with(
+    tracer.emit_msg_with(
+        wire.msg_id(dst),
         now,
         lmpi_obs::EventKind::WireTx {
             peer: dst as u32,

@@ -153,6 +153,7 @@ fn pure_ack(src: Rank, ack: u64) -> Wire {
         ack,
         env_credit: 0,
         data_credit: 0,
+        msg_seq: 0,
         pkt: Packet::Credit,
     }
 }
@@ -247,7 +248,10 @@ impl<D: Device> ReliableDevice<D> {
             // Duplicate (retransmission of something we already have):
             // drop it, but re-ack so the sender stops resending.
             self.stats.dup_suppressed.fetch_add(1, Ordering::Relaxed);
-            self.tracer.emit_with(
+            // The duplicate arrived here, so we are the frame's
+            // destination: resolve its flight id against our own rank.
+            self.tracer.emit_msg_with(
+                wire.msg_id(self.inner.rank()),
                 || self.inner.now_ns(),
                 EventKind::DupSuppressed {
                     peer: from as u32,
@@ -290,7 +294,8 @@ impl<D: Device> ReliableDevice<D> {
                 for w in p.unacked.iter_mut() {
                     w.ack = p.recv_cum;
                     self.stats.retransmits.fetch_add(1, Ordering::Relaxed);
-                    self.tracer.emit_with(
+                    self.tracer.emit_msg_with(
+                        w.msg_id(dst),
                         || self.inner.now_ns(),
                         EventKind::Retransmit {
                             peer: dst as u32,
@@ -529,6 +534,7 @@ mod tests {
             ack,
             env_credit: 0,
             data_credit: 0,
+            msg_seq: 0,
             pkt: Packet::EagerAck { send_id: seq },
         }
     }

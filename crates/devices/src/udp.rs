@@ -429,10 +429,17 @@ mod tests {
 
     /// Real-socket smoke test: ping-pong and a collective over loopback
     /// UDP under the reliability layer. Ignored by default — CI sandboxes
-    /// may forbid binding sockets; run with `cargo test -- --ignored`.
+    /// may forbid binding sockets. Opt in by setting
+    /// `LMPI_REAL_UDP_LOOPBACK=1` and running `cargo test -- --ignored`
+    /// (the test also skips itself without the variable, so a bare
+    /// `--ignored` sweep stays green in sandboxes that cannot bind).
     #[test]
-    #[ignore]
+    #[ignore = "needs real loopback sockets; set LMPI_REAL_UDP_LOOPBACK=1 and run with --ignored"]
     fn loopback_pingpong_over_reliable_udp() {
+        if std::env::var_os("LMPI_REAL_UDP_LOOPBACK").is_none_or(|v| v != "1") {
+            eprintln!("skipping: LMPI_REAL_UDP_LOOPBACK=1 not set");
+            return;
+        }
         let results = run_real_udp(2, MpiConfig::device_defaults(), |mpi| {
             let world = mpi.world();
             if world.rank() == 0 {

@@ -4,7 +4,7 @@
 
 use bytes::Bytes;
 use lmpi_core::{Envelope, Packet, Wire};
-use lmpi_devices::codec::{decode, encode, wire_bytes, HEADER_BYTES, SEQ_ACK_BYTES};
+use lmpi_devices::codec::{decode, encode, wire_bytes, HEADER_BYTES, MSG_SEQ_BYTES, SEQ_ACK_BYTES};
 use proptest::prelude::*;
 
 fn envelope_strategy() -> impl Strategy<Value = Envelope> {
@@ -66,25 +66,30 @@ fn wire_strategy() -> impl Strategy<Value = Wire> {
         // past the old u32 boundary must round-trip too.
         any::<u64>(),
         any::<u64>(),
+        // Full u32 range for the v3 flight-recorder tag (0 = untagged).
+        any::<u32>(),
         packet_strategy(),
     )
-        .prop_map(|(src, env_credit, data_credit, seq, ack, mut pkt)| {
-            // Protocol invariant the codec relies on (the 20-byte envelope
-            // stores the source once): envelope packets are always sent by
-            // their own source rank.
-            match &mut pkt {
-                Packet::Eager { env, .. } | Packet::RndvReq { env, .. } => env.src = src,
-                _ => {}
-            }
-            Wire {
-                src,
-                seq,
-                ack,
-                env_credit: env_credit.min(0xFF),
-                data_credit,
-                pkt,
-            }
-        })
+        .prop_map(
+            |(src, env_credit, data_credit, seq, ack, msg_seq, mut pkt)| {
+                // Protocol invariant the codec relies on (the 20-byte envelope
+                // stores the source once): envelope packets are always sent by
+                // their own source rank.
+                match &mut pkt {
+                    Packet::Eager { env, .. } | Packet::RndvReq { env, .. } => env.src = src,
+                    _ => {}
+                }
+                Wire {
+                    src,
+                    seq,
+                    ack,
+                    env_credit: env_credit.min(0xFF),
+                    data_credit,
+                    msg_seq,
+                    pkt,
+                }
+            },
+        )
 }
 
 fn assert_wire_eq(a: &Wire, b: &Wire) {
@@ -93,6 +98,7 @@ fn assert_wire_eq(a: &Wire, b: &Wire) {
     assert_eq!(a.ack, b.ack);
     assert_eq!(a.env_credit, b.env_credit);
     assert_eq!(a.data_credit, b.data_credit);
+    assert_eq!(a.msg_seq, b.msg_seq);
     match (&a.pkt, &b.pkt) {
         (
             Packet::Eager {
@@ -196,10 +202,14 @@ proptest! {
     #[test]
     fn encoded_size_is_header_plus_payload(wire in wire_strategy()) {
         let enc = encode(&wire);
-        // encode adds the 16 seq/ack bytes of the reliability sublayer and a
-        // 4-byte payload length word to the paper's 25-byte header; the
-        // *cost model* (wire_bytes) still charges the paper's header alone.
-        prop_assert_eq!(enc.len(), HEADER_BYTES + SEQ_ACK_BYTES + 4 + wire.pkt.payload_len());
+        // encode adds the 16 seq/ack bytes of the reliability sublayer, the
+        // 4-byte flight-recorder tag and a 4-byte payload length word to the
+        // paper's 25-byte header; the *cost model* (wire_bytes) still charges
+        // the paper's header alone.
+        prop_assert_eq!(
+            enc.len(),
+            HEADER_BYTES + SEQ_ACK_BYTES + MSG_SEQ_BYTES + 4 + wire.pkt.payload_len()
+        );
         prop_assert_eq!(wire_bytes(&wire), HEADER_BYTES + wire.pkt.payload_len());
     }
 

@@ -79,6 +79,19 @@ fn args_json(kind: &EventKind) -> String {
 }
 
 fn instant(rank: u32, ev: &Event) -> String {
+    let mut args = args_json(&ev.kind);
+    if ev.msg.is_some() {
+        // Splice the message identity into the args object so the
+        // tooltip shows which flight the instant belongs to.
+        let sep = if args == "{}" { "" } else { "," };
+        args = format!(
+            "{{\"msg\":\"{}:{}\"{}{}",
+            ev.msg.src,
+            ev.msg.seq,
+            sep,
+            &args[1..]
+        );
+    }
     Obj::new()
         .str("ph", "i")
         .str("name", ev.kind.name())
@@ -86,7 +99,7 @@ fn instant(rank: u32, ev: &Event) -> String {
         .u64("pid", rank as u64)
         .u64("tid", 0)
         .str("s", "t")
-        .raw("args", &args_json(&ev.kind))
+        .raw("args", &args)
         .finish()
 }
 
@@ -218,6 +231,20 @@ mod tests {
     #[test]
     fn empty_input_is_an_empty_array() {
         assert_eq!(chrome_trace_json(&[]), "[]");
+    }
+
+    #[test]
+    fn msg_tagged_events_render_their_flight_id() {
+        use crate::event::MsgId;
+        let t = Tracer::enabled(0, 4);
+        t.emit_msg_at(
+            100,
+            MsgId { src: 2, seq: 9 },
+            EventKind::EagerTx { peer: 1, bytes: 8 },
+        );
+        let json = chrome_trace_json(&[t.snapshot()]);
+        validate(&json).unwrap();
+        assert!(json.contains(r#""msg":"2:9""#));
     }
 
     #[test]

@@ -6,11 +6,43 @@
 //! schema in one place is what makes cross-layer timelines line up in the
 //! Chrome export and lets the report walker pair events across ranks.
 
+/// Stable cross-rank identity of one user message.
+///
+/// The engine stamps every posted send with a per-sender monotonic
+/// sequence number (starting at 1) and threads it through the wire
+/// headers, so events emitted on *both* sides of a transfer — and in
+/// every device layer in between — carry the same `(src, seq)` pair.
+/// This is what lets `correlate` stitch per-rank rings into one
+/// per-message timeline.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct MsgId {
+    /// Rank that posted the send.
+    pub src: u32,
+    /// Per-sender monotonic message number, starting at 1. `0` is the
+    /// [`MsgId::NONE`] sentinel: the event is not tied to one message
+    /// (credit returns, collectives, pure acks).
+    pub seq: u32,
+}
+
+impl MsgId {
+    /// "No message": events outside any message's flight path.
+    pub const NONE: MsgId = MsgId { src: 0, seq: 0 };
+
+    /// Whether this is a real message identity (seq ≥ 1).
+    #[inline]
+    pub fn is_some(self) -> bool {
+        self.seq != 0
+    }
+}
+
 /// A single traced occurrence: a timestamp plus a typed payload.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub struct Event {
     /// Nanoseconds on the emitting rank's clock (virtual or monotonic).
     pub t_ns: u64,
+    /// Which message this event belongs to ([`MsgId::NONE`] when the
+    /// event is not attributable to one message).
+    pub msg: MsgId,
     /// What happened.
     pub kind: EventKind,
 }

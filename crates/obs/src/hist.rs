@@ -34,8 +34,9 @@ fn bucket_high(idx: usize) -> u64 {
     }
 }
 
-/// Percentile roll-up of a [`LatencyHist`].
-#[derive(Copy, Clone, Debug, Default, PartialEq)]
+/// Percentile roll-up of a [`LatencyHist`]. All durations are
+/// nanoseconds; serializes to JSON via [`crate::to_json`].
+#[derive(Copy, Clone, Debug, Default, PartialEq, serde::Serialize)]
 pub struct PercentileSummary {
     /// Number of recorded samples.
     pub count: u64,
@@ -81,12 +82,18 @@ impl LatencyHist {
         }
     }
 
-    /// Record one sample.
+    /// Record one sample. Saturates (rather than overflows) once a
+    /// bucket or the total count reaches `u64::MAX` — at nanosecond
+    /// rates that is centuries of samples, but a merge of many saturated
+    /// histograms can get there, and a debug-build panic inside the
+    /// tracing hot path is the one failure mode observability must not
+    /// have.
     #[inline]
     pub fn record(&mut self, ns: u64) {
-        self.counts[bucket_index(ns)] += 1;
-        self.count += 1;
-        self.sum += ns as u128;
+        let idx = bucket_index(ns);
+        self.counts[idx] = self.counts[idx].saturating_add(1);
+        self.count = self.count.saturating_add(1);
+        self.sum = self.sum.saturating_add(ns as u128);
         self.min = self.min.min(ns);
         self.max = self.max.max(ns);
     }
@@ -129,7 +136,9 @@ impl LatencyHist {
         let target = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
         let mut seen = 0u64;
         for (idx, &c) in self.counts.iter().enumerate() {
-            seen += c;
+            // Saturating: bucket counts can individually sit at u64::MAX
+            // after merging saturated histograms.
+            seen = seen.saturating_add(c);
             if seen >= target {
                 return bucket_high(idx).clamp(self.min, self.max);
             }
@@ -137,13 +146,16 @@ impl LatencyHist {
         self.max
     }
 
-    /// Fold `other` into `self`.
+    /// Fold `other` into `self`. Bucket counts, the total count, and the
+    /// sum all saturate instead of overflowing, so merging histograms
+    /// whose top buckets are already at `u64::MAX` is safe (the summary
+    /// degrades gracefully rather than wrapping to nonsense).
     pub fn merge(&mut self, other: &LatencyHist) {
         for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
-            *a += b;
+            *a = a.saturating_add(*b);
         }
-        self.count += other.count;
-        self.sum += other.sum;
+        self.count = self.count.saturating_add(other.count);
+        self.sum = self.sum.saturating_add(other.sum);
         self.min = self.min.min(other.min);
         self.max = self.max.max(other.max);
     }
@@ -258,5 +270,69 @@ mod tests {
         assert_eq!(s.min_ns, 0);
         assert_eq!(s.p99_ns, 0);
         assert_eq!(s.mean_ns, 0.0);
+    }
+
+    #[test]
+    fn percentile_on_empty_histogram_is_zero_for_any_quantile() {
+        let h = LatencyHist::new();
+        for q in [-1.0, 0.0, 0.5, 0.99, 1.0, 2.0, f64::NAN] {
+            assert_eq!(h.percentile(q), 0, "q={q}");
+        }
+    }
+
+    /// A histogram whose top bucket (and total count) already sits at
+    /// `u64::MAX`, as if assembled by merging many saturated shards.
+    fn saturated_at(v: u64) -> LatencyHist {
+        let mut h = LatencyHist::new();
+        h.record(v);
+        h.counts[bucket_index(v)] = u64::MAX;
+        h.count = u64::MAX;
+        h.sum = u128::MAX;
+        h
+    }
+
+    #[test]
+    fn merge_of_saturated_buckets_saturates_instead_of_overflowing() {
+        let v = u64::MAX / 2; // lands in the top octave
+        let mut a = saturated_at(v);
+        let b = saturated_at(v);
+        a.merge(&b); // would panic (debug) or wrap (release) pre-fix
+        assert_eq!(a.count(), u64::MAX);
+        assert_eq!(a.counts[bucket_index(v)], u64::MAX);
+        assert_eq!(a.max(), v);
+        // Percentile scan must also survive u64::MAX bucket counts.
+        assert_eq!(a.percentile(0.99), v);
+        // record() on a saturated histogram stays saturated too.
+        a.record(v);
+        assert_eq!(a.count(), u64::MAX);
+    }
+
+    #[test]
+    fn summary_round_trips_through_the_json_exporter() {
+        let mut h = LatencyHist::new();
+        for v in [250u64, 1_000, 40_000] {
+            h.record(v);
+        }
+        let s = h.summary();
+        let json = crate::to_json(&s).unwrap();
+        crate::json::validate(&json).unwrap();
+        // Spot-check the exact fields the exporter must carry.
+        assert!(json.contains(r#""count":3"#), "{json}");
+        assert!(
+            json.contains(&format!(r#""min_ns":{}"#, s.min_ns)),
+            "{json}"
+        );
+        assert!(
+            json.contains(&format!(r#""max_ns":{}"#, s.max_ns)),
+            "{json}"
+        );
+        assert!(
+            json.contains(&format!(r#""p50_ns":{}"#, s.p50_ns)),
+            "{json}"
+        );
+        assert!(
+            json.contains(&format!(r#""p99_ns":{}"#, s.p99_ns)),
+            "{json}"
+        );
     }
 }

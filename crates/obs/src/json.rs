@@ -1,10 +1,11 @@
-//! Minimal hand-rolled JSON emission.
+//! Minimal hand-rolled JSON emission and validation.
 //!
-//! The workspace deliberately avoids pulling `serde` into the build (the
-//! dependency set is frozen); the two exporters need only flat objects
+//! The exporters that predate the flight recorder need only flat objects
 //! with string / number / bool fields, which this ~80-line builder
-//! covers. Keys are always compile-time identifiers and are not escaped;
-//! values are.
+//! covers (keys are always compile-time identifiers and are not escaped;
+//! values are). Structured snapshot types serialize through
+//! [`crate::ser::to_json`] instead, which drives `serde::Serialize`
+//! derives without pulling in `serde_json`.
 
 /// Escape a string for inclusion inside JSON double quotes.
 pub(crate) fn escape(s: &str) -> String {
@@ -110,11 +111,12 @@ pub(crate) fn array(items: &[String]) -> String {
     out
 }
 
-/// A minimal recursive-descent JSON validity checker, used by tests to
+/// A minimal recursive-descent JSON validity checker: `Ok(())` iff `s`
+/// is one complete JSON value. Used by tests and artifact generators to
 /// assert that exporter output parses (the workspace has no JSON parser
-/// dependency to lean on).
-#[cfg(test)]
-pub(crate) fn validate(s: &str) -> Result<(), String> {
+/// dependency to lean on). Not a general parser — it validates without
+/// building a value tree.
+pub fn validate(s: &str) -> Result<(), String> {
     struct P<'a> {
         b: &'a [u8],
         i: usize,

@@ -18,27 +18,45 @@
 //! * exporters — [`chrome_trace_json`] renders multi-rank timelines
 //!   loadable in Perfetto / `chrome://tracing`, and [`report`] walks
 //!   paired event streams to attribute each ping-pong half-trip to
-//!   API / protocol / wire phases, reproducing Table 1.
+//!   API / protocol / wire phases, reproducing Table 1;
+//! * the **flight recorder** — every event can carry a [`MsgId`]
+//!   (source rank + per-sender sequence number) threaded through the
+//!   engine and wire headers, [`correlate`] stitches the per-rank rings
+//!   into per-message causal timelines with phase dwell times and
+//!   invariant checks, and [`diag`] runs rule-based stall diagnostics
+//!   (credit starvation, retransmit storms, unexpected-queue growth,
+//!   matcher-bin skew) over the correlated record;
+//! * [`to_json`] — a minimal `serde::Serializer` rendering any
+//!   `Serialize` derive as compact JSON, so snapshot types stop
+//!   hand-rolling field lists (the workspace bans `serde_json`).
 //!
-//! The crate is dependency-light by design (only `parking_lot`): it sits
-//! *below* `lmpi-core` in the crate graph so the engine and every device
-//! can emit events without cycles. Timestamps are raw `u64` nanoseconds;
-//! the tracer never owns a clock — callers pass time in, which is what
-//! lets one event schema span virtual and wall-clock substrates.
+//! The crate is dependency-light by design (`parking_lot` plus `serde`'s
+//! traits): it sits *below* `lmpi-core` in the crate graph so the engine
+//! and every device can emit events without cycles. Timestamps are raw
+//! `u64` nanoseconds; the tracer never owns a clock — callers pass time
+//! in, which is what lets one event schema span virtual and wall-clock
+//! substrates.
 
 #![warn(missing_docs)]
 
 mod chrome;
 mod clock;
+pub mod correlate;
+pub mod diag;
 mod event;
 mod hist;
 mod json;
 pub mod report;
+mod ser;
 mod tracer;
 
 pub use chrome::chrome_trace_json;
 pub use clock::{secs_to_ns, Clock, ManualClock, MonotonicClock};
-pub use event::{CollOp, Event, EventKind, FaultKind, PacketKind};
+pub use correlate::{correlate, flight_json, FlightRecord, MessageTimeline, Violation};
+pub use diag::{diagnose, diagnostics_json, DiagConfig, DiagKind, Diagnostic, RankStats};
+pub use event::{CollOp, Event, EventKind, FaultKind, MsgId, PacketKind};
 pub use hist::{LatencyHist, PercentileSummary};
+pub use json::validate as validate_json;
 pub use report::{attribute_ping_pong, table1_json, PhaseBreakdown, Table1Row};
+pub use ser::{to_json, SerError};
 pub use tracer::{TraceBuffer, Tracer};

@@ -1,0 +1,440 @@
+//! A minimal `serde::Serializer` that renders any `Serialize` value as
+//! compact JSON text.
+//!
+//! The workspace bans `serde_json` (the dependency set is frozen), but
+//! `serde` itself is already a workspace dependency, and deriving
+//! `Serialize` on snapshot types beats hand-rolling field lists that
+//! silently drift when a counter is added. This serializer covers the
+//! subset derives actually generate — primitives, strings, options,
+//! sequences, maps with string keys, structs, newtype wrappers, and unit
+//! enum variants — and rejects the exotic rest with a typed error.
+//!
+//! Output format matches the hand-rolled [`crate::json`] builder: compact
+//! (no whitespace), non-finite floats rendered as `0`, strings escaped.
+
+use std::fmt::{self, Display};
+
+use serde::ser::{self, Impossible, Serialize};
+
+use crate::json::{escape, num_f64};
+
+/// Serialization failure (unsupported shape or a `Display` bail-out from
+/// a custom `Serialize` impl).
+#[derive(Debug)]
+pub struct SerError(String);
+
+impl Display for SerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "json serialization error: {}", self.0)
+    }
+}
+
+impl std::error::Error for SerError {}
+
+impl ser::Error for SerError {
+    fn custom<T: Display>(msg: T) -> Self {
+        SerError(msg.to_string())
+    }
+}
+
+/// Render `value` as a compact JSON string.
+///
+/// ```
+/// #[derive(serde::Serialize)]
+/// struct S {
+///     n: u64,
+///     name: &'static str,
+/// }
+/// let json = lmpi_obs::to_json(&S { n: 7, name: "x" }).unwrap();
+/// assert_eq!(json, r#"{"n":7,"name":"x"}"#);
+/// ```
+pub fn to_json<T: Serialize + ?Sized>(value: &T) -> Result<String, SerError> {
+    let mut ser = JsonSer { out: String::new() };
+    value.serialize(&mut ser)?;
+    Ok(ser.out)
+}
+
+struct JsonSer {
+    out: String,
+}
+
+/// In-flight compound value (object or array) being written.
+pub struct Compound<'a> {
+    ser: &'a mut JsonSer,
+    first: bool,
+    closer: char,
+}
+
+impl Compound<'_> {
+    fn sep(&mut self) {
+        if self.first {
+            self.first = false;
+        } else {
+            self.ser.out.push(',');
+        }
+    }
+
+    fn close(self) {
+        self.ser.out.push(self.closer);
+    }
+}
+
+impl<'a> ser::Serializer for &'a mut JsonSer {
+    type Ok = ();
+    type Error = SerError;
+    type SerializeSeq = Compound<'a>;
+    type SerializeTuple = Compound<'a>;
+    type SerializeTupleStruct = Compound<'a>;
+    type SerializeTupleVariant = Impossible<(), SerError>;
+    type SerializeMap = Compound<'a>;
+    type SerializeStruct = Compound<'a>;
+    type SerializeStructVariant = Impossible<(), SerError>;
+
+    fn serialize_bool(self, v: bool) -> Result<(), SerError> {
+        self.out.push_str(if v { "true" } else { "false" });
+        Ok(())
+    }
+
+    fn serialize_i8(self, v: i8) -> Result<(), SerError> {
+        self.serialize_i64(v as i64)
+    }
+
+    fn serialize_i16(self, v: i16) -> Result<(), SerError> {
+        self.serialize_i64(v as i64)
+    }
+
+    fn serialize_i32(self, v: i32) -> Result<(), SerError> {
+        self.serialize_i64(v as i64)
+    }
+
+    fn serialize_i64(self, v: i64) -> Result<(), SerError> {
+        self.out.push_str(&v.to_string());
+        Ok(())
+    }
+
+    fn serialize_i128(self, v: i128) -> Result<(), SerError> {
+        self.out.push_str(&v.to_string());
+        Ok(())
+    }
+
+    fn serialize_u8(self, v: u8) -> Result<(), SerError> {
+        self.serialize_u64(v as u64)
+    }
+
+    fn serialize_u16(self, v: u16) -> Result<(), SerError> {
+        self.serialize_u64(v as u64)
+    }
+
+    fn serialize_u32(self, v: u32) -> Result<(), SerError> {
+        self.serialize_u64(v as u64)
+    }
+
+    fn serialize_u64(self, v: u64) -> Result<(), SerError> {
+        self.out.push_str(&v.to_string());
+        Ok(())
+    }
+
+    fn serialize_u128(self, v: u128) -> Result<(), SerError> {
+        self.out.push_str(&v.to_string());
+        Ok(())
+    }
+
+    fn serialize_f32(self, v: f32) -> Result<(), SerError> {
+        self.serialize_f64(v as f64)
+    }
+
+    fn serialize_f64(self, v: f64) -> Result<(), SerError> {
+        self.out.push_str(&num_f64(v));
+        Ok(())
+    }
+
+    fn serialize_char(self, v: char) -> Result<(), SerError> {
+        self.serialize_str(&v.to_string())
+    }
+
+    fn serialize_str(self, v: &str) -> Result<(), SerError> {
+        self.out.push('"');
+        self.out.push_str(&escape(v));
+        self.out.push('"');
+        Ok(())
+    }
+
+    fn serialize_bytes(self, _v: &[u8]) -> Result<(), SerError> {
+        Err(ser::Error::custom("raw bytes are not supported"))
+    }
+
+    fn serialize_none(self) -> Result<(), SerError> {
+        self.out.push_str("null");
+        Ok(())
+    }
+
+    fn serialize_some<T: Serialize + ?Sized>(self, value: &T) -> Result<(), SerError> {
+        value.serialize(self)
+    }
+
+    fn serialize_unit(self) -> Result<(), SerError> {
+        self.out.push_str("null");
+        Ok(())
+    }
+
+    fn serialize_unit_struct(self, _name: &'static str) -> Result<(), SerError> {
+        self.serialize_unit()
+    }
+
+    fn serialize_unit_variant(
+        self,
+        _name: &'static str,
+        _index: u32,
+        variant: &'static str,
+    ) -> Result<(), SerError> {
+        self.serialize_str(variant)
+    }
+
+    fn serialize_newtype_struct<T: Serialize + ?Sized>(
+        self,
+        _name: &'static str,
+        value: &T,
+    ) -> Result<(), SerError> {
+        value.serialize(self)
+    }
+
+    fn serialize_newtype_variant<T: Serialize + ?Sized>(
+        self,
+        _name: &'static str,
+        _index: u32,
+        variant: &'static str,
+        value: &T,
+    ) -> Result<(), SerError> {
+        // Externally tagged, as serde_json would: {"Variant":value}
+        self.out.push_str("{\"");
+        self.out.push_str(&escape(variant));
+        self.out.push_str("\":");
+        value.serialize(&mut *self)?;
+        self.out.push('}');
+        Ok(())
+    }
+
+    fn serialize_seq(self, _len: Option<usize>) -> Result<Compound<'a>, SerError> {
+        self.out.push('[');
+        Ok(Compound {
+            ser: self,
+            first: true,
+            closer: ']',
+        })
+    }
+
+    fn serialize_tuple(self, len: usize) -> Result<Compound<'a>, SerError> {
+        self.serialize_seq(Some(len))
+    }
+
+    fn serialize_tuple_struct(
+        self,
+        _name: &'static str,
+        len: usize,
+    ) -> Result<Compound<'a>, SerError> {
+        self.serialize_seq(Some(len))
+    }
+
+    fn serialize_tuple_variant(
+        self,
+        _name: &'static str,
+        _index: u32,
+        _variant: &'static str,
+        _len: usize,
+    ) -> Result<Impossible<(), SerError>, SerError> {
+        Err(ser::Error::custom("tuple enum variants are not supported"))
+    }
+
+    fn serialize_map(self, _len: Option<usize>) -> Result<Compound<'a>, SerError> {
+        self.out.push('{');
+        Ok(Compound {
+            ser: self,
+            first: true,
+            closer: '}',
+        })
+    }
+
+    fn serialize_struct(self, _name: &'static str, _len: usize) -> Result<Compound<'a>, SerError> {
+        self.serialize_map(None)
+    }
+
+    fn serialize_struct_variant(
+        self,
+        _name: &'static str,
+        _index: u32,
+        _variant: &'static str,
+        _len: usize,
+    ) -> Result<Impossible<(), SerError>, SerError> {
+        Err(ser::Error::custom("struct enum variants are not supported"))
+    }
+}
+
+impl ser::SerializeSeq for Compound<'_> {
+    type Ok = ();
+    type Error = SerError;
+
+    fn serialize_element<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), SerError> {
+        self.sep();
+        value.serialize(&mut *self.ser)
+    }
+
+    fn end(self) -> Result<(), SerError> {
+        self.close();
+        Ok(())
+    }
+}
+
+impl ser::SerializeTuple for Compound<'_> {
+    type Ok = ();
+    type Error = SerError;
+
+    fn serialize_element<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), SerError> {
+        ser::SerializeSeq::serialize_element(self, value)
+    }
+
+    fn end(self) -> Result<(), SerError> {
+        ser::SerializeSeq::end(self)
+    }
+}
+
+impl ser::SerializeTupleStruct for Compound<'_> {
+    type Ok = ();
+    type Error = SerError;
+
+    fn serialize_field<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), SerError> {
+        ser::SerializeSeq::serialize_element(self, value)
+    }
+
+    fn end(self) -> Result<(), SerError> {
+        ser::SerializeSeq::end(self)
+    }
+}
+
+impl ser::SerializeMap for Compound<'_> {
+    type Ok = ();
+    type Error = SerError;
+
+    fn serialize_key<T: Serialize + ?Sized>(&mut self, key: &T) -> Result<(), SerError> {
+        self.sep();
+        // JSON object keys must be strings; serialize the key and reject
+        // anything that did not render as one.
+        let start = self.ser.out.len();
+        key.serialize(&mut *self.ser)?;
+        if !self.ser.out[start..].starts_with('"') {
+            return Err(ser::Error::custom("map keys must serialize as strings"));
+        }
+        self.ser.out.push(':');
+        Ok(())
+    }
+
+    fn serialize_value<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), SerError> {
+        value.serialize(&mut *self.ser)
+    }
+
+    fn end(self) -> Result<(), SerError> {
+        self.close();
+        Ok(())
+    }
+}
+
+impl ser::SerializeStruct for Compound<'_> {
+    type Ok = ();
+    type Error = SerError;
+
+    fn serialize_field<T: Serialize + ?Sized>(
+        &mut self,
+        key: &'static str,
+        value: &T,
+    ) -> Result<(), SerError> {
+        self.sep();
+        self.ser.out.push('"');
+        self.ser.out.push_str(&escape(key));
+        self.ser.out.push_str("\":");
+        value.serialize(&mut *self.ser)
+    }
+
+    fn end(self) -> Result<(), SerError> {
+        self.close();
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::validate;
+    use serde::Serialize;
+
+    #[derive(Serialize)]
+    struct Inner {
+        a: u64,
+        b: f64,
+    }
+
+    #[derive(Serialize)]
+    struct Outer {
+        name: String,
+        flag: bool,
+        opt_none: Option<u32>,
+        opt_some: Option<u32>,
+        inner: Inner,
+        xs: Vec<u64>,
+    }
+
+    #[test]
+    fn derives_round_trip_through_the_validator() {
+        let v = Outer {
+            name: "he\"llo".into(),
+            flag: true,
+            opt_none: None,
+            opt_some: Some(3),
+            inner: Inner { a: 7, b: 1.5 },
+            xs: vec![1, 2, 3],
+        };
+        let json = to_json(&v).unwrap();
+        validate(&json).unwrap();
+        assert_eq!(
+            json,
+            r#"{"name":"he\"llo","flag":true,"opt_none":null,"opt_some":3,"inner":{"a":7,"b":1.5},"xs":[1,2,3]}"#
+        );
+    }
+
+    #[test]
+    fn non_finite_floats_render_as_zero() {
+        #[derive(Serialize)]
+        struct F {
+            x: f64,
+        }
+        assert_eq!(to_json(&F { x: f64::NAN }).unwrap(), r#"{"x":0}"#);
+    }
+
+    #[test]
+    fn unit_variants_render_as_strings() {
+        #[derive(Serialize)]
+        enum E {
+            Alpha,
+            Beta,
+        }
+        assert_eq!(
+            to_json(&vec![E::Alpha, E::Beta]).unwrap(),
+            r#"["Alpha","Beta"]"#
+        );
+    }
+
+    #[test]
+    fn maps_with_string_keys_serialize() {
+        use std::collections::BTreeMap;
+        let mut m = BTreeMap::new();
+        m.insert("k1".to_string(), 1u64);
+        m.insert("k2".to_string(), 2u64);
+        assert_eq!(to_json(&m).unwrap(), r#"{"k1":1,"k2":2}"#);
+    }
+
+    #[test]
+    fn integer_map_keys_are_rejected() {
+        use std::collections::BTreeMap;
+        let mut m = BTreeMap::new();
+        m.insert(1u32, 2u64);
+        assert!(to_json(&m).is_err());
+    }
+}

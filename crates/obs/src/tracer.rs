@@ -17,7 +17,7 @@
 use parking_lot::Mutex;
 use std::sync::Arc;
 
-use crate::event::{Event, EventKind};
+use crate::event::{Event, EventKind, MsgId};
 
 /// Overwriting ring of events. `head` points at the oldest entry once the
 /// ring has wrapped.
@@ -111,17 +111,29 @@ impl Tracer {
     /// path form: `now` is typically `|| dev.now_ns()`.
     #[inline]
     pub fn emit_with(&self, now: impl FnOnce() -> u64, kind: EventKind) {
-        if let Some(shared) = &self.0 {
-            let t_ns = now();
-            shared.ring.lock().push(Event { t_ns, kind });
-        }
+        self.emit_msg_with(MsgId::NONE, now, kind);
     }
 
     /// Emit `kind` with an already-taken timestamp.
     #[inline]
     pub fn emit_at(&self, t_ns: u64, kind: EventKind) {
+        self.emit_msg_at(t_ns, MsgId::NONE, kind);
+    }
+
+    /// [`Tracer::emit_with`] tagged with the message the event belongs to.
+    #[inline]
+    pub fn emit_msg_with(&self, msg: MsgId, now: impl FnOnce() -> u64, kind: EventKind) {
         if let Some(shared) = &self.0 {
-            shared.ring.lock().push(Event { t_ns, kind });
+            let t_ns = now();
+            shared.ring.lock().push(Event { t_ns, msg, kind });
+        }
+    }
+
+    /// [`Tracer::emit_at`] tagged with the message the event belongs to.
+    #[inline]
+    pub fn emit_msg_at(&self, t_ns: u64, msg: MsgId, kind: EventKind) {
+        if let Some(shared) = &self.0 {
+            shared.ring.lock().push(Event { t_ns, msg, kind });
         }
     }
 
@@ -230,5 +242,19 @@ mod tests {
         let t = Tracer::enabled(0, 4);
         t.emit_with(|| 42, ev(0));
         assert_eq!(t.snapshot().events[0].t_ns, 42);
+    }
+
+    #[test]
+    fn msg_tag_is_recorded_and_untagged_events_carry_none() {
+        let t = Tracer::enabled(0, 4);
+        t.emit_at(1, ev(0));
+        t.emit_msg_at(2, MsgId { src: 3, seq: 7 }, ev(0));
+        t.emit_msg_with(MsgId { src: 1, seq: 2 }, || 3, ev(0));
+        let snap = t.snapshot();
+        assert_eq!(snap.events[0].msg, MsgId::NONE);
+        assert!(!snap.events[0].msg.is_some());
+        assert_eq!(snap.events[1].msg, MsgId { src: 3, seq: 7 });
+        assert!(snap.events[1].msg.is_some());
+        assert_eq!(snap.events[2].msg, MsgId { src: 1, seq: 2 });
     }
 }
