@@ -1,4 +1,9 @@
 //! Wall-clock large-message bandwidth on the shared-memory substrate.
+//!
+//! Alongside the default (chunked-rendezvous) stream, the 1 MiB point is
+//! also measured with chunking disabled — the seed single-frame path — so
+//! `bench_gate` can enforce that the pipelined chunk stream costs at most
+//! 5% of single-frame bandwidth on a loss-free transport.
 
 use std::time::{Duration, Instant};
 
@@ -6,8 +11,8 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Through
 use lmpi_core::MpiConfig;
 use lmpi_devices::shm::run_with_config;
 
-fn stream_duration(nbytes: usize, iters: u64) -> Duration {
-    run_with_config(2, MpiConfig::device_defaults(), move |mpi| {
+fn stream_duration(nbytes: usize, iters: u64, config: MpiConfig) -> Duration {
+    run_with_config(2, config, move |mpi| {
         let world = mpi.world();
         if world.rank() == 0 {
             let buf = vec![0u8; nbytes];
@@ -37,9 +42,23 @@ fn bench_bandwidth(c: &mut Criterion) {
     for nbytes in [64 << 10, 1 << 20, 8 << 20] {
         g.throughput(Throughput::Bytes(nbytes as u64));
         g.bench_with_input(BenchmarkId::from_parameter(nbytes), &nbytes, |b, &n| {
-            b.iter_custom(|iters| stream_duration(n, iters));
+            b.iter_custom(|iters| stream_duration(n, iters, MpiConfig::device_defaults()));
         });
     }
+    // The seed single-frame path at 1 MiB (a half-usize chunk never
+    // chunks), paired with the default chunked run above for the
+    // bench_gate bandwidth-ratio check.
+    let nbytes: usize = 1 << 20;
+    g.throughput(Throughput::Bytes(nbytes as u64));
+    g.bench_with_input(BenchmarkId::new("unchunked", nbytes), &nbytes, |b, &n| {
+        b.iter_custom(|iters| {
+            stream_duration(
+                n,
+                iters,
+                MpiConfig::device_defaults().with_rndv_chunk(usize::MAX / 2),
+            )
+        });
+    });
     g.finish();
 }
 

@@ -1,8 +1,9 @@
-//! Regression gate over the `matching_engine` and `tracer_overhead`
-//! criterion results.
+//! Regression gate over the `matching_engine`, `tracer_overhead` and
+//! `bandwidth_shm` criterion results.
 //!
-//! Run after `cargo bench -p lmpi-bench --bench matching_engine` and
-//! `cargo bench -p lmpi-bench --bench tracer_overhead`:
+//! Run after `cargo bench -p lmpi-bench --bench matching_engine`,
+//! `cargo bench -p lmpi-bench --bench tracer_overhead` and
+//! `cargo bench -p lmpi-bench --bench bandwidth_shm`:
 //!
 //! ```text
 //! cargo run --release -p lmpi-bench --bin bench_gate            # check
@@ -51,6 +52,16 @@ const MAX_TRACED_RATIO: f64 = 1.30;
 /// thread-pair runs (the ping-pong itself is a microsecond-scale RTT).
 const TRACED_GRACE_NS: f64 = 300.0;
 
+/// The chunked rendezvous stream must keep at least this fraction of the
+/// seed single-frame bandwidth at 1 MiB on the loss-free shm substrate —
+/// pipelining buys loss resilience, not a zero-loss regression. Same-run,
+/// same-machine ratio, so it holds on noisy runners.
+const MIN_CHUNKED_BW_RATIO: f64 = 0.95;
+
+/// The message size (bytes) the bandwidth ratio is checked at; keep in
+/// sync with `benches/bandwidth_shm.rs`.
+const BW_GATE_BYTES: usize = 1 << 20;
+
 fn main() -> ExitCode {
     let record = std::env::args().any(|a| a == "--record");
     let criterion_dir = std::env::var("CRITERION_DIR")
@@ -81,6 +92,28 @@ fn main() -> ExitCode {
     for variant in ["disabled", "enabled"] {
         let key = format!("tracer_overhead/{variant}");
         match read_median_ns(&criterion_dir, "tracer_overhead", variant, None) {
+            Ok(ns) => medians.push((key, ns)),
+            Err(e) => failures.push(format!("{key}: {e}")),
+        }
+    }
+    {
+        let key = format!("shm_stream/{BW_GATE_BYTES}");
+        match read_median_ns(
+            &criterion_dir,
+            "shm_stream",
+            &BW_GATE_BYTES.to_string(),
+            None,
+        ) {
+            Ok(ns) => medians.push((key, ns)),
+            Err(e) => failures.push(format!("{key}: {e}")),
+        }
+        let key = format!("shm_stream/unchunked/{BW_GATE_BYTES}");
+        match read_median_ns(
+            &criterion_dir,
+            "shm_stream",
+            "unchunked",
+            Some(BW_GATE_BYTES),
+        ) {
             Ok(ns) => medians.push((key, ns)),
             Err(e) => failures.push(format!("{key}: {e}")),
         }
@@ -131,6 +164,23 @@ fn main() -> ExitCode {
         failures.push(format!(
             "binned matcher regresses depth 1: {binned1:.2} ns vs linear {linear1:.2} ns \
              (limit {limit1:.2} ns)"
+        ));
+    }
+
+    // Bandwidth is inverse stream time, so the chunked/unchunked bandwidth
+    // ratio is the unchunked/chunked time ratio.
+    let chunked_ns = get(&format!("shm_stream/{BW_GATE_BYTES}"));
+    let unchunked_ns = get(&format!("shm_stream/unchunked/{BW_GATE_BYTES}"));
+    let bw_ratio = unchunked_ns / chunked_ns;
+    println!(
+        "shm bandwidth @1 MiB: chunked {chunked_ns:.0} ns vs single-frame {unchunked_ns:.0} ns \
+         per iter ({:.2}x bandwidth, need >={MIN_CHUNKED_BW_RATIO}x)",
+        bw_ratio
+    );
+    if bw_ratio < MIN_CHUNKED_BW_RATIO || bw_ratio.is_nan() {
+        failures.push(format!(
+            "chunked rendezvous keeps only {bw_ratio:.3}x of single-frame shm bandwidth \
+             at 1 MiB (need >={MIN_CHUNKED_BW_RATIO}x)"
         ));
     }
 

@@ -139,8 +139,7 @@ impl Communicator {
                         data,
                     },
                 ),
-            );
-            Ok(())
+            )
         } else {
             let ctx = self.coll_ctx();
             let data = self

@@ -19,6 +19,13 @@ pub struct MpiConfig {
     /// right choice for simulated devices, whose virtual clock only advances
     /// while blocked. Set it on real transports when frames can be lost.
     pub progress_timeout_us: Option<u64>,
+    /// Largest rendezvous data segment per device frame; larger messages
+    /// stream as pipelined `RndvChunk` segments. Every rank of a job must
+    /// use the same value.
+    pub rndv_chunk: Option<usize>,
+    /// Rendezvous pipeline window (chunks in flight before the sender
+    /// waits for a chunk acknowledgment).
+    pub rndv_window: Option<u32>,
 }
 
 impl MpiConfig {
@@ -45,6 +52,18 @@ impl MpiConfig {
         self
     }
 
+    /// Set the rendezvous chunk size (bytes per bulk-data frame).
+    pub fn with_rndv_chunk(mut self, bytes: usize) -> Self {
+        self.rndv_chunk = Some(bytes);
+        self
+    }
+
+    /// Set the rendezvous pipeline window (chunks in flight).
+    pub fn with_rndv_window(mut self, chunks: u32) -> Self {
+        self.rndv_window = Some(chunks);
+        self
+    }
+
     /// Arm the progress watchdog: blocking calls give up with
     /// [`crate::MpiError::Timeout`] after waiting `us` microseconds of
     /// wall-clock (device) time with no incoming frame.
@@ -64,12 +83,17 @@ mod tests {
             .with_eager_threshold(180)
             .with_env_slots(1)
             .with_recv_buf(4096)
-            .with_progress_timeout_us(500_000);
+            .with_progress_timeout_us(500_000)
+            .with_rndv_chunk(8 << 10)
+            .with_rndv_window(4);
         assert_eq!(c.eager_threshold, Some(180));
         assert_eq!(c.env_slots, Some(1));
         assert_eq!(c.recv_buf_per_sender, Some(4096));
         assert_eq!(c.progress_timeout_us, Some(500_000));
+        assert_eq!(c.rndv_chunk, Some(8 << 10));
+        assert_eq!(c.rndv_window, Some(4));
         assert_eq!(MpiConfig::default().eager_threshold, None);
         assert_eq!(MpiConfig::default().progress_timeout_us, None);
+        assert_eq!(MpiConfig::default().rndv_chunk, None);
     }
 }

@@ -48,6 +48,14 @@ pub struct DeviceDefaults {
     pub env_slots: u32,
     /// Receiver bounce-buffer bytes reserved per sender.
     pub recv_buf_per_sender: u64,
+    /// Largest rendezvous data segment sent as one device frame. Messages
+    /// up to this size move as a single `RndvData` frame (the paper's one
+    /// DMA); larger ones stream as `RndvChunk` segments of this size so a
+    /// lost frame costs one chunk instead of the whole transfer.
+    pub rndv_chunk: usize,
+    /// Rendezvous pipeline window: how many chunks the sender keeps in
+    /// flight before waiting for a chunk acknowledgment.
+    pub rndv_window: u32,
 }
 
 /// Cumulative reliability and fault-injection statistics surfaced by a
@@ -68,6 +76,9 @@ pub struct TransportStats {
     pub ooo_dropped: u64,
     /// Pure (non-piggybacked) acknowledgement frames sent.
     pub pure_acks_sent: u64,
+    /// Partial frames evicted from a fragment-reassembly buffer to bound
+    /// per-peer memory (UDP transport).
+    pub reassembly_evicted: u64,
     /// Frames deliberately dropped by fault injection.
     pub faults_dropped: u64,
     /// Frames deliberately duplicated by fault injection.
@@ -87,6 +98,7 @@ impl TransportStats {
             dup_suppressed: self.dup_suppressed + inner.dup_suppressed,
             ooo_dropped: self.ooo_dropped + inner.ooo_dropped,
             pure_acks_sent: self.pure_acks_sent + inner.pure_acks_sent,
+            reassembly_evicted: self.reassembly_evicted + inner.reassembly_evicted,
             faults_dropped: self.faults_dropped + inner.faults_dropped,
             faults_duplicated: self.faults_duplicated + inner.faults_duplicated,
             faults_reordered: self.faults_reordered + inner.faults_reordered,
@@ -129,8 +141,15 @@ pub trait Device: Send {
     /// Broadcast `wire` to every rank in `group` except this one using the
     /// hardware broadcast. Only called when [`Device::has_hw_bcast`] is
     /// true; the collective layer falls back to point-to-point otherwise.
-    fn hw_bcast(&self, _group: &[Rank], _wire: Wire) {
-        unimplemented!("device has no hardware broadcast")
+    /// The default reports a typed [`MpiError::Unsupported`] so a device
+    /// that wrongly claims `has_hw_bcast` surfaces an error instead of
+    /// panicking.
+    ///
+    /// [`MpiError::Unsupported`]: crate::MpiError::Unsupported
+    fn hw_bcast(&self, _group: &[Rank], _wire: Wire) -> MpiResult<()> {
+        Err(crate::error::MpiError::Unsupported {
+            what: "device has no hardware broadcast".into(),
+        })
     }
 
     /// Elapsed time in seconds (virtual on simulated transports, wall-clock
@@ -194,6 +213,8 @@ pub(crate) mod loopback {
                     eager_threshold: 180,
                     env_slots: 4,
                     recv_buf_per_sender: 1 << 16,
+                    rndv_chunk: 256,
+                    rndv_window: 2,
                 },
             }
         }
@@ -236,5 +257,23 @@ pub(crate) mod loopback {
         fn defaults(&self) -> DeviceDefaults {
             self.defaults
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::loopback::Loopback;
+    use super::*;
+    use crate::error::MpiError;
+    use crate::packet::Packet;
+
+    /// A device without hardware broadcast reports a typed error from the
+    /// default `hw_bcast` instead of panicking.
+    #[test]
+    fn default_hw_bcast_is_a_typed_error() {
+        let dev = Loopback::new(0, 2);
+        assert!(!dev.has_hw_bcast());
+        let res = dev.hw_bcast(&[1], Wire::bare(0, Packet::Credit));
+        assert!(matches!(res, Err(MpiError::Unsupported { .. })), "{res:?}");
     }
 }

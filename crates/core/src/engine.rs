@@ -37,6 +37,9 @@ pub struct Counters {
     pub eager_sent: u64,
     /// Rendezvous envelopes transmitted.
     pub rndv_sent: u64,
+    /// Pipelined rendezvous data chunks transmitted (zero when every
+    /// rendezvous payload fit a single `RndvData` frame).
+    pub rndv_chunks_sent: u64,
     /// Sends that had to queue behind flow control.
     pub sends_queued: u64,
     /// Synchronous-mode acknowledgments transmitted.
@@ -85,6 +88,25 @@ struct RndvPayload {
     buffered: bool,
     /// Flight-recorder sequence number of the owning message.
     msg_seq: u32,
+    /// Envelope tag, reported in the sender's completion status.
+    tag: u32,
+}
+
+/// Sender-side state of an in-flight chunked rendezvous transfer: the
+/// remainder of the payload still streaming to the receiver, window
+/// permitting. Keyed by send request id in [`Engine::chunk_streams`].
+struct ChunkStream {
+    data: Bytes,
+    /// Flight-recorder sequence number of the owning message.
+    msg_seq: u32,
+    /// First byte of the payload not yet transmitted.
+    next_offset: usize,
+    /// Receiver request id, echoed in every chunk.
+    recv_id: u64,
+    /// Receiving rank.
+    dst: Rank,
+    /// Completion status reported when the final chunk departs.
+    status: Status,
 }
 
 /// Per-rank protocol state. All methods take `&mut self` plus the rank's
@@ -92,6 +114,11 @@ struct RndvPayload {
 pub(crate) struct Engine {
     my_rank: Rank,
     eager_threshold: usize,
+    /// Largest rendezvous data segment per frame; payloads above this
+    /// stream as pipelined `RndvChunk` segments.
+    rndv_chunk: usize,
+    /// Chunks kept in flight before the sender waits for a chunk ack.
+    rndv_window: u32,
     pub(crate) match_eng: MatchEngine,
     pub(crate) reqs: RequestTable,
     pub(crate) flow: FlowControl,
@@ -99,6 +126,9 @@ pub(crate) struct Engine {
     /// `buffered` marks buffered-mode sends whose pool bytes are released
     /// only once the data actually leaves.
     rndv_store: HashMap<u64, RndvPayload>,
+    /// Chunked rendezvous transfers mid-stream (go-ahead served, final
+    /// chunk not yet transmitted), keyed by send request id.
+    chunk_streams: HashMap<u64, ChunkStream>,
     /// Sends queued behind flow control, FIFO per destination.
     pending_out: Vec<VecDeque<PendingSend>>,
     /// Hardware-broadcast payloads not yet consumed: (context, seq, data).
@@ -138,14 +168,19 @@ impl Engine {
         eager_threshold: usize,
         env_slots: u32,
         recv_buf_per_sender: u64,
+        rndv_chunk: usize,
+        rndv_window: u32,
     ) -> Self {
         Engine {
             my_rank,
             eager_threshold,
+            rndv_chunk: rndv_chunk.max(1),
+            rndv_window: rndv_window.max(1),
             match_eng: MatchEngine::new(),
             reqs: RequestTable::new(),
             flow: FlowControl::new(nprocs, env_slots, recv_buf_per_sender),
             rndv_store: HashMap::new(),
+            chunk_streams: HashMap::new(),
             pending_out: (0..nprocs).map(|_| VecDeque::new()).collect(),
             coll_bcasts: VecDeque::new(),
             bcast_seq: HashMap::new(),
@@ -336,7 +371,16 @@ impl Engine {
             self.counters.eager_sent += 1;
             self.counters.bytes_sent += len as u64;
             match mode {
-                SendMode::Synchronous => self.reqs.set(req_id, ReqState::SendAckWait),
+                SendMode::Synchronous => self.reqs.set(
+                    req_id,
+                    ReqState::SendAckWait {
+                        status: Status {
+                            source: dst,
+                            tag,
+                            len,
+                        },
+                    },
+                ),
                 SendMode::Buffered => {} // completed at post
                 SendMode::Standard | SendMode::Ready => self.reqs.complete(
                     req_id,
@@ -372,6 +416,7 @@ impl Engine {
                     data,
                     msg_seq,
                     buffered: mode == SendMode::Buffered,
+                    tag,
                 },
             );
             // Every non-buffered rendezvous send — standard included —
@@ -416,12 +461,47 @@ impl Engine {
                 src: self.my_rank,
                 seq: 0, // sequenced (if at all) by the reliability sublayer
                 ack: 0,
+                ack_bits: 0,
                 env_credit,
                 data_credit,
                 msg_seq,
                 pkt,
             },
         );
+    }
+
+    /// Transmit the next chunk of an in-flight rendezvous stream. Returns
+    /// `true` when that was the final chunk (the stream is exhausted).
+    /// Chunks spend no flow-control credit: the whole message was charged
+    /// once, at envelope time.
+    fn send_next_chunk(&mut self, dev: &dyn Device, stream: &mut ChunkStream) -> bool {
+        let total = stream.data.len();
+        let offset = stream.next_offset;
+        let end = offset.saturating_add(self.rndv_chunk).min(total);
+        let chunk = stream.data.slice(offset..end);
+        stream.next_offset = end;
+        self.counters.rndv_chunks_sent += 1;
+        self.transmit(
+            dev,
+            stream.dst,
+            Packet::RndvChunk {
+                recv_id: stream.recv_id,
+                offset,
+                total,
+                data: chunk,
+            },
+            stream.msg_seq,
+        );
+        end == total
+    }
+
+    /// Complete a rendezvous send whose data has fully left, reporting the
+    /// real envelope status. Buffered-mode sends already completed at post
+    /// and are left alone.
+    fn complete_rndv_send(&mut self, send_id: u64, status: Status) {
+        if matches!(self.reqs.get(send_id), Some(ReqState::SendRndvWait)) {
+            self.reqs.complete(send_id, Ok(status));
+        }
     }
 
     // ------------------------------------------------------------------
@@ -520,8 +600,15 @@ impl Engine {
                     tag: env.tag,
                     len: env.len,
                 };
-                self.reqs
-                    .set(req_id, ReqState::RecvRndvWait { dst, status });
+                self.reqs.set(
+                    req_id,
+                    ReqState::RecvRndvWait {
+                        dst,
+                        status,
+                        send_id,
+                        received: 0,
+                    },
+                );
                 self.tracer.emit_msg_with(
                     wmsg,
                     || dev.now_ns(),
@@ -738,8 +825,15 @@ impl Engine {
                         tag: env.tag,
                         len: env.len,
                     };
-                    self.reqs
-                        .set(posted.recv_id, ReqState::RecvRndvWait { dst, status });
+                    self.reqs.set(
+                        posted.recv_id,
+                        ReqState::RecvRndvWait {
+                            dst,
+                            status,
+                            send_id,
+                            received: 0,
+                        },
+                    );
                     self.tracer.emit_msg_with(
                         wmsg,
                         || dev.now_ns(),
@@ -778,6 +872,7 @@ impl Engine {
                     data,
                     msg_seq,
                     buffered,
+                    tag,
                 }) = self.rndv_store.remove(&send_id)
                 else {
                     return Err(MpiError::transport_peer(
@@ -809,26 +904,51 @@ impl Engine {
                         bytes: len as u32,
                     },
                 );
-                self.transmit(dev, wire.src, Packet::RndvData { recv_id, data }, msg_seq);
                 if buffered {
                     self.buffer_release(len);
                 }
-                if matches!(self.reqs.get(send_id), Some(ReqState::SendRndvWait)) {
-                    // Data pushed and (for synchronous mode) the go-ahead
-                    // proves the receive matched: the send is complete.
-                    self.reqs.complete(
-                        send_id,
-                        Ok(Status {
-                            source: wire.src,
-                            tag: 0,
-                            len: 0,
-                        }),
-                    );
+                // The real envelope fields, reported when the send
+                // completes — never fabricated zeros.
+                let status = Status {
+                    source: wire.src,
+                    tag,
+                    len,
+                };
+                // Payloads that fit one chunk go as a single frame — the
+                // seed protocol, and the paper's one-DMA transfer. (Chunk
+                // offsets ride the wire as u32, so absurdly large payloads
+                // also take the single-frame path rather than overflow.)
+                if len <= self.rndv_chunk || len > u32::MAX as usize {
+                    self.transmit(dev, wire.src, Packet::RndvData { recv_id, data }, msg_seq);
+                    self.complete_rndv_send(send_id, status);
+                } else {
+                    let mut stream = ChunkStream {
+                        data,
+                        msg_seq,
+                        next_offset: 0,
+                        recv_id,
+                        dst: wire.src,
+                        status,
+                    };
+                    // Open the pipeline: burst up to a window of chunks;
+                    // each returning chunk ack releases one more.
+                    let mut exhausted = false;
+                    for _ in 0..self.rndv_window {
+                        if self.send_next_chunk(dev, &mut stream) {
+                            exhausted = true;
+                            break;
+                        }
+                    }
+                    if exhausted {
+                        self.complete_rndv_send(send_id, stream.status);
+                    } else {
+                        self.chunk_streams.insert(send_id, stream);
+                    }
                 }
             }
             Packet::RndvData { recv_id, data } => {
                 let (dst, status) = match self.reqs.get(recv_id) {
-                    Some(ReqState::RecvRndvWait { dst, status }) => (*dst, *status),
+                    Some(ReqState::RecvRndvWait { dst, status, .. }) => (*dst, *status),
                     other => {
                         return Err(MpiError::transport_peer(
                             wire.src,
@@ -865,6 +985,99 @@ impl Engine {
                     },
                 );
             }
+            Packet::RndvChunk {
+                recv_id,
+                offset,
+                total,
+                data,
+            } => {
+                let (dst, status, send_id, received) = match self.reqs.get(recv_id) {
+                    Some(ReqState::RecvRndvWait {
+                        dst,
+                        status,
+                        send_id,
+                        received,
+                    }) => (*dst, *status, *send_id, *received),
+                    other => {
+                        return Err(MpiError::transport_peer(
+                            wire.src,
+                            format!(
+                                "rendezvous chunk for recv {recv_id} in state {other:?} \
+                                 (duplicated or reordered frame?)"
+                            ),
+                        ));
+                    }
+                };
+                // Each chunk lands at its offset directly in the posted
+                // user buffer — no intermediate staging. `deliver_at`
+                // clamps to capacity; whether the message truncated is
+                // decided once, from `total`, at completion.
+                // SAFETY: RecvDest contract (see `consume_match`).
+                unsafe { dst.deliver_at(offset, &data) };
+                self.counters.bytes_received += data.len() as u64;
+                let received = received + data.len();
+                if received >= total {
+                    let result = if total > dst.cap {
+                        Err(MpiError::Truncated {
+                            message_len: total,
+                            buffer_len: dst.cap,
+                        })
+                    } else {
+                        Ok(Status {
+                            source: status.source,
+                            tag: status.tag,
+                            len: total,
+                        })
+                    };
+                    self.reqs.complete(recv_id, result);
+                    self.tracer.emit_msg_with(
+                        wmsg,
+                        || dev.now_ns(),
+                        EventKind::DmaEnd {
+                            peer: wire.src as u32,
+                            bytes: total as u32,
+                        },
+                    );
+                    self.tracer.emit_msg_with(
+                        wmsg,
+                        || dev.now_ns(),
+                        EventKind::Delivered {
+                            peer: wire.src as u32,
+                            bytes: total as u32,
+                        },
+                    );
+                } else {
+                    self.reqs.set(
+                        recv_id,
+                        ReqState::RecvRndvWait {
+                            dst,
+                            status,
+                            send_id,
+                            received,
+                        },
+                    );
+                    // Ack every chunk except the completing one: each ack
+                    // releases one more chunk from the sender's window.
+                    self.transmit(
+                        dev,
+                        wire.src,
+                        Packet::RndvChunkAck { send_id },
+                        wire.msg_seq,
+                    );
+                }
+            }
+            Packet::RndvChunkAck { send_id } => {
+                // Unknown ids are expected, not an error: the final chunk
+                // is never acked, so the last few acks of a stream always
+                // arrive after the sender already completed and forgot it.
+                if let Some(mut stream) = self.chunk_streams.remove(&send_id) {
+                    if self.send_next_chunk(dev, &mut stream) {
+                        self.complete_rndv_send(send_id, stream.status);
+                    } else {
+                        self.chunk_streams.insert(send_id, stream);
+                    }
+                }
+            }
             Packet::EagerAck { send_id } => {
                 self.tracer.emit_msg_with(
                     wmsg,
@@ -874,21 +1087,12 @@ impl Engine {
                     },
                 );
                 // Idempotent: a duplicated frame (lossy device, reliability
-                // off) can re-deliver the ack after the send completed, or
-                // after the id was recycled — only complete a send that is
-                // actually waiting.
-                if matches!(
-                    self.reqs.get(send_id),
-                    Some(ReqState::SendAckWait) | Some(ReqState::SendQueued)
-                ) {
-                    self.reqs.complete(
-                        send_id,
-                        Ok(Status {
-                            source: wire.src,
-                            tag: 0,
-                            len: 0,
-                        }),
-                    );
+                // off) can re-deliver the ack after the send completed —
+                // only complete a send that is actually waiting, and report
+                // the real envelope fields stashed at transmission.
+                if let Some(ReqState::SendAckWait { status }) = self.reqs.get(send_id) {
+                    let status = *status;
+                    self.reqs.complete(send_id, Ok(status));
                 }
             }
             Packet::Credit => {
@@ -1080,8 +1284,11 @@ mod tests {
     use super::*;
     use crate::device::loopback::Loopback;
 
+    /// Defaults matching [`Loopback`]: 180-byte threshold, 256-byte chunks,
+    /// 2-chunk pipeline window — small enough that unit tests exercise the
+    /// chunked path with kilobyte payloads.
     fn engine(rank: Rank, n: usize) -> Engine {
-        Engine::new(rank, n, 180, 4, 1 << 16)
+        Engine::new(rank, n, 180, 4, 1 << 16, 256, 2)
     }
 
     fn dest(buf: &mut [u8]) -> RecvDest {
@@ -1164,6 +1371,8 @@ mod tests {
         assert_eq!(st.len, 1000);
         assert_eq!(buf, payload);
         assert_eq!(e0.counters.rndv_sent, 1);
+        // 1000 bytes over 256-byte chunks: a pipelined stream of 4.
+        assert_eq!(e0.counters.rndv_chunks_sent, 4);
         // Rendezvous path must not charge the receiver-side buffered copy.
         let copies = d1
             .charges
@@ -1290,8 +1499,8 @@ mod tests {
         let d0 = Loopback::new(0, 2);
         let d1 = Loopback::new(1, 2);
         // Single envelope slot (Meiko policy).
-        let mut e0 = Engine::new(0, 2, 180, 1, 1 << 16);
-        let mut e1 = Engine::new(1, 2, 180, 1, 1 << 16);
+        let mut e0 = Engine::new(0, 2, 180, 1, 1 << 16, 256, 2);
+        let mut e1 = Engine::new(1, 2, 180, 1, 1 << 16, 256, 2);
 
         e0.post_send(&d0, 1, 0, 0, Bytes::from_static(b"a"), SendMode::Standard)
             .unwrap();
@@ -1422,7 +1631,7 @@ mod tests {
     #[test]
     fn cancel_posted_recv_and_queued_send() {
         let d0 = Loopback::new(0, 2);
-        let mut e0 = Engine::new(0, 2, 180, 1, 1 << 16);
+        let mut e0 = Engine::new(0, 2, 180, 1, 1 << 16, 256, 2);
         let mut buf = [0u8; 1];
         let rid = e0.post_recv(&d0, dest(&mut buf), SourceSel::Any, TagSel::Any, 0);
         assert!(e0.cancel(rid));
@@ -1483,14 +1692,16 @@ mod tests {
         e0.tracer = Tracer::enabled(0, 64);
         e1.tracer = Tracer::enabled(1, 64);
 
-        let mut buf = vec![0u8; 1000];
+        // 200 bytes: above the 180-byte threshold, within one 256-byte
+        // chunk — the single-frame rendezvous path (the seed protocol).
+        let mut buf = vec![0u8; 200];
         e1.post_recv(&d1, dest(&mut buf), SourceSel::Any, TagSel::Any, 0);
         e0.post_send(
             &d0,
             1,
             0,
             0,
-            Bytes::from(vec![5u8; 1000]),
+            Bytes::from(vec![5u8; 200]),
             SendMode::Standard,
         )
         .unwrap();
@@ -1739,5 +1950,217 @@ mod tests {
                 "{name}: expected Transport, got {err:?}"
             );
         }
+    }
+
+    /// The chunked path delivers byte-identical data, brackets the stream
+    /// with one DmaStart/DmaEnd pair, and acks every chunk but the last.
+    #[test]
+    fn chunked_rendezvous_pipelines_and_delivers() {
+        let d0 = Loopback::new(0, 2);
+        let d1 = Loopback::new(1, 2);
+        let mut e0 = engine(0, 2);
+        let mut e1 = engine(1, 2);
+        e0.tracer = Tracer::enabled(0, 128);
+        e1.tracer = Tracer::enabled(1, 128);
+
+        // 1000 bytes / 256-byte chunks = 4 chunks, window 2.
+        let payload: Vec<u8> = (0..1000u32).map(|i| (i * 7) as u8).collect();
+        let mut buf = vec![0u8; 1000];
+        let rid = e1.post_recv(&d1, dest(&mut buf), SourceSel::Any, TagSel::Any, 0);
+        let sid = e0
+            .post_send(
+                &d0,
+                1,
+                3,
+                0,
+                Bytes::from(payload.clone()),
+                SendMode::Synchronous,
+            )
+            .unwrap();
+        pump(&mut e0, &d0, &mut e1, &d1);
+
+        assert_eq!(buf, payload, "chunks reassemble byte-identically");
+        let rst = e1.reqs.take_if_done(rid).unwrap().unwrap();
+        assert_eq!((rst.source, rst.tag, rst.len), (0, 3, 1000));
+        let sst = e0.reqs.take_if_done(sid).unwrap().unwrap();
+        assert_eq!(
+            (sst.source, sst.tag, sst.len),
+            (1, 3, 1000),
+            "sender status carries the real envelope, not zeros"
+        );
+        assert_eq!(e0.counters.rndv_chunks_sent, 4);
+        assert!(e0.chunk_streams.is_empty(), "stream state reclaimed");
+
+        let sender: Vec<&str> = e0
+            .tracer
+            .snapshot()
+            .events
+            .iter()
+            .map(|e| e.kind.name())
+            .collect();
+        assert_eq!(
+            sender.iter().filter(|n| **n == "DmaStart").count(),
+            1,
+            "one DmaStart brackets the whole stream: {sender:?}"
+        );
+        let receiver: Vec<&str> = e1
+            .tracer
+            .snapshot()
+            .events
+            .iter()
+            .map(|e| e.kind.name())
+            .collect();
+        assert_eq!(receiver.iter().filter(|n| **n == "DmaEnd").count(), 1);
+        assert_eq!(receiver.iter().filter(|n| **n == "Delivered").count(), 1);
+        assert_eq!(
+            receiver.last(),
+            Some(&"Delivered"),
+            "stream ends with delivery: {receiver:?}"
+        );
+    }
+
+    /// Chunks spend no flow-control credit beyond the envelope's: a
+    /// message needing 4 chunks moves through a single rendezvous slot.
+    #[test]
+    fn chunks_spend_no_extra_credit() {
+        let d0 = Loopback::new(0, 2);
+        let d1 = Loopback::new(1, 2);
+        // Single envelope slot: if chunks charged credit, the stream
+        // would starve itself and this test would hang or error.
+        let mut e0 = Engine::new(0, 2, 180, 1, 1 << 16, 256, 2);
+        let mut e1 = Engine::new(1, 2, 180, 1, 1 << 16, 256, 2);
+
+        let mut buf = vec![0u8; 1000];
+        let rid = e1.post_recv(&d1, dest(&mut buf), SourceSel::Any, TagSel::Any, 0);
+        e0.post_send(
+            &d0,
+            1,
+            0,
+            0,
+            Bytes::from(vec![9u8; 1000]),
+            SendMode::Standard,
+        )
+        .unwrap();
+        pump(&mut e0, &d0, &mut e1, &d1);
+        assert!(e1.reqs.take_if_done(rid).unwrap().is_ok());
+        assert_eq!(e0.counters.rndv_chunks_sent, 4);
+        assert_eq!(e0.counters.sends_queued, 0, "never stalled on credit");
+    }
+
+    /// A chunked message longer than the posted buffer truncates exactly
+    /// like the single-frame path: prefix delivered, typed error, and the
+    /// receiver keeps acking so the sender's stream still drains.
+    #[test]
+    fn chunked_rendezvous_truncates_with_prefix() {
+        let d0 = Loopback::new(0, 2);
+        let d1 = Loopback::new(1, 2);
+        let mut e0 = engine(0, 2);
+        let mut e1 = engine(1, 2);
+
+        let payload: Vec<u8> = (0..1000u32).map(|i| (i % 251) as u8).collect();
+        let mut small = vec![0u8; 300];
+        let rid = e1.post_recv(&d1, dest(&mut small), SourceSel::Any, TagSel::Any, 0);
+        let sid = e0
+            .post_send(
+                &d0,
+                1,
+                0,
+                0,
+                Bytes::from(payload.clone()),
+                SendMode::Standard,
+            )
+            .unwrap();
+        pump(&mut e0, &d0, &mut e1, &d1);
+        let err = e1.reqs.take_if_done(rid).unwrap().unwrap_err();
+        assert_eq!(
+            err,
+            MpiError::Truncated {
+                message_len: 1000,
+                buffer_len: 300
+            }
+        );
+        assert_eq!(&small[..], &payload[..300], "prefix delivered");
+        assert!(
+            e0.reqs.take_if_done(sid).unwrap().is_ok(),
+            "sender side completed: the stream fully drained"
+        );
+        assert!(e0.chunk_streams.is_empty());
+    }
+
+    /// Synchronous-mode regression for the fabricated-status bug: both the
+    /// eager and the rendezvous ack paths must report the real envelope.
+    #[test]
+    fn ssend_completion_reports_real_tag_and_len() {
+        // Eager ssend (below threshold): status arrives with the ack.
+        let d0 = Loopback::new(0, 2);
+        let d1 = Loopback::new(1, 2);
+        let mut e0 = engine(0, 2);
+        let mut e1 = engine(1, 2);
+        let sid = e0
+            .post_send(
+                &d0,
+                1,
+                42,
+                0,
+                Bytes::from_static(b"hello"),
+                SendMode::Synchronous,
+            )
+            .unwrap();
+        let mut buf = [0u8; 5];
+        e1.post_recv(&d1, dest(&mut buf), SourceSel::Any, TagSel::Any, 0);
+        pump(&mut e0, &d0, &mut e1, &d1);
+        let st = e0.reqs.take_if_done(sid).unwrap().unwrap();
+        assert_eq!((st.source, st.tag, st.len), (1, 42, 5));
+
+        // Rendezvous ssend (single-frame): status arrives with the go.
+        let sid = e0
+            .post_send(
+                &d0,
+                1,
+                77,
+                0,
+                Bytes::from(vec![1u8; 200]),
+                SendMode::Synchronous,
+            )
+            .unwrap();
+        let mut big = vec![0u8; 200];
+        e1.post_recv(&d1, dest(&mut big), SourceSel::Any, TagSel::Any, 0);
+        pump(&mut e0, &d0, &mut e1, &d1);
+        let st = e0.reqs.take_if_done(sid).unwrap().unwrap();
+        assert_eq!((st.source, st.tag, st.len), (1, 77, 200));
+    }
+
+    #[test]
+    fn stray_rndv_chunk_is_typed_transport_error() {
+        let d0 = Loopback::new(0, 2);
+        let mut e0 = engine(0, 2);
+        let err = e0
+            .handle_wire(
+                &d0,
+                Wire::bare(
+                    1,
+                    Packet::RndvChunk {
+                        recv_id: 42,
+                        offset: 0,
+                        total: 8,
+                        data: Bytes::from_static(b"late"),
+                    },
+                ),
+            )
+            .unwrap_err();
+        assert!(
+            matches!(err, MpiError::Transport { peer: Some(1), .. }),
+            "got {err:?}"
+        );
+    }
+
+    /// Late chunk acks (the final chunk is never acked, so trailing acks
+    /// always outlive the stream) are silently ignored, not an error.
+    #[test]
+    fn late_chunk_ack_is_ignored() {
+        let d0 = Loopback::new(0, 2);
+        let mut e0 = engine(0, 2);
+        e0.handle_wire(&d0, Wire::bare(1, Packet::RndvChunkAck { send_id: 999 }))
+            .unwrap();
     }
 }

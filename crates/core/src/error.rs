@@ -83,6 +83,12 @@ pub enum MpiError {
         /// Which invariant broke.
         detail: String,
     },
+    /// The operation is not supported by this device or build (e.g. a
+    /// hardware broadcast on a transport without one).
+    Unsupported {
+        /// What was requested.
+        what: String,
+    },
 }
 
 impl fmt::Display for MpiError {
@@ -125,6 +131,7 @@ impl fmt::Display for MpiError {
             MpiError::Internal { detail } => {
                 write!(f, "internal accounting error (library bug): {detail}")
             }
+            MpiError::Unsupported { what } => write!(f, "unsupported operation: {what}"),
         }
     }
 }

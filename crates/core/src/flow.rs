@@ -16,6 +16,13 @@
 //! credits (bounce-buffer bytes). The engine returns credits promptly for
 //! envelopes (they are copied into matching structures on arrival) and
 //! returns data credits when eager payloads leave the bounce buffer.
+//!
+//! Rendezvous bulk data is *outside* this ledger entirely: a message
+//! charges one envelope credit when its `RndvReq` goes out, and the data
+//! phase — whether one `RndvData` frame or a pipelined stream of
+//! `RndvChunk` frames — spends nothing further. The receiver granted the
+//! transfer into its own posted buffer with the go-ahead, so per-chunk
+//! credit would only re-meter space the receiver already promised.
 
 use crate::error::{MpiError, MpiResult};
 use crate::types::Rank;
@@ -396,6 +403,21 @@ mod tests {
         f.stall_started(0, 0);
         assert_eq!(f.stall_ended(0, 75), 75);
         assert_eq!(f.stall_ns_total, 625);
+    }
+
+    #[test]
+    fn rendezvous_charges_one_envelope_regardless_of_data_size() {
+        // Tentpole invariant: the chunked data phase spends no credit, so
+        // from the ledger's view a 1 GB rendezvous message costs exactly
+        // what a 1 KB one does — one envelope slot, zero data bytes.
+        let mut f = FlowControl::new(2, 4, 1000);
+        f.spend_rndv(1).unwrap();
+        assert_eq!(f.env_available(1), 3, "one envelope per message");
+        assert_eq!(
+            f.data_available(1),
+            1000,
+            "bulk data never touches the bounce-buffer window"
+        );
     }
 
     #[test]

@@ -96,6 +96,12 @@ impl MetricsSnapshot {
         );
         counter(
             &mut out,
+            "lmpi_rndv_chunks_sent_total",
+            "Pipelined rendezvous data chunks transmitted.",
+            c.rndv_chunks_sent,
+        );
+        counter(
+            &mut out,
             "lmpi_sends_queued_total",
             "Sends that queued behind flow control.",
             c.sends_queued,
@@ -202,6 +208,12 @@ impl MetricsSnapshot {
             "lmpi_transport_pure_acks_sent_total",
             "Standalone acknowledgment frames sent.",
             t.pure_acks_sent,
+        );
+        counter(
+            &mut out,
+            "lmpi_transport_reassembly_evicted_total",
+            "Partial UDP frame reassemblies evicted to bound memory.",
+            t.reassembly_evicted,
         );
         counter(
             &mut out,
@@ -360,11 +372,13 @@ mod tests {
     fn snapshot() -> MetricsSnapshot {
         let mut c = Counters::default();
         c.eager_sent = 7;
+        c.rndv_chunks_sent = 9;
         c.credit_stall_ns = 1234;
         c.unexpected_hwm = 3;
         c.match_bins_hwm = 2;
         let mut t = TransportStats::default();
         t.retransmits = 5;
+        t.reassembly_evicted = 4;
         let mut h = LatencyHist::new();
         for v in [100, 200, 300] {
             h.record(v);
@@ -381,6 +395,8 @@ mod tests {
         assert!(prom.contains("lmpi_match_bins_hwm{rank=\"1\"} 2"));
         assert!(prom.contains("lmpi_credit_stall_ns_total{rank=\"1\"} 1234"));
         assert!(prom.contains("lmpi_transport_retransmits_total{rank=\"1\"} 5"));
+        assert!(prom.contains("lmpi_rndv_chunks_sent_total{rank=\"1\"} 9"));
+        assert!(prom.contains("lmpi_transport_reassembly_evicted_total{rank=\"1\"} 4"));
         assert!(prom.contains("hist=\"pingpong_half_trip\""));
     }
 

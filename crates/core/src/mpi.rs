@@ -106,6 +106,8 @@ impl Mpi {
             config.eager_threshold.unwrap_or(d.eager_threshold),
             config.env_slots.unwrap_or(d.env_slots),
             config.recv_buf_per_sender.unwrap_or(d.recv_buf_per_sender),
+            config.rndv_chunk.unwrap_or(d.rndv_chunk),
+            config.rndv_window.unwrap_or(d.rndv_window),
         );
         Mpi {
             inner: Rc::new(Inner {

@@ -74,12 +74,34 @@ pub enum Packet {
         recv_id: u64,
     },
     /// Rendezvous step 3: the bulk data, delivered directly into the user
-    /// buffer (the "No buffering" line of Fig. 1).
+    /// buffer (the "No buffering" line of Fig. 1). Used when the whole
+    /// message fits in one device frame (at most the platform's
+    /// [`crate::DeviceDefaults::rndv_chunk`]).
     RndvData {
         /// Echo of the receiver request id.
         recv_id: u64,
         /// The payload.
         data: Bytes,
+    },
+    /// Rendezvous step 3, pipelined: one segment of the bulk data, written
+    /// at `offset` directly into the posted user buffer. Larger-than-chunk
+    /// messages stream as a window of these so a single lost frame costs
+    /// one chunk, not the whole transfer.
+    RndvChunk {
+        /// Echo of the receiver request id.
+        recv_id: u64,
+        /// Byte offset of this segment within the message.
+        offset: usize,
+        /// Total message length in bytes (same in every chunk).
+        total: usize,
+        /// This segment's payload.
+        data: Bytes,
+    },
+    /// Receiver → sender: a chunk landed; release the next chunk of the
+    /// pipeline window. Not sent for the chunk that completes a message.
+    RndvChunkAck {
+        /// Echo of the sender request id.
+        send_id: u64,
     },
     /// Match acknowledgment for synchronous-mode eager sends.
     EagerAck {
@@ -111,6 +133,8 @@ impl Packet {
             Packet::RndvReq { .. } => "rndv_req",
             Packet::RndvGo { .. } => "rndv_go",
             Packet::RndvData { .. } => "rndv_data",
+            Packet::RndvChunk { .. } => "rndv_chunk",
+            Packet::RndvChunkAck { .. } => "rndv_chunk_ack",
             Packet::EagerAck { .. } => "eager_ack",
             Packet::Credit => "credit",
             Packet::HwBcast { .. } => "hw_bcast",
@@ -122,6 +146,7 @@ impl Packet {
         match self {
             Packet::Eager { data, .. }
             | Packet::RndvData { data, .. }
+            | Packet::RndvChunk { data, .. }
             | Packet::HwBcast { data, .. } => data.len(),
             _ => 0,
         }
@@ -130,7 +155,7 @@ impl Packet {
     /// Whether this packet is a bulk data transfer (device may use its DMA
     /// path) as opposed to a small control transaction.
     pub fn is_bulk(&self) -> bool {
-        matches!(self, Packet::RndvData { .. })
+        matches!(self, Packet::RndvData { .. } | Packet::RndvChunk { .. })
     }
 
     /// The observability packet classification for trace events.
@@ -141,6 +166,8 @@ impl Packet {
             Packet::RndvReq { .. } => K::RndvReq,
             Packet::RndvGo { .. } => K::RndvGo,
             Packet::RndvData { .. } => K::RndvData,
+            Packet::RndvChunk { .. } => K::RndvChunk,
+            Packet::RndvChunkAck { .. } => K::RndvChunkAck,
             Packet::EagerAck { .. } => K::EagerAck,
             Packet::Credit => K::Credit,
             Packet::HwBcast { .. } => K::HwBcast,
@@ -163,6 +190,12 @@ pub struct Wire {
     /// highest sequence number received in order from the frame's
     /// destination. `0` means nothing acknowledged yet.
     pub ack: u64,
+    /// Selective acknowledgment bitmap piggybacked beside the cumulative
+    /// ack: bit `k` set means sequence `ack + 2 + k` from the frame's
+    /// destination has been received out of order (`ack + 1` is by
+    /// definition the first hole). `0` under go-back-N, which never
+    /// accepts out of order.
+    pub ack_bits: u64,
     /// Envelope slots being returned to the receiver of this frame.
     pub env_credit: u32,
     /// Buffer bytes being returned to the receiver of this frame.
@@ -173,8 +206,8 @@ pub struct Wire {
     /// *source* rank it forms the stable cross-rank `MsgId`. `0` means
     /// the frame serves no single message (credit returns, pure acks).
     /// Note the owning message's source is not always [`Wire::src`]:
-    /// reply packets (`RndvGo`, `EagerAck`) travel from the receiver
-    /// back to the message's sender.
+    /// reply packets (`RndvGo`, `EagerAck`, `RndvChunkAck`) travel from
+    /// the receiver back to the message's sender.
     pub msg_seq: u32,
     /// The protocol packet.
     pub pkt: Packet,
@@ -188,6 +221,7 @@ impl Wire {
             src,
             seq: 0,
             ack: 0,
+            ack_bits: 0,
             env_credit: 0,
             data_credit: 0,
             msg_seq: 0,
@@ -198,17 +232,17 @@ impl Wire {
     /// The flight-recorder identity of the message this frame serves.
     /// `dst` is the frame's *destination* rank (the transmitting device
     /// passes its send target; the receiving engine passes its own
-    /// rank). Forward packets (eager data, rendezvous request/data,
+    /// rank). Forward packets (eager data, rendezvous request/data/chunks,
     /// broadcast) belong to a message sourced at the frame's sender;
-    /// reply packets (`RndvGo`, `EagerAck`) belong to a message sourced
-    /// at the frame's destination. Returns [`lmpi_obs::MsgId::NONE`]
+    /// reply packets (`RndvGo`, `EagerAck`, `RndvChunkAck`) belong to a
+    /// message sourced at the frame's destination. Returns [`lmpi_obs::MsgId::NONE`]
     /// for unattributed frames (`msg_seq == 0`, credit returns).
     pub fn msg_id(&self, dst: Rank) -> lmpi_obs::MsgId {
         if self.msg_seq == 0 {
             return lmpi_obs::MsgId::NONE;
         }
         let src = match self.pkt {
-            Packet::RndvGo { .. } | Packet::EagerAck { .. } => dst,
+            Packet::RndvGo { .. } | Packet::EagerAck { .. } | Packet::RndvChunkAck { .. } => dst,
             _ => self.src,
         };
         lmpi_obs::MsgId {
@@ -288,6 +322,19 @@ mod tests {
         assert!(d.is_bulk());
         assert_eq!(d.payload_len(), 2);
         assert_eq!(Packet::Credit.payload_len(), 0);
+
+        let c = Packet::RndvChunk {
+            recv_id: 3,
+            offset: 8,
+            total: 11,
+            data: Bytes::from_static(b"xyz"),
+        };
+        assert_eq!(c.kind_name(), "rndv_chunk");
+        assert!(c.is_bulk());
+        assert_eq!(c.payload_len(), 3);
+        let a = Packet::RndvChunkAck { send_id: 4 };
+        assert!(!a.is_bulk());
+        assert_eq!(a.payload_len(), 0);
     }
 
     #[test]
@@ -298,6 +345,7 @@ mod tests {
         assert_eq!(w.data_credit, 0);
         assert_eq!(w.seq, 0);
         assert_eq!(w.ack, 0);
+        assert_eq!(w.ack_bits, 0);
         assert_eq!(w.msg_seq, 0);
         assert_eq!(w.msg_id(7), lmpi_obs::MsgId::NONE);
     }
@@ -329,6 +377,22 @@ mod tests {
         );
         rep.msg_seq = 9;
         assert_eq!(rep.msg_id(2), lmpi_obs::MsgId { src: 2, seq: 9 });
+
+        // Chunk data is a forward packet; the chunk ack is a reply.
+        let mut chunk = Wire::bare(
+            2,
+            Packet::RndvChunk {
+                recv_id: 2,
+                offset: 0,
+                total: 8,
+                data: Bytes::from_static(b"abcd"),
+            },
+        );
+        chunk.msg_seq = 9;
+        assert_eq!(chunk.msg_id(5), lmpi_obs::MsgId { src: 2, seq: 9 });
+        let mut cack = Wire::bare(5, Packet::RndvChunkAck { send_id: 1 });
+        cack.msg_seq = 9;
+        assert_eq!(cack.msg_id(2), lmpi_obs::MsgId { src: 2, seq: 9 });
     }
 
     #[test]

@@ -31,11 +31,8 @@ impl RecvDest {
     /// See the type-level contract: `ptr..ptr+cap` must be writable and
     /// unaliased for the duration of the call.
     pub(crate) unsafe fn deliver(&self, data: &[u8]) -> MpiResult<usize> {
-        let n = data.len().min(self.cap);
-        // SAFETY: caller upholds the type-level contract; `n <= cap`.
-        unsafe {
-            std::ptr::copy_nonoverlapping(data.as_ptr(), self.ptr, n);
-        }
+        // SAFETY: contract forwarded to `deliver_at`.
+        let n = unsafe { self.deliver_at(0, data) };
         if data.len() > self.cap {
             Err(MpiError::Truncated {
                 message_len: data.len(),
@@ -44,6 +41,28 @@ impl RecvDest {
         } else {
             Ok(n)
         }
+    }
+
+    /// Copy `data` into the destination starting at byte `offset`,
+    /// clamping to capacity (bytes past `cap` are silently dropped — the
+    /// caller decides whether the whole message truncated). Returns the
+    /// number of bytes written. Chunked rendezvous writes each segment at
+    /// its offset, so the posted buffer fills in place with no
+    /// intermediate staging.
+    ///
+    /// # Safety
+    /// See the type-level contract: `ptr..ptr+cap` must be writable and
+    /// unaliased for the duration of the call.
+    pub(crate) unsafe fn deliver_at(&self, offset: usize, data: &[u8]) -> usize {
+        if offset >= self.cap {
+            return 0;
+        }
+        let n = data.len().min(self.cap - offset);
+        // SAFETY: caller upholds the type-level contract; `offset + n <= cap`.
+        unsafe {
+            std::ptr::copy_nonoverlapping(data.as_ptr(), self.ptr.add(offset), n);
+        }
+        n
     }
 }
 
@@ -61,14 +80,23 @@ pub(crate) enum ReqState {
     /// while the data still awaits the go-ahead.
     SendRndvWait,
     /// Eager synchronous send delivered; waiting for the match ack.
-    SendAckWait,
+    SendAckWait {
+        /// The real (destination, tag, length) to report when the ack
+        /// arrives — never fabricated zeros.
+        status: Status,
+    },
     /// Receive posted, not yet matched.
     RecvPosted { dst: RecvDest },
-    /// Receive matched a rendezvous envelope; waiting for the bulk data.
+    /// Receive matched a rendezvous envelope; waiting for the bulk data
+    /// (one `RndvData` frame, or a pipelined stream of `RndvChunk`s).
     RecvRndvWait {
         dst: RecvDest,
         /// Matched envelope's (source, tag, length) for the final status.
         status: Status,
+        /// Sender request id, echoed in chunk acknowledgments.
+        send_id: u64,
+        /// Payload bytes received so far (chunked path).
+        received: usize,
     },
     /// Finished, result not yet collected by `wait`/`test`.
     Done(MpiResult<Status>),
@@ -148,7 +176,7 @@ mod tests {
     fn ids_monotonic_and_unique() {
         let mut t = RequestTable::new();
         let a = t.alloc(ReqState::SendQueued);
-        let b = t.alloc(ReqState::SendAckWait);
+        let b = t.alloc(ReqState::SendRndvWait);
         assert_ne!(a, b);
         assert!(b > a);
         assert_eq!(t.len(), 2);
@@ -157,7 +185,7 @@ mod tests {
     #[test]
     fn take_if_done_only_when_done() {
         let mut t = RequestTable::new();
-        let id = t.alloc(ReqState::SendAckWait);
+        let id = t.alloc(ReqState::SendQueued);
         assert!(t.take_if_done(id).is_none());
         t.complete(
             id,
@@ -194,5 +222,26 @@ mod tests {
             })
         );
         assert_eq!(&buf, b"1234", "prefix delivered on truncation");
+    }
+
+    #[test]
+    fn deliver_at_writes_offsets_and_clamps() {
+        let mut buf = [0u8; 6];
+        let dst = RecvDest {
+            ptr: buf.as_mut_ptr(),
+            cap: buf.len(),
+        };
+        // SAFETY: `buf` outlives the calls and is unaliased.
+        unsafe {
+            assert_eq!(dst.deliver_at(4, b"ef"), 2);
+            assert_eq!(dst.deliver_at(0, b"abcd"), 4);
+        }
+        assert_eq!(&buf, b"abcdef", "chunks land at their offsets");
+        unsafe {
+            assert_eq!(dst.deliver_at(5, b"xyz"), 1, "tail clamped to cap");
+            assert_eq!(dst.deliver_at(6, b"zz"), 0, "past-cap chunk dropped");
+            assert_eq!(dst.deliver_at(usize::MAX, b"zz"), 0);
+        }
+        assert_eq!(&buf, b"abcdex");
     }
 }

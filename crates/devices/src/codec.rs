@@ -24,6 +24,13 @@
 //! which lets the cross-rank trace correlator stitch both ends of a frame
 //! to one message. The cost model ([`wire_bytes`]) still charges the
 //! paper's 25 bytes so simulated latencies match the published figures.
+//!
+//! Frame layout **version 4** widens the reliability state by 8 bytes: a
+//! selective-repeat ack bitmap ([`Wire::ack_bits`], bit `k` = sequence
+//! `ack + 2 + k` received out of order; all-zero under go-back-N) rides
+//! beside the cumulative ack, and two new frame types carry the pipelined
+//! rendezvous chunk stream (`RndvChunk` with its 32-bit offset/total words
+//! in the request-info area, and the window-opening `RndvChunkAck`).
 
 use bytes::Bytes;
 use lmpi_core::{Envelope, Packet, Rank, Wire};
@@ -32,9 +39,10 @@ use lmpi_core::{Envelope, Packet, Rank, Wire};
 pub const HEADER_BYTES: usize = 25;
 
 /// Extra encoded bytes for the reliability sublayer: 8-byte sequence
-/// number + 8-byte cumulative ack (layout v2; v1 used 4-byte fields that
+/// number + 8-byte cumulative ack + 8-byte selective-repeat ack bitmap
+/// (layout v4; v2 lacked the bitmap, v1 used 4-byte seq/ack fields that
 /// wrapped after 2^32 frames).
-pub const SEQ_ACK_BYTES: usize = 16;
+pub const SEQ_ACK_BYTES: usize = 24;
 
 /// Extra encoded bytes for the flight recorder: the 4-byte message
 /// sequence (layout v3).
@@ -62,6 +70,8 @@ const T_RNDV_DATA: u8 = 6;
 const T_EAGER_ACK: u8 = 7;
 const T_CREDIT: u8 = 8;
 const T_HW_BCAST: u8 = 9;
+const T_RNDV_CHUNK: u8 = 10;
+const T_RNDV_CHUNK_ACK: u8 = 11;
 
 /// Total bytes `wire` occupies on the wire: 25-byte header plus payload.
 pub fn wire_bytes(wire: &Wire) -> usize {
@@ -103,6 +113,8 @@ pub fn encode_into(wire: &Wire, out: &mut Vec<u8>) {
         Packet::RndvReq { .. } => (T_RNDV_REQ, None),
         Packet::RndvGo { .. } => (T_RNDV_GO, None),
         Packet::RndvData { data, .. } => (T_RNDV_DATA, Some(data)),
+        Packet::RndvChunk { data, .. } => (T_RNDV_CHUNK, Some(data)),
+        Packet::RndvChunkAck { .. } => (T_RNDV_CHUNK_ACK, None),
         Packet::EagerAck { .. } => (T_EAGER_ACK, None),
         Packet::Credit => (T_CREDIT, None),
         Packet::HwBcast { data, .. } => (T_HW_BCAST, Some(data)),
@@ -114,11 +126,13 @@ pub fn encode_into(wire: &Wire, out: &mut Vec<u8>) {
     let data_c = wire.data_credit.min(0xFF_FFFF);
     let packed = ((env_c as u32) << 24) | (data_c as u32);
     out.extend_from_slice(&packed.to_le_bytes());
-    // 16 bytes: reliability sequence number and cumulative ack (the UDP
-    // variant's extension; zero when reliability is off). Full u64s: the
-    // sublayer's counters never wrap, so neither may the wire fields.
+    // 24 bytes: reliability sequence number, cumulative ack and the
+    // selective-repeat ack bitmap (the UDP variant's extension; zero when
+    // reliability is off). Full u64s: the sublayer's counters never wrap,
+    // so neither may the wire fields.
     out.extend_from_slice(&wire.seq.to_le_bytes());
     out.extend_from_slice(&wire.ack.to_le_bytes());
+    out.extend_from_slice(&wire.ack_bits.to_le_bytes());
     // 4 bytes: flight-recorder message sequence (0 = untagged frame).
     out.extend_from_slice(&wire.msg_seq.to_le_bytes());
     // 20 bytes: envelope / request info.
@@ -147,6 +161,23 @@ pub fn encode_into(wire: &Wire, out: &mut Vec<u8>) {
         }
         Packet::RndvData { recv_id, .. } => {
             info[4..8].copy_from_slice(&(*recv_id as u32).to_le_bytes());
+        }
+        Packet::RndvChunk {
+            recv_id,
+            offset,
+            total,
+            ..
+        } => {
+            debug_assert!(
+                *recv_id <= u32::MAX as u64 && *total <= u32::MAX as usize,
+                "chunk fields exceed 20-byte request-info area"
+            );
+            info[4..8].copy_from_slice(&(*recv_id as u32).to_le_bytes());
+            info[8..12].copy_from_slice(&(*offset as u32).to_le_bytes());
+            info[12..16].copy_from_slice(&(*total as u32).to_le_bytes());
+        }
+        Packet::RndvChunkAck { send_id } => {
+            info[4..8].copy_from_slice(&(*send_id as u32).to_le_bytes());
         }
         Packet::EagerAck { send_id } => {
             info[4..8].copy_from_slice(&(*send_id as u32).to_le_bytes());
@@ -204,6 +235,7 @@ pub fn decode(buf: &[u8]) -> Result<(Wire, usize), DecodeError> {
     let data_credit = (packed & 0xFF_FFFF) as u64;
     let seq = u64_le(5);
     let ack = u64_le(13);
+    let ack_bits = u64_le(21);
     let msg_seq = u32_le(MSG_SEQ_OFF);
     let src = u32_le(INFO_OFF) as Rank;
     let payload_len = u32_le(LEN_OFF) as usize;
@@ -242,6 +274,15 @@ pub fn decode(buf: &[u8]) -> Result<(Wire, usize), DecodeError> {
             recv_id: u32at(4..8) as u64,
             data,
         },
+        T_RNDV_CHUNK => Packet::RndvChunk {
+            recv_id: u32at(4..8) as u64,
+            offset: u32at(8..12) as usize,
+            total: u32at(12..16) as usize,
+            data,
+        },
+        T_RNDV_CHUNK_ACK => Packet::RndvChunkAck {
+            send_id: u32at(4..8) as u64,
+        },
         T_EAGER_ACK => Packet::EagerAck {
             send_id: u32at(4..8) as u64,
         },
@@ -259,6 +300,7 @@ pub fn decode(buf: &[u8]) -> Result<(Wire, usize), DecodeError> {
             src,
             seq,
             ack,
+            ack_bits,
             env_credit,
             data_credit,
             msg_seq,
@@ -294,6 +336,7 @@ mod tests {
             src: 3,
             seq: 17,
             ack: 12,
+            ack_bits: 0b1011,
             env_credit: 2,
             data_credit: 1024,
             msg_seq: 99,
@@ -308,6 +351,7 @@ mod tests {
         assert_eq!(w.src, 3);
         assert_eq!(w.seq, 17);
         assert_eq!(w.ack, 12);
+        assert_eq!(w.ack_bits, 0b1011, "selective-repeat bitmap survives");
         assert_eq!(w.env_credit, 2);
         assert_eq!(w.data_credit, 1024);
         assert_eq!(w.msg_seq, 99, "flight-recorder tag survives the wire");
@@ -367,6 +411,13 @@ mod tests {
                 recv_id: 6,
                 data: Bytes::from(vec![1u8; 300]),
             },
+            Packet::RndvChunk {
+                recv_id: 6,
+                offset: 131072,
+                total: 1 << 20,
+                data: Bytes::from(vec![2u8; 300]),
+            },
+            Packet::RndvChunkAck { send_id: 5 },
             Packet::EagerAck { send_id: 5 },
             Packet::Credit,
             Packet::HwBcast {
@@ -382,6 +433,7 @@ mod tests {
                 src: 1,
                 seq: 5,
                 ack: 4,
+                ack_bits: 1 << 63,
                 env_credit: 0,
                 data_credit: 77,
                 msg_seq: 8,
@@ -390,15 +442,43 @@ mod tests {
             assert_eq!(w.pkt.kind_name(), name);
             assert_eq!(w.data_credit, 77);
             assert_eq!((w.seq, w.ack), (5, 4));
+            assert_eq!(w.ack_bits, 1 << 63);
             assert_eq!(w.msg_seq, 8);
+        }
+    }
+
+    #[test]
+    fn rndv_chunk_fields_roundtrip_exactly() {
+        let w = roundtrip(Wire::bare(
+            2,
+            Packet::RndvChunk {
+                recv_id: 77,
+                offset: u32::MAX as usize - 5,
+                total: u32::MAX as usize,
+                data: Bytes::from_static(b"chunk"),
+            },
+        ));
+        match w.pkt {
+            Packet::RndvChunk {
+                recv_id,
+                offset,
+                total,
+                data,
+            } => {
+                assert_eq!(recv_id, 77);
+                assert_eq!(offset, u32::MAX as usize - 5);
+                assert_eq!(total, u32::MAX as usize);
+                assert_eq!(data.as_ref(), b"chunk");
+            }
+            other => panic!("wrong packet {other:?}"),
         }
     }
 
     #[test]
     fn header_is_exactly_25_bytes_plus_framing() {
         let w = Wire::bare(0, Packet::Credit);
-        // 25 header + 16 seq/ack + 4 msg-seq + 4-byte payload-length word,
-        // no payload.
+        // 25 header + 24 seq/ack/bitmap + 4 msg-seq + 4-byte payload-length
+        // word, no payload.
         assert_eq!(
             encode(&w).len(),
             HEADER_BYTES + SEQ_ACK_BYTES + MSG_SEQ_BYTES + 4
@@ -419,6 +499,7 @@ mod tests {
                 src: 1,
                 seq,
                 ack,
+                ack_bits: 0,
                 env_credit: 0,
                 data_credit: 0,
                 msg_seq: 0,
@@ -431,12 +512,14 @@ mod tests {
             src: 0,
             seq: u64::MAX,
             ack: u64::MAX - 1,
+            ack_bits: u64::MAX,
             env_credit: 0,
             data_credit: 0,
             msg_seq: u32::MAX,
             pkt: Packet::Credit,
         });
         assert_eq!((w.seq, w.ack), (u64::MAX, u64::MAX - 1));
+        assert_eq!(w.ack_bits, u64::MAX);
         assert_eq!(w.msg_seq, u32::MAX);
     }
 

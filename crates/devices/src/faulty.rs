@@ -43,9 +43,10 @@ pub enum PacketClass {
 pub fn classify(pkt: &Packet) -> PacketClass {
     match pkt {
         Packet::Eager { .. } | Packet::HwBcast { .. } => PacketClass::Eager,
-        Packet::RndvData { .. } => PacketClass::Bulk,
+        Packet::RndvData { .. } | Packet::RndvChunk { .. } => PacketClass::Bulk,
         Packet::RndvReq { .. }
         | Packet::RndvGo { .. }
+        | Packet::RndvChunkAck { .. }
         | Packet::EagerAck { .. }
         | Packet::Credit => PacketClass::Control,
     }
@@ -102,6 +103,14 @@ pub struct FaultConfig {
     pub eager: FaultRates,
     /// Rates applied to [`PacketClass::Bulk`] frames.
     pub bulk: FaultRates,
+    /// When set, the drop rate is interpreted per this many payload bytes
+    /// instead of per frame: a frame spanning `q` quanta is lost with
+    /// `1 − (1 − drop)^q`. This models loss on a fragmenting medium
+    /// (datagrams on an MTU-limited link, cells on ATM), where a large
+    /// frame rides many wire units and any single lost unit destroys the
+    /// whole frame — the regime where single-frame rendezvous collapses
+    /// and chunking pays. `None` (the default) keeps per-frame semantics.
+    pub drop_quantum: Option<usize>,
 }
 
 impl FaultConfig {
@@ -112,6 +121,7 @@ impl FaultConfig {
             control: FaultRates::NONE,
             eager: FaultRates::NONE,
             bulk: FaultRates::NONE,
+            drop_quantum: None,
         }
     }
 
@@ -122,7 +132,15 @@ impl FaultConfig {
             control: rates,
             eager: rates,
             bulk: rates,
+            drop_quantum: None,
         }
+    }
+
+    /// Interpret the drop rate per `bytes` of payload (see
+    /// [`FaultConfig::drop_quantum`]).
+    pub fn with_drop_quantum(mut self, bytes: usize) -> FaultConfig {
+        self.drop_quantum = Some(bytes);
+        self
     }
 
     fn rates(&self, class: PacketClass) -> &FaultRates {
@@ -130,6 +148,18 @@ impl FaultConfig {
             PacketClass::Control => &self.control,
             PacketClass::Eager => &self.eager,
             PacketClass::Bulk => &self.bulk,
+        }
+    }
+
+    /// Effective drop probability for one frame: the class rate, compounded
+    /// over the frame's payload quanta when [`Self::drop_quantum`] is set.
+    fn drop_prob(&self, rates: &FaultRates, wire: &Wire) -> f64 {
+        match self.drop_quantum {
+            Some(q) if q > 0 => {
+                let quanta = wire.pkt.payload_len().div_ceil(q).max(1);
+                1.0 - (1.0 - rates.drop).powi(quanta.min(i32::MAX as usize) as i32)
+            }
+            _ => rates.drop,
         }
     }
 }
@@ -276,7 +306,7 @@ impl<D: Device> Device for FaultyDevice<D> {
 
         let rates = *self.cfg.rates(classify(&wire.pkt));
         // Fixed roll order keeps the stream aligned across runs.
-        let roll_drop = st.rng.chance(rates.drop);
+        let roll_drop = st.rng.chance(self.cfg.drop_prob(&rates, &wire));
         let roll_dup = st.rng.chance(rates.dup);
         let roll_reorder = st.rng.chance(rates.reorder);
         let roll_delay = st.rng.chance(rates.delay);
@@ -335,10 +365,10 @@ impl<D: Device> Device for FaultyDevice<D> {
         self.inner.has_hw_bcast()
     }
 
-    fn hw_bcast(&self, group: &[Rank], wire: Wire) {
+    fn hw_bcast(&self, group: &[Rank], wire: Wire) -> MpiResult<()> {
         // Hardware broadcast is a separate medium (the Meiko's network
         // does it in switches); faults here model the datagram path only.
-        self.inner.hw_bcast(group, wire);
+        self.inner.hw_bcast(group, wire)
     }
 
     fn wtime(&self) -> f64 {
@@ -420,7 +450,63 @@ mod tests {
             }),
             PacketClass::Bulk
         );
+        assert_eq!(
+            classify(&Packet::RndvChunk {
+                recv_id: 0,
+                offset: 0,
+                total: 0,
+                data: bytes::Bytes::new()
+            }),
+            PacketClass::Bulk
+        );
+        assert_eq!(
+            classify(&Packet::RndvChunkAck { send_id: 0 }),
+            PacketClass::Control
+        );
         assert_eq!(classify(&eager(0, 1).pkt), PacketClass::Eager);
+    }
+
+    #[test]
+    fn drop_quantum_scales_loss_with_frame_size() {
+        let mut fabric = ShmDevice::fabric(2).into_iter();
+        let cfg = FaultConfig::uniform(9, FaultRates::drop_only(0.01)).with_drop_quantum(1000);
+        let d0 = FaultyDevice::new(fabric.next().unwrap(), cfg);
+        let d1 = fabric.next().unwrap();
+        // 200 quanta per bulk frame: survives with 0.99^200 ≈ 13%.
+        let big = bytes::Bytes::from(vec![0u8; 200_000]);
+        for _ in 0..40 {
+            d0.send(
+                1,
+                Wire::bare(
+                    0,
+                    Packet::RndvData {
+                        recv_id: 0,
+                        data: big.clone(),
+                    },
+                ),
+            );
+        }
+        // Single-quantum control frames keep the per-frame rate (~1%).
+        for _ in 0..40 {
+            d0.send(1, ctl(0));
+        }
+        let got = recv_all(&d1);
+        let bulk = got
+            .iter()
+            .filter(|w| matches!(w.pkt, Packet::RndvData { .. }))
+            .count();
+        let control = got
+            .iter()
+            .filter(|w| matches!(w.pkt, Packet::Credit))
+            .count();
+        assert!(
+            bulk < 20,
+            "multi-quantum frames must compound the drop rate (got {bulk}/40 through)"
+        );
+        assert!(
+            control > 30,
+            "single-quantum frames keep the per-frame rate (got {control}/40 through)"
+        );
     }
 
     #[test]
@@ -460,6 +546,7 @@ mod tests {
             control: FaultRates::NONE,
             eager: FaultRates::drop_only(1.0),
             bulk: FaultRates::NONE,
+            drop_quantum: None,
         };
         let d0 = FaultyDevice::new(fabric.next().unwrap(), cfg);
         let d1 = fabric.next().unwrap();
@@ -486,6 +573,7 @@ mod tests {
                 ..FaultRates::NONE
             },
             bulk: FaultRates::NONE,
+            drop_quantum: None,
         };
         let d0 = FaultyDevice::new(fabric.next().unwrap(), cfg);
         let d1 = fabric.next().unwrap();
@@ -515,6 +603,7 @@ mod tests {
                 ..FaultRates::NONE
             },
             bulk: FaultRates::NONE,
+            drop_quantum: None,
         };
         let d0 = FaultyDevice::new(fabric.next().unwrap(), cfg);
         let d1 = fabric.next().unwrap();

@@ -86,7 +86,8 @@ impl Device for MeikoDevice {
         crate::trace_wire_tx(&self.tracer, || self.now_ns(), dst, &wire);
         let p = *self.params();
         match &wire.pkt {
-            lmpi_core::Packet::RndvData { data, .. } => {
+            lmpi_core::Packet::RndvData { data, .. }
+            | lmpi_core::Packet::RndvChunk { data, .. } => {
                 let nbytes = data.len();
                 if self.variant == MeikoVariant::Mpich {
                     self.proc
@@ -94,7 +95,9 @@ impl Device for MeikoDevice {
                 }
                 self.net.dma(&self.proc, self.rank, dst, wire, nbytes);
             }
-            lmpi_core::Packet::Credit | lmpi_core::Packet::RndvGo { .. } => {
+            lmpi_core::Packet::Credit
+            | lmpi_core::Packet::RndvGo { .. }
+            | lmpi_core::Packet::RndvChunkAck { .. } => {
                 // Elan-level remote writes issued without a separate SPARC
                 // send path: the envelope-slot release is autonomous (the
                 // paper's single-slot design relies on it being free to the
@@ -168,9 +171,10 @@ impl Device for MeikoDevice {
         self.variant == MeikoVariant::LowLatency
     }
 
-    fn hw_bcast(&self, group: &[Rank], wire: Wire) {
+    fn hw_bcast(&self, group: &[Rank], wire: Wire) -> MpiResult<()> {
         let nbytes = wire.pkt.payload_len();
         self.net.hw_bcast(&self.proc, group, wire, nbytes);
+        Ok(())
     }
 
     fn wtime(&self) -> f64 {
@@ -187,6 +191,10 @@ impl Device for MeikoDevice {
                 eager_threshold: 180, // Fig. 1 crossover
                 env_slots: 1,         // one envelope slot per sender (§4.1)
                 recv_buf_per_sender: 64 << 10,
+                // The Elan moves a rendezvous message as one DMA (§4.2);
+                // never chunk, so simulated timings match the paper.
+                rndv_chunk: usize::MAX / 2,
+                rndv_window: 1,
             },
             MeikoVariant::Mpich => DeviceDefaults {
                 // The tport carries any size through one mechanism; no
@@ -194,6 +202,8 @@ impl Device for MeikoDevice {
                 eager_threshold: usize::MAX / 2,
                 env_slots: 8,
                 recv_buf_per_sender: 1 << 20,
+                rndv_chunk: usize::MAX / 2,
+                rndv_window: 1,
             },
         }
     }

@@ -1,4 +1,4 @@
-//! Go-back-N ack/retransmit sublayer: the paper's "reliable UDP".
+//! Ack/retransmit sublayer: the paper's "reliable UDP".
 //!
 //! §5 of the paper keeps TCP's reliability for its first cluster transport,
 //! then notes the way forward is raw, lossy datagrams (UDP, raw AAL) with
@@ -11,10 +11,17 @@
 //!   ([`Wire::seq`], starting at 1; 0 means unsequenced) and carries a
 //!   **cumulative ack** ([`Wire::ack`]) for the reverse direction, sitting
 //!   next to the piggybacked credit fields in the sockets framing;
-//! * the receiver delivers strictly in sequence order — duplicates are
-//!   suppressed, gaps mean the frame is discarded and the sender goes back
-//!   and resends from the first unacknowledged frame (go-back-N), which
-//!   preserves the per-pair FIFO order MPI's non-overtaking rule needs;
+//! * frames are handed to the engine strictly in sequence order and
+//!   duplicates are suppressed, preserving the per-pair FIFO order MPI's
+//!   non-overtaking rule needs;
+//! * gaps are handled per [`RelMode`]. **Selective repeat** (the default)
+//!   buffers out-of-order arrivals and advertises them in an ack bitmap
+//!   ([`Wire::ack_bits`], bit `k` = sequence `ack + 2 + k` held) riding
+//!   beside the cumulative ack; on timeout the sender resends only the
+//!   holes, so one lost frame of a pipelined rendezvous stream costs one
+//!   chunk, not the window. **Go-back-N** discards out-of-order arrivals
+//!   and resends the whole unacknowledged window — simpler, cheaper per
+//!   frame, and kept as the configurable fallback;
 //! * unacknowledged frames are retransmitted on a timer with exponential
 //!   backoff; when one-sided traffic leaves no frame to piggyback on, a
 //!   pure-ack frame (a bare credit packet with zero credit) is sent;
@@ -25,7 +32,7 @@
 //! Self-sends and hardware broadcast bypass the sublayer: neither crosses
 //! the lossy datagram path being made reliable.
 
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -34,6 +41,20 @@ use lmpi_core::{
 };
 use lmpi_obs::{EventKind, Tracer};
 use parking_lot::Mutex;
+
+/// Retransmission strategy on a gap in the sequence space.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum RelMode {
+    /// Buffer out-of-order arrivals, advertise them in the ack bitmap, and
+    /// resend only the holes on timeout. The default: under loss it keeps
+    /// a pipelined rendezvous stream flowing at the cost of one chunk per
+    /// lost frame.
+    SelectiveRepeat,
+    /// Discard out-of-order arrivals and resend the whole unacknowledged
+    /// window on timeout. Simpler and stateless at the receiver; the
+    /// fallback for comparison runs and constrained receivers.
+    GoBackN,
+}
 
 /// Tuning for the ack/retransmit machinery.
 #[derive(Copy, Clone, Debug)]
@@ -50,6 +71,8 @@ pub struct RelConfig {
     /// Consecutive retransmissions of the same window before the channel
     /// is declared dead.
     pub max_retries: u32,
+    /// Gap-handling strategy. Both ends of a job must agree.
+    pub mode: RelMode,
 }
 
 impl Default for RelConfig {
@@ -60,6 +83,17 @@ impl Default for RelConfig {
             backoff: 2.0,
             rto_max_us: 100_000.0,
             max_retries: 30,
+            mode: RelMode::SelectiveRepeat,
+        }
+    }
+}
+
+impl RelConfig {
+    /// The defaults with go-back-N gap handling (the pre-bitmap behavior).
+    pub fn go_back_n() -> Self {
+        RelConfig {
+            mode: RelMode::GoBackN,
+            ..RelConfig::default()
         }
     }
 }
@@ -93,12 +127,21 @@ impl RelStats {
     }
 }
 
+/// A sent-but-unacknowledged frame and its selective-ack state.
+struct SentFrame {
+    wire: Wire,
+    /// Selectively acknowledged via the peer's ack bitmap: held at the
+    /// receiver, skipped on retransmission, freed when the cumulative ack
+    /// passes it. Always false under go-back-N.
+    sacked: bool,
+}
+
 /// Both directions of one rank↔peer channel.
 struct PeerState {
     /// Next sequence number to assign on send (starts at 1).
     next_seq: u64,
     /// Sent but unacknowledged frames, in sequence order.
-    unacked: VecDeque<Wire>,
+    unacked: VecDeque<SentFrame>,
     /// Wall/virtual time when the retransmit timer fires, seconds.
     rto_deadline: f64,
     /// Current RTO, microseconds (doubles per retransmission).
@@ -107,6 +150,10 @@ struct PeerState {
     retries: u32,
     /// Highest sequence number received in order from this peer.
     recv_cum: u64,
+    /// Out-of-order frames held for selective repeat, keyed by sequence.
+    /// Bounded by the ack bitmap's 64-bit horizon and the window; always
+    /// empty under go-back-N.
+    ooo: BTreeMap<u64, Wire>,
     /// Whether the peer is owed an ack it has not been sent yet.
     owe_ack: bool,
 }
@@ -120,8 +167,24 @@ impl PeerState {
             cur_rto_us: 0.0,
             retries: 0,
             recv_cum: 0,
+            ooo: BTreeMap::new(),
             owe_ack: false,
         }
+    }
+
+    /// The ack bitmap advertising this peer's out-of-order holdings:
+    /// bit `k` = sequence `recv_cum + 2 + k` held (`recv_cum + 1` is by
+    /// definition the first hole). Zero under go-back-N.
+    fn ack_bits(&self) -> u64 {
+        let mut bits = 0u64;
+        for &seq in self.ooo.keys() {
+            if let Some(k) = seq.checked_sub(self.recv_cum + 2) {
+                if k < 64 {
+                    bits |= 1 << k;
+                }
+            }
+        }
+        bits
     }
 }
 
@@ -145,12 +208,14 @@ pub struct ReliableDevice<D: Device> {
 }
 
 /// A pure acknowledgment: a bare credit frame carrying only the cumulative
-/// ack. The receiving sublayer consumes it; the engine never sees it.
-fn pure_ack(src: Rank, ack: u64) -> Wire {
+/// ack and the selective-ack bitmap. The receiving sublayer consumes it;
+/// the engine never sees it.
+fn pure_ack(src: Rank, ack: u64, ack_bits: u64) -> Wire {
     Wire {
         src,
         seq: 0,
         ack,
+        ack_bits,
         env_credit: 0,
         data_credit: 0,
         msg_seq: 0,
@@ -216,21 +281,38 @@ impl<D: Device> ReliableDevice<D> {
         }
         // The ack applies to frames we sent *to* this peer.
         let p = &mut st.peers[from];
+        let mut progress = false;
         if wire.ack > 0 {
             let before = p.unacked.len();
-            while p.unacked.front().is_some_and(|w| w.seq <= wire.ack) {
+            while p.unacked.front().is_some_and(|f| f.wire.seq <= wire.ack) {
                 p.unacked.pop_front();
             }
-            if p.unacked.len() < before {
-                // Forward progress: reset the backoff clock.
-                p.retries = 0;
-                p.cur_rto_us = self.cfg.rto_us;
-                p.rto_deadline = if p.unacked.is_empty() {
-                    f64::INFINITY
-                } else {
-                    self.now_s() + self.cfg.rto_us * 1e-6
-                };
+            progress |= p.unacked.len() < before;
+        }
+        if self.cfg.mode == RelMode::SelectiveRepeat && wire.ack_bits != 0 {
+            // Bit k advertises sequence `ack + 2 + k` held out of order at
+            // the peer: mark it so the timer resends only the holes.
+            for f in p.unacked.iter_mut() {
+                if f.sacked {
+                    continue;
+                }
+                if let Some(k) = f.wire.seq.checked_sub(wire.ack + 2) {
+                    if k < 64 && wire.ack_bits & (1 << k) != 0 {
+                        f.sacked = true;
+                        progress = true;
+                    }
+                }
             }
+        }
+        if progress {
+            // Forward progress: reset the backoff clock.
+            p.retries = 0;
+            p.cur_rto_us = self.cfg.rto_us;
+            p.rto_deadline = if p.unacked.is_empty() {
+                f64::INFINITY
+            } else {
+                self.now_s() + self.cfg.rto_us * 1e-6
+            };
         }
         if is_pure_ack(&wire) {
             return; // sublayer-internal; nothing to deliver
@@ -244,27 +326,65 @@ impl<D: Device> ReliableDevice<D> {
             p.recv_cum += 1;
             p.owe_ack = true;
             st.deliverable.push_back(wire);
+            // The gap just closed: release any buffered successors that
+            // are now in order (selective repeat; empty under go-back-N).
+            loop {
+                let p = &mut st.peers[from];
+                let next = p.recv_cum + 1;
+                let Some(w) = p.ooo.remove(&next) else { break };
+                p.recv_cum = next;
+                st.deliverable.push_back(w);
+            }
         } else if wire.seq <= st.peers[from].recv_cum {
             // Duplicate (retransmission of something we already have):
             // drop it, but re-ack so the sender stops resending.
-            self.stats.dup_suppressed.fetch_add(1, Ordering::Relaxed);
-            // The duplicate arrived here, so we are the frame's
-            // destination: resolve its flight id against our own rank.
-            self.tracer.emit_msg_with(
-                wire.msg_id(self.inner.rank()),
-                || self.inner.now_ns(),
-                EventKind::DupSuppressed {
-                    peer: from as u32,
-                    seq: wire.seq as u32,
-                },
-            );
-            st.peers[from].owe_ack = true;
+            self.suppress_dup(st, from, &wire);
         } else {
-            // Gap: a predecessor was lost. Go-back-N discards and lets the
-            // sender's timer resend the window in order.
-            self.stats.ooo_dropped.fetch_add(1, Ordering::Relaxed);
-            st.peers[from].owe_ack = true;
+            // Gap: a predecessor was lost (or is still in flight).
+            match self.cfg.mode {
+                RelMode::GoBackN => {
+                    // Discard; the sender's timer resends the window in
+                    // order.
+                    self.stats.ooo_dropped.fetch_add(1, Ordering::Relaxed);
+                    st.peers[from].owe_ack = true;
+                }
+                RelMode::SelectiveRepeat => {
+                    let horizon = st.peers[from].recv_cum + 1 + 64;
+                    let cap = self.cfg.window.min(64);
+                    let p = &mut st.peers[from];
+                    if p.ooo.contains_key(&wire.seq) {
+                        self.suppress_dup(st, from, &wire);
+                    } else if wire.seq <= horizon && p.ooo.len() < cap {
+                        // Hold it and advertise it in the ack bitmap; it
+                        // delivers when the hole fills.
+                        p.ooo.insert(wire.seq, wire);
+                        p.owe_ack = true;
+                    } else {
+                        // Beyond the bitmap horizon or the buffer budget:
+                        // treat as lost, like go-back-N would.
+                        self.stats.ooo_dropped.fetch_add(1, Ordering::Relaxed);
+                        p.owe_ack = true;
+                    }
+                }
+            }
         }
+    }
+
+    /// Record and re-ack a duplicate arrival (already delivered, or
+    /// already held in the out-of-order buffer).
+    fn suppress_dup(&self, st: &mut RelState, from: Rank, wire: &Wire) {
+        self.stats.dup_suppressed.fetch_add(1, Ordering::Relaxed);
+        // The duplicate arrived here, so we are the frame's destination:
+        // resolve its flight id against our own rank.
+        self.tracer.emit_msg_with(
+            wire.msg_id(self.inner.rank()),
+            || self.inner.now_ns(),
+            EventKind::DupSuppressed {
+                peer: from as u32,
+                seq: wire.seq as u32,
+            },
+        );
+        st.peers[from].owe_ack = true;
     }
 
     /// One progress step: drain the wire, fire retransmit timers, flush
@@ -289,20 +409,26 @@ impl<D: Device> ReliableDevice<D> {
                     });
                     break;
                 }
-                // Go-back-N: resend the whole unacked window in order,
-                // with a refreshed piggybacked ack.
-                for w in p.unacked.iter_mut() {
-                    w.ack = p.recv_cum;
+                // Resend with a refreshed piggybacked ack: the whole
+                // unacked window under go-back-N, only the un-sacked holes
+                // under selective repeat.
+                let (recv_cum, bits) = (p.recv_cum, p.ack_bits());
+                for f in p.unacked.iter_mut() {
+                    if self.cfg.mode == RelMode::SelectiveRepeat && f.sacked {
+                        continue;
+                    }
+                    f.wire.ack = recv_cum;
+                    f.wire.ack_bits = bits;
                     self.stats.retransmits.fetch_add(1, Ordering::Relaxed);
                     self.tracer.emit_msg_with(
-                        w.msg_id(dst),
+                        f.wire.msg_id(dst),
                         || self.inner.now_ns(),
                         EventKind::Retransmit {
                             peer: dst as u32,
-                            seq: w.seq as u32,
+                            seq: f.wire.seq as u32,
                         },
                     );
-                    self.inner.send(dst, w.clone());
+                    self.inner.send(dst, f.wire.clone());
                 }
                 p.owe_ack = false;
                 p.cur_rto_us = (p.cur_rto_us * self.cfg.backoff).min(self.cfg.rto_max_us);
@@ -317,7 +443,7 @@ impl<D: Device> ReliableDevice<D> {
                     || self.inner.now_ns(),
                     EventKind::PureAckTx { peer: dst as u32 },
                 );
-                self.inner.send(dst, pure_ack(me, p.recv_cum));
+                self.inner.send(dst, pure_ack(me, p.recv_cum, p.ack_bits()));
             }
         }
         Ok(())
@@ -388,12 +514,16 @@ impl<D: Device> Device for ReliableDevice<D> {
         wire.seq = p.next_seq;
         p.next_seq += 1;
         wire.ack = p.recv_cum;
-        p.owe_ack = false; // this frame carries the ack
+        wire.ack_bits = p.ack_bits();
+        p.owe_ack = false; // this frame carries the ack (and the bitmap)
         if p.unacked.is_empty() {
             p.cur_rto_us = self.cfg.rto_us;
             p.rto_deadline = now + self.cfg.rto_us * 1e-6;
         }
-        p.unacked.push_back(wire.clone());
+        p.unacked.push_back(SentFrame {
+            wire: wire.clone(),
+            sacked: false,
+        });
         self.stats.data_sent.fetch_add(1, Ordering::Relaxed);
         self.inner.send(dst, wire);
     }
@@ -429,8 +559,8 @@ impl<D: Device> Device for ReliableDevice<D> {
         self.inner.has_hw_bcast()
     }
 
-    fn hw_bcast(&self, group: &[Rank], wire: Wire) {
-        self.inner.hw_bcast(group, wire);
+    fn hw_bcast(&self, group: &[Rank], wire: Wire) -> MpiResult<()> {
+        self.inner.hw_bcast(group, wire)
     }
 
     fn wtime(&self) -> f64 {
@@ -523,6 +653,8 @@ mod tests {
                 eager_threshold: 180,
                 env_slots: 4,
                 recv_buf_per_sender: 1 << 16,
+                rndv_chunk: 256,
+                rndv_window: 2,
             }
         }
     }
@@ -532,6 +664,7 @@ mod tests {
             src,
             seq,
             ack,
+            ack_bits: 0,
             env_credit: 0,
             data_credit: 0,
             msg_seq: 0,
@@ -541,6 +674,10 @@ mod tests {
 
     fn rel(rank: Rank, nprocs: usize) -> ReliableDevice<MockDev> {
         ReliableDevice::new(MockDev::new(rank, nprocs), RelConfig::default())
+    }
+
+    fn rel_gbn(rank: Rank, nprocs: usize) -> ReliableDevice<MockDev> {
+        ReliableDevice::new(MockDev::new(rank, nprocs), RelConfig::go_back_n())
     }
 
     #[test]
@@ -587,8 +724,8 @@ mod tests {
     }
 
     #[test]
-    fn gap_frames_are_dropped_until_retransmission_fills_in() {
-        let d = rel(0, 2);
+    fn go_back_n_drops_gap_frames_until_retransmission_fills_in() {
+        let d = rel_gbn(0, 2);
         d.inner().inject(data_frame(1, 2, 0)); // seq 1 was lost
         assert!(d.try_recv().unwrap().is_none(), "gap must not deliver");
         let (_, _, _, ooo, _) = d.stats_handle().snapshot();
@@ -598,6 +735,97 @@ mod tests {
         d.inner().inject(data_frame(1, 2, 0));
         assert_eq!(d.try_recv().unwrap().unwrap().seq, 1);
         assert_eq!(d.try_recv().unwrap().unwrap().seq, 2);
+    }
+
+    #[test]
+    fn selective_repeat_buffers_gap_frames_and_releases_in_order() {
+        let d = rel(0, 2);
+        d.inner().inject(data_frame(1, 2, 0)); // seq 1 still missing
+        d.inner().inject(data_frame(1, 3, 0));
+        assert!(d.try_recv().unwrap().is_none(), "hole must not deliver");
+        let (_, _, _, ooo, _) = d.stats_handle().snapshot();
+        assert_eq!(ooo, 0, "buffered, not dropped");
+        // The hole fills: everything releases, strictly in order.
+        d.inner().inject(data_frame(1, 1, 0));
+        assert_eq!(d.try_recv().unwrap().unwrap().seq, 1);
+        assert_eq!(d.try_recv().unwrap().unwrap().seq, 2);
+        assert_eq!(d.try_recv().unwrap().unwrap().seq, 3);
+    }
+
+    #[test]
+    fn selective_repeat_advertises_held_frames_in_the_bitmap() {
+        let d = rel(0, 2);
+        d.inner().inject(data_frame(1, 2, 0)); // recv_cum 0, holding seq 2
+        d.inner().inject(data_frame(1, 4, 0)); // and seq 4
+        assert!(d.try_recv().unwrap().is_none());
+        let (_, last) = d.inner().sent_frames().last().cloned().unwrap();
+        assert!(is_pure_ack(&last));
+        assert_eq!(last.ack, 0, "nothing delivered in order yet");
+        // bit k = seq ack+2+k: seq 2 -> bit 0, seq 4 -> bit 2.
+        assert_eq!(last.ack_bits, 0b101);
+    }
+
+    #[test]
+    fn selective_repeat_resends_only_the_holes() {
+        let d = rel(0, 2);
+        for _ in 0..3 {
+            d.send(1, Wire::bare(0, Packet::Credit));
+        }
+        // The peer holds seqs 2 and 3 but never got 1: bits 0 and 1.
+        d.inner().inject(pure_ack(1, 0, 0b11));
+        let _ = d.try_recv().unwrap();
+        d.inner().advance(0.003); // past the 2ms initial RTO
+        let _ = d.try_recv().unwrap();
+        let resent: Vec<u64> = d
+            .inner()
+            .sent_frames()
+            .iter()
+            .skip(3) // the three originals
+            .filter(|(_, w)| !is_pure_ack(w))
+            .map(|(_, w)| w.seq)
+            .collect();
+        assert_eq!(resent, vec![1], "sacked frames 2 and 3 are not resent");
+        let (_, retx, ..) = d.stats_handle().snapshot();
+        assert_eq!(retx, 1);
+    }
+
+    #[test]
+    fn go_back_n_resends_the_whole_window() {
+        let d = rel_gbn(0, 2);
+        for _ in 0..3 {
+            d.send(1, Wire::bare(0, Packet::Credit));
+        }
+        d.inner().advance(0.003);
+        let _ = d.try_recv().unwrap();
+        let resent: Vec<u64> = d
+            .inner()
+            .sent_frames()
+            .iter()
+            .skip(3)
+            .filter(|(_, w)| !is_pure_ack(w))
+            .map(|(_, w)| w.seq)
+            .collect();
+        assert_eq!(resent, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn duplicate_of_a_buffered_ooo_frame_is_suppressed() {
+        let d = rel(0, 2);
+        d.inner().inject(data_frame(1, 3, 0));
+        d.inner().inject(data_frame(1, 3, 0)); // duplicated hold
+        assert!(d.try_recv().unwrap().is_none());
+        let (_, _, dups, _, _) = d.stats_handle().snapshot();
+        assert_eq!(dups, 1);
+    }
+
+    #[test]
+    fn frames_beyond_the_bitmap_horizon_are_dropped() {
+        let d = rel(0, 2);
+        // recv_cum 0: the bitmap covers seqs 2..=65; 66 is unadvertisable.
+        d.inner().inject(data_frame(1, 66, 0));
+        assert!(d.try_recv().unwrap().is_none());
+        let (_, _, _, ooo, _) = d.stats_handle().snapshot();
+        assert_eq!(ooo, 1, "beyond-horizon frame treated as lost");
     }
 
     #[test]
@@ -623,7 +851,7 @@ mod tests {
         let d = rel(0, 2);
         d.send(1, Wire::bare(0, Packet::Credit));
         d.send(1, Wire::bare(0, Packet::Credit));
-        d.inner().inject(pure_ack(1, 2)); // cumulative ack for both
+        d.inner().inject(pure_ack(1, 2, 0)); // cumulative ack for both
         let _ = d.try_recv().unwrap();
         d.inner().advance(1.0);
         let _ = d.try_recv().unwrap();

@@ -29,6 +29,10 @@ pub const SHM_DEFAULTS: DeviceDefaults = DeviceDefaults {
     eager_threshold: 8192,
     env_slots: 64,
     recv_buf_per_sender: 1 << 20,
+    // Chunks large enough that per-frame overhead stays negligible on an
+    // in-process channel, windowed deep enough to keep the pipe full.
+    rndv_chunk: 256 << 10,
+    rndv_window: 8,
 };
 
 impl ShmDevice {

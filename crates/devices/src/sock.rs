@@ -71,6 +71,11 @@ pub const SOCK_DEFAULTS: DeviceDefaults = DeviceDefaults {
     eager_threshold: 8 << 10,
     env_slots: 32,
     recv_buf_per_sender: 256 << 10,
+    // Chunks stay under the UDP fragmenter's 60_000-byte fragment payload
+    // so each chunk is one datagram; the window covers the cluster's
+    // bandwidth-delay product at Table-1 round-trip times.
+    rndv_chunk: 48 << 10,
+    rndv_window: 8,
 };
 
 impl<C: MsgChannel> SockDevice<C> {

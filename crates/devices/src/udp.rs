@@ -29,7 +29,9 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Barrier};
 use std::time::Instant;
 
-use lmpi_core::{Device, DeviceDefaults, Mpi, MpiConfig, MpiError, MpiResult, Rank, Wire};
+use lmpi_core::{
+    Device, DeviceDefaults, Mpi, MpiConfig, MpiError, MpiResult, Rank, TransportStats, Wire,
+};
 use lmpi_obs::Tracer;
 use parking_lot::Mutex;
 
@@ -47,6 +49,18 @@ const FRAG_HEADER: usize = 16;
 /// In-progress reassemblies kept per device before the oldest is evicted.
 /// Eviction only discards frames that will be retransmitted anyway.
 const MAX_PARTIAL: usize = 64;
+
+/// Hard cap on fragments per frame: bounds the slot table a forged header
+/// can demand before any payload arrives (a `count` of `u32::MAX` would
+/// otherwise allocate gigabytes on the first fragment).
+const MAX_FRAGS: u32 = 1 << 12;
+
+/// Per-peer cap on buffered reassembly payload bytes. Once a peer's
+/// partial frames exceed it, its oldest partials are evicted (counted in
+/// [`TransportStats::reassembly_evicted`]); a fragment that still does
+/// not fit is dropped outright. Legitimate traffic never gets near this:
+/// the shipped rendezvous chunking keeps frames to one datagram each.
+const REASSEMBLY_BUDGET_PER_PEER: usize = 8 << 20;
 
 /// Shared connection-setup state for one job: every rank binds an
 /// ephemeral loopback port, publishes it, and waits at the barrier.
@@ -84,12 +98,17 @@ fn parse_frag_header(buf: &[u8]) -> Option<(u64, u32, u32)> {
 struct Partial {
     frags: Vec<Option<Vec<u8>>>,
     have: usize,
+    /// Payload bytes buffered so far (the per-peer budget's unit).
+    bytes: usize,
 }
 
 struct RecvState {
     partial: HashMap<u64, Partial>,
     /// Insertion order of `partial` keys, for oldest-first eviction.
     order: VecDeque<u64>,
+    /// Buffered payload bytes per sending peer (top 16 bits of the frame
+    /// id), enforcing [`REASSEMBLY_BUDGET_PER_PEER`].
+    peer_bytes: HashMap<u64, usize>,
     /// Fully reassembled, decoded frames awaiting delivery.
     ready: VecDeque<Wire>,
 }
@@ -104,6 +123,8 @@ pub struct UdpDevice {
     t0: Instant,
     next_frame: AtomicU64,
     state: Mutex<RecvState>,
+    /// Partial frames evicted to stay inside the reassembly budget.
+    evicted: AtomicU64,
     /// Reusable send-path scratch (frame encode + datagram assembly), so
     /// steady-state sends stop allocating once the buffers reach their
     /// high-water marks.
@@ -158,11 +179,25 @@ impl UdpDevice {
             state: Mutex::new(RecvState {
                 partial: HashMap::new(),
                 order: VecDeque::new(),
+                peer_bytes: HashMap::new(),
                 ready: VecDeque::new(),
             }),
+            evicted: AtomicU64::new(0),
             tx_scratch: Mutex::new(TxScratch::default()),
             tracer: Tracer::disabled(),
         })
+    }
+
+    /// Remove one partial frame and return its accounting to the peer's
+    /// budget. Used for eviction, corruption, and (without the eviction
+    /// counter) normal completion.
+    fn drop_partial(st: &mut RecvState, frame_id: u64) -> Option<Partial> {
+        let old = st.partial.remove(&frame_id)?;
+        st.order.retain(|&id| id != frame_id);
+        if let Some(b) = st.peer_bytes.get_mut(&(frame_id >> 48)) {
+            *b = b.saturating_sub(old.bytes);
+        }
+        Some(old)
     }
 
     /// Feed one received datagram into reassembly. Malformed datagrams are
@@ -172,15 +207,58 @@ impl UdpDevice {
         let Some((frame_id, idx, count)) = parse_frag_header(buf) else {
             return;
         };
-        if count == 0 || idx >= count {
+        if count == 0 || idx >= count || count > MAX_FRAGS {
             return;
         }
         let payload = &buf[FRAG_HEADER..];
+        // Sender invariant: every fragment but the last is exactly
+        // FRAG_PAYLOAD bytes. Anything else is corrupt or forged, and
+        // believing its header would poison the byte accounting.
+        if payload.len() > FRAG_PAYLOAD || (idx + 1 < count && payload.len() != FRAG_PAYLOAD) {
+            return;
+        }
         if count == 1 {
             if let Ok((wire, _)) = codec::decode(payload) {
                 st.ready.push_back(wire);
             }
             return;
+        }
+        if let Some(p) = st.partial.get(&frame_id) {
+            if p.frags.len() != count as usize {
+                // Header disagreement across fragments: corrupt; drop the
+                // frame.
+                Self::drop_partial(st, frame_id);
+                return;
+            }
+            if p.frags[idx as usize].is_some() {
+                return; // duplicate fragment
+            }
+        }
+        // Enforce the per-peer byte budget before buffering: evict the
+        // peer's oldest other partials until this fragment fits, and drop
+        // it outright if it still cannot.
+        let peer = frame_id >> 48;
+        let need = payload.len();
+        let mut used = st.peer_bytes.get(&peer).copied().unwrap_or(0);
+        if used + need > REASSEMBLY_BUDGET_PER_PEER {
+            let victims: Vec<u64> = st
+                .order
+                .iter()
+                .copied()
+                .filter(|&id| id >> 48 == peer && id != frame_id)
+                .collect();
+            for id in victims {
+                if used + need <= REASSEMBLY_BUDGET_PER_PEER {
+                    break;
+                }
+                if let Some(old) = Self::drop_partial(st, id) {
+                    used = used.saturating_sub(old.bytes);
+                    self.evicted.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            if used + need > REASSEMBLY_BUDGET_PER_PEER {
+                return;
+            }
         }
         if !st.partial.contains_key(&frame_id) {
             st.order.push_back(frame_id);
@@ -189,28 +267,22 @@ impl UdpDevice {
                 Partial {
                     frags: (0..count as usize).map(|_| None).collect(),
                     have: 0,
+                    bytes: 0,
                 },
             );
         }
         let Some(p) = st.partial.get_mut(&frame_id) else {
             return;
         };
-        if p.frags.len() != count as usize {
-            // Header disagreement across fragments: corrupt; drop the frame.
-            st.partial.remove(&frame_id);
-            st.order.retain(|&id| id != frame_id);
-            return;
-        }
-        if p.frags[idx as usize].is_none() {
-            p.frags[idx as usize] = Some(payload.to_vec());
-            p.have += 1;
-        }
+        p.frags[idx as usize] = Some(payload.to_vec());
+        p.have += 1;
+        p.bytes += need;
+        *st.peer_bytes.entry(peer).or_insert(0) += need;
         if p.have == count as usize {
-            let Some(done) = st.partial.remove(&frame_id) else {
+            let Some(done) = Self::drop_partial(st, frame_id) else {
                 return;
             };
-            st.order.retain(|&id| id != frame_id);
-            let mut whole = Vec::new();
+            let mut whole = Vec::with_capacity(done.bytes);
             for frag in done.frags.into_iter().flatten() {
                 whole.extend_from_slice(&frag);
             }
@@ -218,11 +290,18 @@ impl UdpDevice {
                 st.ready.push_back(wire);
             }
         } else {
-            // Bound memory: evict the oldest in-progress frame once too
-            // many accumulate (its retransmitted copy reassembles fresh).
+            // Bound the frame count too: evict the oldest in-progress
+            // frame once too many accumulate (its retransmitted copy
+            // reassembles fresh).
             while st.order.len() > MAX_PARTIAL {
-                if let Some(old) = st.order.pop_front() {
-                    st.partial.remove(&old);
+                let Some(old) = st.order.pop_front() else {
+                    break;
+                };
+                if let Some(p) = st.partial.remove(&old) {
+                    if let Some(b) = st.peer_bytes.get_mut(&(old >> 48)) {
+                        *b = b.saturating_sub(p.bytes);
+                    }
+                    self.evicted.fetch_add(1, Ordering::Relaxed);
                 }
             }
         }
@@ -307,6 +386,13 @@ impl Device for UdpDevice {
 
     fn set_tracer(&mut self, tracer: Tracer) {
         self.tracer = tracer;
+    }
+
+    fn transport_stats(&self) -> TransportStats {
+        TransportStats {
+            reassembly_evicted: self.evicted.load(Ordering::Relaxed),
+            ..TransportStats::default()
+        }
     }
 
     fn defaults(&self) -> DeviceDefaults {
@@ -406,25 +492,129 @@ mod tests {
         assert!(st.partial.is_empty(), "reassembly state cleaned up");
     }
 
+    /// A valid first-of-`count` fragment datagram (non-final fragments
+    /// must be exactly `FRAG_PAYLOAD` bytes to pass validation).
+    fn head_frag(frame_id: u64, idx: u32, count: u32, fill: u8) -> Vec<u8> {
+        let mut dgram = frag_header(frame_id, idx, count).to_vec();
+        dgram.extend_from_slice(&vec![fill; FRAG_PAYLOAD]);
+        dgram
+    }
+
     #[test]
     fn lost_fragment_never_delivers_and_gets_evicted() {
         let rendezvous = UdpDevice::rendezvous(1);
         let d = UdpDevice::connect(0, 1, &rendezvous).expect("bind loopback");
         let mut st = d.state.lock();
         // First fragment of a 2-fragment frame, second never arrives.
-        let mut dgram = frag_header(1, 0, 2).to_vec();
-        dgram.extend_from_slice(&[0u8; 32]);
-        d.ingest(&mut st, &dgram);
+        d.ingest(&mut st, &head_frag(1, 0, 2, 0));
         assert!(st.ready.is_empty());
         assert_eq!(st.partial.len(), 1);
         // Enough unrelated partial frames push the stale one out.
         for id in 2..(MAX_PARTIAL as u64 + 3) {
-            let mut dg = frag_header(id, 0, 2).to_vec();
-            dg.extend_from_slice(&[1u8; 8]);
-            d.ingest(&mut st, &dg);
+            d.ingest(&mut st, &head_frag(id, 0, 2, 1));
         }
         assert!(!st.partial.contains_key(&1), "oldest partial evicted");
         assert!(st.partial.len() <= MAX_PARTIAL + 1);
+        assert!(
+            d.evicted.load(Ordering::Relaxed) > 0,
+            "count-cap evictions are counted"
+        );
+    }
+
+    #[test]
+    fn forged_fragment_count_cannot_balloon_allocation() {
+        let rendezvous = UdpDevice::rendezvous(1);
+        let d = UdpDevice::connect(0, 1, &rendezvous).expect("bind loopback");
+        let mut st = d.state.lock();
+        // A single forged header claiming u32::MAX fragments used to
+        // allocate a slot table of that many entries up front.
+        d.ingest(&mut st, &head_frag(1, 0, u32::MAX, 0));
+        d.ingest(&mut st, &head_frag(2, 0, MAX_FRAGS + 1, 0));
+        assert!(st.partial.is_empty(), "oversized counts are rejected");
+        // The largest permitted count is still accepted.
+        d.ingest(&mut st, &head_frag(3, 0, MAX_FRAGS, 0));
+        assert_eq!(st.partial.len(), 1);
+    }
+
+    #[test]
+    fn short_non_final_fragment_is_rejected() {
+        let rendezvous = UdpDevice::rendezvous(1);
+        let d = UdpDevice::connect(0, 1, &rendezvous).expect("bind loopback");
+        let mut st = d.state.lock();
+        // Non-final fragment shorter than FRAG_PAYLOAD: forged header.
+        let mut dgram = frag_header(1, 0, 3).to_vec();
+        dgram.extend_from_slice(&[0u8; 100]);
+        d.ingest(&mut st, &dgram);
+        assert!(st.partial.is_empty());
+        // Final fragment may be short — that one buffers.
+        let mut dgram = frag_header(1, 2, 3).to_vec();
+        dgram.extend_from_slice(&[0u8; 100]);
+        d.ingest(&mut st, &dgram);
+        assert_eq!(st.partial.len(), 1);
+    }
+
+    #[test]
+    fn per_peer_budget_evicts_oldest_and_reports_stats() {
+        let rendezvous = UdpDevice::rendezvous(1);
+        let d = UdpDevice::connect(0, 1, &rendezvous).expect("bind loopback");
+        let mut st = d.state.lock();
+        // A partial from a different peer must survive peer 0's storm.
+        let other = (1u64 << 48) | 1;
+        d.ingest(&mut st, &head_frag(other, 0, 2, 9));
+        // Peer 0 accumulates 3-of-4 fragments per frame (3 * FRAG_PAYLOAD
+        // buffered each) until the byte budget forces evictions — well
+        // before the frame-count cap at these sizes.
+        let frames = REASSEMBLY_BUDGET_PER_PEER / (3 * FRAG_PAYLOAD) + 8;
+        for id in 0..frames as u64 {
+            for idx in 0..3 {
+                d.ingest(&mut st, &head_frag(id, idx, 4, 7));
+            }
+        }
+        let evicted = d.evicted.load(Ordering::Relaxed);
+        assert!(evicted > 0, "budget pressure must evict");
+        assert!(
+            st.peer_bytes.get(&0).copied().unwrap_or(0) <= REASSEMBLY_BUDGET_PER_PEER,
+            "peer 0 stays inside its budget"
+        );
+        assert!(
+            st.partial.contains_key(&other),
+            "other peers' partials are not collateral damage"
+        );
+        drop(st);
+        assert_eq!(d.transport_stats().reassembly_evicted, evicted);
+    }
+
+    #[test]
+    fn fuzzed_datagrams_never_panic_and_memory_stays_bounded() {
+        use lmpi_sim::SplitMix64;
+        let rendezvous = UdpDevice::rendezvous(1);
+        let d = UdpDevice::connect(0, 1, &rendezvous).expect("bind loopback");
+        let mut st = d.state.lock();
+        let mut rng = SplitMix64::new(0xF00D);
+        for _ in 0..4000 {
+            let peer = rng.next_below(2);
+            let frame_id = (peer << 48) | rng.next_below(200);
+            let count = rng.next_u64() as u32; // mostly absurd, sometimes sane
+            let idx = rng.next_below(8) as u32;
+            let len = match rng.next_below(3) {
+                0 => FRAG_PAYLOAD,
+                1 => rng.next_below(FRAG_PAYLOAD as u64 + 64) as usize,
+                _ => rng.next_below(64) as usize,
+            };
+            let mut dgram = frag_header(frame_id, idx, count % 7).to_vec();
+            dgram.extend_from_slice(&vec![0xAB; len]);
+            d.ingest(&mut st, &dgram);
+        }
+        assert!(st.order.len() <= MAX_PARTIAL);
+        let buffered: usize = st.partial.values().map(|p| p.bytes).sum();
+        let accounted: usize = st.peer_bytes.values().sum();
+        assert_eq!(buffered, accounted, "byte accounting stays consistent");
+        assert!(
+            st.peer_bytes
+                .values()
+                .all(|&b| b <= REASSEMBLY_BUDGET_PER_PEER),
+            "every peer stays inside its budget"
+        );
     }
 
     /// Real-socket smoke test: ping-pong and a collective over loopback

@@ -222,6 +222,7 @@ fn unreliable_duplication_yields_typed_transport_error() {
                 control: rates,
                 eager: FaultRates::NONE,
                 bulk: FaultRates::NONE,
+                drop_quantum: None,
             };
             FaultyDevice::new(dev, cfg)
         })

@@ -44,6 +44,19 @@ fn packet_strategy() -> impl Strategy<Value = Packet> {
             .prop_map(|(send_id, recv_id)| Packet::RndvGo { send_id, recv_id }),
         (0..u32::MAX as u64, payload_strategy())
             .prop_map(|(recv_id, data)| Packet::RndvData { recv_id, data }),
+        (
+            0..u32::MAX as u64,
+            0..u32::MAX as usize,
+            0..u32::MAX as usize,
+            payload_strategy()
+        )
+            .prop_map(|(recv_id, offset, total, data)| Packet::RndvChunk {
+                recv_id,
+                offset,
+                total,
+                data
+            }),
+        (0..u32::MAX as u64).prop_map(|send_id| Packet::RndvChunkAck { send_id }),
         (0..u32::MAX as u64).prop_map(|send_id| Packet::EagerAck { send_id }),
         Just(Packet::Credit),
         (0..8u32, 0..64usize, 0..1000u64, payload_strategy()).prop_map(
@@ -66,12 +79,14 @@ fn wire_strategy() -> impl Strategy<Value = Wire> {
         // past the old u32 boundary must round-trip too.
         any::<u64>(),
         any::<u64>(),
+        // Full u64 range for the v4 selective-repeat ack bitmap.
+        any::<u64>(),
         // Full u32 range for the v3 flight-recorder tag (0 = untagged).
         any::<u32>(),
         packet_strategy(),
     )
         .prop_map(
-            |(src, env_credit, data_credit, seq, ack, msg_seq, mut pkt)| {
+            |(src, env_credit, data_credit, seq, ack, ack_bits, msg_seq, mut pkt)| {
                 // Protocol invariant the codec relies on (the 20-byte envelope
                 // stores the source once): envelope packets are always sent by
                 // their own source rank.
@@ -83,6 +98,7 @@ fn wire_strategy() -> impl Strategy<Value = Wire> {
                     src,
                     seq,
                     ack,
+                    ack_bits,
                     env_credit: env_credit.min(0xFF),
                     data_credit,
                     msg_seq,
@@ -96,6 +112,7 @@ fn assert_wire_eq(a: &Wire, b: &Wire) {
     assert_eq!(a.src, b.src);
     assert_eq!(a.seq, b.seq);
     assert_eq!(a.ack, b.ack);
+    assert_eq!(a.ack_bits, b.ack_bits);
     assert_eq!(a.env_credit, b.env_credit);
     assert_eq!(a.data_credit, b.data_credit);
     assert_eq!(a.msg_seq, b.msg_seq);
@@ -159,6 +176,26 @@ fn assert_wire_eq(a: &Wire, b: &Wire) {
             assert_eq!(r1, r2);
             assert_eq!(d1, d2);
         }
+        (
+            Packet::RndvChunk {
+                recv_id: r1,
+                offset: o1,
+                total: t1,
+                data: d1,
+            },
+            Packet::RndvChunk {
+                recv_id: r2,
+                offset: o2,
+                total: t2,
+                data: d2,
+            },
+        ) => {
+            assert_eq!((r1, o1, t1), (r2, o2, t2));
+            assert_eq!(d1, d2);
+        }
+        (Packet::RndvChunkAck { send_id: s1 }, Packet::RndvChunkAck { send_id: s2 }) => {
+            assert_eq!(s1, s2);
+        }
         (Packet::EagerAck { send_id: s1 }, Packet::EagerAck { send_id: s2 }) => {
             assert_eq!(s1, s2);
         }
@@ -202,10 +239,10 @@ proptest! {
     #[test]
     fn encoded_size_is_header_plus_payload(wire in wire_strategy()) {
         let enc = encode(&wire);
-        // encode adds the 16 seq/ack bytes of the reliability sublayer, the
-        // 4-byte flight-recorder tag and a 4-byte payload length word to the
-        // paper's 25-byte header; the *cost model* (wire_bytes) still charges
-        // the paper's header alone.
+        // encode adds the 24 seq/ack/bitmap bytes of the reliability
+        // sublayer, the 4-byte flight-recorder tag and a 4-byte payload
+        // length word to the paper's 25-byte header; the *cost model*
+        // (wire_bytes) still charges the paper's header alone.
         prop_assert_eq!(
             enc.len(),
             HEADER_BYTES + SEQ_ACK_BYTES + MSG_SEQ_BYTES + 4 + wire.pkt.payload_len()

@@ -400,7 +400,7 @@ fn check_invariants(t: &MessageTimeline, out: &mut Vec<Violation>) {
         let data_ns = t
             .wire_tx
             .iter()
-            .filter(|w| w.kind == PacketKind::RndvData)
+            .filter(|w| matches!(w.kind, PacketKind::RndvData | PacketKind::RndvChunk))
             .map(|w| w.t_ns)
             .min()
             .into_iter()
@@ -713,6 +713,32 @@ mod tests {
                 peer: 1,
                 kind: PacketKind::RndvData,
                 bytes: 512,
+            },
+        );
+        let rec = correlate(&[t0.snapshot(), t1.snapshot()]);
+        assert!(rec.violations.iter().any(|v| matches!(
+            v,
+            Violation::DataBeforeCts {
+                data_ns: 60,
+                cts_ns: 100,
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn chunked_data_before_cts_is_a_violation() {
+        let m = msg(0, 4);
+        let t0 = Tracer::enabled(0, 8);
+        let t1 = Tracer::enabled(1, 8);
+        t1.emit_msg_at(100, m, EventKind::RndvGoTx { peer: 0 });
+        t0.emit_msg_at(
+            60,
+            m,
+            EventKind::WireTx {
+                peer: 1,
+                kind: PacketKind::RndvChunk,
+                bytes: 256,
             },
         );
         let rec = correlate(&[t0.snapshot(), t1.snapshot()]);

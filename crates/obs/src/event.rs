@@ -60,6 +60,10 @@ pub enum PacketKind {
     RndvGo,
     /// Rendezvous bulk data.
     RndvData,
+    /// One pipelined chunk of rendezvous bulk data.
+    RndvChunk,
+    /// Window-advance acknowledgement for a rendezvous chunk.
+    RndvChunkAck,
     /// Acknowledgement of a synchronous-mode eager send.
     EagerAck,
     /// Explicit credit return.
@@ -76,6 +80,8 @@ impl PacketKind {
             PacketKind::RndvReq => "RndvReq",
             PacketKind::RndvGo => "RndvGo",
             PacketKind::RndvData => "RndvData",
+            PacketKind::RndvChunk => "RndvChunk",
+            PacketKind::RndvChunkAck => "RndvChunkAck",
             PacketKind::EagerAck => "EagerAck",
             PacketKind::Credit => "Credit",
             PacketKind::HwBcast => "HwBcast",

@@ -65,6 +65,7 @@ fn build_stack(tracers: &[Tracer]) -> (Vec<Stack>, Vec<Arc<lmpi::FaultStats>>) {
                 control: FaultRates::NONE,
                 eager: FaultRates::drop_only(DROP),
                 bulk: FaultRates::drop_only(DROP),
+                drop_quantum: None,
             };
             let faulty = FaultyDevice::new(dev, cfg);
             fault_stats.push(faulty.stats_handle());
