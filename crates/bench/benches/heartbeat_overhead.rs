@@ -1,0 +1,70 @@
+//! Liveness overhead on the reliable shm hot path: the same 64-byte
+//! ping-pong over `Reliable(Shm)` with heartbeats disabled (the default)
+//! versus enabled at a 1 ms keepalive interval. On a busy link every
+//! outgoing frame refreshes the keepalive deadline (piggyback
+//! suppression), so the enabled run should pay only the per-frame
+//! deadline bookkeeping — `bench_gate` bounds the enabled/disabled ratio
+//! so liveness cannot tax the data path.
+
+use std::time::{Duration, Instant};
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lmpi_core::MpiConfig;
+use lmpi_devices::reliable::{RelConfig, ReliableDevice};
+use lmpi_devices::shm::{run_devices, ShmDevice};
+
+const NBYTES: usize = 64;
+/// Keepalive interval for the enabled leg, microseconds. Far shorter than
+/// production so suppression is exercised, long against the ~µs RTT so
+/// the bench measures bookkeeping, not heartbeat traffic.
+const HEARTBEAT_US: f64 = 1_000.0;
+
+fn pingpong_duration(heartbeats: bool, iters: u64) -> Duration {
+    let rel = if heartbeats {
+        RelConfig::default().with_heartbeat(HEARTBEAT_US, 10_000.0, 50_000.0)
+    } else {
+        RelConfig::default()
+    };
+    let devices: Vec<ReliableDevice<ShmDevice>> = ShmDevice::fabric(2)
+        .into_iter()
+        .map(|dev| ReliableDevice::new(dev, rel))
+        .collect();
+    let out = run_devices(devices, MpiConfig::device_defaults(), move |mpi| {
+        let world = mpi.world();
+        let buf = vec![0u8; NBYTES];
+        let mut back = vec![0u8; NBYTES];
+        if world.rank() == 0 {
+            // Warmup.
+            world.send(&buf, 1, 0).unwrap();
+            world.recv(&mut back, 1, 0).unwrap();
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                world.send(&buf, 1, 0).unwrap();
+                world.recv(&mut back, 1, 0).unwrap();
+            }
+            t0.elapsed()
+        } else {
+            for _ in 0..iters + 1 {
+                world.recv(&mut back, 0, 0).unwrap();
+                world.send(&back, 0, 0).unwrap();
+            }
+            Duration::ZERO
+        }
+    });
+    out[0]
+}
+
+fn bench_heartbeat_overhead(c: &mut Criterion) {
+    let mut g = c.benchmark_group("heartbeat_overhead");
+    g.sample_size(20);
+    g.bench_function("disabled", |b| {
+        b.iter_custom(|iters| pingpong_duration(false, iters))
+    });
+    g.bench_function("enabled", |b| {
+        b.iter_custom(|iters| pingpong_duration(true, iters))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_heartbeat_overhead);
+criterion_main!(benches);

@@ -1,8 +1,9 @@
-//! Regression gate over the `matching_engine`, `tracer_overhead` and
-//! `bandwidth_shm` criterion results.
+//! Regression gate over the `matching_engine`, `tracer_overhead`,
+//! `heartbeat_overhead` and `bandwidth_shm` criterion results.
 //!
 //! Run after `cargo bench -p lmpi-bench --bench matching_engine`,
-//! `cargo bench -p lmpi-bench --bench tracer_overhead` and
+//! `cargo bench -p lmpi-bench --bench tracer_overhead`,
+//! `cargo bench -p lmpi-bench --bench heartbeat_overhead` and
 //! `cargo bench -p lmpi-bench --bench bandwidth_shm`:
 //!
 //! ```text
@@ -52,6 +53,15 @@ const MAX_TRACED_RATIO: f64 = 1.30;
 /// thread-pair runs (the ping-pong itself is a microsecond-scale RTT).
 const TRACED_GRACE_NS: f64 = 300.0;
 
+/// Liveness overhead bound: the 64 B shm ping-pong with heartbeats
+/// enabled may cost at most this multiple of the heartbeat-free run —
+/// the keepalive machinery is deadline bookkeeping on the data path and
+/// must stay in the noise…
+const MAX_HEARTBEAT_RATIO: f64 = 1.05;
+
+/// …plus this absolute grace per the acceptance criterion (1.05x + 50 ns).
+const HEARTBEAT_GRACE_NS: f64 = 50.0;
+
 /// The chunked rendezvous stream must keep at least this fraction of the
 /// seed single-frame bandwidth at 1 MiB on the loss-free shm substrate —
 /// pipelining buys loss resilience, not a zero-loss regression. Same-run,
@@ -89,11 +99,13 @@ fn main() -> ExitCode {
             Err(e) => failures.push(format!("{key}: {e}")),
         }
     }
-    for variant in ["disabled", "enabled"] {
-        let key = format!("tracer_overhead/{variant}");
-        match read_median_ns(&criterion_dir, "tracer_overhead", variant, None) {
-            Ok(ns) => medians.push((key, ns)),
-            Err(e) => failures.push(format!("{key}: {e}")),
+    for group in ["tracer_overhead", "heartbeat_overhead"] {
+        for variant in ["disabled", "enabled"] {
+            let key = format!("{group}/{variant}");
+            match read_median_ns(&criterion_dir, group, variant, None) {
+                Ok(ns) => medians.push((key, ns)),
+                Err(e) => failures.push(format!("{key}: {e}")),
+            }
         }
     }
     {
@@ -195,6 +207,20 @@ fn main() -> ExitCode {
         failures.push(format!(
             "enabled tracer costs {traced:.2} ns vs {untraced:.2} ns untraced \
              (limit {traced_limit:.2} ns = {MAX_TRACED_RATIO}x + {TRACED_GRACE_NS} ns)"
+        ));
+    }
+
+    let hb_off = get("heartbeat_overhead/disabled");
+    let hb_on = get("heartbeat_overhead/enabled");
+    let hb_limit = hb_off * MAX_HEARTBEAT_RATIO + HEARTBEAT_GRACE_NS;
+    println!(
+        "heartbeat overhead: enabled {hb_on:.1} ns vs disabled {hb_off:.1} ns \
+         (limit {hb_limit:.1} ns)"
+    );
+    if hb_on > hb_limit || hb_on.is_nan() {
+        failures.push(format!(
+            "heartbeats cost {hb_on:.2} ns vs {hb_off:.2} ns without \
+             (limit {hb_limit:.2} ns = {MAX_HEARTBEAT_RATIO}x + {HEARTBEAT_GRACE_NS} ns)"
         ));
     }
 

@@ -30,6 +30,9 @@ const T_REDUCE: Tag = 5;
 const T_ALLGATHER: Tag = 6;
 const T_ALLTOALL: Tag = 7;
 const T_SCAN: Tag = 8;
+/// Fault-tolerant agreement rounds (see `ulfm.rs`); phase 2 uses
+/// `T_AGREE + (1 << 4)`, matching the round-shift convention above.
+pub(crate) const T_AGREE: Tag = 9;
 
 impl Communicator {
     fn coll_send<T: MpiData>(&self, buf: &[T], dst: Rank, tag: Tag) -> MpiResult<()> {
@@ -43,10 +46,31 @@ impl Communicator {
         Ok(self.localize(st))
     }
 
+    /// Collectives fail fast: a revoked communicator or a known-dead group
+    /// member turns the whole operation into a typed error up front,
+    /// instead of a hang (or a confusing transport error) halfway through
+    /// the algorithm's message schedule. The reported rank is
+    /// communicator-local, matching every other local-rank API surface.
+    pub(crate) fn check_coll_ready(&self) -> MpiResult<()> {
+        self.check_not_revoked()?;
+        let eng = self.inner().eng.borrow();
+        for (local, &g) in self.group_ranks().iter().enumerate() {
+            if eng.is_failed(g) {
+                return Err(MpiError::peer_failed(
+                    local,
+                    "collective on a communicator with a dead member \
+                     (revoke and shrink to continue)",
+                ));
+            }
+        }
+        Ok(())
+    }
+
     /// Run `f` bracketed by `CollBegin`/`CollEnd` trace events. A no-op
     /// branch when tracing is disabled; the end event is emitted even when
     /// `f` errors so trace spans always close.
     fn traced<R>(&self, op: CollOp, f: impl FnOnce() -> MpiResult<R>) -> MpiResult<R> {
+        self.check_coll_ready()?;
         let inner = self.inner();
         inner
             .eng
@@ -234,6 +258,7 @@ impl Communicator {
         send: &[T],
         root: Rank,
     ) -> MpiResult<Option<Vec<Vec<T>>>> {
+        self.check_coll_ready()?;
         let n = self.size();
         let me = self.rank();
         self.global(root)?;
@@ -323,6 +348,7 @@ impl Communicator {
         send: Option<&[Vec<T>]>,
         root: Rank,
     ) -> MpiResult<Vec<T>> {
+        self.check_coll_ready()?;
         let n = self.size();
         let me = self.rank();
         self.global(root)?;

@@ -87,6 +87,13 @@ pub struct TransportStats {
     pub faults_reordered: u64,
     /// Frames deliberately delayed by fault injection.
     pub faults_delayed: u64,
+    /// Liveness keepalive frames sent on idle peer links.
+    pub heartbeats_sent: u64,
+    /// Peers the liveness state machine has moved from Alive to Suspect
+    /// (cumulative; a peer that recovers and is re-suspected counts again).
+    pub peers_suspected: u64,
+    /// Peers declared dead (terminal; each peer counts at most once).
+    pub peers_dead: u64,
 }
 
 impl TransportStats {
@@ -103,6 +110,9 @@ impl TransportStats {
             faults_duplicated: self.faults_duplicated + inner.faults_duplicated,
             faults_reordered: self.faults_reordered + inner.faults_reordered,
             faults_delayed: self.faults_delayed + inner.faults_delayed,
+            heartbeats_sent: self.heartbeats_sent + inner.heartbeats_sent,
+            peers_suspected: self.peers_suspected + inner.peers_suspected,
+            peers_dead: self.peers_dead + inner.peers_dead,
         }
     }
 }
@@ -175,6 +185,25 @@ pub trait Device: Send {
     /// stack (zeroes for transports with neither layer).
     fn transport_stats(&self) -> TransportStats {
         TransportStats::default()
+    }
+
+    /// Whether this device stack can declare peers dead (a reliability
+    /// layer with retransmission limits or heartbeats). When true, the
+    /// engine's blocking progress loop polls [`Device::take_failed_peer`]
+    /// instead of parking in `recv_blocking`, so a peer death completes
+    /// pending requests promptly.
+    fn detects_failures(&self) -> bool {
+        false
+    }
+
+    /// Drain one pending peer-failure notification, if any. A reliability
+    /// layer queues `(peer, error)` when its liveness state machine
+    /// declares a peer dead; the engine drains the queue on every
+    /// progress poll and fails the affected requests. Each failure is
+    /// reported exactly once. The default (transports without failure
+    /// detection) never reports.
+    fn take_failed_peer(&self) -> Option<(Rank, crate::error::MpiError)> {
+        None
     }
 
     /// Protocol parameter defaults for this transport.

@@ -89,6 +89,26 @@ pub enum MpiError {
         /// What was requested.
         what: String,
     },
+    /// A peer rank has been declared dead (heartbeat timeout or
+    /// retransmission exhaustion). Unlike [`MpiError::Transport`], this is
+    /// *scoped*: only operations touching the dead peer fail; traffic with
+    /// healthy peers continues. The ULFM-style recovery surface
+    /// (`Communicator::failed_ranks` / `revoke` / `shrink` / `agree`) lets
+    /// survivors rebuild a working communicator.
+    PeerFailed {
+        /// Global (world) rank of the dead peer.
+        peer: Rank,
+        /// What the failed operation was, or how death was detected.
+        context: String,
+    },
+    /// The communicator was revoked (`Communicator::revoke`): a survivor
+    /// aborted all pending and future operations on it so every member
+    /// learns of a failure even if it never talks to the dead rank
+    /// directly. `shrink`/`agree` still work on a revoked communicator.
+    Revoked {
+        /// The revoked communicator's point-to-point context id.
+        context: u32,
+    },
 }
 
 impl fmt::Display for MpiError {
@@ -132,6 +152,12 @@ impl fmt::Display for MpiError {
                 write!(f, "internal accounting error (library bug): {detail}")
             }
             MpiError::Unsupported { what } => write!(f, "unsupported operation: {what}"),
+            MpiError::PeerFailed { peer, context } => {
+                write!(f, "peer rank {peer} failed: {context}")
+            }
+            MpiError::Revoked { context } => {
+                write!(f, "communicator (context {context}) has been revoked")
+            }
         }
     }
 }
@@ -157,6 +183,14 @@ impl MpiError {
     pub fn internal(detail: impl Into<String>) -> Self {
         MpiError::Internal {
             detail: detail.into(),
+        }
+    }
+
+    /// A peer-death failure scoped to one rank.
+    pub fn peer_failed(peer: Rank, context: impl Into<String>) -> Self {
+        MpiError::PeerFailed {
+            peer,
+            context: context.into(),
         }
     }
 }

@@ -49,6 +49,7 @@ mod reduce_op;
 mod request;
 mod topology;
 mod types;
+mod ulfm;
 
 /// Internal matching-engine types, exposed for the benchmark harness only.
 #[doc(hidden)]

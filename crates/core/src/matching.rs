@@ -396,6 +396,70 @@ impl MatchEngine {
         false
     }
 
+    /// Generic purge: drop every posted receive and unexpected message
+    /// selected by the predicates. `key_hit` selects whole specific bins
+    /// (every entry in a bin shares the key, so a key hit empties the bin);
+    /// `recv_hit` additionally filters the wildcard queue. Returns the
+    /// dropped receives' request ids (so the caller can complete them with
+    /// a failure) and the dropped unexpected messages (so eager bounce
+    /// buffer space can be released). Emptied bins are retained per the
+    /// module-level capacity-reuse policy; `occupied_bins` is kept exact.
+    fn purge(
+        &mut self,
+        key_hit: impl Fn(&BinKey) -> bool,
+        recv_hit: impl Fn(&PostedRecv) -> bool,
+    ) -> (Vec<u64>, Vec<UnexpectedMsg>) {
+        let mut recv_ids = Vec::new();
+        let mut msgs = Vec::new();
+        for (key, q) in self.posted_bins.iter_mut() {
+            if q.is_empty() || !key_hit(key) {
+                continue;
+            }
+            for e in q.drain(..) {
+                recv_ids.push(e.recv.recv_id);
+            }
+            self.occupied_bins -= 1;
+        }
+        self.posted_wild.retain(|e| {
+            if recv_hit(&e.recv) {
+                recv_ids.push(e.recv.recv_id);
+                false
+            } else {
+                true
+            }
+        });
+        self.posted_len -= recv_ids.len();
+        for (key, q) in self.unexpected_bins.iter_mut() {
+            if q.is_empty() || !key_hit(key) {
+                continue;
+            }
+            for e in q.drain(..) {
+                msgs.push(e.msg);
+            }
+            self.occupied_bins -= 1;
+        }
+        self.unexpected_len -= msgs.len();
+        (recv_ids, msgs)
+    }
+
+    /// A peer died: drop every fully-specific posted receive naming it as
+    /// source and every unexpected message it sent. Wildcard (`ANY_SOURCE`)
+    /// receives are deliberately *kept* — another live rank may still
+    /// satisfy them (the engine documents this ULFM-style limitation).
+    pub fn purge_peer(&mut self, peer: Rank) -> (Vec<u64>, Vec<UnexpectedMsg>) {
+        self.purge(
+            |key| key.1 == peer,
+            |recv| matches!(recv.src, SourceSel::Rank(s) if s == peer),
+        )
+    }
+
+    /// A communicator was revoked: drop everything bound to its context,
+    /// wildcard receives included — no future arrival on a revoked context
+    /// may complete normally.
+    pub fn purge_context(&mut self, context: ContextId) -> (Vec<u64>, Vec<UnexpectedMsg>) {
+        self.purge(|key| key.0 == context, |recv| recv.context == context)
+    }
+
     /// Queue depths `(posted, unexpected)` for diagnostics.
     #[allow(dead_code)] // exercised by unit tests
     pub fn depths(&self) -> (usize, usize) {
@@ -654,6 +718,66 @@ mod tests {
             UnexpectedBody::Rndv { send_id } => assert_eq!(send_id, 100, "oldest bin front wins"),
             _ => unreachable!(),
         }
+    }
+
+    #[test]
+    fn purge_peer_drops_its_traffic_but_keeps_wildcards() {
+        let mut m = MatchEngine::new();
+        m.match_posted(1, SourceSel::Rank(4), TagSel::Tag(7), 0); // doomed
+        m.match_posted(2, SourceSel::Rank(5), TagSel::Tag(7), 0); // other peer
+        m.match_posted(3, SourceSel::Any, TagSel::Any, 0); // wildcard survives
+        m.add_unexpected(rndv(4, 9, 0, 100)); // doomed
+        m.add_unexpected(rndv(5, 9, 0, 200)); // other peer
+
+        let (recv_ids, msgs) = m.purge_peer(4);
+        assert_eq!(recv_ids, vec![1]);
+        assert_eq!(msgs.len(), 1);
+        match msgs[0].body {
+            UnexpectedBody::Rndv { send_id } => assert_eq!(send_id, 100),
+            _ => unreachable!(),
+        }
+        assert_eq!(m.depths(), (2, 1));
+        // The wildcard still matches a live source (the *engine* drops
+        // frames from a dead src before they ever reach the matcher).
+        assert_eq!(m.match_incoming(&env(6, 1, 0)).unwrap().recv_id, 3);
+        // Surviving entries are untouched.
+        assert_eq!(m.match_incoming(&env(5, 7, 0)).unwrap().recv_id, 2);
+        assert!(m
+            .match_posted(9, SourceSel::Rank(5), TagSel::Tag(9), 0)
+            .is_some());
+    }
+
+    #[test]
+    fn purge_context_drops_wildcards_too() {
+        let mut m = MatchEngine::new();
+        m.match_posted(1, SourceSel::Rank(0), TagSel::Tag(5), 7);
+        m.match_posted(2, SourceSel::Any, TagSel::Any, 7);
+        m.match_posted(3, SourceSel::Any, TagSel::Any, 8); // other context
+        m.add_unexpected(rndv(0, 5, 7, 1));
+        m.add_unexpected(rndv(0, 5, 8, 2));
+
+        let (mut recv_ids, msgs) = m.purge_context(7);
+        recv_ids.sort_unstable();
+        assert_eq!(recv_ids, vec![1, 2]);
+        assert_eq!(msgs.len(), 1);
+        assert_eq!(m.depths(), (1, 1));
+        assert!(m.match_incoming(&env(0, 5, 7)).is_none());
+        assert_eq!(m.match_incoming(&env(0, 5, 8)).unwrap().recv_id, 3);
+    }
+
+    #[test]
+    fn purged_bins_can_be_reoccupied() {
+        // The occupied-bins counter must stay exact across a purge, or the
+        // high-water instrumentation drifts when the bin refills.
+        let mut m = MatchEngine::new();
+        m.add_unexpected(rndv(4, 9, 0, 1));
+        assert_eq!(m.bins_hwm, 1);
+        m.purge_peer(4);
+        m.add_unexpected(rndv(4, 9, 0, 2));
+        assert_eq!(m.bins_hwm, 1, "re-occupying a purged bin is not new peak");
+        assert!(m
+            .match_posted(1, SourceSel::Rank(4), TagSel::Tag(9), 0)
+            .is_some());
     }
 
     #[test]

@@ -239,6 +239,24 @@ impl MetricsSnapshot {
             "Frames delayed by fault injection.",
             t.faults_delayed,
         );
+        counter(
+            &mut out,
+            "lmpi_transport_heartbeats_sent_total",
+            "Liveness keepalive frames sent on idle peer links.",
+            t.heartbeats_sent,
+        );
+        counter(
+            &mut out,
+            "lmpi_transport_peers_suspected_total",
+            "Peers moved from Alive to Suspect by the liveness machine.",
+            t.peers_suspected,
+        );
+        counter(
+            &mut out,
+            "lmpi_transport_peers_dead_total",
+            "Peers declared dead (terminal) by the liveness machine.",
+            t.peers_dead,
+        );
         for h in &self.hists {
             let hist = Some(h.name.as_str());
             let s = &h.summary;
@@ -379,6 +397,8 @@ mod tests {
         let mut t = TransportStats::default();
         t.retransmits = 5;
         t.reassembly_evicted = 4;
+        t.heartbeats_sent = 11;
+        t.peers_dead = 1;
         let mut h = LatencyHist::new();
         for v in [100, 200, 300] {
             h.record(v);
@@ -397,6 +417,9 @@ mod tests {
         assert!(prom.contains("lmpi_transport_retransmits_total{rank=\"1\"} 5"));
         assert!(prom.contains("lmpi_rndv_chunks_sent_total{rank=\"1\"} 9"));
         assert!(prom.contains("lmpi_transport_reassembly_evicted_total{rank=\"1\"} 4"));
+        assert!(prom.contains("lmpi_transport_heartbeats_sent_total{rank=\"1\"} 11"));
+        assert!(prom.contains("lmpi_transport_peers_suspected_total{rank=\"1\"} 0"));
+        assert!(prom.contains("lmpi_transport_peers_dead_total{rank=\"1\"} 1"));
         assert!(prom.contains("hist=\"pingpong_half_trip\""));
     }
 

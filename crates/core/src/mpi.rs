@@ -38,6 +38,11 @@ impl Inner {
         while let Some(wire) = self.device.try_recv()? {
             self.eng.borrow_mut().handle_wire(&*self.device, wire)?;
         }
+        // Drain peer-death verdicts from the transport's liveness machine
+        // and propagate each into the engine (idempotent per peer).
+        while let Some((peer, err)) = self.device.take_failed_peer() {
+            self.eng.borrow_mut().fail_peer(&*self.device, peer, err);
+        }
         Ok(())
     }
 
@@ -52,32 +57,44 @@ impl Inner {
             if let Some(v) = done(&mut self.eng.borrow_mut()) {
                 return Ok(v);
             }
-            let wire = self.next_wire_blocking()?;
-            self.eng.borrow_mut().handle_wire(&*self.device, wire)?;
+            if let Some(wire) = self.next_wire_blocking()? {
+                self.eng.borrow_mut().handle_wire(&*self.device, wire)?;
+            }
+            // `None` means a peer was declared dead instead of a frame
+            // arriving; loop so `done` re-evaluates against the requests
+            // the failure just completed.
         }
     }
 
-    /// Block for the next frame. With the watchdog armed, a silent wire
-    /// (lost frame and no retransmission, dead peer) becomes a typed
-    /// [`MpiError::Timeout`] instead of an eternal hang. The watchdog polls
-    /// instead of blocking, so it only makes sense on wall-clock devices;
-    /// simulated devices (whose virtual clock advances *because* recv
-    /// blocks) should leave it unset.
-    pub(crate) fn next_wire_blocking(&self) -> MpiResult<crate::packet::Wire> {
-        let Some(limit_us) = self.watchdog_us else {
-            return self.device.recv_blocking();
-        };
+    /// Block for the next frame. Returns `Ok(None)` when, instead of a
+    /// frame, the transport reported a peer death — the engine has already
+    /// been told, and the caller should re-check its completion condition.
+    /// With the watchdog armed, a silent wire becomes a typed
+    /// [`MpiError::Timeout`] instead of an eternal hang. Both the watchdog
+    /// and failure detection poll rather than park (the reliability
+    /// sublayer's retransmit/heartbeat pump runs from `try_recv`), so the
+    /// parked fast path is kept only for devices that do neither.
+    pub(crate) fn next_wire_blocking(&self) -> MpiResult<Option<crate::packet::Wire>> {
+        if self.watchdog_us.is_none() && !self.device.detects_failures() {
+            return self.device.recv_blocking().map(Some);
+        }
         let t0 = self.device.wtime();
         loop {
             if let Some(wire) = self.device.try_recv()? {
-                return Ok(wire);
+                return Ok(Some(wire));
             }
-            let waited_us = (self.device.wtime() - t0) * 1e6;
-            if waited_us >= limit_us as f64 {
-                return Err(MpiError::Timeout {
-                    waited_us: waited_us as u64,
-                    context: "progress loop saw no incoming frame".into(),
-                });
+            if let Some((peer, err)) = self.device.take_failed_peer() {
+                self.eng.borrow_mut().fail_peer(&*self.device, peer, err);
+                return Ok(None);
+            }
+            if let Some(limit_us) = self.watchdog_us {
+                let waited_us = (self.device.wtime() - t0) * 1e6;
+                if waited_us >= limit_us as f64 {
+                    return Err(MpiError::Timeout {
+                        waited_us: waited_us as u64,
+                        context: "progress loop saw no incoming frame".into(),
+                    });
+                }
             }
             std::thread::yield_now();
         }
@@ -313,6 +330,17 @@ impl Communicator {
         }
     }
 
+    /// Fail fast on a revoked communicator: every normal operation on it
+    /// returns [`MpiError::Revoked`]. Only the fault-tolerant ULFM
+    /// operations (`shrink`, `agree`) bypass this, by construction.
+    pub(crate) fn check_not_revoked(&self) -> MpiResult<()> {
+        if self.inner.eng.borrow().is_revoked(self.ctx) {
+            Err(MpiError::Revoked { context: self.ctx })
+        } else {
+            Ok(())
+        }
+    }
+
     // ------------------------------------------------------------------
     // Blocking point-to-point
     // ------------------------------------------------------------------
@@ -326,6 +354,7 @@ impl Communicator {
         ctx: ContextId,
     ) -> MpiResult<()> {
         Self::check_tag(tag)?;
+        self.check_not_revoked()?;
         self.take_pending_error()?;
         let dst_g = self.global(dst)?;
         let mut eng = self.inner.eng.borrow_mut();
@@ -400,6 +429,7 @@ impl Communicator {
         if let TagSel::Tag(t) = tag {
             Self::check_tag(t)?;
         }
+        self.check_not_revoked()?;
         self.take_pending_error()?;
         let src = self.src_sel(src)?;
         let dst = RecvDest {
@@ -441,6 +471,7 @@ impl Communicator {
         mode: SendMode,
     ) -> MpiResult<Request<'a>> {
         Self::check_tag(tag)?;
+        self.check_not_revoked()?;
         self.take_pending_error()?;
         let dst_g = self.global(dst)?;
         let mut eng = self.inner.eng.borrow_mut();
@@ -549,6 +580,10 @@ impl Communicator {
 
     pub(crate) fn inner(&self) -> &Rc<Inner> {
         &self.inner
+    }
+
+    pub(crate) fn ctx(&self) -> ContextId {
+        self.ctx
     }
 
     pub(crate) fn coll_ctx(&self) -> ContextId {
@@ -689,9 +724,12 @@ pub fn wait_any(reqs: &mut Vec<Request<'_>>) -> MpiResult<(usize, Status)> {
             }
         }
         // Nothing ready: block on the device through the first request.
+        // `None` (a peer died) falls through to re-test — the failure may
+        // have completed one of the requests.
         let inner = reqs[0].inner.clone();
-        let wire = inner.next_wire_blocking()?;
-        inner.eng.borrow_mut().handle_wire(&*inner.device, wire)?;
+        if let Some(wire) = inner.next_wire_blocking()? {
+            inner.eng.borrow_mut().handle_wire(&*inner.device, wire)?;
+        }
     }
 }
 

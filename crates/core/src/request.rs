@@ -161,6 +161,27 @@ impl RequestTable {
         self.slots.remove(&id)
     }
 
+    /// Fail a request if it is still live (present and not yet `Done`).
+    /// Returns whether the state changed — the failure-propagation paths
+    /// call this from several sweeps (pending queue, rendezvous store,
+    /// matcher purge, ack-wait scan) and a request may appear in more than
+    /// one, so the first sweep wins and the rest are no-ops.
+    pub(crate) fn fail_if_active(&mut self, id: u64, err: MpiError) -> bool {
+        match self.slots.get_mut(&id) {
+            Some(slot) if !slot.is_done() => {
+                *slot = ReqState::Done(Err(err));
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Iterate over every live request `(id, state)` — the peer-failure
+    /// sweep scans for states parked on a given peer.
+    pub(crate) fn iter(&self) -> impl Iterator<Item = (u64, &ReqState)> {
+        self.slots.iter().map(|(&id, s)| (id, s))
+    }
+
     /// Number of live requests (diagnostics).
     #[allow(dead_code)] // exercised by unit tests
     pub(crate) fn len(&self) -> usize {
@@ -199,6 +220,33 @@ mod tests {
         assert!(r.is_ok());
         assert!(t.take_if_done(id).is_none(), "slot removed after take");
         assert_eq!(t.len(), 0);
+    }
+
+    #[test]
+    fn fail_if_active_spares_done_and_unknown_slots() {
+        let mut t = RequestTable::new();
+        let live = t.alloc(ReqState::SendQueued);
+        let done = t.alloc(ReqState::SendQueued);
+        t.complete(
+            done,
+            Ok(Status {
+                source: 1,
+                tag: 2,
+                len: 3,
+            }),
+        );
+        assert!(t.fail_if_active(live, MpiError::peer_failed(3, "test")));
+        assert!(
+            !t.fail_if_active(live, MpiError::peer_failed(4, "second sweep")),
+            "already failed: later sweeps are no-ops"
+        );
+        assert!(!t.fail_if_active(done, MpiError::peer_failed(3, "test")));
+        assert!(!t.fail_if_active(999, MpiError::peer_failed(3, "test")));
+        match t.take_if_done(live) {
+            Some(Err(MpiError::PeerFailed { peer: 3, .. })) => {}
+            other => panic!("expected the first failure to stick, got {other:?}"),
+        }
+        assert!(t.take_if_done(done).expect("still done").is_ok());
     }
 
     #[test]

@@ -31,6 +31,12 @@
 //! beside the cumulative ack, and two new frame types carry the pipelined
 //! rendezvous chunk stream (`RndvChunk` with its 32-bit offset/total words
 //! in the request-info area, and the window-opening `RndvChunkAck`).
+//!
+//! Frame layout **version 5** adds no bytes, only two frame types for the
+//! rank-failure subsystem: the liveness keepalive `Heartbeat` (header
+//! only — its piggybacked acks and credits are the entire payload) and the
+//! ULFM `Revoke` flood, which carries the revoked communicator's context
+//! id in the request-info area.
 
 use bytes::Bytes;
 use lmpi_core::{Envelope, Packet, Rank, Wire};
@@ -72,6 +78,8 @@ const T_CREDIT: u8 = 8;
 const T_HW_BCAST: u8 = 9;
 const T_RNDV_CHUNK: u8 = 10;
 const T_RNDV_CHUNK_ACK: u8 = 11;
+const T_HEARTBEAT: u8 = 12;
+const T_REVOKE: u8 = 13;
 
 /// Total bytes `wire` occupies on the wire: 25-byte header plus payload.
 pub fn wire_bytes(wire: &Wire) -> usize {
@@ -118,6 +126,8 @@ pub fn encode_into(wire: &Wire, out: &mut Vec<u8>) {
         Packet::EagerAck { .. } => (T_EAGER_ACK, None),
         Packet::Credit => (T_CREDIT, None),
         Packet::HwBcast { data, .. } => (T_HW_BCAST, Some(data)),
+        Packet::Heartbeat => (T_HEARTBEAT, None),
+        Packet::Revoke { .. } => (T_REVOKE, None),
     };
     out.push(ty);
     // 4 bytes: freed reserved space (credit return): 8 bits env, 24 bits
@@ -183,6 +193,10 @@ pub fn encode_into(wire: &Wire, out: &mut Vec<u8>) {
             info[4..8].copy_from_slice(&(*send_id as u32).to_le_bytes());
         }
         Packet::Credit => {}
+        Packet::Heartbeat => {}
+        Packet::Revoke { context } => {
+            info[4..8].copy_from_slice(&context.to_le_bytes());
+        }
         Packet::HwBcast {
             context, root, seq, ..
         } => {
@@ -287,6 +301,10 @@ pub fn decode(buf: &[u8]) -> Result<(Wire, usize), DecodeError> {
             send_id: u32at(4..8) as u64,
         },
         T_CREDIT => Packet::Credit,
+        T_HEARTBEAT => Packet::Heartbeat,
+        T_REVOKE => Packet::Revoke {
+            context: u32at(4..8),
+        },
         T_HW_BCAST => Packet::HwBcast {
             context: u32at(4..8),
             root: u32at(8..12) as Rank,
@@ -420,6 +438,8 @@ mod tests {
             Packet::RndvChunkAck { send_id: 5 },
             Packet::EagerAck { send_id: 5 },
             Packet::Credit,
+            Packet::Heartbeat,
+            Packet::Revoke { context: 6 },
             Packet::HwBcast {
                 context: 1,
                 root: 2,
@@ -472,6 +492,39 @@ mod tests {
             }
             other => panic!("wrong packet {other:?}"),
         }
+    }
+
+    #[test]
+    fn revoke_context_roundtrips_exactly() {
+        let w = roundtrip(Wire::bare(
+            1,
+            Packet::Revoke {
+                context: 0xDEAD_BEEF,
+            },
+        ));
+        match w.pkt {
+            Packet::Revoke { context } => assert_eq!(context, 0xDEAD_BEEF),
+            other => panic!("wrong packet {other:?}"),
+        }
+    }
+
+    #[test]
+    fn heartbeat_carries_piggybacked_acks() {
+        // A heartbeat is pure header: unsequenced, but its ack fields must
+        // survive so idle links still return acknowledgment state.
+        let w = roundtrip(Wire {
+            src: 2,
+            seq: 0,
+            ack: 41,
+            ack_bits: 0b101,
+            env_credit: 1,
+            data_credit: 64,
+            msg_seq: 0,
+            pkt: Packet::Heartbeat,
+        });
+        assert!(matches!(w.pkt, Packet::Heartbeat));
+        assert_eq!((w.seq, w.ack, w.ack_bits), (0, 41, 0b101));
+        assert_eq!((w.env_credit, w.data_credit), (1, 64));
     }
 
     #[test]

@@ -48,7 +48,9 @@ pub fn classify(pkt: &Packet) -> PacketClass {
         | Packet::RndvGo { .. }
         | Packet::RndvChunkAck { .. }
         | Packet::EagerAck { .. }
-        | Packet::Credit => PacketClass::Control,
+        | Packet::Credit
+        | Packet::Heartbeat
+        | Packet::Revoke { .. } => PacketClass::Control,
     }
 }
 
@@ -204,6 +206,9 @@ struct FaultState {
     holdback: Vec<Option<(Wire, f64)>>,
     /// Frames waiting out an injected delay: `(due_time, dst, wire)`.
     delayq: VecDeque<(f64, Rank, Wire)>,
+    /// Network frames offered so far, for the [`FaultyDevice::kill_after`]
+    /// crash switch (self-sends don't count — they never cross the wire).
+    offered: u64,
 }
 
 /// A [`Device`] wrapper that injects deterministic, seeded faults on the
@@ -212,6 +217,9 @@ struct FaultState {
 pub struct FaultyDevice<D: Device> {
     inner: D,
     cfg: FaultConfig,
+    /// Crash switch: after this many network frames leave, the rank goes
+    /// permanently silent in both directions. `None` = never.
+    kill_after: Option<u64>,
     state: Mutex<FaultState>,
     stats: Arc<FaultStats>,
     tracer: Tracer,
@@ -224,14 +232,33 @@ impl<D: Device> FaultyDevice<D> {
         FaultyDevice {
             inner,
             cfg,
+            kill_after: None,
             state: Mutex::new(FaultState {
                 rng: SplitMix64::new(cfg.seed),
                 holdback: (0..nprocs).map(|_| None).collect(),
                 delayq: VecDeque::new(),
+                offered: 0,
             }),
             stats: Arc::new(FaultStats::default()),
             tracer: Tracer::disabled(),
         }
+    }
+
+    /// Model a rank crash: the first `frames` network frames transmit
+    /// normally, then the device goes permanently silent — every later
+    /// outgoing frame vanishes (counted as dropped) and every incoming
+    /// frame is discarded unread. Self-sends keep working: the "crashed"
+    /// rank's own thread still runs, it is merely unreachable, which is
+    /// what lets the chaos harness watch survivors *and* victim converge
+    /// on the failure through their liveness machines.
+    pub fn kill_after(mut self, frames: u64) -> Self {
+        self.kill_after = Some(frames);
+        self
+    }
+
+    /// Whether the crash switch has flipped.
+    fn killed(&self, st: &FaultState) -> bool {
+        self.kill_after.is_some_and(|n| st.offered >= n)
     }
 
     fn trace_fault(&self, dst: Rank, wire: &Wire, fault: FaultKind) {
@@ -298,6 +325,13 @@ impl<D: Device> Device for FaultyDevice<D> {
             return;
         }
         let mut st = self.state.lock();
+        if self.killed(&st) {
+            // Crashed: the frame silently vanishes, like the NIC it would
+            // have left through.
+            self.stats.dropped.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        st.offered += 1;
         self.flush_due(&mut st);
 
         // A frame to `dst` releases any frame held back for `dst` — but
@@ -341,6 +375,19 @@ impl<D: Device> Device for FaultyDevice<D> {
     fn try_recv(&self) -> MpiResult<Option<Wire>> {
         {
             let mut st = self.state.lock();
+            if self.killed(&st) {
+                // Crashed: discard everything the network still delivers
+                // (self-sends excepted — they never left the rank).
+                drop(st);
+                let me = self.inner.rank();
+                loop {
+                    match self.inner.try_recv()? {
+                        Some(w) if w.src == me => return Ok(Some(w)),
+                        Some(_) => continue,
+                        None => return Ok(None),
+                    }
+                }
+            }
             self.flush_due(&mut st);
         }
         self.inner.try_recv()
@@ -390,6 +437,14 @@ impl<D: Device> Device for FaultyDevice<D> {
             ..TransportStats::default()
         }
         .merged(self.inner.transport_stats())
+    }
+
+    fn detects_failures(&self) -> bool {
+        self.inner.detects_failures()
+    }
+
+    fn take_failed_peer(&self) -> Option<(Rank, lmpi_core::MpiError)> {
+        self.inner.take_failed_peer()
     }
 
     fn defaults(&self) -> DeviceDefaults {
@@ -463,7 +518,32 @@ mod tests {
             classify(&Packet::RndvChunkAck { send_id: 0 }),
             PacketClass::Control
         );
+        assert_eq!(classify(&Packet::Heartbeat), PacketClass::Control);
+        assert_eq!(
+            classify(&Packet::Revoke { context: 2 }),
+            PacketClass::Control
+        );
         assert_eq!(classify(&eager(0, 1).pkt), PacketClass::Eager);
+    }
+
+    #[test]
+    fn kill_after_silences_the_rank_in_both_directions() {
+        let mut fabric = ShmDevice::fabric(2).into_iter();
+        let d0 = FaultyDevice::new(fabric.next().unwrap(), FaultConfig::lossless(1)).kill_after(2);
+        let d1 = fabric.next().unwrap();
+        // The first two frames make it out; the third vanishes.
+        for i in 0..3 {
+            d0.send(1, eager(0, i));
+        }
+        assert_eq!(recv_all(&d1).len(), 2);
+        let (_, dropped, ..) = d0.stats_handle().snapshot();
+        assert_eq!(dropped, 1, "post-kill frame counted as dropped");
+        // Incoming frames are discarded unread after the kill.
+        d1.send(0, eager(1, 9));
+        assert!(d0.try_recv().unwrap().is_none(), "inbound discarded");
+        // Self-delivery still works: the crashed rank's thread lives on.
+        d0.send(0, ctl(0));
+        assert!(d0.try_recv().unwrap().is_some(), "self-send survives");
     }
 
     #[test]

@@ -25,9 +25,18 @@
 //! * unacknowledged frames are retransmitted on a timer with exponential
 //!   backoff; when one-sided traffic leaves no frame to piggyback on, a
 //!   pure-ack frame (a bare credit packet with zero credit) is sent;
-//! * a sender that exhausts its retries marks the channel failed, and the
-//!   failure surfaces as a typed [`MpiError::Timeout`] from the receive
-//!   path — the rank fails, the process does not.
+//! * each peer link runs a **liveness state machine** (Alive → Suspect →
+//!   Dead, [`Liveness`]). When heartbeats are enabled
+//!   ([`RelConfig::with_heartbeat`]) an idle link emits a
+//!   [`Packet::Heartbeat`] keepalive every interval — real traffic
+//!   suppresses it, exactly like piggybacked acks suppress pure acks —
+//!   and a link silent past the configured thresholds moves to Suspect
+//!   and then Dead. Retransmission exhaustion feeds the same machine;
+//! * peer failure is **per-peer**, not channel-global: a dead peer's
+//!   frames are dropped in both directions and its failure is reported
+//!   once through [`Device::take_failed_peer`] as a typed
+//!   [`MpiError::PeerFailed`], while traffic among healthy peers
+//!   continues untouched. Dead is terminal — a peer never comes back.
 //!
 //! Self-sends and hardware broadcast bypass the sublayer: neither crosses
 //! the lossy datagram path being made reliable.
@@ -68,11 +77,23 @@ pub struct RelConfig {
     pub backoff: f64,
     /// RTO ceiling, microseconds.
     pub rto_max_us: f64,
-    /// Consecutive retransmissions of the same window before the channel
+    /// Consecutive retransmissions of the same window before the peer
     /// is declared dead.
     pub max_retries: u32,
     /// Gap-handling strategy. Both ends of a job must agree.
     pub mode: RelMode,
+    /// Keepalive interval, microseconds. A peer link idle (no outgoing
+    /// frame of any kind) for this long emits a heartbeat; `0.0` disables
+    /// heartbeats *and* the silence-based liveness thresholds below —
+    /// retransmission exhaustion then remains the only death sentence.
+    pub heartbeat_us: f64,
+    /// Silence (no incoming frame of any kind) before a peer moves from
+    /// Alive to Suspect. Should comfortably exceed `heartbeat_us` so a
+    /// healthy idle peer's keepalives keep it Alive.
+    pub suspect_timeout_us: f64,
+    /// Silence before a peer is declared Dead (terminal). Should exceed
+    /// `suspect_timeout_us`.
+    pub dead_timeout_us: f64,
 }
 
 impl Default for RelConfig {
@@ -84,6 +105,9 @@ impl Default for RelConfig {
             rto_max_us: 100_000.0,
             max_retries: 30,
             mode: RelMode::SelectiveRepeat,
+            heartbeat_us: 0.0,
+            suspect_timeout_us: 10_000.0,
+            dead_timeout_us: 50_000.0,
         }
     }
 }
@@ -96,6 +120,29 @@ impl RelConfig {
             ..RelConfig::default()
         }
     }
+
+    /// Enable heartbeat-driven liveness: keepalives every `interval_us`
+    /// on idle links, Suspect after `suspect_us` of silence, Dead after
+    /// `dead_us`.
+    pub fn with_heartbeat(mut self, interval_us: f64, suspect_us: f64, dead_us: f64) -> Self {
+        self.heartbeat_us = interval_us;
+        self.suspect_timeout_us = suspect_us;
+        self.dead_timeout_us = dead_us;
+        self
+    }
+}
+
+/// Per-peer liveness, driven by incoming traffic (any frame, heartbeats
+/// included) against the [`RelConfig`] silence thresholds.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Liveness {
+    /// Heard from recently; the normal state.
+    Alive,
+    /// Silent past the suspect threshold. Recovers to Alive on any frame.
+    Suspect,
+    /// Silent past the dead threshold, or retransmission to it exhausted.
+    /// Terminal: frames to and from a dead peer are dropped.
+    Dead,
 }
 
 /// Counters shared via [`ReliableDevice::stats_handle`].
@@ -111,6 +158,12 @@ pub struct RelStats {
     pub ooo_dropped: AtomicU64,
     /// Pure-ack frames sent (no data to piggyback on).
     pub acks_sent: AtomicU64,
+    /// Heartbeat keepalives sent on idle links.
+    pub heartbeats_sent: AtomicU64,
+    /// Peers moved from Alive to Suspect (cumulative).
+    pub peers_suspected: AtomicU64,
+    /// Peers declared Dead (each counts once; Dead is terminal).
+    pub peers_dead: AtomicU64,
 }
 
 impl RelStats {
@@ -123,6 +176,15 @@ impl RelStats {
             self.dup_suppressed.load(Ordering::Relaxed),
             self.ooo_dropped.load(Ordering::Relaxed),
             self.acks_sent.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Snapshot of `(heartbeats_sent, peers_suspected, peers_dead)`.
+    pub fn liveness_snapshot(&self) -> (u64, u64, u64) {
+        (
+            self.heartbeats_sent.load(Ordering::Relaxed),
+            self.peers_suspected.load(Ordering::Relaxed),
+            self.peers_dead.load(Ordering::Relaxed),
         )
     }
 }
@@ -156,10 +218,24 @@ struct PeerState {
     ooo: BTreeMap<u64, Wire>,
     /// Whether the peer is owed an ack it has not been sent yet.
     owe_ack: bool,
+    /// Liveness state (Alive at construction).
+    liveness: Liveness,
+    /// When a frame from this peer last arrived, seconds. Construction
+    /// time at start, so thresholds count from job launch.
+    last_heard_s: f64,
+    /// When a frame (any kind) last went out to this peer, seconds.
+    /// Heartbeats fire off this clock, so real traffic suppresses them.
+    last_tx_s: f64,
+    /// When the current no-forward-progress period began: set when the
+    /// window goes empty → non-empty and on every acked advance. The
+    /// retransmit-exhaustion report measures real elapsed time from here
+    /// (the old `cur_rto_us * retries` estimate overstated the wait under
+    /// exponential backoff).
+    stalled_since_s: f64,
 }
 
 impl PeerState {
-    fn new() -> Self {
+    fn new(now: f64) -> Self {
         PeerState {
             next_seq: 1,
             unacked: VecDeque::new(),
@@ -169,6 +245,10 @@ impl PeerState {
             recv_cum: 0,
             ooo: BTreeMap::new(),
             owe_ack: false,
+            liveness: Liveness::Alive,
+            last_heard_s: now,
+            last_tx_s: now,
+            stalled_since_s: 0.0,
         }
     }
 
@@ -192,8 +272,9 @@ struct RelState {
     peers: Vec<PeerState>,
     /// Frames cleared for delivery to the protocol engine, in order.
     deliverable: VecDeque<Wire>,
-    /// Sticky channel failure; every receive surfaces it once set.
-    failed: Option<MpiError>,
+    /// Peer deaths awaiting pickup via [`Device::take_failed_peer`]
+    /// (each peer is queued exactly once; Dead is terminal).
+    fail_queue: VecDeque<(Rank, MpiError)>,
 }
 
 /// The reliability wrapper. Stack as
@@ -234,17 +315,23 @@ impl<D: Device> ReliableDevice<D> {
     /// Wrap `inner` with go-back-N reliability.
     pub fn new(inner: D, cfg: RelConfig) -> Self {
         let nprocs = inner.nprocs();
+        let t0 = inner.wtime();
         ReliableDevice {
             inner,
             cfg,
             state: Mutex::new(RelState {
-                peers: (0..nprocs).map(|_| PeerState::new()).collect(),
+                peers: (0..nprocs).map(|_| PeerState::new(t0)).collect(),
                 deliverable: VecDeque::new(),
-                failed: None,
+                fail_queue: VecDeque::new(),
             }),
             stats: Arc::new(RelStats::default()),
             tracer: Tracer::disabled(),
         }
+    }
+
+    /// Current liveness of `peer`, as seen by this rank's state machine.
+    pub fn peer_liveness(&self, peer: Rank) -> Liveness {
+        self.state.lock().peers[peer].liveness
     }
 
     /// Clone a handle to the sublayer counters (take it before the device
@@ -281,6 +368,18 @@ impl<D: Device> ReliableDevice<D> {
         }
         // The ack applies to frames we sent *to* this peer.
         let p = &mut st.peers[from];
+        if p.liveness == Liveness::Dead {
+            // Dead is terminal: late frames from a declared-dead peer are
+            // dropped so the engine never sees traffic from it again.
+            return;
+        }
+        if self.cfg.heartbeat_us > 0.0 {
+            // Any frame — data, ack, heartbeat — proves the peer alive.
+            p.last_heard_s = self.now_s();
+            if p.liveness == Liveness::Suspect {
+                p.liveness = Liveness::Alive;
+            }
+        }
         let mut progress = false;
         if wire.ack > 0 {
             let before = p.unacked.len();
@@ -305,17 +404,25 @@ impl<D: Device> ReliableDevice<D> {
             }
         }
         if progress {
-            // Forward progress: reset the backoff clock.
+            // Forward progress: reset the backoff clock and the elapsed
+            // baseline the exhaustion report measures from.
             p.retries = 0;
             p.cur_rto_us = self.cfg.rto_us;
+            let now = self.now_s();
+            p.stalled_since_s = now;
             p.rto_deadline = if p.unacked.is_empty() {
                 f64::INFINITY
             } else {
-                self.now_s() + self.cfg.rto_us * 1e-6
+                now + self.cfg.rto_us * 1e-6
             };
         }
         if is_pure_ack(&wire) {
             return; // sublayer-internal; nothing to deliver
+        }
+        if matches!(wire.pkt, Packet::Heartbeat) {
+            // Liveness keepalive: the header (acks, liveness refresh) is
+            // fully consumed above; the engine never sees it.
+            return;
         }
         if wire.seq == 0 {
             // Unsequenced frame from a peer (reliability disabled there, or
@@ -387,27 +494,59 @@ impl<D: Device> ReliableDevice<D> {
         st.peers[from].owe_ack = true;
     }
 
-    /// One progress step: drain the wire, fire retransmit timers, flush
-    /// owed acks. Returns an error if the inner transport failed.
+    /// Declare `peer` dead: terminal per-peer failure. Clears its
+    /// retransmission state (nothing to it will ever be resent), records
+    /// the error for [`Device::take_failed_peer`], and bumps the
+    /// counters. Idempotent — only the first declaration counts.
+    fn declare_dead(&self, st: &mut RelState, peer: Rank, err: MpiError) {
+        let p = &mut st.peers[peer];
+        if p.liveness == Liveness::Dead {
+            return;
+        }
+        p.liveness = Liveness::Dead;
+        p.unacked.clear();
+        p.ooo.clear();
+        p.rto_deadline = f64::INFINITY;
+        p.owe_ack = false;
+        st.fail_queue.push_back((peer, err));
+        self.stats.peers_dead.fetch_add(1, Ordering::Relaxed);
+        self.tracer.emit_with(
+            || self.inner.now_ns(),
+            EventKind::PeerDead { peer: peer as u32 },
+        );
+    }
+
+    /// One progress step: drain the wire, fire retransmit timers, run the
+    /// liveness thresholds, emit keepalives on idle links, flush owed
+    /// acks. Returns an error if the inner transport failed.
     fn pump(&self, st: &mut RelState) -> MpiResult<()> {
         while let Some(wire) = self.inner.try_recv()? {
             self.handle_incoming(st, wire);
         }
         let now = self.now_s();
         let me = self.inner.rank();
-        for (dst, p) in st.peers.iter_mut().enumerate() {
+        for dst in 0..st.peers.len() {
+            let p = &mut st.peers[dst];
             if !p.unacked.is_empty() && now >= p.rto_deadline {
                 p.retries += 1;
                 if p.retries > self.cfg.max_retries {
-                    st.failed = Some(MpiError::Timeout {
-                        waited_us: (p.cur_rto_us * p.retries as f64) as u64,
-                        context: format!(
-                            "retransmission to rank {dst} exhausted after {} attempts \
-                             (peer dead or all retransmits lost)",
-                            p.retries
+                    // Real elapsed time since forward progress stopped —
+                    // not `cur_rto_us * retries`, which overstates the
+                    // wait under exponential backoff.
+                    let waited_us = ((now - p.stalled_since_s).max(0.0) * 1e6) as u64;
+                    let attempts = p.retries;
+                    self.declare_dead(
+                        st,
+                        dst,
+                        MpiError::peer_failed(
+                            dst,
+                            format!(
+                                "retransmission exhausted after {attempts} attempts \
+                                 over {waited_us} us (peer dead or all retransmits lost)"
+                            ),
                         ),
-                    });
-                    break;
+                    );
+                    continue;
                 }
                 // Resend with a refreshed piggybacked ack: the whole
                 // unacked window under go-back-N, only the un-sacked holes
@@ -431,13 +570,72 @@ impl<D: Device> ReliableDevice<D> {
                     self.inner.send(dst, f.wire.clone());
                 }
                 p.owe_ack = false;
+                p.last_tx_s = now;
                 p.cur_rto_us = (p.cur_rto_us * self.cfg.backoff).min(self.cfg.rto_max_us);
                 p.rto_deadline = now + p.cur_rto_us * 1e-6;
+            }
+        }
+        if self.cfg.heartbeat_us > 0.0 {
+            // Silence thresholds: Alive → Suspect → Dead.
+            for dst in 0..st.peers.len() {
+                if dst == me {
+                    continue;
+                }
+                let p = &mut st.peers[dst];
+                if p.liveness == Liveness::Dead {
+                    continue;
+                }
+                let silence_us = (now - p.last_heard_s) * 1e6;
+                if silence_us >= self.cfg.dead_timeout_us {
+                    let silence_us = silence_us as u64;
+                    self.declare_dead(
+                        st,
+                        dst,
+                        MpiError::peer_failed(
+                            dst,
+                            format!("no frame heard for {silence_us} us (heartbeat timeout)"),
+                        ),
+                    );
+                } else if p.liveness == Liveness::Alive && silence_us >= self.cfg.suspect_timeout_us
+                {
+                    p.liveness = Liveness::Suspect;
+                    self.stats.peers_suspected.fetch_add(1, Ordering::Relaxed);
+                    self.tracer.emit_with(
+                        || self.inner.now_ns(),
+                        EventKind::PeerSuspect { peer: dst as u32 },
+                    );
+                }
+            }
+            // Keepalives: only where no frame of any kind went out for a
+            // full interval — live traffic suppresses them entirely.
+            for (dst, p) in st.peers.iter_mut().enumerate() {
+                if dst == me || p.liveness == Liveness::Dead {
+                    continue;
+                }
+                if (now - p.last_tx_s) * 1e6 >= self.cfg.heartbeat_us {
+                    p.last_tx_s = now;
+                    p.owe_ack = false; // the heartbeat carries the ack state
+                    self.stats.heartbeats_sent.fetch_add(1, Ordering::Relaxed);
+                    self.inner.send(
+                        dst,
+                        Wire {
+                            src: me,
+                            seq: 0,
+                            ack: p.recv_cum,
+                            ack_bits: p.ack_bits(),
+                            env_credit: 0,
+                            data_credit: 0,
+                            msg_seq: 0,
+                            pkt: Packet::Heartbeat,
+                        },
+                    );
+                }
             }
         }
         for (dst, p) in st.peers.iter_mut().enumerate() {
             if p.owe_ack {
                 p.owe_ack = false;
+                p.last_tx_s = now;
                 self.stats.acks_sent.fetch_add(1, Ordering::Relaxed);
                 self.tracer.emit_with(
                     || self.inner.now_ns(),
@@ -461,10 +659,11 @@ impl<D: Device> Drop for ReliableDevice<D> {
     fn drop(&mut self) {
         let deadline = self.now_s() + DRAIN_LINGER_S;
         // Iteration cap so a virtual-clock device that no longer advances
-        // time can't spin the teardown forever.
+        // time can't spin the teardown forever. Dead peers don't hold the
+        // drain open: `declare_dead` already cleared their windows.
         for _ in 0..500_000 {
             let mut st = self.state.lock();
-            if st.failed.is_some() || self.pump(&mut st).is_err() {
+            if self.pump(&mut st).is_err() {
                 return;
             }
             let drained = st.peers.iter().all(|p| p.unacked.is_empty());
@@ -494,19 +693,24 @@ impl<D: Device> Device for ReliableDevice<D> {
         }
         let mut st = self.state.lock();
         // A full window stalls the sender until acks arrive — mirroring
-        // the envelope-credit stall one layer up. A failed channel stops
-        // stalling; the error surfaces on the next receive.
-        while st.peers[dst].unacked.len() >= self.cfg.window && st.failed.is_none() {
+        // the envelope-credit stall one layer up. A *dead* peer stops
+        // stalling: frames to it are dropped and the failure surfaces
+        // through `take_failed_peer`, never blocking healthy traffic.
+        while st.peers[dst].unacked.len() >= self.cfg.window
+            && st.peers[dst].liveness != Liveness::Dead
+        {
             if self.pump(&mut st).is_err() {
                 return; // inner transport failure; surfaces on receive
             }
-            if st.peers[dst].unacked.len() >= self.cfg.window && st.failed.is_none() {
+            if st.peers[dst].unacked.len() >= self.cfg.window
+                && st.peers[dst].liveness != Liveness::Dead
+            {
                 drop(st);
                 std::thread::yield_now();
                 st = self.state.lock();
             }
         }
-        if st.failed.is_some() {
+        if st.peers[dst].liveness == Liveness::Dead {
             return;
         }
         let now = self.now_s();
@@ -516,9 +720,11 @@ impl<D: Device> Device for ReliableDevice<D> {
         wire.ack = p.recv_cum;
         wire.ack_bits = p.ack_bits();
         p.owe_ack = false; // this frame carries the ack (and the bitmap)
+        p.last_tx_s = now;
         if p.unacked.is_empty() {
             p.cur_rto_us = self.cfg.rto_us;
             p.rto_deadline = now + self.cfg.rto_us * 1e-6;
+            p.stalled_since_s = now;
         }
         p.unacked.push_back(SentFrame {
             wire: wire.clone(),
@@ -531,13 +737,10 @@ impl<D: Device> Device for ReliableDevice<D> {
     fn try_recv(&self) -> MpiResult<Option<Wire>> {
         let mut st = self.state.lock();
         self.pump(&mut st)?;
-        if let Some(w) = st.deliverable.pop_front() {
-            return Ok(Some(w));
-        }
-        if let Some(e) = &st.failed {
-            return Err(e.clone());
-        }
-        Ok(None)
+        // Peer death is *not* an `Err` here: only operations touching the
+        // dead peer fail (via `take_failed_peer` → engine), while frames
+        // among healthy peers keep flowing through this channel.
+        Ok(st.deliverable.pop_front())
     }
 
     fn recv_blocking(&self) -> MpiResult<Wire> {
@@ -575,15 +778,29 @@ impl<D: Device> Device for ReliableDevice<D> {
     fn transport_stats(&self) -> TransportStats {
         let (data_frames_sent, retransmits, dup_suppressed, ooo_dropped, pure_acks_sent) =
             self.stats.snapshot();
+        let (heartbeats_sent, peers_suspected, peers_dead) = self.stats.liveness_snapshot();
         TransportStats {
             data_frames_sent,
             retransmits,
             dup_suppressed,
             ooo_dropped,
             pure_acks_sent,
+            heartbeats_sent,
+            peers_suspected,
+            peers_dead,
             ..TransportStats::default()
         }
         .merged(self.inner.transport_stats())
+    }
+
+    fn detects_failures(&self) -> bool {
+        // Retransmission limits exist regardless of heartbeats, so the
+        // engine must always poll for failures over this layer.
+        true
+    }
+
+    fn take_failed_peer(&self) -> Option<(Rank, MpiError)> {
+        self.state.lock().fail_queue.pop_front()
     }
 
     fn defaults(&self) -> DeviceDefaults {
@@ -863,28 +1080,183 @@ mod tests {
     }
 
     #[test]
-    fn retry_exhaustion_is_a_typed_timeout() {
+    fn retry_exhaustion_declares_the_peer_dead_not_the_channel() {
         let d = ReliableDevice::new(
-            MockDev::new(0, 2),
+            MockDev::new(0, 3),
             RelConfig {
                 max_retries: 3,
                 ..RelConfig::default()
             },
         );
         d.send(1, Wire::bare(0, Packet::Credit));
-        let err = loop {
+        loop {
             d.inner().advance(0.2); // well past any backoff step
-            match d.try_recv() {
-                Ok(_) => continue,
-                Err(e) => break e,
+            assert!(d.try_recv().unwrap().is_none(), "failure is not an Err");
+            if d.peer_liveness(1) == Liveness::Dead {
+                break;
             }
-        };
+        }
+        // The death surfaces exactly once, as a typed per-peer failure.
+        let (peer, err) = d.take_failed_peer().expect("queued failure");
+        assert_eq!(peer, 1);
         assert!(
-            matches!(err, MpiError::Timeout { .. }),
-            "expected Timeout, got {err:?}"
+            matches!(err, MpiError::PeerFailed { peer: 1, .. }),
+            "expected PeerFailed, got {err:?}"
         );
-        // The failure is sticky.
-        assert!(d.try_recv().is_err());
+        assert!(d.take_failed_peer().is_none(), "reported exactly once");
+        // Healthy-peer traffic keeps flowing in both directions.
+        d.inner().inject(data_frame(2, 1, 0));
+        assert_eq!(d.try_recv().unwrap().unwrap().src, 2);
+        let before = d.inner().sent_frames().len();
+        d.send(2, Wire::bare(0, Packet::Credit));
+        assert_eq!(d.inner().sent_frames().len(), before + 1);
+    }
+
+    #[test]
+    fn exhaustion_report_measures_real_elapsed_time_not_rto_times_retries() {
+        let d = ReliableDevice::new(
+            MockDev::new(0, 2),
+            RelConfig {
+                max_retries: 2,
+                rto_us: 2_000.0,
+                backoff: 2.0,
+                rto_max_us: 100_000.0,
+                ..RelConfig::default()
+            },
+        );
+        d.send(1, Wire::bare(0, Packet::Credit));
+        // Walk the clock in 3ms steps; RTOs fire at 2ms, then +4ms, then
+        // +8ms ≈ 14ms real elapsed at exhaustion (retries = 3 > 2).
+        loop {
+            d.inner().advance(0.003);
+            let _ = d.try_recv().unwrap();
+            if let Some((_, err)) = d.take_failed_peer() {
+                let MpiError::PeerFailed { context, .. } = err else {
+                    panic!("expected PeerFailed, got {err:?}");
+                };
+                // The old `cur_rto_us * retries` estimate reported 8ms * 3
+                // = 24ms here; the real wait is bounded by the clock walk.
+                let waited: u64 = context
+                    .split("over ")
+                    .nth(1)
+                    .and_then(|s| s.split(' ').next())
+                    .and_then(|s| s.parse().ok())
+                    .expect("elapsed figure in the context string");
+                assert!(
+                    (3_000..=20_000).contains(&waited),
+                    "waited {waited} us not the real elapsed (context: {context})"
+                );
+                break;
+            }
+        }
+    }
+
+    fn hb_cfg() -> RelConfig {
+        // 1 ms keepalive, suspect at 5 ms silence, dead at 20 ms.
+        RelConfig::default().with_heartbeat(1_000.0, 5_000.0, 20_000.0)
+    }
+
+    #[test]
+    fn idle_link_emits_heartbeats_and_busy_link_suppresses_them() {
+        let d = ReliableDevice::new(MockDev::new(0, 2), hb_cfg());
+        d.inner().advance(0.0015); // past one heartbeat interval
+        let _ = d.try_recv().unwrap();
+        let hbs = |d: &ReliableDevice<MockDev>| {
+            d.inner()
+                .sent_frames()
+                .iter()
+                .filter(|(_, w)| matches!(w.pkt, Packet::Heartbeat))
+                .count()
+        };
+        assert_eq!(hbs(&d), 1, "idle link heartbeats");
+        let (hb_sent, _, _) = d.stats_handle().liveness_snapshot();
+        assert_eq!(hb_sent, 1);
+        // Real traffic refreshes the idle clock: no heartbeat rides along.
+        d.inner().advance(0.0008);
+        d.send(1, Wire::bare(0, Packet::Credit));
+        d.inner().advance(0.0008); // only 0.8ms since the data frame
+        let _ = d.try_recv().unwrap();
+        assert_eq!(hbs(&d), 1, "traffic suppressed the keepalive");
+    }
+
+    #[test]
+    fn heartbeat_carries_the_cumulative_ack() {
+        let d = ReliableDevice::new(MockDev::new(0, 2), hb_cfg());
+        d.inner().inject(data_frame(1, 1, 0));
+        let _ = d.try_recv().unwrap(); // recv_cum now 1
+        d.inner().advance(0.0015);
+        let _ = d.try_recv().unwrap();
+        let (_, hb) = d
+            .inner()
+            .sent_frames()
+            .iter()
+            .find(|(_, w)| matches!(w.pkt, Packet::Heartbeat))
+            .cloned()
+            .expect("heartbeat sent");
+        assert_eq!(hb.seq, 0, "heartbeats are unsequenced");
+        assert_eq!(hb.ack, 1, "keepalive piggybacks the ack state");
+    }
+
+    #[test]
+    fn silence_walks_alive_suspect_dead() {
+        let d = ReliableDevice::new(MockDev::new(0, 2), hb_cfg());
+        assert_eq!(d.peer_liveness(1), Liveness::Alive);
+        d.inner().advance(0.006); // past the 5ms suspect threshold
+        let _ = d.try_recv().unwrap();
+        assert_eq!(d.peer_liveness(1), Liveness::Suspect);
+        let (_, suspected, dead) = d.stats_handle().liveness_snapshot();
+        assert_eq!((suspected, dead), (1, 0));
+        d.inner().advance(0.015); // 21ms total: past the 20ms dead threshold
+        let _ = d.try_recv().unwrap();
+        assert_eq!(d.peer_liveness(1), Liveness::Dead);
+        let (peer, err) = d.take_failed_peer().expect("death reported");
+        assert_eq!(peer, 1);
+        assert!(matches!(err, MpiError::PeerFailed { peer: 1, .. }));
+        // Terminal: more silence does not re-report.
+        d.inner().advance(0.1);
+        let _ = d.try_recv().unwrap();
+        assert!(d.take_failed_peer().is_none());
+        let (_, _, dead) = d.stats_handle().liveness_snapshot();
+        assert_eq!(dead, 1);
+    }
+
+    #[test]
+    fn any_incoming_frame_revives_a_suspect_and_is_heartbeat_consumed() {
+        let d = ReliableDevice::new(MockDev::new(0, 2), hb_cfg());
+        d.inner().advance(0.006);
+        let _ = d.try_recv().unwrap();
+        assert_eq!(d.peer_liveness(1), Liveness::Suspect);
+        // The peer's keepalive arrives: consumed by the sublayer, never
+        // delivered, and the peer is Alive again.
+        d.inner().inject(Wire::bare(1, Packet::Heartbeat));
+        assert!(d.try_recv().unwrap().is_none(), "keepalive not delivered");
+        assert_eq!(d.peer_liveness(1), Liveness::Alive);
+    }
+
+    #[test]
+    fn dead_peer_frames_are_dropped_in_both_directions() {
+        let d = ReliableDevice::new(MockDev::new(0, 2), hb_cfg());
+        d.inner().advance(0.025); // straight past the dead threshold
+        let _ = d.try_recv().unwrap();
+        assert_eq!(d.peer_liveness(1), Liveness::Dead);
+        // Inbound: a late frame from the corpse never reaches the engine.
+        d.inner().inject(data_frame(1, 1, 0));
+        assert!(d.try_recv().unwrap().is_none(), "late frame dropped");
+        // Outbound: sends to the corpse are swallowed, not stalled on.
+        let before = d.inner().sent_frames().len();
+        d.send(1, Wire::bare(0, Packet::Credit));
+        assert_eq!(d.inner().sent_frames().len(), before, "send swallowed");
+    }
+
+    #[test]
+    fn heartbeats_disabled_by_default_never_suspect_an_idle_peer() {
+        let d = rel(0, 2);
+        d.inner().advance(3600.0); // an hour of silence
+        let _ = d.try_recv().unwrap();
+        assert_eq!(d.peer_liveness(1), Liveness::Alive);
+        assert!(d.take_failed_peer().is_none());
+        let (hb, suspected, dead) = d.stats_handle().liveness_snapshot();
+        assert_eq!((hb, suspected, dead), (0, 0, 0));
     }
 
     #[test]

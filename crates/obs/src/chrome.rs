@@ -49,7 +49,10 @@ fn args_json(kind: &EventKind) -> String {
         | EventKind::AckRx { peer }
         | EventKind::CreditStall { peer }
         | EventKind::CreditTx { peer }
-        | EventKind::PureAckTx { peer } => Obj::new().u64("peer", peer as u64).finish(),
+        | EventKind::PureAckTx { peer }
+        | EventKind::PeerSuspect { peer }
+        | EventKind::PeerDead { peer }
+        | EventKind::RevokeRx { peer } => Obj::new().u64("peer", peer as u64).finish(),
         EventKind::RecvPosted { tag } => Obj::new().u64("tag", tag as u64).finish(),
         EventKind::CreditResume { peer, stalled_ns } => Obj::new()
             .u64("peer", peer as u64)
@@ -300,6 +303,9 @@ mod tests {
             CollEnd {
                 op: CollOp::Allreduce,
             },
+            PeerSuspect { peer: 3 },
+            PeerDead { peer: 3 },
+            RevokeRx { peer: 1 },
         ];
         let t = Tracer::enabled(0, kinds.len());
         for (i, k) in kinds.iter().enumerate() {

@@ -1,7 +1,7 @@
 //! Rule-based stall diagnostics over correlated flight records.
 //!
 //! The ROADMAP's production north star is a system that *explains its own
-//! slowness*. This pass runs four rules over a [`FlightRecord`] plus the
+//! slowness*. This pass runs five rules over a [`FlightRecord`] plus the
 //! per-rank engine counters and emits typed [`Diagnostic`]s, each with
 //! the trace events that justify it attached as evidence:
 //!
@@ -13,7 +13,10 @@
 //!   water mark says receives are chronically posted late;
 //! * **matcher-bin skew** — one matching bin got much deeper than the
 //!   average posted depth, so hashed matching is degrading toward the
-//!   linear scan it replaced.
+//!   linear scan it replaced;
+//! * **dead peer** — the liveness machine declared a peer dead, so a
+//!   batch of `PeerFailed` completions traces back to a rank failure
+//!   rather than a protocol bug.
 //!
 //! Thresholds live in [`DiagConfig`]; the defaults are deliberately
 //! conservative (diagnostics are alarms, not telemetry).
@@ -46,6 +49,8 @@ pub struct RankStats {
     pub data_frames_sent: u64,
     /// Frames the reliability layer retransmitted.
     pub retransmits: u64,
+    /// Peers this rank's liveness machine declared dead.
+    pub peers_dead: u64,
 }
 
 /// Which pathology a [`Diagnostic`] reports.
@@ -59,6 +64,8 @@ pub enum DiagKind {
     UnexpectedQueueGrowth,
     /// One matching bin far deeper than typical posted depth.
     MatcherBinSkew,
+    /// The liveness machine declared one or more peers dead.
+    DeadPeer,
 }
 
 impl DiagKind {
@@ -69,6 +76,7 @@ impl DiagKind {
             DiagKind::RetransmitStorm => "retransmit_storm",
             DiagKind::UnexpectedQueueGrowth => "unexpected_queue_growth",
             DiagKind::MatcherBinSkew => "matcher_bin_skew",
+            DiagKind::DeadPeer => "dead_peer",
         }
     }
 }
@@ -240,6 +248,28 @@ pub fn diagnose(
                 }),
             });
         }
+
+        // Rule 5: dead peer. Unlike the other rules this is not a tuning
+        // alarm — it reports a rank-level failure so a run summary shows
+        // *why* a batch of requests resolved to `PeerFailed`.
+        if s.peers_dead > 0 {
+            out.push(Diagnostic {
+                kind: DiagKind::DeadPeer,
+                rank: s.rank,
+                summary: format!(
+                    "rank {} declared {} peer(s) dead (heartbeat timeout or retransmit \
+                     exhaustion); operations naming them failed fast — revoke and shrink \
+                     the communicator to continue",
+                    s.rank, s.peers_dead,
+                ),
+                evidence: gather_evidence(bufs, s.rank, cfg.max_evidence, |k| {
+                    matches!(
+                        k,
+                        EventKind::PeerSuspect { .. } | EventKind::PeerDead { .. }
+                    )
+                }),
+            });
+        }
     }
 
     out
@@ -337,6 +367,23 @@ mod tests {
         s.data_frames_sent = 10;
         s.retransmits = 2;
         assert!(diagnose(&FlightRecord::default(), &[], &[s], &DiagConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn dead_peer_fires_with_liveness_evidence() {
+        let t = Tracer::enabled(0, 16);
+        t.emit_at(50_000, EventKind::PeerSuspect { peer: 3 });
+        t.emit_at(90_000, EventKind::PeerDead { peer: 3 });
+        let bufs = [t.snapshot()];
+        let record = correlate(&bufs);
+        let mut s = stats(0);
+        s.peers_dead = 1;
+        let diags = diagnose(&record, &bufs, &[s], &DiagConfig::default());
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].kind, DiagKind::DeadPeer);
+        assert_eq!(diags[0].evidence.len(), 2, "suspect + dead events attached");
+        assert!(diags[0].summary.contains("1 peer(s) dead"));
+        validate(&diagnostics_json(&diags)).unwrap();
     }
 
     #[test]

@@ -70,6 +70,10 @@ pub enum PacketKind {
     Credit,
     /// Hardware broadcast frame.
     HwBcast,
+    /// Liveness keepalive from the reliability sublayer.
+    Heartbeat,
+    /// ULFM communicator-revocation flood.
+    Revoke,
 }
 
 impl PacketKind {
@@ -85,6 +89,8 @@ impl PacketKind {
             PacketKind::EagerAck => "EagerAck",
             PacketKind::Credit => "Credit",
             PacketKind::HwBcast => "HwBcast",
+            PacketKind::Heartbeat => "Heartbeat",
+            PacketKind::Revoke => "Revoke",
         }
     }
 }
@@ -318,6 +324,24 @@ pub enum EventKind {
         /// Which collective.
         op: CollOp,
     },
+    /// The liveness state machine moved a peer from Alive to Suspect: no
+    /// frame (data or heartbeat) heard for the suspect threshold.
+    PeerSuspect {
+        /// The peer now suspected.
+        peer: u32,
+    },
+    /// The liveness state machine declared a peer dead — the dead
+    /// threshold elapsed with silence, or retransmission to it exhausted.
+    /// Terminal: a dead peer never comes back.
+    PeerDead {
+        /// The peer declared dead.
+        peer: u32,
+    },
+    /// A communicator-revocation frame was received from a survivor.
+    RevokeRx {
+        /// The rank that flooded the revocation.
+        peer: u32,
+    },
 }
 
 impl EventKind {
@@ -348,6 +372,9 @@ impl EventKind {
             EventKind::FaultInjected { .. } => "FaultInjected",
             EventKind::CollBegin { .. } => "CollBegin",
             EventKind::CollEnd { .. } => "CollEnd",
+            EventKind::PeerSuspect { .. } => "PeerSuspect",
+            EventKind::PeerDead { .. } => "PeerDead",
+            EventKind::RevokeRx { .. } => "RevokeRx",
         }
     }
 }

@@ -148,6 +148,7 @@ fn rank_stats(out: &RankOutcome) -> RankStats {
         match_bins_hwm: c.match_bins_hwm,
         data_frames_sent: t.data_frames_sent,
         retransmits: t.retransmits,
+        peers_dead: t.peers_dead,
     }
 }
 

@@ -85,6 +85,7 @@ fn rel(mode: RelMode) -> RelConfig {
         rto_max_us: 20_000.0,
         max_retries: 40,
         mode,
+        ..RelConfig::default()
     }
 }
 

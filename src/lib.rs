@@ -16,9 +16,15 @@
 //!   mesh setup can fail — for functional use and wall-clock benchmarking.
 //!
 //! For fault-tolerance work, [`FaultyDevice`] injects deterministic seeded
-//! drop/duplicate/reorder/delay faults over any device and
-//! [`ReliableDevice`] layers go-back-N ack/retransmit on top (the paper's
-//! "reliable UDP"); [`run_devices`] runs a hand-built device stack.
+//! drop/duplicate/reorder/delay faults over any device (and can kill a
+//! rank outright with `kill_after`) and [`ReliableDevice`] layers
+//! ack/retransmit plus heartbeat failure detection on top (the paper's
+//! "reliable UDP"); [`run_devices`] runs a hand-built device stack. When a
+//! peer dies, operations touching it fail with [`MpiError::PeerFailed`]
+//! while healthy-peer traffic continues, and the ULFM-style surface
+//! ([`Communicator::failed_ranks`] / [`Communicator::revoke`] /
+//! [`Communicator::shrink`] / [`Communicator::agree`]) lets survivors
+//! rebuild a working communicator.
 //!
 //! ```
 //! use lmpi::{run_threads, ReduceOp};
@@ -51,7 +57,7 @@ pub use lmpi_core::{EventKind, MsgId, TraceBuffer, Tracer};
 
 pub use lmpi_devices::faulty::{FaultConfig, FaultRates, FaultStats, FaultyDevice, PacketClass};
 pub use lmpi_devices::meiko::{run_meiko, MeikoDevice, MeikoVariant};
-pub use lmpi_devices::reliable::{RelConfig, RelMode, RelStats, ReliableDevice};
+pub use lmpi_devices::reliable::{Liveness, RelConfig, RelMode, RelStats, ReliableDevice};
 pub use lmpi_devices::shm::{
     run as run_threads, run_devices, run_with_config as run_threads_with_config, ShmDevice,
 };

@@ -1,0 +1,251 @@
+//! Property test for per-peer failure isolation: killing one rank
+//! mid-schedule must not disturb survivor↔survivor traffic, and every
+//! request touching the dead rank must resolve to a typed `PeerFailed` —
+//! no hangs, no mystery errors, no unaccounted wire transmissions.
+//!
+//! Each case builds a random transfer schedule over three ranks (always
+//! including rendezvous-sized messages into, out of, and around the
+//! victim), runs it twice over `Reliable(Faulty(Shm))` with heartbeats
+//! enabled — once fault-free, once with rank 2's crash switch armed at a
+//! random frame count — and checks:
+//!
+//! * the fault-free run completes every operation;
+//! * in the killed run, survivor↔survivor receives are byte-identical to
+//!   the fault-free run;
+//! * every other operation either completed before the crash (`Ok`) or
+//!   failed with `PeerFailed` — never an untyped error, never a hang
+//!   (the victim itself exits through its own symmetric detection);
+//! * correlating all trace rings shows no orphan `WireTx` except frames
+//!   the crash itself consumed (sent by, or addressed to, the victim).
+
+use std::sync::Arc;
+
+use lmpi::obs::correlate;
+use lmpi::{
+    run_devices, Device, FaultConfig, FaultRates, FaultyDevice, Mpi, MpiConfig, MpiError,
+    MpiResult, RelConfig, ReliableDevice, ShmDevice, Status, Tracer,
+};
+use proptest::prelude::*;
+
+const RANKS: usize = 3;
+const VICTIM: usize = 2;
+/// Keepalive every 500 µs, Suspect at 2 ms, Dead at 10 ms: fast enough
+/// that a case with several dead-peer waits stays well under a second.
+const HEARTBEAT: (f64, f64, f64) = (500.0, 2_000.0, 10_000.0);
+
+/// One point-to-point transfer in the schedule; the op's index is its tag,
+/// so matching is unambiguous regardless of completion order.
+#[derive(Clone, Copy, Debug)]
+struct Op {
+    src: usize,
+    dst: usize,
+    len: usize,
+}
+
+impl Op {
+    fn touches_victim(&self) -> bool {
+        self.src == VICTIM || self.dst == VICTIM
+    }
+}
+
+/// Deterministic payload so both runs move identical bytes.
+fn payload(op_idx: usize, len: usize) -> Vec<u8> {
+    (0..len)
+        .map(|j| (op_idx.wrapping_mul(37) ^ j.wrapping_mul(11)) as u8)
+        .collect()
+}
+
+fn ops_strategy() -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec(
+        (
+            0..RANKS,
+            1..RANKS,
+            // Small eager messages and chunked rendezvous payloads (the
+            // shm eager threshold is 8 KiB).
+            prop_oneof![4usize..64, 9_000usize..20_000],
+        )
+            .prop_map(|(src, shift, len)| Op {
+                src,
+                dst: (src + shift) % RANKS,
+                len,
+            }),
+        3..10,
+    )
+    .prop_map(|mut v| {
+        // Always exercise the interesting corners: rendezvous into the
+        // victim, out of the victim, and between the two survivors.
+        v.push(Op {
+            src: 0,
+            dst: VICTIM,
+            len: 16_000,
+        });
+        v.push(Op {
+            src: VICTIM,
+            dst: 1,
+            len: 12_000,
+        });
+        v.push(Op {
+            src: 0,
+            dst: 1,
+            len: 10_000,
+        });
+        v
+    })
+}
+
+/// How one operation ended on the rank that owned it.
+#[derive(Clone, Debug, PartialEq)]
+enum Outcome {
+    /// Receive delivered these bytes (empty vec for the send side).
+    Ok(Vec<u8>),
+    PeerFailed,
+    Other(String),
+}
+
+fn classify(r: MpiResult<Status>, bytes: Vec<u8>) -> Outcome {
+    match r {
+        Result::Ok(_) => Outcome::Ok(bytes),
+        Err(MpiError::PeerFailed { .. }) => Outcome::PeerFailed,
+        Err(e) => Outcome::Other(e.to_string()),
+    }
+}
+
+/// Per-rank result: `(op index, outcome)` for every send and receive the
+/// rank owned.
+type RankOutcomes = Vec<(usize, Outcome)>;
+
+/// Run the schedule once. `kill_at = None` is the fault-free control.
+fn run_schedule(ops: &[Op], kill_at: Option<u64>, tracers: &[Tracer]) -> Vec<RankOutcomes> {
+    let rel = RelConfig::default().with_heartbeat(HEARTBEAT.0, HEARTBEAT.1, HEARTBEAT.2);
+    let devices: Vec<ReliableDevice<FaultyDevice<ShmDevice>>> = ShmDevice::fabric(RANKS)
+        .into_iter()
+        .enumerate()
+        .map(|(rank, dev)| {
+            let cfg = FaultConfig::uniform(0x150_1a7e ^ rank as u64, FaultRates::drop_only(0.0));
+            let mut faulty = FaultyDevice::new(dev, cfg);
+            if rank == VICTIM {
+                if let Some(frames) = kill_at {
+                    faulty = faulty.kill_after(frames);
+                }
+            }
+            let mut reliable = ReliableDevice::new(faulty, rel);
+            Device::set_tracer(&mut reliable, tracers[rank].clone());
+            reliable
+        })
+        .collect();
+
+    let ops: Arc<Vec<Op>> = Arc::new(ops.to_vec());
+    let trc: Vec<Tracer> = tracers.to_vec();
+    run_devices(devices, MpiConfig::device_defaults(), move |mpi: Mpi| {
+        let world = mpi.world();
+        let me = world.rank();
+        mpi.set_tracer(trc[me].clone());
+
+        // Post every receive up front (nonblocking), then every send, so
+        // no ordering of completions can deadlock the schedule.
+        let recv_idx: Vec<usize> = (0..ops.len()).filter(|&i| ops[i].dst == me).collect();
+        let send_idx: Vec<usize> = (0..ops.len()).filter(|&i| ops[i].src == me).collect();
+        let mut bufs: Vec<Vec<u8>> = recv_idx.iter().map(|&i| vec![0u8; ops[i].len]).collect();
+        let recv_reqs: Vec<_> = bufs
+            .iter_mut()
+            .zip(&recv_idx)
+            .map(|(buf, &i)| {
+                world
+                    .irecv(buf.as_mut_slice(), ops[i].src, i as u32)
+                    .expect("posting a receive cannot fail here")
+            })
+            .collect();
+        let payloads: Vec<Vec<u8>> = send_idx.iter().map(|&i| payload(i, ops[i].len)).collect();
+        let send_reqs: Vec<_> = payloads
+            .iter()
+            .zip(&send_idx)
+            .map(|(data, &i)| {
+                world
+                    .isend(data.as_slice(), ops[i].dst, i as u32)
+                    .expect("posting a send cannot fail here")
+            })
+            .collect();
+
+        let mut out: RankOutcomes = Vec::new();
+        let send_status: Vec<MpiResult<Status>> = send_reqs.into_iter().map(|r| r.wait()).collect();
+        let recv_status: Vec<MpiResult<Status>> = recv_reqs.into_iter().map(|r| r.wait()).collect();
+        for (&i, st) in send_idx.iter().zip(send_status) {
+            out.push((i, classify(st, Vec::new())));
+        }
+        for ((&i, st), buf) in recv_idx.iter().zip(recv_status).zip(bufs) {
+            out.push((i, classify(st, buf)));
+        }
+        out
+    })
+}
+
+proptest! {
+    // Each case spawns 2 × RANKS threads and rides real heartbeat
+    // timeouts; keep the count modest.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn killing_one_rank_never_poisons_survivor_traffic(
+        ops in ops_strategy(),
+        kill_at in 4u64..80,
+    ) {
+        let mk_tracers = || (0..RANKS as u32).map(|r| Tracer::enabled(r, 1 << 16)).collect::<Vec<_>>();
+
+        // Fault-free control: everything must complete.
+        let control = run_schedule(&ops, None, &mk_tracers());
+        for (rank, outcomes) in control.iter().enumerate() {
+            for (i, o) in outcomes {
+                prop_assert!(
+                    matches!(*o, Outcome::Ok(_)),
+                    "control run: rank {rank} op {i} ended {o:?}"
+                );
+            }
+        }
+
+        // Killed run.
+        let tracers = mk_tracers();
+        let killed = run_schedule(&ops, Some(kill_at), &tracers);
+        for (rank, outcomes) in killed.iter().enumerate() {
+            for (i, o) in outcomes {
+                let op = ops[*i];
+                if op.touches_victim() || rank == VICTIM {
+                    // Completed before the crash, or typed PeerFailed —
+                    // anything else is an isolation bug.
+                    prop_assert!(
+                        matches!(*o, Outcome::Ok(_) | Outcome::PeerFailed),
+                        "rank {rank} op {i} ({op:?}) ended {o:?}"
+                    );
+                } else {
+                    // Survivor↔survivor traffic must be untouched:
+                    // same success, same bytes as the fault-free run.
+                    let reference = control[rank]
+                        .iter()
+                        .find(|(j, _)| j == i)
+                        .map(|(_, o)| o)
+                        .expect("same schedule in both runs");
+                    prop_assert!(
+                        o == reference,
+                        "rank {rank} op {i} ({op:?}) diverged from the \
+                         fault-free run: {o:?} vs {reference:?}"
+                    );
+                }
+            }
+        }
+
+        // Wire accounting: every transmission in the killed run is
+        // delivered, explained by recovery, or was eaten by the crash
+        // (sent by, or addressed to, the victim). Survivor↔survivor
+        // frames must never orphan.
+        let bufs: Vec<_> = tracers.iter().map(|t| t.snapshot()).collect();
+        let record = correlate(&bufs);
+        if !record.truncated {
+            for orphan in &record.account_wire_tx().orphans {
+                let dst = record.timeline(*orphan).and_then(|t| t.dst);
+                prop_assert!(
+                    orphan.src == VICTIM as u32 || dst == Some(VICTIM as u32),
+                    "orphaned WireTx {orphan:?} (dst {dst:?}) does not touch the victim"
+                );
+            }
+        }
+    }
+}
