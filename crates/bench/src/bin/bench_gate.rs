@@ -25,6 +25,13 @@
 //!    someone calibrates with `--record` on the reference machine; null
 //!    entries are reported and skipped, so the gate is still meaningful
 //!    on fresh checkouts while staying strict once calibrated.
+//! 3. **Collective dispatch gate** over `target/coll_sweep.json`
+//!    (written by `coll_tune`, path overridable via `COLL_SWEEP`): per
+//!    swept cell the table-driven dispatch must keep at least 95% of the
+//!    best fixed algorithm's performance. Enforced only on the
+//!    virtual-time substrates (`sim-tcp`, `meiko`), where the simulator
+//!    clock makes the comparison deterministic; the wall-clock `shm`
+//!    cells are reported but not gated.
 //!
 //! No JSON dependency is available in this workspace, so both criterion's
 //! `estimates.json` and the baseline file are parsed by direct scanning.
@@ -71,6 +78,17 @@ const MIN_CHUNKED_BW_RATIO: f64 = 0.95;
 /// The message size (bytes) the bandwidth ratio is checked at; keep in
 /// sync with `benches/bandwidth_shm.rs`.
 const BW_GATE_BYTES: usize = 1 << 20;
+
+/// Tuned collective dispatch must keep at least this fraction of the best
+/// fixed algorithm's performance in every swept cell (time ratio:
+/// `dispatch_ns <= best_ns / 0.95`).
+const MIN_COLL_DISPATCH_RATIO: f64 = 0.95;
+
+/// Collective sweep payload sizes; keep in sync with `coll_tune.rs`.
+const COLL_SIZES: [usize; 4] = [64, 4096, 65536, 1 << 20];
+
+/// Collective sweep communicator sizes; keep in sync with `coll_tune.rs`.
+const COLL_RANKS: [usize; 3] = [2, 4, 8];
 
 fn main() -> ExitCode {
     let record = std::env::args().any(|a| a == "--record");
@@ -224,6 +242,21 @@ fn main() -> ExitCode {
         ));
     }
 
+    // --- Collective dispatch gate --------------------------------------
+    if !record {
+        let sweep_path = std::env::var("COLL_SWEEP")
+            .map(PathBuf::from)
+            .unwrap_or_else(|_| PathBuf::from("target/coll_sweep.json"));
+        match std::fs::read_to_string(&sweep_path) {
+            Ok(text) => check_coll_sweep(&text, &mut failures),
+            Err(e) => failures.push(format!(
+                "cannot read collective sweep {} ({e}); run \
+                 `cargo run --release -p lmpi-bench --bin coll_tune` first",
+                sweep_path.display()
+            )),
+        }
+    }
+
     // --- Absolute gates vs committed baseline --------------------------
     let baseline_text = match std::fs::read_to_string(&baseline_path) {
         Ok(t) => t,
@@ -287,6 +320,63 @@ fn main() -> ExitCode {
             eprintln!("  {f}");
         }
         ExitCode::FAILURE
+    }
+}
+
+/// Enforce the tuned-dispatch gate over a `coll_tune` sweep: in every
+/// cell of the deterministic substrates, table dispatch must be within
+/// [`MIN_COLL_DISPATCH_RATIO`] of the best fixed algorithm. Wall-clock
+/// `shm` cells are printed for reference only.
+fn check_coll_sweep(text: &str, failures: &mut Vec<String>) {
+    for sub in ["sim-tcp", "meiko", "shm"] {
+        let enforced = sub != "shm";
+        for n in COLL_RANKS {
+            let mut cells: Vec<(&str, usize, Vec<&str>)> =
+                vec![("barrier", 0, vec!["dissemination", "tree"])];
+            for bytes in COLL_SIZES {
+                let mut bcast = vec!["binomial", "scatter_allgather"];
+                if sub == "meiko" {
+                    bcast.push("hw");
+                }
+                cells.push(("bcast", bytes, bcast));
+                cells.push((
+                    "allreduce",
+                    bytes,
+                    vec!["reduce_bcast", "ring", "recursive_doubling"],
+                ));
+                cells.push(("allgather", bytes, vec!["ring", "gather_bcast"]));
+            }
+            for (coll, bytes, algos) in cells {
+                let cell = format!("{sub}/{coll}/{n}/{bytes}");
+                let dispatch = json_entry_number(text, &format!("{cell}/dispatch"));
+                let best = algos
+                    .iter()
+                    .filter_map(|a| {
+                        json_entry_number(text, &format!("{cell}/{a}")).map(|ns| (*a, ns))
+                    })
+                    .min_by(|a, b| a.1.total_cmp(&b.1));
+                let (Some(dispatch_ns), Some((best_name, best_ns))) = (dispatch, best) else {
+                    if enforced {
+                        failures.push(format!("{cell}: missing from collective sweep"));
+                    }
+                    continue;
+                };
+                let limit = best_ns / MIN_COLL_DISPATCH_RATIO;
+                let tag = if enforced { "" } else { " (not gated)" };
+                println!(
+                    "coll {cell}: dispatch {dispatch_ns:.0} ns vs best fixed \
+                     {best_name} {best_ns:.0} ns (limit {limit:.0} ns){tag}"
+                );
+                if enforced && (dispatch_ns > limit || dispatch_ns.is_nan()) {
+                    failures.push(format!(
+                        "{cell}: dispatch {dispatch_ns:.0} ns keeps only \
+                         {:.3}x of best fixed {best_name} ({best_ns:.0} ns, \
+                         need >={MIN_COLL_DISPATCH_RATIO}x)",
+                        best_ns / dispatch_ns
+                    ));
+                }
+            }
+        }
     }
 }
 

@@ -1,18 +1,30 @@
-//! Collective operations.
+//! Collective operations: the dispatch front-end.
 //!
 //! All collectives run on the communicator's *collective context*, so they
 //! can never interfere with user point-to-point traffic (the MPICH context
-//! trick). Broadcast uses the device's hardware broadcast when available —
-//! on the Meiko that is the paper's own design ("the implementation of
-//! broadcast on Meiko uses the underlying hardware broadcast mechanism,
-//! whereas on the ATM network it uses a succession of point-to-point
-//! messages"). Everything else is built from point-to-point sends, as the
-//! paper's MPICH baseline builds broadcast.
+//! trick), and every operation derives its wire tags from the scheme in
+//! [`crate::coll`] — an *(op window, per-communicator sequence, algorithm,
+//! step)* encoding that keeps concurrent and composed collectives on one
+//! communicator from ever cross-matching.
+//!
+//! The multi-algorithm collectives (`barrier`, `bcast`, `allreduce`,
+//! `allgather`) pick their schedule per call through the decision table /
+//! config pins in [`crate::coll`]; broadcast additionally uses the
+//! device's hardware broadcast when available — on the Meiko that is the
+//! paper's own design ("the implementation of broadcast on Meiko uses the
+//! underlying hardware broadcast mechanism, whereas on the ATM network it
+//! uses a succession of point-to-point messages"). The fixed-algorithm
+//! variants (`bcast_binomial`, `allreduce_ring`, ...) bypass the table
+//! for ablations, tuning sweeps, and cross-algorithm identity tests.
 
 use std::rc::Rc;
 
-use lmpi_obs::{CollOp, EventKind};
+use lmpi_obs::{CollAlgo, CollOp, EventKind};
 
+use crate::coll::{
+    coll_tag, AllgatherAlgo, AllreduceAlgo, BarrierAlgo, BcastAlgo, ALG_DIRECT, OP_ALLTOALL,
+    OP_GATHER, OP_REDUCE, OP_SCAN, OP_SCATTER,
+};
 use crate::datatype::MpiData;
 use crate::error::{MpiError, MpiResult};
 use crate::mpi::Communicator;
@@ -20,26 +32,24 @@ use crate::packet::{Packet, Wire};
 use crate::reduce_op::{ReduceOp, Reducible};
 use crate::types::{Rank, SendMode, SourceSel, Status, Tag, TagSel};
 
-// Tags used on the collective context. They live in the ordinary tag space
-// but cannot collide with user messages because the context differs.
-const T_BARRIER: Tag = 1;
-const T_BCAST: Tag = 2;
-const T_GATHER: Tag = 3;
-const T_SCATTER: Tag = 4;
-const T_REDUCE: Tag = 5;
-const T_ALLGATHER: Tag = 6;
-const T_ALLTOALL: Tag = 7;
-const T_SCAN: Tag = 8;
 /// Fault-tolerant agreement rounds (see `ulfm.rs`); phase 2 uses
-/// `T_AGREE + (1 << 4)`, matching the round-shift convention above.
+/// `T_AGREE + (1 << 4)`. These predate the [`crate::coll::coll_tag`]
+/// scheme and deliberately stay below `1 << 24`: agreement must keep
+/// working on communicators whose collective sequence counters have
+/// diverged after a failure.
 pub(crate) const T_AGREE: Tag = 9;
 
 impl Communicator {
-    fn coll_send<T: MpiData>(&self, buf: &[T], dst: Rank, tag: Tag) -> MpiResult<()> {
+    pub(crate) fn coll_send<T: MpiData>(&self, buf: &[T], dst: Rank, tag: Tag) -> MpiResult<()> {
         self.send_mode(buf, dst, tag, SendMode::Standard, self.coll_ctx())
     }
 
-    fn coll_recv<T: MpiData>(&self, buf: &mut [T], src: Rank, tag: Tag) -> MpiResult<Status> {
+    pub(crate) fn coll_recv<T: MpiData>(
+        &self,
+        buf: &mut [T],
+        src: Rank,
+        tag: Tag,
+    ) -> MpiResult<Status> {
         let id =
             self.post_recv_raw(buf, SourceSel::Rank(src), TagSel::Tag(tag), self.coll_ctx())?;
         let st = self.inner().wait_request(id)?;
@@ -66,17 +76,24 @@ impl Communicator {
         Ok(())
     }
 
-    /// Run `f` bracketed by `CollBegin`/`CollEnd` trace events. A no-op
-    /// branch when tracing is disabled; the end event is emitted even when
-    /// `f` errors so trace spans always close.
-    fn traced<R>(&self, op: CollOp, f: impl FnOnce() -> MpiResult<R>) -> MpiResult<R> {
+    /// Run `f` bracketed by `CollBegin`/`CollEnd` trace events (the begin
+    /// event names the selected algorithm) and count the dispatch in the
+    /// metrics tally. A no-op branch when tracing is disabled; the end
+    /// event is emitted even when `f` errors so trace spans always close.
+    fn traced<R>(
+        &self,
+        op: CollOp,
+        algo: CollAlgo,
+        f: impl FnOnce() -> MpiResult<R>,
+    ) -> MpiResult<R> {
         self.check_coll_ready()?;
         let inner = self.inner();
-        inner
-            .eng
-            .borrow()
-            .tracer
-            .emit_with(|| inner.device.now_ns(), EventKind::CollBegin { op });
+        {
+            let mut eng = inner.eng.borrow_mut();
+            eng.coll.record(op.name(), algo.name());
+            eng.tracer
+                .emit_with(|| inner.device.now_ns(), EventKind::CollBegin { op, algo });
+        }
         let r = f();
         inner
             .eng
@@ -86,57 +103,99 @@ impl Communicator {
         r
     }
 
-    /// `MPI_Barrier`: dissemination algorithm, `ceil(log2 n)` rounds.
+    // ------------------------------------------------------------------
+    // Barrier
+    // ------------------------------------------------------------------
+
+    /// `MPI_Barrier`: algorithm chosen by the dispatch layer
+    /// (dissemination or tree; see [`crate::coll`]).
     pub fn barrier(&self) -> MpiResult<()> {
-        self.traced(CollOp::Barrier, || self.barrier_untraced())
+        let algo = self.select_barrier();
+        let seq = self.next_coll_seq();
+        self.traced(CollOp::Barrier, algo.as_obs(), || match algo {
+            BarrierAlgo::Dissemination => self.barrier_dissemination_seq(seq),
+            BarrierAlgo::Tree => self.barrier_tree_seq(seq),
+        })
     }
 
-    fn barrier_untraced(&self) -> MpiResult<()> {
-        let n = self.size();
-        let me = self.rank();
-        let mut dist = 1;
-        let mut round: Tag = 0;
-        while dist < n {
-            let dst = (me + dist) % n;
-            let src = (me + n - dist) % n;
-            let tag = T_BARRIER + (round << 4);
-            let mut empty = [0u8; 0];
-            let rid = self.post_recv_raw(
-                &mut empty,
-                SourceSel::Rank(src),
-                TagSel::Tag(tag),
-                self.coll_ctx(),
-            )?;
-            self.coll_send::<u8>(&[], dst, tag)?;
-            self.inner().wait_request(rid)?;
-            dist <<= 1;
-            round += 1;
-        }
-        Ok(())
+    /// Barrier pinned to the dissemination algorithm.
+    pub fn barrier_dissemination(&self) -> MpiResult<()> {
+        let seq = self.next_coll_seq();
+        self.traced(CollOp::Barrier, CollAlgo::Dissemination, || {
+            self.barrier_dissemination_seq(seq)
+        })
     }
+
+    /// Barrier pinned to the binomial-tree algorithm.
+    pub fn barrier_tree(&self) -> MpiResult<()> {
+        let seq = self.next_coll_seq();
+        self.traced(CollOp::Barrier, CollAlgo::Tree, || {
+            self.barrier_tree_seq(seq)
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // Broadcast
+    // ------------------------------------------------------------------
 
     /// `MPI_Bcast`: root's `buf` is copied into everyone's `buf`.
     ///
     /// Uses the hardware broadcast on devices that have one (Meiko CS/2),
-    /// otherwise a binomial tree of point-to-point messages (the paper's
-    /// MPICH baseline behaviour, and its ATM/TCP implementation).
+    /// otherwise the algorithm the decision table picks for this
+    /// substrate, communicator size and payload (binomial tree below the
+    /// bandwidth crossover, scatter-allgather above it).
     pub fn bcast<T: MpiData>(&self, buf: &mut [T], root: Rank) -> MpiResult<()> {
-        self.traced(CollOp::Bcast, || self.bcast_untraced(buf, root))
-    }
-
-    fn bcast_untraced<T: MpiData>(&self, buf: &mut [T], root: Rank) -> MpiResult<()> {
-        let n = self.size();
         self.global(root)?;
-        if n == 1 {
-            return Ok(());
-        }
-        if self.inner().device.has_hw_bcast() {
-            return self.bcast_hw(buf, root);
-        }
-        self.bcast_binomial(buf, root)
+        let algo = self.select_bcast(T::byte_len(buf.len()) as u64);
+        let seq = self.next_coll_seq();
+        self.traced(CollOp::Bcast, algo.as_obs(), || {
+            if self.size() == 1 {
+                return Ok(());
+            }
+            match algo {
+                BcastAlgo::Hw => {
+                    if !self.inner().device.has_hw_bcast() {
+                        return Err(MpiError::Unsupported {
+                            what: "broadcast pinned to the hardware algorithm on a device \
+                                   without a hardware broadcast"
+                                .into(),
+                        });
+                    }
+                    self.bcast_hw(buf, root)
+                }
+                BcastAlgo::Binomial => self.bcast_binomial_seq(buf, root, seq),
+                BcastAlgo::ScatterAllgather => self.bcast_scatter_allgather_seq(buf, root, seq),
+            }
+        })
     }
 
-    fn bcast_hw<T: MpiData>(&self, buf: &mut [T], root: Rank) -> MpiResult<()> {
+    /// Broadcast pinned to the binomial tree (software even on devices
+    /// with a hardware broadcast). Exposed for the hardware-vs-software
+    /// ablation and the tuning sweep.
+    pub fn bcast_binomial<T: MpiData>(&self, buf: &mut [T], root: Rank) -> MpiResult<()> {
+        self.global(root)?;
+        let seq = self.next_coll_seq();
+        self.traced(CollOp::Bcast, CollAlgo::Binomial, || {
+            if self.size() == 1 {
+                return Ok(());
+            }
+            self.bcast_binomial_seq(buf, root, seq)
+        })
+    }
+
+    /// Broadcast pinned to scatter-allgather (van de Geijn).
+    pub fn bcast_scatter_allgather<T: MpiData>(&self, buf: &mut [T], root: Rank) -> MpiResult<()> {
+        self.global(root)?;
+        let seq = self.next_coll_seq();
+        self.traced(CollOp::Bcast, CollAlgo::ScatterAllgather, || {
+            if self.size() == 1 {
+                return Ok(());
+            }
+            self.bcast_scatter_allgather_seq(buf, root, seq)
+        })
+    }
+
+    pub(crate) fn bcast_hw<T: MpiData>(&self, buf: &mut [T], root: Rank) -> MpiResult<()> {
         let seq = self
             .inner()
             .eng
@@ -181,34 +240,9 @@ impl Communicator {
         }
     }
 
-    /// Software broadcast: binomial tree rooted at `root`. Exposed for the
-    /// hardware-vs-software broadcast ablation.
-    pub fn bcast_binomial<T: MpiData>(&self, buf: &mut [T], root: Rank) -> MpiResult<()> {
-        let n = self.size();
-        let me = self.rank();
-        let vrank = (me + n - root) % n;
-        // Receive from the parent (the rank that differs in our lowest set
-        // bit), unless we are the root.
-        let mut mask = 1;
-        while mask < n {
-            if vrank & mask != 0 {
-                let parent = ((vrank - mask) + root) % n;
-                self.coll_recv(buf, parent, T_BCAST)?;
-                break;
-            }
-            mask <<= 1;
-        }
-        // Forward to children.
-        mask >>= 1;
-        while mask > 0 {
-            if vrank & mask == 0 && vrank + mask < n {
-                let child = (vrank + mask + root) % n;
-                self.coll_send(buf, child, T_BCAST)?;
-            }
-            mask >>= 1;
-        }
-        Ok(())
-    }
+    // ------------------------------------------------------------------
+    // Gather / scatter
+    // ------------------------------------------------------------------
 
     /// `MPI_Gather` with equal contribution sizes: returns `Some(all)` at
     /// `root` (concatenated in rank order) and `None` elsewhere.
@@ -217,19 +251,24 @@ impl Communicator {
         send: &[T],
         root: Rank,
     ) -> MpiResult<Option<Vec<T>>> {
-        self.traced(CollOp::Gather, || self.gather_untraced(send, root))
+        let seq = self.next_coll_seq();
+        self.traced(CollOp::Gather, CollAlgo::Direct, || {
+            self.gather_untraced(send, root, seq)
+        })
     }
 
     fn gather_untraced<T: MpiData + Default>(
         &self,
         send: &[T],
         root: Rank,
+        seq: u32,
     ) -> MpiResult<Option<Vec<T>>> {
         let n = self.size();
         let me = self.rank();
         self.global(root)?;
+        let tag = coll_tag(OP_GATHER, seq, ALG_DIRECT, 0);
         if me != root {
-            self.coll_send(send, root, T_GATHER)?;
+            self.coll_send(send, root, tag)?;
             return Ok(None);
         }
         let count = send.len();
@@ -239,7 +278,7 @@ impl Communicator {
             if src == me {
                 continue;
             }
-            let st = self.coll_recv(&mut out[src * count..(src + 1) * count], src, T_GATHER)?;
+            let st = self.coll_recv(&mut out[src * count..(src + 1) * count], src, tag)?;
             if st.len != T::byte_len(count) {
                 return Err(MpiError::CollectiveMismatch(format!(
                     "gather: rank {src} sent {} bytes, expected {}",
@@ -259,11 +298,13 @@ impl Communicator {
         root: Rank,
     ) -> MpiResult<Option<Vec<Vec<T>>>> {
         self.check_coll_ready()?;
+        let seq = self.next_coll_seq();
+        let tag = coll_tag(OP_GATHER, seq, ALG_DIRECT, 0);
         let n = self.size();
         let me = self.rank();
         self.global(root)?;
         if me != root {
-            self.coll_send(send, root, T_GATHER)?;
+            self.coll_send(send, root, tag)?;
             return Ok(None);
         }
         let mut out: Vec<Vec<T>> = (0..n).map(|_| Vec::new()).collect();
@@ -278,10 +319,10 @@ impl Communicator {
                 let sel = self.src_sel_pub(src_g)?;
                 let ctx = self.coll_ctx();
                 self.inner()
-                    .progress_until(|eng| eng.probe(sel, TagSel::Tag(T_GATHER), ctx))?
+                    .progress_until(|eng| eng.probe(sel, TagSel::Tag(tag), ctx))?
             };
             let mut buf = vec![T::default(); st.len / T::byte_len(1)];
-            self.coll_recv(&mut buf, src, T_GATHER)?;
+            self.coll_recv(&mut buf, src, tag)?;
             out[src] = buf;
         }
         Ok(Some(out))
@@ -302,7 +343,10 @@ impl Communicator {
         recv: &mut [T],
         root: Rank,
     ) -> MpiResult<()> {
-        self.traced(CollOp::Scatter, || self.scatter_untraced(send, recv, root))
+        let seq = self.next_coll_seq();
+        self.traced(CollOp::Scatter, CollAlgo::Direct, || {
+            self.scatter_untraced(send, recv, root, seq)
+        })
     }
 
     fn scatter_untraced<T: MpiData>(
@@ -310,11 +354,13 @@ impl Communicator {
         send: Option<&[T]>,
         recv: &mut [T],
         root: Rank,
+        seq: u32,
     ) -> MpiResult<()> {
         let n = self.size();
         let me = self.rank();
         self.global(root)?;
         let count = recv.len();
+        let tag = coll_tag(OP_SCATTER, seq, ALG_DIRECT, 0);
         if me == root {
             let send = send.ok_or_else(|| {
                 MpiError::CollectiveMismatch("scatter: root must supply a send buffer".into())
@@ -331,12 +377,12 @@ impl Communicator {
                 if dst == me {
                     recv.copy_from_slice(&send[dst * count..(dst + 1) * count]);
                 } else {
-                    self.coll_send(&send[dst * count..(dst + 1) * count], dst, T_SCATTER)?;
+                    self.coll_send(&send[dst * count..(dst + 1) * count], dst, tag)?;
                 }
             }
             Ok(())
         } else {
-            self.coll_recv(recv, root, T_SCATTER)?;
+            self.coll_recv(recv, root, tag)?;
             Ok(())
         }
     }
@@ -349,6 +395,8 @@ impl Communicator {
         root: Rank,
     ) -> MpiResult<Vec<T>> {
         self.check_coll_ready()?;
+        let seq = self.next_coll_seq();
+        let tag = coll_tag(OP_SCATTER, seq, ALG_DIRECT, 0);
         let n = self.size();
         let me = self.rank();
         self.global(root)?;
@@ -365,7 +413,7 @@ impl Communicator {
             }
             for (dst, part) in send.iter().enumerate() {
                 if dst != me {
-                    self.coll_send(part, dst, T_SCATTER)?;
+                    self.coll_send(part, dst, tag)?;
                 }
             }
             Ok(send[me].clone())
@@ -375,54 +423,55 @@ impl Communicator {
             let ctx = self.coll_ctx();
             let st = self
                 .inner()
-                .progress_until(|eng| eng.probe(src_g, TagSel::Tag(T_SCATTER), ctx))?;
+                .progress_until(|eng| eng.probe(src_g, TagSel::Tag(tag), ctx))?;
             let mut buf = vec![T::default(); st.len / T::byte_len(1)];
-            self.coll_recv(&mut buf, root, T_SCATTER)?;
+            self.coll_recv(&mut buf, root, tag)?;
             Ok(buf)
         }
     }
 
-    /// `MPI_Allgather`: ring algorithm, `n - 1` steps. Returns all
-    /// contributions concatenated in rank order.
+    // ------------------------------------------------------------------
+    // Allgather / alltoall
+    // ------------------------------------------------------------------
+
+    /// `MPI_Allgather`: algorithm chosen by the dispatch layer (ring or
+    /// gather+bcast). Returns all contributions concatenated in rank
+    /// order.
     pub fn allgather<T: MpiData + Default>(&self, send: &[T]) -> MpiResult<Vec<T>> {
-        self.traced(CollOp::Allgather, || self.allgather_untraced(send))
+        let algo = self.select_allgather(T::byte_len(send.len()) as u64);
+        let seq = self.next_coll_seq();
+        self.traced(CollOp::Allgather, algo.as_obs(), || match algo {
+            AllgatherAlgo::Ring => self.allgather_ring_seq(send, seq),
+            AllgatherAlgo::GatherBcast => self.allgather_gather_bcast_seq(send, seq),
+        })
     }
 
-    fn allgather_untraced<T: MpiData + Default>(&self, send: &[T]) -> MpiResult<Vec<T>> {
-        let n = self.size();
-        let me = self.rank();
-        let count = send.len();
-        let mut out = vec![T::default(); count * n];
-        out[me * count..(me + 1) * count].copy_from_slice(send);
-        if n == 1 {
-            return Ok(out);
-        }
-        let right = (me + 1) % n;
-        let left = (me + n - 1) % n;
-        for step in 0..n - 1 {
-            let send_block = (me + n - step) % n;
-            let recv_block = (me + n - step - 1) % n;
-            let tmp = out[send_block * count..(send_block + 1) * count].to_vec();
-            let tag = T_ALLGATHER + ((step as Tag) << 4);
-            let rid = self.post_recv_raw(
-                &mut out[recv_block * count..(recv_block + 1) * count],
-                SourceSel::Rank(self.global(left)?),
-                TagSel::Tag(tag),
-                self.coll_ctx(),
-            )?;
-            self.coll_send(&tmp, right, tag)?;
-            self.inner().wait_request(rid)?;
-        }
-        Ok(out)
+    /// Allgather pinned to the ring algorithm.
+    pub fn allgather_ring<T: MpiData + Default>(&self, send: &[T]) -> MpiResult<Vec<T>> {
+        let seq = self.next_coll_seq();
+        self.traced(CollOp::Allgather, CollAlgo::Ring, || {
+            self.allgather_ring_seq(send, seq)
+        })
+    }
+
+    /// Allgather pinned to gather+bcast.
+    pub fn allgather_gather_bcast<T: MpiData + Default>(&self, send: &[T]) -> MpiResult<Vec<T>> {
+        let seq = self.next_coll_seq();
+        self.traced(CollOp::Allgather, CollAlgo::GatherBcast, || {
+            self.allgather_gather_bcast_seq(send, seq)
+        })
     }
 
     /// `MPI_Alltoall`: `send` holds `n` equal blocks in destination order;
     /// the result holds `n` blocks in source order.
     pub fn alltoall<T: MpiData + Default>(&self, send: &[T]) -> MpiResult<Vec<T>> {
-        self.traced(CollOp::Alltoall, || self.alltoall_untraced(send))
+        let seq = self.next_coll_seq();
+        self.traced(CollOp::Alltoall, CollAlgo::Direct, || {
+            self.alltoall_untraced(send, seq)
+        })
     }
 
-    fn alltoall_untraced<T: MpiData + Default>(&self, send: &[T]) -> MpiResult<Vec<T>> {
+    fn alltoall_untraced<T: MpiData + Default>(&self, send: &[T], seq: u32) -> MpiResult<Vec<T>> {
         let n = self.size();
         let me = self.rank();
         if send.len() % n != 0 {
@@ -438,7 +487,7 @@ impl Communicator {
         for step in 1..n {
             let dst = (me + step) % n;
             let src = (me + n - step) % n;
-            let tag = T_ALLTOALL + ((step as Tag) << 4);
+            let tag = coll_tag(OP_ALLTOALL, seq, ALG_DIRECT, step);
             let rid = self.post_recv_raw(
                 &mut out[src * count..(src + 1) * count],
                 SourceSel::Rank(self.global(src)?),
@@ -451,6 +500,10 @@ impl Communicator {
         Ok(out)
     }
 
+    // ------------------------------------------------------------------
+    // Reductions
+    // ------------------------------------------------------------------
+
     /// `MPI_Reduce`: elementwise reduction to `root` (binomial tree).
     /// Returns `Some(result)` at the root, `None` elsewhere.
     pub fn reduce<T: MpiData + Reducible + Default>(
@@ -459,14 +512,20 @@ impl Communicator {
         op: ReduceOp,
         root: Rank,
     ) -> MpiResult<Option<Vec<T>>> {
-        self.traced(CollOp::Reduce, || self.reduce_untraced(send, op, root))
+        let seq = self.next_coll_seq();
+        self.traced(CollOp::Reduce, CollAlgo::Direct, || {
+            self.reduce_tagged(send, op, root, coll_tag(OP_REDUCE, seq, ALG_DIRECT, 0))
+        })
     }
 
-    fn reduce_untraced<T: MpiData + Reducible + Default>(
+    /// Binomial-tree reduce on an explicit wire tag; the reduce phase of
+    /// compound collectives supplies a tag in its own window.
+    pub(crate) fn reduce_tagged<T: MpiData + Reducible + Default>(
         &self,
         send: &[T],
         op: ReduceOp,
         root: Rank,
+        tag: Tag,
     ) -> MpiResult<Option<Vec<T>>> {
         let n = self.size();
         let me = self.rank();
@@ -480,7 +539,7 @@ impl Communicator {
                 let peer_v = vrank | mask;
                 if peer_v < n {
                     let peer = (peer_v + root) % n;
-                    let st = self.coll_recv(&mut tmp, peer, T_REDUCE)?;
+                    let st = self.coll_recv(&mut tmp, peer, tag)?;
                     if st.len != T::byte_len(send.len()) {
                         return Err(MpiError::CollectiveMismatch(format!(
                             "reduce: rank {peer} sent {} bytes, expected {}",
@@ -492,7 +551,7 @@ impl Communicator {
                 }
             } else {
                 let peer = ((vrank - mask) + root) % n;
-                self.coll_send(&acc, peer, T_REDUCE)?;
+                self.coll_send(&acc, peer, tag)?;
                 break;
             }
             mask <<= 1;
@@ -500,25 +559,59 @@ impl Communicator {
         Ok((me == root).then_some(acc))
     }
 
-    /// `MPI_Allreduce`: reduce to rank 0 then broadcast — which on the
-    /// Meiko rides the hardware broadcast, mirroring the paper's design.
+    /// `MPI_Allreduce`: algorithm chosen by the dispatch layer —
+    /// reduce+bcast (the paper's design, hardware broadcast where
+    /// available), ring, or recursive doubling.
     pub fn allreduce<T: MpiData + Reducible + Default>(
         &self,
         send: &[T],
         op: ReduceOp,
     ) -> MpiResult<Vec<T>> {
-        self.traced(CollOp::Allreduce, || self.allreduce_untraced(send, op))
+        let algo = self.select_allreduce(T::byte_len(send.len()) as u64);
+        let seq = self.next_coll_seq();
+        self.traced(CollOp::Allreduce, algo.as_obs(), || match algo {
+            AllreduceAlgo::ReduceBcast => self.allreduce_reduce_bcast_seq(send, op, seq),
+            AllreduceAlgo::Ring => self.allreduce_ring_seq(send, op, seq),
+            AllreduceAlgo::RecursiveDoubling => {
+                self.allreduce_recursive_doubling_seq(send, op, seq)
+            }
+        })
     }
 
-    fn allreduce_untraced<T: MpiData + Reducible + Default>(
+    /// Allreduce pinned to reduce+bcast (the paper's design).
+    pub fn allreduce_reduce_bcast<T: MpiData + Reducible + Default>(
         &self,
         send: &[T],
         op: ReduceOp,
     ) -> MpiResult<Vec<T>> {
-        let reduced = self.reduce(send, op, 0)?;
-        let mut buf = reduced.unwrap_or_else(|| vec![T::default(); send.len()]);
-        self.bcast(&mut buf, 0)?;
-        Ok(buf)
+        let seq = self.next_coll_seq();
+        self.traced(CollOp::Allreduce, CollAlgo::ReduceBcast, || {
+            self.allreduce_reduce_bcast_seq(send, op, seq)
+        })
+    }
+
+    /// Allreduce pinned to the ring algorithm.
+    pub fn allreduce_ring<T: MpiData + Reducible + Default>(
+        &self,
+        send: &[T],
+        op: ReduceOp,
+    ) -> MpiResult<Vec<T>> {
+        let seq = self.next_coll_seq();
+        self.traced(CollOp::Allreduce, CollAlgo::Ring, || {
+            self.allreduce_ring_seq(send, op, seq)
+        })
+    }
+
+    /// Allreduce pinned to recursive doubling.
+    pub fn allreduce_recursive_doubling<T: MpiData + Reducible + Default>(
+        &self,
+        send: &[T],
+        op: ReduceOp,
+    ) -> MpiResult<Vec<T>> {
+        let seq = self.next_coll_seq();
+        self.traced(CollOp::Allreduce, CollAlgo::RecursiveDoubling, || {
+            self.allreduce_recursive_doubling_seq(send, op, seq)
+        })
     }
 
     /// `MPI_Reduce_scatter_block`: reduce `n` equal blocks, rank `i` gets
@@ -550,27 +643,32 @@ impl Communicator {
         send: &[T],
         op: ReduceOp,
     ) -> MpiResult<Vec<T>> {
-        self.traced(CollOp::Scan, || self.scan_untraced(send, op))
+        let seq = self.next_coll_seq();
+        self.traced(CollOp::Scan, CollAlgo::Direct, || {
+            self.scan_untraced(send, op, seq)
+        })
     }
 
     fn scan_untraced<T: MpiData + Reducible + Default>(
         &self,
         send: &[T],
         op: ReduceOp,
+        seq: u32,
     ) -> MpiResult<Vec<T>> {
         let n = self.size();
         let me = self.rank();
+        let tag = coll_tag(OP_SCAN, seq, ALG_DIRECT, 0);
         let mut acc = send.to_vec();
         if me > 0 {
             let mut prev = vec![T::default(); send.len()];
-            self.coll_recv(&mut prev, me - 1, T_SCAN)?;
+            self.coll_recv(&mut prev, me - 1, tag)?;
             // acc = prev op mine, preserving operand order (all predefined
             // ops are commutative, but keep prefix order for clarity).
             let mine = std::mem::replace(&mut acc, prev);
             T::accumulate(op, &mut acc, &mine);
         }
         if me + 1 < n {
-            self.coll_send(&acc, me + 1, T_SCAN)?;
+            self.coll_send(&acc, me + 1, tag)?;
         }
         Ok(acc)
     }

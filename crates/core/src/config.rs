@@ -1,5 +1,7 @@
 //! Library configuration: protocol knobs the paper tunes per platform.
 
+use crate::coll::{AllgatherAlgo, AllreduceAlgo, BarrierAlgo, BcastAlgo, CollPins};
+
 /// Tunable protocol parameters. `None` fields fall back to the device's
 /// platform defaults ([`crate::device::DeviceDefaults`]): the Meiko device
 /// defaults to a 180-byte eager threshold and one envelope slot per sender,
@@ -26,6 +28,11 @@ pub struct MpiConfig {
     /// Rendezvous pipeline window (chunks in flight before the sender
     /// waits for a chunk acknowledgment).
     pub rndv_window: Option<u32>,
+    /// Collective algorithm pins. An unset member lets the dispatch layer
+    /// consult the decision table; a set member forces that algorithm for
+    /// every call of that collective. Every rank of a job must pin
+    /// identically.
+    pub coll: CollPins,
 }
 
 impl MpiConfig {
@@ -71,6 +78,30 @@ impl MpiConfig {
         self.progress_timeout_us = Some(us);
         self
     }
+
+    /// Pin every broadcast to `algo`, bypassing the decision table.
+    pub fn with_bcast_algo(mut self, algo: BcastAlgo) -> Self {
+        self.coll.bcast = Some(algo);
+        self
+    }
+
+    /// Pin every allreduce to `algo`, bypassing the decision table.
+    pub fn with_allreduce_algo(mut self, algo: AllreduceAlgo) -> Self {
+        self.coll.allreduce = Some(algo);
+        self
+    }
+
+    /// Pin every barrier to `algo`, bypassing the decision table.
+    pub fn with_barrier_algo(mut self, algo: BarrierAlgo) -> Self {
+        self.coll.barrier = Some(algo);
+        self
+    }
+
+    /// Pin every allgather to `algo`, bypassing the decision table.
+    pub fn with_allgather_algo(mut self, algo: AllgatherAlgo) -> Self {
+        self.coll.allgather = Some(algo);
+        self
+    }
 }
 
 #[cfg(test)]
@@ -85,13 +116,22 @@ mod tests {
             .with_recv_buf(4096)
             .with_progress_timeout_us(500_000)
             .with_rndv_chunk(8 << 10)
-            .with_rndv_window(4);
+            .with_rndv_window(4)
+            .with_bcast_algo(BcastAlgo::ScatterAllgather)
+            .with_allreduce_algo(AllreduceAlgo::Ring)
+            .with_barrier_algo(BarrierAlgo::Tree)
+            .with_allgather_algo(AllgatherAlgo::GatherBcast);
         assert_eq!(c.eager_threshold, Some(180));
         assert_eq!(c.env_slots, Some(1));
         assert_eq!(c.recv_buf_per_sender, Some(4096));
         assert_eq!(c.progress_timeout_us, Some(500_000));
         assert_eq!(c.rndv_chunk, Some(8 << 10));
         assert_eq!(c.rndv_window, Some(4));
+        assert_eq!(c.coll.bcast, Some(BcastAlgo::ScatterAllgather));
+        assert_eq!(c.coll.allreduce, Some(AllreduceAlgo::Ring));
+        assert_eq!(c.coll.barrier, Some(BarrierAlgo::Tree));
+        assert_eq!(c.coll.allgather, Some(AllgatherAlgo::GatherBcast));
+        assert_eq!(MpiConfig::default().coll, CollPins::default());
         assert_eq!(MpiConfig::default().eager_threshold, None);
         assert_eq!(MpiConfig::default().progress_timeout_us, None);
         assert_eq!(MpiConfig::default().rndv_chunk, None);

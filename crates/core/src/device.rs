@@ -148,6 +148,14 @@ pub trait Device: Send {
         false
     }
 
+    /// Stable substrate name used as the first key of the collective
+    /// decision table ("shm", "meiko", "sim-tcp", ...). Wrapper devices
+    /// forward to the wrapped transport. Must answer identically on every
+    /// rank of a job.
+    fn substrate(&self) -> &'static str {
+        "generic"
+    }
+
     /// Broadcast `wire` to every rank in `group` except this one using the
     /// hardware broadcast. Only called when [`Device::has_hw_bcast`] is
     /// true; the collective layer falls back to point-to-point otherwise.

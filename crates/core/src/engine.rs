@@ -165,6 +165,10 @@ pub(crate) struct Engine {
     /// callback)`. Checked only on frame handling, so an unset hook
     /// costs one `Option` branch.
     metrics_hook: Option<(u64, u64, MetricsHookFn)>,
+    /// Collective dispatch state: config pins, the decision table, and the
+    /// per-(collective, algorithm) dispatch tally behind
+    /// `lmpi_coll_dispatch_total`.
+    pub(crate) coll: crate::coll::CollState,
 }
 
 /// Callback type for [`crate::Mpi::set_metrics_hook`].
@@ -205,6 +209,7 @@ impl Engine {
             revoked: std::collections::HashSet::new(),
             next_msg_seq: 1,
             metrics_hook: None,
+            coll: Default::default(),
         }
     }
 
@@ -243,6 +248,7 @@ impl Engine {
             self.folded_counters(),
             dev.transport_stats(),
         )
+        .with_coll_dispatch(self.coll.dispatch_entries())
     }
 
     /// Fire the metrics hook if due. Called from frame handling; an

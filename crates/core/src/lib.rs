@@ -31,6 +31,7 @@
 
 #![warn(missing_docs)]
 
+mod coll;
 mod collectives;
 mod config;
 mod datatype;
@@ -63,6 +64,9 @@ pub mod bench_internals {
 /// re-exported so applications need not depend on `lmpi-obs` directly.
 pub use lmpi_obs as obs;
 
+pub use coll::{
+    AllgatherAlgo, AllreduceAlgo, BarrierAlgo, BcastAlgo, CollPins, CollTable, TableEntry,
+};
 pub use config::MpiConfig;
 pub use datatype::{from_bytes, to_bytes, Loc, MpiData};
 pub use device::{Cost, Device, DeviceDefaults, TransportStats};
@@ -70,8 +74,8 @@ pub use dtype::DataType;
 pub use engine::Counters;
 pub use error::{MpiError, MpiResult};
 pub use group::Group;
-pub use lmpi_obs::{EventKind, MsgId, TraceBuffer, Tracer};
-pub use metrics::{validate_prometheus, HistEntry, MetricsSnapshot};
+pub use lmpi_obs::{CollAlgo, CollOp, EventKind, MsgId, TraceBuffer, Tracer};
+pub use metrics::{validate_prometheus, CollDispatchEntry, HistEntry, MetricsSnapshot};
 pub use mpi::{test_all, wait_all, wait_any, Communicator, Mpi, Request};
 pub use packet::{ContextId, Envelope, FramePool, Packet, Wire, ENVELOPE_WIRE_BYTES};
 pub use persistent::{start_all, PersistentRecv, PersistentSend};

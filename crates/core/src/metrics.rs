@@ -25,6 +25,18 @@ pub struct HistEntry {
     pub summary: PercentileSummary,
 }
 
+/// One row of the collective dispatch tally: how many times the dispatch
+/// layer selected `algorithm` for `collective` on this rank.
+#[derive(Clone, Debug, Serialize)]
+pub struct CollDispatchEntry {
+    /// Collective name (`"bcast"`, `"allreduce"`, ...).
+    pub collective: String,
+    /// Selected algorithm name (`"binomial"`, `"ring"`, ...).
+    pub algorithm: String,
+    /// Number of dispatches.
+    pub count: u64,
+}
+
 /// Point-in-time metrics for one rank.
 ///
 /// Counter semantics follow the field docs on [`Counters`] and
@@ -44,6 +56,9 @@ pub struct MetricsSnapshot {
     pub transport: TransportStats,
     /// Optional named histogram summaries.
     pub hists: Vec<HistEntry>,
+    /// Collective dispatch tally (one row per collective/algorithm pair
+    /// that was actually selected on this rank).
+    pub coll_dispatch: Vec<CollDispatchEntry>,
 }
 
 impl MetricsSnapshot {
@@ -55,7 +70,14 @@ impl MetricsSnapshot {
             counters,
             transport,
             hists: Vec::new(),
+            coll_dispatch: Vec::new(),
         }
+    }
+
+    /// Attach the collective dispatch tally (builder-style).
+    pub fn with_coll_dispatch(mut self, entries: Vec<CollDispatchEntry>) -> Self {
+        self.coll_dispatch = entries;
+        self
     }
 
     /// Attach a named histogram summary (builder-style).
@@ -296,6 +318,20 @@ impl MetricsSnapshot {
                 s.mean_ns,
             );
         }
+        for d in &self.coll_dispatch {
+            push_metric_labeled(
+                &mut out,
+                "lmpi_coll_dispatch_total",
+                "Collective dispatches by selected algorithm.",
+                "counter",
+                r,
+                &[
+                    ("collective", d.collective.as_str()),
+                    ("algorithm", d.algorithm.as_str()),
+                ],
+                d.count as f64,
+            );
+        }
         out
     }
 }
@@ -312,17 +348,30 @@ fn push_metric(
     hist: Option<&str>,
     value: f64,
 ) {
+    match hist {
+        Some(h) => push_metric_labeled(out, name, help, kind, rank, &[("hist", h)], value),
+        None => push_metric_labeled(out, name, help, kind, rank, &[], value),
+    }
+}
+
+/// As [`push_metric`], with arbitrary extra labels after `rank`.
+fn push_metric_labeled(
+    out: &mut String,
+    name: &str,
+    help: &str,
+    kind: &str,
+    rank: u32,
+    extra: &[(&str, &str)],
+    value: f64,
+) {
     use std::fmt::Write;
     let _ = writeln!(out, "# HELP {name} {help}");
     let _ = writeln!(out, "# TYPE {name} {kind}");
-    match hist {
-        Some(h) => {
-            let _ = writeln!(out, "{name}{{rank=\"{rank}\",hist=\"{h}\"}} {value}");
-        }
-        None => {
-            let _ = writeln!(out, "{name}{{rank=\"{rank}\"}} {value}");
-        }
+    let _ = write!(out, "{name}{{rank=\"{rank}\"");
+    for (k, v) in extra {
+        let _ = write!(out, ",{k}=\"{v}\"");
     }
+    let _ = writeln!(out, "}} {value}");
 }
 
 /// Check a string parses as Prometheus text exposition format: every
@@ -403,7 +452,20 @@ mod tests {
         for v in [100, 200, 300] {
             h.record(v);
         }
-        MetricsSnapshot::new(1, 42_000, c, t).with_hist("pingpong_half_trip", h.summary())
+        MetricsSnapshot::new(1, 42_000, c, t)
+            .with_hist("pingpong_half_trip", h.summary())
+            .with_coll_dispatch(vec![
+                CollDispatchEntry {
+                    collective: "barrier".into(),
+                    algorithm: "dissemination".into(),
+                    count: 3,
+                },
+                CollDispatchEntry {
+                    collective: "allreduce".into(),
+                    algorithm: "ring".into(),
+                    count: 2,
+                },
+            ])
     }
 
     #[test]
@@ -421,6 +483,12 @@ mod tests {
         assert!(prom.contains("lmpi_transport_peers_suspected_total{rank=\"1\"} 0"));
         assert!(prom.contains("lmpi_transport_peers_dead_total{rank=\"1\"} 1"));
         assert!(prom.contains("hist=\"pingpong_half_trip\""));
+        assert!(prom.contains(
+            "lmpi_coll_dispatch_total{rank=\"1\",collective=\"barrier\",algorithm=\"dissemination\"} 3"
+        ));
+        assert!(prom.contains(
+            "lmpi_coll_dispatch_total{rank=\"1\",collective=\"allreduce\",algorithm=\"ring\"} 2"
+        ));
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! calls, exactly like the paper's SPARC-side matching design: there is no
 //! background progress thread, the main processor drives the protocol.
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::marker::PhantomData;
 use std::rc::Rc;
 
@@ -28,6 +28,10 @@ pub(crate) struct Inner {
     /// Progress watchdog deadline (microseconds of device time); `None`
     /// blocks indefinitely.
     watchdog_us: Option<u64>,
+    /// Collective sequence counter shared by every [`Mpi::world`] handle
+    /// (each call constructs a fresh `Communicator`, but they are all the
+    /// same communicator and must share one tag sequence).
+    world_coll_seq: Rc<Cell<u32>>,
 }
 
 impl Inner {
@@ -117,7 +121,7 @@ impl Mpi {
     /// device's platform defaults).
     pub fn new(device: Box<dyn Device>, config: MpiConfig) -> Mpi {
         let d = device.defaults();
-        let eng = Engine::new(
+        let mut eng = Engine::new(
             device.rank(),
             device.nprocs(),
             config.eager_threshold.unwrap_or(d.eager_threshold),
@@ -126,11 +130,13 @@ impl Mpi {
             config.rndv_chunk.unwrap_or(d.rndv_chunk),
             config.rndv_window.unwrap_or(d.rndv_window),
         );
+        eng.coll.pins = config.coll;
         Mpi {
             inner: Rc::new(Inner {
                 device,
                 eng: RefCell::new(eng),
                 watchdog_us: config.progress_timeout_us,
+                world_coll_seq: Rc::new(Cell::new(0)),
             }),
         }
     }
@@ -144,6 +150,7 @@ impl Mpi {
             coll_ctx: 1,
             group: Rc::new((0..n).collect()),
             my_local: self.inner.device.rank(),
+            coll_seq: self.inner.world_coll_seq.clone(),
         }
     }
 
@@ -259,6 +266,12 @@ pub struct Communicator {
     /// Local rank -> global rank, sorted by local rank.
     group: Rc<Vec<Rank>>,
     my_local: Rank,
+    /// Per-communicator collective sequence number, shared by clones.
+    /// Every collective call bumps it on every member, so the (op, seq)
+    /// pair in each wire tag advances in lockstep across the group and
+    /// back-to-back collectives can never cross-match (see
+    /// [`crate::coll::coll_tag`]).
+    coll_seq: Rc<Cell<u32>>,
 }
 
 impl Communicator {
@@ -607,7 +620,19 @@ impl Communicator {
             coll_ctx,
             group,
             my_local,
+            // A fresh communicator starts its collective sequence at zero on
+            // every member (dup/split/shrink are collective, so all members
+            // construct it together).
+            coll_seq: Rc::new(Cell::new(0)),
         }
+    }
+
+    /// Bump and return the collective sequence number for the next
+    /// collective on this communicator.
+    pub(crate) fn next_coll_seq(&self) -> u32 {
+        let s = self.coll_seq.get();
+        self.coll_seq.set(s.wrapping_add(1));
+        s
     }
 
     /// The global (world) ranks of this communicator's group, in local-rank

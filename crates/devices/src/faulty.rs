@@ -450,6 +450,10 @@ impl<D: Device> Device for FaultyDevice<D> {
     fn defaults(&self) -> DeviceDefaults {
         self.inner.defaults()
     }
+
+    fn substrate(&self) -> &'static str {
+        self.inner.substrate()
+    }
 }
 
 #[cfg(test)]

@@ -185,6 +185,10 @@ impl Device for MeikoDevice {
         self.tracer = tracer;
     }
 
+    fn substrate(&self) -> &'static str {
+        "meiko"
+    }
+
     fn defaults(&self) -> DeviceDefaults {
         match self.variant {
             MeikoVariant::LowLatency => DeviceDefaults {

@@ -806,6 +806,10 @@ impl<D: Device> Device for ReliableDevice<D> {
     fn defaults(&self) -> DeviceDefaults {
         self.inner.defaults()
     }
+
+    fn substrate(&self) -> &'static str {
+        self.inner.substrate()
+    }
 }
 
 #[cfg(test)]

@@ -94,6 +94,10 @@ impl Device for ShmDevice {
     fn defaults(&self) -> DeviceDefaults {
         self.defaults
     }
+
+    fn substrate(&self) -> &'static str {
+        "shm"
+    }
 }
 
 /// Run an `nprocs`-rank MPI program on threads, returning each rank's

@@ -50,6 +50,10 @@ pub trait MsgChannel: Send {
     fn charge_us(&self, _us: f64) {}
     /// Elapsed seconds.
     fn wtime(&self) -> f64;
+    /// Substrate name for the collective decision table.
+    fn substrate(&self) -> &'static str {
+        "sock"
+    }
 }
 
 /// The sockets MPI device: frames protocol packets with the paper's
@@ -141,6 +145,10 @@ impl<C: MsgChannel> Device for SockDevice<C> {
     fn defaults(&self) -> DeviceDefaults {
         self.defaults
     }
+
+    fn substrate(&self) -> &'static str {
+        self.chan.substrate()
+    }
 }
 
 // ----------------------------------------------------------------------
@@ -183,6 +191,10 @@ impl MsgChannel for SimTcpChannel {
     fn wtime(&self) -> f64 {
         self.proc.now().as_secs_f64()
     }
+
+    fn substrate(&self) -> &'static str {
+        "sim-tcp"
+    }
 }
 
 // ----------------------------------------------------------------------
@@ -224,6 +236,10 @@ impl MsgChannel for SimUdpChannel {
 
     fn wtime(&self) -> f64 {
         self.proc.now().as_secs_f64()
+    }
+
+    fn substrate(&self) -> &'static str {
+        "sim-udp"
     }
 }
 
@@ -564,6 +580,10 @@ impl MsgChannel for RealTcpChannel {
 
     fn wtime(&self) -> f64 {
         self.t0.elapsed().as_secs_f64()
+    }
+
+    fn substrate(&self) -> &'static str {
+        "real-tcp"
     }
 }
 

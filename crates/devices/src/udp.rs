@@ -398,6 +398,10 @@ impl Device for UdpDevice {
     fn defaults(&self) -> DeviceDefaults {
         SOCK_DEFAULTS
     }
+
+    fn substrate(&self) -> &'static str {
+        "real-udp"
+    }
 }
 
 /// Run an `nprocs`-rank MPI program over real UDP loopback sockets with

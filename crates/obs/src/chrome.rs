@@ -75,9 +75,11 @@ fn args_json(kind: &EventKind) -> String {
             .u64("peer", peer as u64)
             .str("fault", fault.name())
             .finish(),
-        EventKind::CollBegin { op } | EventKind::CollEnd { op } => {
-            Obj::new().str("op", op.name()).finish()
-        }
+        EventKind::CollBegin { op, algo } => Obj::new()
+            .str("op", op.name())
+            .str("algo", algo.name())
+            .finish(),
+        EventKind::CollEnd { op } => Obj::new().str("op", op.name()).finish(),
     }
 }
 
@@ -140,8 +142,8 @@ pub fn chrome_trace_json(bufs: &[TraceBuffer]) -> String {
                 .finish(),
         );
         // Open-span bookkeeping: credit stalls keyed by peer, collectives
-        // keyed by op name.
-        let mut coll_open: HashMap<&'static str, u64> = HashMap::new();
+        // keyed by op name (begin time + selected algorithm).
+        let mut coll_open: HashMap<&'static str, (u64, &'static str)> = HashMap::new();
         for ev in &buf.events {
             records.push(instant(buf.rank, ev));
             match ev.kind {
@@ -154,17 +156,17 @@ pub fn chrome_trace_json(bufs: &[TraceBuffer]) -> String {
                         Obj::new().u64("peer", peer as u64).finish(),
                     ));
                 }
-                EventKind::CollBegin { op } => {
-                    coll_open.insert(op.name(), ev.t_ns);
+                EventKind::CollBegin { op, algo } => {
+                    coll_open.insert(op.name(), (ev.t_ns, algo.name()));
                 }
                 EventKind::CollEnd { op } => {
-                    if let Some(start) = coll_open.remove(op.name()) {
+                    if let Some((start, algo)) = coll_open.remove(op.name()) {
                         records.push(span(
                             buf.rank,
                             &format!("coll:{}", op.name()),
                             start,
                             ev.t_ns,
-                            Obj::new().str("op", op.name()).finish(),
+                            Obj::new().str("op", op.name()).str("algo", algo).finish(),
                         ));
                     }
                 }
@@ -178,7 +180,7 @@ pub fn chrome_trace_json(bufs: &[TraceBuffer]) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::event::{CollOp, PacketKind};
+    use crate::event::{CollAlgo, CollOp, PacketKind};
     use crate::json::validate;
     use crate::tracer::Tracer;
 
@@ -214,6 +216,7 @@ mod tests {
             4_000,
             EventKind::CollBegin {
                 op: CollOp::Barrier,
+                algo: CollAlgo::Dissemination,
             },
         );
         t1.emit_at(
@@ -299,6 +302,7 @@ mod tests {
             },
             CollBegin {
                 op: CollOp::Allreduce,
+                algo: CollAlgo::Ring,
             },
             CollEnd {
                 op: CollOp::Allreduce,

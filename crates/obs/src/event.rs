@@ -161,6 +161,52 @@ impl CollOp {
     }
 }
 
+/// Which algorithm a collective dispatch selected for a
+/// [`EventKind::CollBegin`] span. `Direct` covers single-algorithm
+/// collectives (gather, scatter, alltoall, scan, reduce) and naive
+/// reference paths.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum CollAlgo {
+    /// The collective's single direct implementation.
+    Direct,
+    /// Hardware-assisted broadcast (Meiko CS/2 NIC bcast).
+    Hw,
+    /// Binomial tree.
+    Binomial,
+    /// Scatter + ring-allgather broadcast (large-message bcast).
+    ScatterAllgather,
+    /// Binomial reduce to root followed by a broadcast.
+    ReduceBcast,
+    /// Ring (reduce-scatter + allgather, or plain ring exchange).
+    Ring,
+    /// Recursive doubling.
+    RecursiveDoubling,
+    /// Dissemination exchange.
+    Dissemination,
+    /// Binomial gather-up / release-down tree.
+    Tree,
+    /// Gather to a root followed by a broadcast.
+    GatherBcast,
+}
+
+impl CollAlgo {
+    /// Stable short name, used by the Chrome exporter and metrics labels.
+    pub fn name(self) -> &'static str {
+        match self {
+            CollAlgo::Direct => "direct",
+            CollAlgo::Hw => "hw",
+            CollAlgo::Binomial => "binomial",
+            CollAlgo::ScatterAllgather => "scatter_allgather",
+            CollAlgo::ReduceBcast => "reduce_bcast",
+            CollAlgo::Ring => "ring",
+            CollAlgo::RecursiveDoubling => "recursive_doubling",
+            CollAlgo::Dissemination => "dissemination",
+            CollAlgo::Tree => "tree",
+            CollAlgo::GatherBcast => "gather_bcast",
+        }
+    }
+}
+
 /// The traced protocol event taxonomy.
 ///
 /// `peer` is always the *other* rank (destination for tx-side events,
@@ -318,6 +364,8 @@ pub enum EventKind {
     CollBegin {
         /// Which collective.
         op: CollOp,
+        /// Which algorithm the dispatch layer selected.
+        algo: CollAlgo,
     },
     /// A collective operation completed on this rank.
     CollEnd {

@@ -54,7 +54,7 @@ pub use chrome::chrome_trace_json;
 pub use clock::{secs_to_ns, Clock, ManualClock, MonotonicClock};
 pub use correlate::{correlate, flight_json, FlightRecord, MessageTimeline, Violation};
 pub use diag::{diagnose, diagnostics_json, DiagConfig, DiagKind, Diagnostic, RankStats};
-pub use event::{CollOp, Event, EventKind, FaultKind, MsgId, PacketKind};
+pub use event::{CollAlgo, CollOp, Event, EventKind, FaultKind, MsgId, PacketKind};
 pub use hist::{LatencyHist, PercentileSummary};
 pub use json::validate as validate_json;
 pub use report::{attribute_ping_pong, table1_json, PhaseBreakdown, Table1Row};

@@ -24,8 +24,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use lmpi::obs::{
-    correlate, diagnose, diagnostics_json, flight_json, validate_json, DiagConfig, DiagKind,
-    LatencyHist, RankStats, TraceBuffer, Tracer,
+    chrome_trace_json, correlate, diagnose, diagnostics_json, flight_json, validate_json,
+    DiagConfig, DiagKind, LatencyHist, RankStats, TraceBuffer, Tracer,
 };
 use lmpi::{
     run_devices, validate_prometheus, FaultConfig, FaultRates, FaultyDevice, MetricsSnapshot,
@@ -127,6 +127,18 @@ fn workload(mpi: &lmpi::Mpi, tracer: Tracer) -> RankOutcome {
         assert!(big.iter().enumerate().all(|(i, &v)| v == i as u32));
         world.send(&[BURST], 0, 3).unwrap();
     }
+
+    // Collective phase: the dispatch engine picks the table algorithms,
+    // stamps them on the `CollBegin` trace events, and tallies them into
+    // the `lmpi_coll_dispatch_total` metric asserted in `main`.
+    world.barrier().unwrap();
+    let red = world
+        .allreduce(&[world.rank() as u64 + 1], lmpi::ReduceOp::Sum)
+        .unwrap();
+    assert_eq!(red[0], 3, "allreduce corrupted");
+    let mut word = [world.rank() as u32 + 7];
+    world.bcast(&mut word, 0).unwrap();
+    assert_eq!(word[0], 7, "bcast corrupted");
 
     RankOutcome {
         start_ns,
@@ -262,6 +274,30 @@ fn main() {
         .with_hist("msg_total", total_hist.summary());
     let prom = snap.to_prometheus();
     let samples = validate_prometheus(&prom).expect("snapshot must parse as Prometheus text");
+    // Collective dispatch accounting: the 2-rank table picks
+    // dissemination / recursive doubling / binomial for the phase above,
+    // and each selection must surface as a labelled counter sample.
+    for labels in [
+        "collective=\"barrier\",algorithm=\"dissemination\"",
+        "collective=\"allreduce\",algorithm=\"recursive_doubling\"",
+        "collective=\"bcast\",algorithm=\"binomial\"",
+    ] {
+        let sample = format!("lmpi_coll_dispatch_total{{rank=\"0\",{labels}}}");
+        assert!(
+            prom.contains(&sample),
+            "metrics snapshot is missing {sample}:\n{prom}"
+        );
+    }
+    // And the flight recorder must stamp the chosen algorithm on the
+    // collective trace spans.
+    let chrome = chrome_trace_json(&bufs);
+    validate_json(&chrome).expect("chrome trace JSON malformed");
+    for algo in ["dissemination", "recursive_doubling", "binomial"] {
+        assert!(
+            chrome.contains("\"algo\"") && chrome.contains(algo),
+            "chrome trace is missing the {algo} CollBegin annotation"
+        );
+    }
     let snap_json = snap.to_json();
     validate_json(&snap_json).expect("snapshot JSON malformed");
     std::fs::write("target/flight_snapshot.prom", &prom).expect("write prom snapshot");

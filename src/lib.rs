@@ -43,17 +43,18 @@
 
 pub use lmpi_core::{
     dims_create, from_bytes, start_all, test_all, to_bytes, validate_prometheus, wait_all,
-    wait_any, CartComm, Communicator, Cost, Counters, DataType, Device, DeviceDefaults, Group,
+    wait_any, AllgatherAlgo, AllreduceAlgo, BarrierAlgo, BcastAlgo, CartComm, CollDispatchEntry,
+    CollPins, CollTable, Communicator, Cost, Counters, DataType, Device, DeviceDefaults, Group,
     HistEntry, Loc, MetricsSnapshot, Mpi, MpiConfig, MpiData, MpiError, MpiResult, PersistentRecv,
-    PersistentSend, Rank, ReduceOp, Reducible, Request, SendMode, SourceSel, Status, Tag, TagSel,
-    TransportStats, TAG_UB,
+    PersistentSend, Rank, ReduceOp, Reducible, Request, SendMode, SourceSel, Status, TableEntry,
+    Tag, TagSel, TransportStats, TAG_UB,
 };
 
 /// Protocol observability: tracing, histograms, trace export, Table-1
 /// report generation, and the message flight recorder (re-exported from
 /// `lmpi-obs`).
 pub use lmpi_core::obs;
-pub use lmpi_core::{EventKind, MsgId, TraceBuffer, Tracer};
+pub use lmpi_core::{CollAlgo, CollOp, EventKind, MsgId, TraceBuffer, Tracer};
 
 pub use lmpi_devices::faulty::{FaultConfig, FaultRates, FaultStats, FaultyDevice, PacketClass};
 pub use lmpi_devices::meiko::{run_meiko, MeikoDevice, MeikoVariant};

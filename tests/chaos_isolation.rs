@@ -179,6 +179,105 @@ fn run_schedule(ops: &[Op], kill_at: Option<u64>, tracers: &[Tracer]) -> Vec<Ran
     })
 }
 
+/// Tuned-collective ULFM contract: with one member dead, every algorithm
+/// registered in the collective engine must resolve to a typed
+/// `PeerFailed`/`Revoked` on the survivors — never a hang, never an
+/// untyped error. Survivors first spin on the dispatched barrier until
+/// detection trips it, then exercise each pinned algorithm, which must
+/// fail fast at the entry check without touching the wire.
+#[test]
+fn tuned_collectives_fail_typed_on_a_dead_member() {
+    let rel = RelConfig::default().with_heartbeat(HEARTBEAT.0, HEARTBEAT.1, HEARTBEAT.2);
+    let devices: Vec<ReliableDevice<FaultyDevice<ShmDevice>>> = ShmDevice::fabric(RANKS)
+        .into_iter()
+        .enumerate()
+        .map(|(rank, dev)| {
+            let cfg = FaultConfig::uniform(0xC011_EC70 ^ rank as u64, FaultRates::drop_only(0.0));
+            let mut faulty = FaultyDevice::new(dev, cfg);
+            if rank == VICTIM {
+                faulty = faulty.kill_after(6);
+            }
+            ReliableDevice::new(faulty, rel)
+        })
+        .collect();
+
+    let typed = |e: &MpiError| matches!(e, MpiError::PeerFailed { .. } | MpiError::Revoked { .. });
+    run_devices(devices, MpiConfig::device_defaults(), move |mpi: Mpi| {
+        let world = mpi.world();
+        if world.rank() == VICTIM {
+            // The crash switch arms after a few frames; the victim's own
+            // call exits through symmetric detection (any outcome is fine
+            // on this side — the contract under test is the survivors').
+            let _ = world.barrier();
+            return;
+        }
+        // Spin on the dispatched barrier until the dead member surfaces
+        // as a typed error (earlier rounds may legitimately complete if
+        // they beat the crash).
+        let mut detected = None;
+        for round in 0..200 {
+            match world.barrier() {
+                Ok(()) => continue,
+                Err(e) if typed(&e) => {
+                    detected = Some(round);
+                    break;
+                }
+                Err(e) => panic!("barrier ended with an untyped error: {e}"),
+            }
+        }
+        let detected = detected.expect("the dead member was never detected");
+
+        // Once detected, every registered algorithm must fail fast and
+        // typed — including the ones the decision table would not pick.
+        let mut buf = vec![0u64; 32];
+        let outcomes: Vec<(&str, MpiResult<()>)> = vec![
+            ("barrier/dissemination", world.barrier_dissemination()),
+            ("barrier/tree", world.barrier_tree()),
+            ("bcast/binomial", world.bcast_binomial(&mut buf, 0)),
+            (
+                "bcast/scatter_allgather",
+                world.bcast_scatter_allgather(&mut buf, 0),
+            ),
+            (
+                "allreduce/reduce_bcast",
+                world
+                    .allreduce_reduce_bcast(&buf, lmpi::ReduceOp::Sum)
+                    .map(|_| ()),
+            ),
+            (
+                "allreduce/ring",
+                world.allreduce_ring(&buf, lmpi::ReduceOp::Sum).map(|_| ()),
+            ),
+            (
+                "allreduce/recursive_doubling",
+                world
+                    .allreduce_recursive_doubling(&buf, lmpi::ReduceOp::Sum)
+                    .map(|_| ()),
+            ),
+            ("allgather/ring", world.allgather_ring(&buf).map(|_| ())),
+            (
+                "allgather/gather_bcast",
+                world.allgather_gather_bcast(&buf).map(|_| ()),
+            ),
+            ("dispatch/barrier", world.barrier()),
+            ("dispatch/bcast", world.bcast(&mut buf, 0)),
+            (
+                "dispatch/allreduce",
+                world.allreduce(&buf, lmpi::ReduceOp::Sum).map(|_| ()),
+            ),
+            ("dispatch/allgather", world.allgather(&buf).map(|_| ())),
+        ];
+        for (name, r) in outcomes {
+            match r {
+                Err(ref e) if typed(e) => {}
+                other => panic!(
+                    "{name} after detection (round {detected}) must fail typed, got {other:?}"
+                ),
+            }
+        }
+    });
+}
+
 proptest! {
     // Each case spawns 2 × RANKS threads and rides real heartbeat
     // timeouts; keep the count modest.
