@@ -1,0 +1,123 @@
+//! Compute/communication overlap on the shared-memory substrate: the
+//! background progress thread's reason to exist.
+//!
+//! Three cells: a calibrated pure-compute block, a pure 8 MiB chunked
+//! rendezvous stream, and the two overlapped (isend → compute → wait).
+//! With the progress thread streaming the chunk pipeline while rank 0
+//! computes, the overlapped cell must cost clearly less than the sum of
+//! its parts — `bench_gate` enforces the ratio.
+
+use std::sync::OnceLock;
+use std::time::{Duration, Instant};
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lmpi_devices::shm::run;
+
+/// Message size: solidly in chunked-rendezvous territory on shm.
+const NBYTES: usize = 8 << 20;
+
+/// One unit of synthetic compute (tens of microseconds): a serial integer
+/// recurrence the optimizer cannot fold away or vectorize.
+fn compute_unit(salt: u64) -> u64 {
+    let mut acc = salt | 1;
+    for j in 0..20_000u64 {
+        acc = acc.wrapping_mul(6364136223846793005).wrapping_add(j);
+    }
+    acc
+}
+
+fn compute_block(units: u64) {
+    let mut acc = 0u64;
+    for i in 0..units {
+        acc ^= compute_unit(i);
+    }
+    std::hint::black_box(acc);
+}
+
+fn comm_duration(iters: u64) -> Duration {
+    run(2, move |mpi| {
+        let world = mpi.world();
+        if world.rank() == 0 {
+            let buf = vec![1u8; NBYTES];
+            world.send(&buf, 1, 0).unwrap(); // warmup
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                world.send(&buf, 1, 0).unwrap();
+            }
+            let mut done = [0u8; 0];
+            world.recv(&mut done, 1, 1).unwrap();
+            t0.elapsed()
+        } else {
+            let mut buf = vec![0u8; NBYTES];
+            for _ in 0..iters + 1 {
+                world.recv(&mut buf, 0, 0).unwrap();
+            }
+            world.send::<u8>(&[], 0, 1).unwrap();
+            Duration::ZERO
+        }
+    })[0]
+}
+
+fn overlapped_duration(iters: u64, units: u64) -> Duration {
+    run(2, move |mpi| {
+        let world = mpi.world();
+        if world.rank() == 0 {
+            let buf = vec![1u8; NBYTES];
+            world.send(&buf, 1, 0).unwrap(); // warmup
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                let req = world.isend(&buf, 1, 0).unwrap();
+                // The progress thread streams the chunk window while this
+                // thread never touches MPI.
+                compute_block(units);
+                req.wait().unwrap();
+            }
+            let mut done = [0u8; 0];
+            world.recv(&mut done, 1, 1).unwrap();
+            t0.elapsed()
+        } else {
+            let mut buf = vec![0u8; NBYTES];
+            for _ in 0..iters + 1 {
+                world.recv(&mut buf, 0, 0).unwrap();
+            }
+            world.send::<u8>(&[], 0, 1).unwrap();
+            Duration::ZERO
+        }
+    })[0]
+}
+
+/// Size the compute block to roughly one transfer, so full overlap can
+/// approach halving the combined cost on any machine this runs on.
+fn calibrated_units() -> u64 {
+    static UNITS: OnceLock<u64> = OnceLock::new();
+    *UNITS.get_or_init(|| {
+        let comm = comm_duration(4) / 4;
+        let t0 = Instant::now();
+        compute_block(64);
+        let unit = t0.elapsed() / 64;
+        (comm.as_nanos() / unit.as_nanos().max(1)).clamp(1, 1 << 20) as u64
+    })
+}
+
+fn bench_overlap(c: &mut Criterion) {
+    let units = calibrated_units();
+    let mut g = c.benchmark_group("overlap");
+    g.sample_size(10);
+    g.bench_function("compute_only", |b| {
+        b.iter_custom(|iters| {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                compute_block(units);
+            }
+            t0.elapsed()
+        })
+    });
+    g.bench_function("comm_only", |b| b.iter_custom(comm_duration));
+    g.bench_function("overlapped", |b| {
+        b.iter_custom(|iters| overlapped_duration(iters, units))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_overlap);
+criterion_main!(benches);

@@ -1,10 +1,11 @@
 //! Regression gate over the `matching_engine`, `tracer_overhead`,
-//! `heartbeat_overhead` and `bandwidth_shm` criterion results.
+//! `heartbeat_overhead`, `bandwidth_shm` and `overlap` criterion results.
 //!
 //! Run after `cargo bench -p lmpi-bench --bench matching_engine`,
 //! `cargo bench -p lmpi-bench --bench tracer_overhead`,
-//! `cargo bench -p lmpi-bench --bench heartbeat_overhead` and
-//! `cargo bench -p lmpi-bench --bench bandwidth_shm`:
+//! `cargo bench -p lmpi-bench --bench heartbeat_overhead`,
+//! `cargo bench -p lmpi-bench --bench bandwidth_shm` and
+//! `cargo bench -p lmpi-bench --bench overlap`:
 //!
 //! ```text
 //! cargo run --release -p lmpi-bench --bin bench_gate            # check
@@ -79,6 +80,14 @@ const MIN_CHUNKED_BW_RATIO: f64 = 0.95;
 /// sync with `benches/bandwidth_shm.rs`.
 const BW_GATE_BYTES: usize = 1 << 20;
 
+/// Overlap gate: with the background progress thread streaming the chunk
+/// pipeline during compute, isend+compute+wait must cost at most this
+/// fraction of compute-only plus comm-only. The bench calibrates compute
+/// to roughly one transfer, so genuine overlap lands near 0.5–0.65 and a
+/// caller-driven (non-overlapping) engine lands near 1.0 — same-run,
+/// same-machine ratio, safe on noisy runners.
+const MAX_OVERLAP_RATIO: f64 = 0.90;
+
 /// Tuned collective dispatch must keep at least this fraction of the best
 /// fixed algorithm's performance in every swept cell (time ratio:
 /// `dispatch_ns <= best_ns / 0.95`).
@@ -148,6 +157,13 @@ fn main() -> ExitCode {
             Err(e) => failures.push(format!("{key}: {e}")),
         }
     }
+    for cell in ["compute_only", "comm_only", "overlapped"] {
+        let key = format!("overlap/{cell}");
+        match read_median_ns(&criterion_dir, "overlap", cell, None) {
+            Ok(ns) => medians.push((key, ns)),
+            Err(e) => failures.push(format!("{key}: {e}")),
+        }
+    }
 
     if !failures.is_empty() {
         eprintln!("bench_gate: missing criterion results (run the bench first):");
@@ -211,6 +227,22 @@ fn main() -> ExitCode {
         failures.push(format!(
             "chunked rendezvous keeps only {bw_ratio:.3}x of single-frame shm bandwidth \
              at 1 MiB (need >={MIN_CHUNKED_BW_RATIO}x)"
+        ));
+    }
+
+    let compute_ns = get("overlap/compute_only");
+    let comm_ns = get("overlap/comm_only");
+    let overlapped_ns = get("overlap/overlapped");
+    let overlap_limit = (compute_ns + comm_ns) * MAX_OVERLAP_RATIO;
+    println!(
+        "overlap: isend+compute+wait {overlapped_ns:.0} ns vs compute {compute_ns:.0} ns + \
+         comm {comm_ns:.0} ns (limit {overlap_limit:.0} ns)"
+    );
+    if overlapped_ns > overlap_limit || overlapped_ns.is_nan() {
+        failures.push(format!(
+            "no compute/comm overlap: overlapped {overlapped_ns:.0} ns vs compute \
+             {compute_ns:.0} ns + comm {comm_ns:.0} ns (limit {overlap_limit:.0} ns = \
+             {MAX_OVERLAP_RATIO}x of the sum)"
         ));
     }
 

@@ -315,7 +315,7 @@ impl Communicator {
     /// (the paper's design), else the decision table.
     pub(crate) fn select_bcast(&self, bytes: u64) -> BcastAlgo {
         let inner = self.inner();
-        let eng = inner.eng.borrow();
+        let eng = inner.eng.lock();
         if let Some(a) = eng.coll.pins.bcast {
             return a;
         }
@@ -332,7 +332,7 @@ impl Communicator {
     /// Pick the allreduce algorithm for a `bytes`-byte vector.
     pub(crate) fn select_allreduce(&self, bytes: u64) -> AllreduceAlgo {
         let inner = self.inner();
-        let eng = inner.eng.borrow();
+        let eng = inner.eng.lock();
         if let Some(a) = eng.coll.pins.allreduce {
             return a;
         }
@@ -346,7 +346,7 @@ impl Communicator {
     /// Pick the barrier algorithm.
     pub(crate) fn select_barrier(&self) -> BarrierAlgo {
         let inner = self.inner();
-        let eng = inner.eng.borrow();
+        let eng = inner.eng.lock();
         if let Some(a) = eng.coll.pins.barrier {
             return a;
         }
@@ -361,7 +361,7 @@ impl Communicator {
     /// contribution.
     pub(crate) fn select_allgather(&self, bytes: u64) -> AllgatherAlgo {
         let inner = self.inner();
-        let eng = inner.eng.borrow();
+        let eng = inner.eng.lock();
         if let Some(a) = eng.coll.pins.allgather {
             return a;
         }

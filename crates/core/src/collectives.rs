@@ -17,7 +17,7 @@
 //! variants (`bcast_binomial`, `allreduce_ring`, ...) bypass the table
 //! for ablations, tuning sweeps, and cross-algorithm identity tests.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use lmpi_obs::{CollAlgo, CollOp, EventKind};
 
@@ -63,7 +63,7 @@ impl Communicator {
     /// communicator-local, matching every other local-rank API surface.
     pub(crate) fn check_coll_ready(&self) -> MpiResult<()> {
         self.check_not_revoked()?;
-        let eng = self.inner().eng.borrow();
+        let eng = self.inner().eng.lock();
         for (local, &g) in self.group_ranks().iter().enumerate() {
             if eng.is_failed(g) {
                 return Err(MpiError::peer_failed(
@@ -89,7 +89,7 @@ impl Communicator {
         self.check_coll_ready()?;
         let inner = self.inner();
         {
-            let mut eng = inner.eng.borrow_mut();
+            let mut eng = inner.eng.lock();
             eng.coll.record(op.name(), algo.name());
             eng.tracer
                 .emit_with(|| inner.device.now_ns(), EventKind::CollBegin { op, algo });
@@ -97,7 +97,7 @@ impl Communicator {
         let r = f();
         inner
             .eng
-            .borrow()
+            .lock()
             .tracer
             .emit_with(|| inner.device.now_ns(), EventKind::CollEnd { op });
         r
@@ -196,14 +196,10 @@ impl Communicator {
     }
 
     pub(crate) fn bcast_hw<T: MpiData>(&self, buf: &mut [T], root: Rank) -> MpiResult<()> {
-        let seq = self
-            .inner()
-            .eng
-            .borrow_mut()
-            .next_bcast_seq(self.coll_ctx());
+        let seq = self.inner().eng.lock().next_bcast_seq(self.coll_ctx());
         let me = self.rank();
         if me == root {
-            let data = self.inner().eng.borrow_mut().stage_payload(buf);
+            let data = self.inner().eng.lock().stage_payload(buf);
             let my_global = self.global(me)?;
             let others: Vec<Rank> = self
                 .group_ranks()
@@ -679,9 +675,9 @@ impl Communicator {
 
     /// Agree on a fresh context-id pair across the communicator.
     fn agree_context(&self) -> MpiResult<u32> {
-        let mine = self.inner().eng.borrow().next_context as u64;
+        let mine = self.inner().eng.lock().next_context as u64;
         let agreed = self.allreduce(&[mine], ReduceOp::Max)?[0] as u32;
-        self.inner().eng.borrow_mut().next_context = agreed + 2;
+        self.inner().eng.lock().next_context = agreed + 2;
         Ok(agreed)
     }
 
@@ -715,7 +711,7 @@ impl Communicator {
             .map(|t| (t[1], t[2]))
             .collect();
         members.sort_unstable();
-        let group: Rc<Vec<Rank>> = Rc::new(members.iter().map(|&(_, g)| g as Rank).collect());
+        let group: Arc<Vec<Rank>> = Arc::new(members.iter().map(|&(_, g)| g as Rank).collect());
         let my_local = group
             .iter()
             .position(|&g| g == me_global as Rank)

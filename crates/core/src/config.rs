@@ -33,6 +33,16 @@ pub struct MpiConfig {
     /// every call of that collective. Every rank of a job must pin
     /// identically.
     pub coll: CollPins,
+    /// Background progress thread override. `None` (the default) lets the
+    /// device decide via [`crate::Device::supports_background_progress`]:
+    /// real wall-clock transports (shm, real TCP/UDP) get a per-rank
+    /// progress thread so nonblocking operations advance while the caller
+    /// computes; virtual-time substrates stay caller-driven, because their
+    /// cooperative scheduler cannot tolerate a foreign thread. `Some(false)`
+    /// forces the seed's caller-driven behavior everywhere (useful for
+    /// overlap ablations); `Some(true)` is clamped to devices that support
+    /// it.
+    pub background_progress: Option<bool>,
 }
 
 impl MpiConfig {
@@ -102,6 +112,13 @@ impl MpiConfig {
         self.coll.allgather = Some(algo);
         self
     }
+
+    /// Force the background progress thread on or off (see the field doc;
+    /// `Some(true)` still requires device support).
+    pub fn with_background_progress(mut self, enabled: bool) -> Self {
+        self.background_progress = Some(enabled);
+        self
+    }
 }
 
 #[cfg(test)]
@@ -131,7 +148,12 @@ mod tests {
         assert_eq!(c.coll.allreduce, Some(AllreduceAlgo::Ring));
         assert_eq!(c.coll.barrier, Some(BarrierAlgo::Tree));
         assert_eq!(c.coll.allgather, Some(AllgatherAlgo::GatherBcast));
+        assert_eq!(
+            c.with_background_progress(false).background_progress,
+            Some(false)
+        );
         assert_eq!(MpiConfig::default().coll, CollPins::default());
+        assert_eq!(MpiConfig::default().background_progress, None);
         assert_eq!(MpiConfig::default().eager_threshold, None);
         assert_eq!(MpiConfig::default().progress_timeout_us, None);
         assert_eq!(MpiConfig::default().rndv_chunk, None);

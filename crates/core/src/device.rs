@@ -2,10 +2,16 @@
 //! transport mechanism — the same split MPICH's device layer makes, which
 //! the paper builds on for the Meiko and re-targets to TCP.
 //!
-//! One `Device` instance exists per rank. The protocol engine above it is
-//! single-threaded per rank; devices deliver frames in FIFO order per
-//! (sender, receiver) pair, which the MPI non-overtaking guarantee relies
-//! on.
+//! One `Device` instance exists per rank. Devices deliver frames in FIFO
+//! order per (sender, receiver) pair, which the MPI non-overtaking
+//! guarantee relies on. Devices are `Send + Sync`: on real transports the
+//! engine drives them from a background progress thread while the
+//! application thread posts sends concurrently, so every method takes
+//! `&self` and interior state must be lock- or atomic-protected. Exactly
+//! one thread pulls frames out of a device at a time (the progress thread
+//! when [`Device::supports_background_progress`] holds, the caller
+//! otherwise) — concurrent `try_recv` from two threads would let handling
+//! race and break FIFO.
 
 use crate::error::MpiResult;
 use crate::packet::Wire;
@@ -118,7 +124,7 @@ impl TransportStats {
 }
 
 /// Transport for one rank.
-pub trait Device: Send {
+pub trait Device: Send + Sync {
     /// This rank's global rank.
     fn rank(&self) -> Rank;
 
@@ -138,6 +144,38 @@ pub trait Device: Send {
     /// Block until a frame arrives and return it, or report a transport
     /// failure.
     fn recv_blocking(&self) -> MpiResult<Wire>;
+
+    /// Wait up to `timeout` for the next frame; `Ok(None)` on timeout.
+    /// This is the background progress thread's idle primitive: it must
+    /// park the calling thread (or at worst sleep in short slices) rather
+    /// than spin, and it must keep any reliability-sublayer pumps
+    /// (retransmit timers, heartbeats, delayed-fault flushes) running —
+    /// wrappers that pump from `try_recv` implement this as a sleep-sliced
+    /// `try_recv` loop. The default serves devices that never host a
+    /// progress thread ([`Device::supports_background_progress`] is false):
+    /// one non-blocking poll, then a yield, bounded by the wall clock.
+    fn recv_timeout(&self, timeout: std::time::Duration) -> MpiResult<Option<Wire>> {
+        let deadline = std::time::Instant::now() + timeout;
+        loop {
+            if let Some(w) = self.try_recv()? {
+                return Ok(Some(w));
+            }
+            if std::time::Instant::now() >= deadline {
+                return Ok(None);
+            }
+            std::thread::yield_now();
+        }
+    }
+
+    /// Whether a background progress thread may drive this device. True
+    /// only for real wall-clock transports whose frames arrive
+    /// asynchronously (shm channels, real sockets). Virtual-time substrates
+    /// must answer false: their cooperative scheduler interleaves rank
+    /// processes deterministically and a foreign thread would deadlock or
+    /// skew the clock. Wrapper devices forward to the wrapped transport.
+    fn supports_background_progress(&self) -> bool {
+        false
+    }
 
     /// Account a modelled local cost (no-op on real transports).
     fn charge(&self, _cost: Cost) {}

@@ -71,6 +71,13 @@ pub struct Counters {
     /// unexpected hash bins; wildcard queue excluded). Unit: bins. Filled
     /// in by [`crate::Mpi::counters`] from the matching engine.
     pub match_bins_hwm: u64,
+    /// Times the background progress thread woke up and advanced protocol
+    /// state (handled at least one frame or peer-failure verdict). Zero on
+    /// caller-driven substrates.
+    pub progress_wakeups: u64,
+    /// Frames handled by the background progress thread (a subset of
+    /// `wires_handled`). Zero on caller-driven substrates.
+    pub progress_frames: u64,
 }
 
 struct PendingSend {
@@ -152,6 +159,13 @@ pub(crate) struct Engine {
     pub(crate) tracer: Tracer,
     /// First ready-mode delivery error, surfaced by the next API call.
     pub(crate) pending_error: Option<MpiError>,
+    /// Fatal transport error recorded by the background progress thread.
+    /// Once set, every wait on this rank returns a clone: the thread that
+    /// hit the error is not the thread blocked on the result, so the error
+    /// must be parked where waiters will find it. `None` on caller-driven
+    /// ranks, where transport errors surface directly from the polling
+    /// call.
+    pub(crate) fatal: Option<MpiError>,
     /// Per-rank failure flags: `failed_ranks[r]` means rank `r` has been
     /// declared dead (transport liveness or agreement gossip). Failure is
     /// per-peer state — a dead rank never poisons healthy-peer traffic.
@@ -173,6 +187,26 @@ pub(crate) struct Engine {
 
 /// Callback type for [`crate::Mpi::set_metrics_hook`].
 pub(crate) type MetricsHookFn = Box<dyn FnMut(&crate::metrics::MetricsSnapshot) + Send>;
+
+/// Reject payloads whose length cannot ride the wire. Envelope lengths and
+/// rendezvous chunk offsets are transmitted as `u32`, so a payload of
+/// `u32::MAX` bytes or more would silently truncate its chunk offsets on
+/// the receiver; such sends fail at post time with a typed error instead.
+/// (Checked here rather than at the chunking site so the whole protocol —
+/// eager, single-frame rendezvous, chunked streams — shares one bound.)
+pub(crate) fn validate_send_len(len: usize) -> MpiResult<()> {
+    if len as u64 >= u32::MAX as u64 {
+        Err(MpiError::Unsupported {
+            what: format!(
+                "message of {len} bytes: payload lengths and chunk offsets \
+                 ride the wire as u32, so sends are limited to {} bytes",
+                u32::MAX - 1
+            ),
+        })
+    } else {
+        Ok(())
+    }
+}
 
 impl Engine {
     pub(crate) fn new(
@@ -205,6 +239,7 @@ impl Engine {
             counters: Counters::default(),
             tracer: Tracer::disabled(),
             pending_error: None,
+            fatal: None,
             failed_ranks: vec![false; nprocs],
             revoked: std::collections::HashSet::new(),
             next_msg_seq: 1,
@@ -287,6 +322,9 @@ impl Engine {
     /// Post a send of `data` to global rank `dst`. Returns the request id.
     /// Standard, buffered and ready sends complete immediately (the payload
     /// is copied); synchronous sends complete when matched.
+    ///
+    /// Payloads whose length does not fit `u32` are rejected with a typed
+    /// [`MpiError::Unsupported`] (see [`validate_send_len`]).
     pub(crate) fn post_send(
         &mut self,
         dev: &dyn Device,
@@ -302,6 +340,7 @@ impl Engine {
                 "send posted to a rank already declared dead",
             ));
         }
+        validate_send_len(data.len())?;
         if mode == SendMode::Buffered {
             self.buffer_reserve(data.len())?;
         }
@@ -958,8 +997,9 @@ impl Engine {
                 };
                 // Payloads that fit one chunk go as a single frame — the
                 // seed protocol, and the paper's one-DMA transfer. (Chunk
-                // offsets ride the wire as u32, so absurdly large payloads
-                // also take the single-frame path rather than overflow.)
+                // offsets ride the wire as u32; `validate_send_len` rejects
+                // u32-overflowing payloads at post time, so the second arm
+                // is a defensive remnant, not a truncation path.)
                 if len <= self.rndv_chunk || len > u32::MAX as usize {
                     self.transmit(dev, wire.src, Packet::RndvData { recv_id, data }, msg_seq);
                     self.complete_rndv_send(send_id, status);
@@ -1538,6 +1578,29 @@ mod tests {
             if !moved {
                 break;
             }
+        }
+    }
+
+    /// Boundary check for the u32 wire limit: chunk offsets and envelope
+    /// lengths are transmitted as `u32`, so `u32::MAX`-byte-and-larger
+    /// payloads must be rejected at post time (validated directly — no
+    /// 4 GiB allocation).
+    #[test]
+    fn send_len_validated_against_u32_wire_limit() {
+        assert!(validate_send_len(0).is_ok());
+        assert!(validate_send_len(u32::MAX as usize - 1).is_ok());
+        let at_limit = validate_send_len(u32::MAX as usize);
+        assert!(
+            matches!(at_limit, Err(MpiError::Unsupported { .. })),
+            "u32::MAX bytes must be a typed rejection, got {at_limit:?}"
+        );
+        #[cfg(target_pointer_width = "64")]
+        {
+            let over = validate_send_len(u32::MAX as usize + 1);
+            assert!(
+                matches!(over, Err(MpiError::Unsupported { .. })),
+                "a >4 GiB payload would truncate its chunk offsets, got {over:?}"
+            );
         }
     }
 

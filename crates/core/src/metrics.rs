@@ -182,6 +182,18 @@ impl MetricsSnapshot {
             "Cumulative nanoseconds sends spent stalled on credit (device clock).",
             c.credit_stall_ns,
         );
+        counter(
+            &mut out,
+            "lmpi_progress_wakeups_total",
+            "Background progress thread wakeups that advanced protocol state.",
+            c.progress_wakeups,
+        );
+        counter(
+            &mut out,
+            "lmpi_progress_frames_total",
+            "Frames handled by the background progress thread.",
+            c.progress_frames,
+        );
         push_metric(
             &mut out,
             "lmpi_unexpected_hwm",

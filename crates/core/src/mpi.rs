@@ -1,16 +1,27 @@
 //! The public MPI API: [`Mpi`] (one per rank), [`Communicator`], and
 //! [`Request`].
 //!
-//! Each rank is single-threaded; the handle types are `!Send`/`!Sync` by
-//! construction (`Rc` + `RefCell`) and progress is made inside blocking
-//! calls, exactly like the paper's SPARC-side matching design: there is no
-//! background progress thread, the main processor drives the protocol.
+//! The engine state is `Send` and lives behind a mutex ([`Inner`]), so a
+//! rank is no longer bound to a single thread. On real transports (shm,
+//! real TCP/UDP) each rank spawns a **background progress thread** that
+//! owns the device's receive side: it drains incoming frames, advances
+//! pending sends and receives, rendezvous chunk windows, retransmit timers
+//! and heartbeat liveness, and wakes waiters through a condvar — so
+//! nonblocking operations complete while the application computes, the
+//! overlap the paper's latency numbers assume. `wait`/`wait_any` park on
+//! that condvar instead of spin-polling the device. Virtual-time
+//! substrates (the simulated Meiko and cluster models) keep the seed's
+//! caller-driven progress — their cooperative scheduler cannot tolerate a
+//! foreign thread — with a bounded spin-then-yield backoff in the blocking
+//! loop.
 
-use std::cell::{Cell, RefCell};
 use std::marker::PhantomData;
-use std::rc::Rc;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
 
 use lmpi_obs::Tracer;
+use parking_lot::{Condvar, Mutex, MutexGuard};
 
 use crate::config::MpiConfig;
 use crate::datatype::MpiData;
@@ -22,47 +33,104 @@ use crate::packet::ContextId;
 use crate::request::{RecvDest, ReqState};
 use crate::types::{Rank, SendMode, SourceSel, Status, Tag, TagSel, TAG_UB};
 
+/// How long the progress thread blocks in [`Device::recv_timeout`] per
+/// iteration when idle. Bounds shutdown latency and keeps the reliability
+/// sublayer's retransmit/heartbeat pumps ticking on a silent wire.
+const PROGRESS_TICK: Duration = Duration::from_micros(500);
+
+/// Cap on each condvar park while waiting for completion. A missed wakeup
+/// (or a state change made without a notification) therefore self-heals
+/// within one slice, and the watchdog stays live without a second timer
+/// thread.
+const PARK_SLICE: Duration = Duration::from_millis(2);
+
 pub(crate) struct Inner {
     pub(crate) device: Box<dyn Device>,
-    pub(crate) eng: RefCell<Engine>,
+    pub(crate) eng: Mutex<Engine>,
+    /// Signalled by the progress thread after it advances protocol state
+    /// (frames handled, peer failures propagated, fatal errors recorded).
+    done: Condvar,
     /// Progress watchdog deadline (microseconds of device time); `None`
     /// blocks indefinitely.
     watchdog_us: Option<u64>,
+    /// Whether a background progress thread owns this device's receive
+    /// side. When true, callers must never pull frames from the device —
+    /// two receivers would race frame handling and break per-peer FIFO.
+    progress_active: AtomicBool,
+    /// Tells the progress thread to exit (set by [`Mpi`]'s drop).
+    shutdown: AtomicBool,
+    /// Bumped by the progress thread for every frame or failure verdict it
+    /// handled; parked waiters reset their watchdog when it moves.
+    epoch: AtomicU64,
     /// Collective sequence counter shared by every [`Mpi::world`] handle
     /// (each call constructs a fresh `Communicator`, but they are all the
     /// same communicator and must share one tag sequence).
-    world_coll_seq: Rc<Cell<u32>>,
+    world_coll_seq: Arc<AtomicU32>,
+}
+
+/// Watchdog bookkeeping for one parked waiter: the last progress epoch it
+/// observed and when (device clock) it last saw the epoch move.
+struct ParkTimer {
+    last_epoch: u64,
+    idle_since: f64,
 }
 
 impl Inner {
+    fn progress_running(&self) -> bool {
+        self.progress_active.load(Ordering::Acquire)
+    }
+
     /// Handle every frame already queued at the device, without blocking.
     /// `Err` is a transport failure (device broke, or a frame arrived that
-    /// is impossible under loss-free FIFO delivery).
+    /// is impossible under loss-free FIFO delivery). With the progress
+    /// thread active the device's receive side belongs to that thread, so
+    /// this only surfaces any fatal error it recorded.
     pub(crate) fn poll(&self) -> MpiResult<()> {
+        if self.progress_running() {
+            match self.eng.lock().fatal.clone() {
+                Some(e) => return Err(e),
+                None => return Ok(()),
+            }
+        }
         while let Some(wire) = self.device.try_recv()? {
-            self.eng.borrow_mut().handle_wire(&*self.device, wire)?;
+            self.eng.lock().handle_wire(&*self.device, wire)?;
         }
         // Drain peer-death verdicts from the transport's liveness machine
         // and propagate each into the engine (idempotent per peer).
         while let Some((peer, err)) = self.device.take_failed_peer() {
-            self.eng.borrow_mut().fail_peer(&*self.device, peer, err);
+            self.eng.lock().fail_peer(&*self.device, peer, err);
         }
         Ok(())
     }
 
-    /// Make progress until `done` returns `Some`; blocks on the device
-    /// between frames (bounded by the watchdog, if armed).
+    /// Make progress until `done` returns `Some`. With the progress thread
+    /// active this parks on the condvar; otherwise it drives the device
+    /// from the calling thread, blocking between frames (bounded by the
+    /// watchdog, if armed).
     pub(crate) fn progress_until<T>(
         &self,
         mut done: impl FnMut(&mut Engine) -> Option<T>,
     ) -> MpiResult<T> {
+        if self.progress_running() {
+            let mut eng = self.eng.lock();
+            let mut timer = self.park_timer();
+            loop {
+                if let Some(v) = done(&mut eng) {
+                    return Ok(v);
+                }
+                if let Some(e) = eng.fatal.clone() {
+                    return Err(e);
+                }
+                self.park(&mut eng, &mut timer)?;
+            }
+        }
         loop {
             self.poll()?;
-            if let Some(v) = done(&mut self.eng.borrow_mut()) {
+            if let Some(v) = done(&mut self.eng.lock()) {
                 return Ok(v);
             }
             if let Some(wire) = self.next_wire_blocking()? {
-                self.eng.borrow_mut().handle_wire(&*self.device, wire)?;
+                self.eng.lock().handle_wire(&*self.device, wire)?;
             }
             // `None` means a peer was declared dead instead of a frame
             // arriving; loop so `done` re-evaluates against the requests
@@ -70,25 +138,57 @@ impl Inner {
         }
     }
 
-    /// Block for the next frame. Returns `Ok(None)` when, instead of a
-    /// frame, the transport reported a peer death — the engine has already
-    /// been told, and the caller should re-check its completion condition.
-    /// With the watchdog armed, a silent wire becomes a typed
-    /// [`MpiError::Timeout`] instead of an eternal hang. Both the watchdog
-    /// and failure detection poll rather than park (the reliability
-    /// sublayer's retransmit/heartbeat pump runs from `try_recv`), so the
-    /// parked fast path is kept only for devices that do neither.
+    fn park_timer(&self) -> ParkTimer {
+        ParkTimer {
+            last_epoch: self.epoch.load(Ordering::Acquire),
+            idle_since: self.device.wtime(),
+        }
+    }
+
+    /// Park on the completion condvar for at most one slice, then update
+    /// the waiter's watchdog: progress (an epoch move) resets the idle
+    /// clock; a silent wire past the armed deadline becomes a typed
+    /// [`MpiError::Timeout`].
+    fn park(&self, eng: &mut MutexGuard<'_, Engine>, timer: &mut ParkTimer) -> MpiResult<()> {
+        self.done.wait_for(eng, PARK_SLICE);
+        let epoch = self.epoch.load(Ordering::Acquire);
+        if epoch != timer.last_epoch {
+            timer.last_epoch = epoch;
+            timer.idle_since = self.device.wtime();
+        } else if let Some(limit_us) = self.watchdog_us {
+            let waited_us = (self.device.wtime() - timer.idle_since) * 1e6;
+            if waited_us >= limit_us as f64 {
+                return Err(MpiError::Timeout {
+                    waited_us: waited_us as u64,
+                    context: "progress thread saw no incoming frame while a caller waited".into(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Block for the next frame (caller-driven ranks only). Returns
+    /// `Ok(None)` when, instead of a frame, the transport reported a peer
+    /// death — the engine has already been told, and the caller should
+    /// re-check its completion condition. With the watchdog armed, a
+    /// silent wire becomes a typed [`MpiError::Timeout`] instead of an
+    /// eternal hang. Both the watchdog and failure detection poll rather
+    /// than park (the reliability sublayer's retransmit/heartbeat pump
+    /// runs from `try_recv`), but through a bounded spin-then-yield
+    /// backoff rather than a hot loop; the parked fast path is kept only
+    /// for devices that do neither.
     pub(crate) fn next_wire_blocking(&self) -> MpiResult<Option<crate::packet::Wire>> {
         if self.watchdog_us.is_none() && !self.device.detects_failures() {
             return self.device.recv_blocking().map(Some);
         }
         let t0 = self.device.wtime();
+        let mut spins: u32 = 0;
         loop {
             if let Some(wire) = self.device.try_recv()? {
                 return Ok(Some(wire));
             }
             if let Some((peer, err)) = self.device.take_failed_peer() {
-                self.eng.borrow_mut().fail_peer(&*self.device, peer, err);
+                self.eng.lock().fail_peer(&*self.device, peer, err);
                 return Ok(None);
             }
             if let Some(limit_us) = self.watchdog_us {
@@ -100,7 +200,7 @@ impl Inner {
                     });
                 }
             }
-            std::thread::yield_now();
+            poll_backoff(&mut spins);
         }
     }
 
@@ -110,10 +210,105 @@ impl Inner {
     }
 }
 
+/// Bounded spin-then-yield backoff for caller-driven polling loops: a
+/// short burst of pause hints covers the common sub-microsecond arrival
+/// gap, then every further iteration yields the core. No real-time sleeps
+/// — on virtual-time substrates they would stall the cooperative
+/// scheduler's wall-clock progress without advancing the virtual clock.
+fn poll_backoff(spins: &mut u32) {
+    if *spins < 64 {
+        *spins += 1;
+        for _ in 0..*spins {
+            std::hint::spin_loop();
+        }
+    } else {
+        std::thread::yield_now();
+    }
+}
+
+/// Record `err` as the rank's fatal transport error (first error wins) and
+/// wake every parked waiter to observe it.
+fn record_fatal(inner: &Inner, mut eng: MutexGuard<'_, Engine>, err: MpiError) {
+    if eng.fatal.is_none() {
+        eng.fatal = Some(err);
+    }
+    drop(eng);
+    inner.epoch.fetch_add(1, Ordering::AcqRel);
+    inner.done.notify_all();
+}
+
+/// The background progress loop: the single consumer of the device's
+/// receive side. Drains queued frames and peer-failure verdicts, handles
+/// them under the engine lock, wakes waiters, and parks in
+/// [`Device::recv_timeout`] while idle so the wire stays silent at ~zero
+/// CPU. Transport errors are parked in [`Engine::fatal`] for waiters —
+/// this thread has nowhere else to report them — and end the loop.
+fn progress_loop(inner: &Inner) {
+    while !inner.shutdown.load(Ordering::Acquire) {
+        let mut handled: u64 = 0;
+        // Drain everything already queued, one frame per lock acquisition
+        // so posting threads interleave instead of stalling for a batch.
+        loop {
+            match inner.device.try_recv() {
+                Ok(Some(wire)) => {
+                    let mut eng = inner.eng.lock();
+                    eng.counters.progress_frames += 1;
+                    if let Err(e) = eng.handle_wire(&*inner.device, wire) {
+                        record_fatal(inner, eng, e);
+                        return;
+                    }
+                    handled += 1;
+                }
+                Ok(None) => break,
+                Err(e) => {
+                    record_fatal(inner, inner.eng.lock(), e);
+                    return;
+                }
+            }
+        }
+        while let Some((peer, err)) = inner.device.take_failed_peer() {
+            let mut eng = inner.eng.lock();
+            eng.fail_peer(&*inner.device, peer, err);
+            handled += 1;
+        }
+        if handled > 0 {
+            inner.eng.lock().counters.progress_wakeups += 1;
+            inner.epoch.fetch_add(handled, Ordering::AcqRel);
+            inner.done.notify_all();
+            continue;
+        }
+        // Idle: wait for the next frame with a bounded tick, so shutdown
+        // is prompt and wrapper-device pumps (retransmits, heartbeats)
+        // keep running off the `try_recv` path above.
+        match inner.device.recv_timeout(PROGRESS_TICK) {
+            Ok(Some(wire)) => {
+                let mut eng = inner.eng.lock();
+                eng.counters.progress_frames += 1;
+                eng.counters.progress_wakeups += 1;
+                if let Err(e) = eng.handle_wire(&*inner.device, wire) {
+                    record_fatal(inner, eng, e);
+                    return;
+                }
+                drop(eng);
+                inner.epoch.fetch_add(1, Ordering::AcqRel);
+                inner.done.notify_all();
+            }
+            Ok(None) => {}
+            Err(e) => {
+                record_fatal(inner, inner.eng.lock(), e);
+                return;
+            }
+        }
+    }
+}
+
 /// Per-rank MPI instance. Create one per process (or thread, on the
 /// shared-memory substrate) from a [`Device`], then use [`Mpi::world`].
 pub struct Mpi {
-    inner: Rc<Inner>,
+    inner: Arc<Inner>,
+    /// The rank's background progress thread, when the device supports one
+    /// (see [`Device::supports_background_progress`]); joined on drop.
+    progress: Option<std::thread::JoinHandle<()>>,
 }
 
 impl Mpi {
@@ -131,14 +326,34 @@ impl Mpi {
             config.rndv_window.unwrap_or(d.rndv_window),
         );
         eng.coll.pins = config.coll;
-        Mpi {
-            inner: Rc::new(Inner {
-                device,
-                eng: RefCell::new(eng),
-                watchdog_us: config.progress_timeout_us,
-                world_coll_seq: Rc::new(Cell::new(0)),
-            }),
-        }
+        let background =
+            config.background_progress.unwrap_or(true) && device.supports_background_progress();
+        let rank = device.rank();
+        let inner = Arc::new(Inner {
+            device,
+            eng: Mutex::new(eng),
+            done: Condvar::new(),
+            watchdog_us: config.progress_timeout_us,
+            progress_active: AtomicBool::new(background),
+            shutdown: AtomicBool::new(false),
+            epoch: AtomicU64::new(0),
+            world_coll_seq: Arc::new(AtomicU32::new(0)),
+        });
+        let progress = background.then(|| {
+            let inner = Arc::clone(&inner);
+            std::thread::Builder::new()
+                .name(format!("mpi-progress-{rank}"))
+                .spawn(move || progress_loop(&inner))
+                .expect("failed to spawn progress thread")
+        });
+        Mpi { inner, progress }
+    }
+
+    /// Whether this rank runs a background progress thread (real
+    /// transports) or progresses only inside blocking calls (virtual-time
+    /// substrates, or an explicit config override).
+    pub fn has_progress_thread(&self) -> bool {
+        self.progress.is_some()
     }
 
     /// `MPI_COMM_WORLD`: all ranks.
@@ -148,7 +363,7 @@ impl Mpi {
             inner: self.inner.clone(),
             ctx: 0,
             coll_ctx: 1,
-            group: Rc::new((0..n).collect()),
+            group: Arc::new((0..n).collect()),
             my_local: self.inner.device.rank(),
             coll_seq: self.inner.world_coll_seq.clone(),
         }
@@ -171,7 +386,7 @@ impl Mpi {
 
     /// Attach `capacity` bytes for buffered-mode (`bsend`) sends.
     pub fn buffer_attach(&self, capacity: usize) {
-        self.inner.eng.borrow_mut().buffer_attach(capacity);
+        self.inner.eng.lock().buffer_attach(capacity);
     }
 
     /// Detach the buffered-send space, returning its capacity. As in MPI,
@@ -184,7 +399,7 @@ impl Mpi {
                 None
             }
         })?;
-        self.inner.eng.borrow_mut().buffer_detach()
+        self.inner.eng.lock().buffer_detach()
     }
 
     /// Protocol counters accumulated so far (Table-1 instrumentation).
@@ -192,22 +407,20 @@ impl Mpi {
     /// `match_bins_hwm`) are folded in here so callers see one coherent
     /// snapshot.
     pub fn counters(&self) -> Counters {
-        self.inner.eng.borrow().folded_counters()
+        self.inner.eng.lock().folded_counters()
     }
 
     /// Build a point-in-time [`MetricsSnapshot`]: folded counters plus the
     /// device stack's [`TransportStats`], stamped with the device clock.
     pub fn metrics_snapshot(&self) -> MetricsSnapshot {
-        self.inner
-            .eng
-            .borrow()
-            .metrics_snapshot(&*self.inner.device)
+        self.inner.eng.lock().metrics_snapshot(&*self.inner.device)
     }
 
     /// Install a periodic metrics hook: `cb` fires from frame handling
     /// whenever at least `every_ns` device-clock nanoseconds have passed
     /// since the previous firing. One hook per rank; installing again
-    /// replaces it. The hook must not call back into this `Mpi` handle.
+    /// replaces it. With a background progress thread the hook fires on
+    /// that thread. The hook must not call back into this `Mpi` handle.
     pub fn set_metrics_hook(
         &self,
         every_ns: u64,
@@ -215,7 +428,7 @@ impl Mpi {
     ) {
         self.inner
             .eng
-            .borrow_mut()
+            .lock()
             .set_metrics_hook(&*self.inner.device, every_ns, Box::new(cb));
     }
 
@@ -227,7 +440,7 @@ impl Mpi {
     /// retransmits, injected faults) call [`Device::set_tracer`] on the
     /// device *before* moving it into [`Mpi::new`].
     pub fn set_tracer(&self, tracer: Tracer) {
-        self.inner.eng.borrow_mut().tracer = tracer;
+        self.inner.eng.lock().tracer = tracer;
     }
 
     /// Cumulative reliability / fault-injection statistics from the device
@@ -238,7 +451,7 @@ impl Mpi {
 
     /// The eager/rendezvous crossover in effect.
     pub fn eager_threshold(&self) -> usize {
-        self.inner.eng.borrow().eager_threshold()
+        self.inner.eng.lock().eager_threshold()
     }
 
     /// Drain queued sends and synchronize with all ranks. Call once per
@@ -255,23 +468,37 @@ impl Mpi {
     }
 }
 
+impl Drop for Mpi {
+    fn drop(&mut self) {
+        if let Some(handle) = self.progress.take() {
+            self.inner.shutdown.store(true, Ordering::Release);
+            let _ = handle.join();
+            // Any surviving Communicator/Request handles fall back to
+            // caller-driven progress — the device's receive side has no
+            // owner again, so this cannot race the joined thread.
+            self.inner.progress_active.store(false, Ordering::Release);
+            self.inner.done.notify_all();
+        }
+    }
+}
+
 /// A communicator: an isolated message-passing context over an ordered
 /// group of ranks. All send/receive operations take *communicator-local*
 /// ranks.
 #[derive(Clone)]
 pub struct Communicator {
-    inner: Rc<Inner>,
+    inner: Arc<Inner>,
     ctx: ContextId,
     coll_ctx: ContextId,
     /// Local rank -> global rank, sorted by local rank.
-    group: Rc<Vec<Rank>>,
+    group: Arc<Vec<Rank>>,
     my_local: Rank,
     /// Per-communicator collective sequence number, shared by clones.
     /// Every collective call bumps it on every member, so the (op, seq)
     /// pair in each wire tag advances in lockstep across the group and
     /// back-to-back collectives can never cross-match (see
     /// [`crate::coll::coll_tag`]).
-    coll_seq: Rc<Cell<u32>>,
+    coll_seq: Arc<AtomicU32>,
 }
 
 impl Communicator {
@@ -337,7 +564,7 @@ impl Communicator {
     }
 
     fn take_pending_error(&self) -> MpiResult<()> {
-        match self.inner.eng.borrow_mut().pending_error.take() {
+        match self.inner.eng.lock().pending_error.take() {
             Some(e) => Err(e),
             None => Ok(()),
         }
@@ -347,7 +574,7 @@ impl Communicator {
     /// returns [`MpiError::Revoked`]. Only the fault-tolerant ULFM
     /// operations (`shrink`, `agree`) bypass this, by construction.
     pub(crate) fn check_not_revoked(&self) -> MpiResult<()> {
-        if self.inner.eng.borrow().is_revoked(self.ctx) {
+        if self.inner.eng.lock().is_revoked(self.ctx) {
             Err(MpiError::Revoked { context: self.ctx })
         } else {
             Ok(())
@@ -370,7 +597,7 @@ impl Communicator {
         self.check_not_revoked()?;
         self.take_pending_error()?;
         let dst_g = self.global(dst)?;
-        let mut eng = self.inner.eng.borrow_mut();
+        let mut eng = self.inner.eng.lock();
         // Stage through the engine's reusable pool: the hot eager path
         // allocates nothing once warm.
         let data = eng.stage_payload(buf);
@@ -452,7 +679,7 @@ impl Communicator {
         Ok(self
             .inner
             .eng
-            .borrow_mut()
+            .lock()
             .post_recv(&*self.inner.device, dst, src, tag, ctx))
     }
 
@@ -487,7 +714,7 @@ impl Communicator {
         self.check_not_revoked()?;
         self.take_pending_error()?;
         let dst_g = self.global(dst)?;
-        let mut eng = self.inner.eng.borrow_mut();
+        let mut eng = self.inner.eng.lock();
         let data = eng.stage_payload(buf);
         let id = eng.post_send(&*self.inner.device, dst_g, tag, self.ctx, data, mode)?;
         drop(eng);
@@ -583,7 +810,7 @@ impl Communicator {
         let src_g = self.src_sel(src.into())?;
         let tag = tag.into();
         self.inner.poll()?;
-        let st = self.inner.eng.borrow().probe(src_g, tag, self.ctx);
+        let st = self.inner.eng.lock().probe(src_g, tag, self.ctx);
         Ok(st.map(|s| self.localize(s)))
     }
 
@@ -591,7 +818,7 @@ impl Communicator {
     // Communicator management
     // ------------------------------------------------------------------
 
-    pub(crate) fn inner(&self) -> &Rc<Inner> {
+    pub(crate) fn inner(&self) -> &Arc<Inner> {
         &self.inner
     }
 
@@ -603,15 +830,15 @@ impl Communicator {
         self.coll_ctx
     }
 
-    pub(crate) fn group(&self) -> &Rc<Vec<Rank>> {
+    pub(crate) fn group(&self) -> &Arc<Vec<Rank>> {
         &self.group
     }
 
     pub(crate) fn make(
-        inner: Rc<Inner>,
+        inner: Arc<Inner>,
         ctx: ContextId,
         coll_ctx: ContextId,
-        group: Rc<Vec<Rank>>,
+        group: Arc<Vec<Rank>>,
         my_local: Rank,
     ) -> Communicator {
         Communicator {
@@ -623,16 +850,14 @@ impl Communicator {
             // A fresh communicator starts its collective sequence at zero on
             // every member (dup/split/shrink are collective, so all members
             // construct it together).
-            coll_seq: Rc::new(Cell::new(0)),
+            coll_seq: Arc::new(AtomicU32::new(0)),
         }
     }
 
     /// Bump and return the collective sequence number for the next
     /// collective on this communicator.
     pub(crate) fn next_coll_seq(&self) -> u32 {
-        let s = self.coll_seq.get();
-        self.coll_seq.set(s.wrapping_add(1));
-        s
+        self.coll_seq.fetch_add(1, Ordering::Relaxed)
     }
 
     /// The global (world) ranks of this communicator's group, in local-rank
@@ -653,8 +878,8 @@ enum ReqHandle {
 /// waiting blocks until it completes (receives must not dangle).
 pub struct Request<'buf> {
     state: ReqHandle,
-    inner: Rc<Inner>,
-    group: Rc<Vec<Rank>>,
+    inner: Arc<Inner>,
+    group: Arc<Vec<Rank>>,
     _buf: PhantomData<&'buf mut [u8]>,
 }
 
@@ -670,7 +895,8 @@ impl Request<'_> {
         }
     }
 
-    /// `MPI_Wait`: block until complete, consuming the request.
+    /// `MPI_Wait`: block until complete, consuming the request. Parks on
+    /// the progress thread's condvar on real transports — no polling.
     pub fn wait(mut self) -> MpiResult<Status> {
         match std::mem::replace(&mut self.state, ReqHandle::Consumed) {
             ReqHandle::Active(id) => {
@@ -682,13 +908,14 @@ impl Request<'_> {
     }
 
     /// `MPI_Test`: if complete, return the status (consuming the
-    /// completion); otherwise `None`. Polls the device without blocking.
+    /// completion); otherwise `None`. Never blocks; on caller-driven ranks
+    /// it also polls the device.
     pub fn test(&mut self) -> MpiResult<Option<Status>> {
         let ReqHandle::Active(id) = self.state else {
             return Err(MpiError::RequestConsumed);
         };
         self.inner.poll()?;
-        match self.inner.eng.borrow_mut().reqs.take_if_done(id) {
+        match self.inner.eng.lock().reqs.take_if_done(id) {
             Some(result) => {
                 self.state = ReqHandle::Consumed;
                 result.map(|st| Some(self.localize(st)))
@@ -703,7 +930,7 @@ impl Request<'_> {
     pub fn cancel(mut self) -> MpiResult<bool> {
         match std::mem::replace(&mut self.state, ReqHandle::Consumed) {
             ReqHandle::Active(id) => {
-                if self.inner.eng.borrow_mut().cancel(id) {
+                if self.inner.eng.lock().cancel(id) {
                     Ok(true)
                 } else {
                     self.inner.wait_request(id)?;
@@ -725,7 +952,7 @@ impl Drop for Request<'_> {
         if let ReqHandle::Active(id) = self.state {
             // A receive must complete (or be cancelled) before its buffer
             // borrow ends, or the engine would hold a dangling pointer.
-            if !self.inner.eng.borrow_mut().cancel(id) {
+            if !self.inner.eng.lock().cancel(id) {
                 let _ = self.inner.wait_request(id);
             }
         }
@@ -738,9 +965,40 @@ pub fn wait_all(reqs: Vec<Request<'_>>) -> MpiResult<Vec<Status>> {
 }
 
 /// `MPI_Waitany`: block until some request completes; returns its index and
-/// status, removing it from the vector.
+/// status, removing it from the vector. Parks on the progress thread's
+/// condvar on real transports; drives the device itself on caller-driven
+/// substrates.
 pub fn wait_any(reqs: &mut Vec<Request<'_>>) -> MpiResult<(usize, Status)> {
     assert!(!reqs.is_empty(), "wait_any on empty request list");
+    let inner = reqs[0].inner.clone();
+    if inner.progress_running() {
+        let mut timer = inner.park_timer();
+        loop {
+            // Find a completed request under the lock, then consume it
+            // through its own handle (which re-locks) so the consume path
+            // is shared with `test`.
+            let ready = {
+                let mut eng = inner.eng.lock();
+                if let Some(e) = eng.fatal.clone() {
+                    return Err(e);
+                }
+                let found = reqs.iter().position(|r| match r.state {
+                    ReqHandle::Active(id) => eng.reqs.get(id).is_some_and(ReqState::is_done),
+                    ReqHandle::Consumed => false,
+                });
+                if found.is_none() {
+                    inner.park(&mut eng, &mut timer)?;
+                }
+                found
+            };
+            if let Some(i) = ready {
+                if let Some(st) = reqs[i].test()? {
+                    let _ = reqs.remove(i);
+                    return Ok((i, st));
+                }
+            }
+        }
+    }
     loop {
         for i in 0..reqs.len() {
             if let Some(st) = reqs[i].test()? {
@@ -751,9 +1009,8 @@ pub fn wait_any(reqs: &mut Vec<Request<'_>>) -> MpiResult<(usize, Status)> {
         // Nothing ready: block on the device through the first request.
         // `None` (a peer died) falls through to re-test — the failure may
         // have completed one of the requests.
-        let inner = reqs[0].inner.clone();
         if let Some(wire) = inner.next_wire_blocking()? {
-            inner.eng.borrow_mut().handle_wire(&*inner.device, wire)?;
+            inner.eng.lock().handle_wire(&*inner.device, wire)?;
         }
     }
 }
@@ -766,7 +1023,7 @@ pub fn test_all(reqs: &mut [Request<'_>]) -> MpiResult<Option<Vec<Status>>> {
     }
     reqs[0].inner.poll()?;
     {
-        let eng = reqs[0].inner.eng.borrow();
+        let eng = reqs[0].inner.eng.lock();
         let all_done = reqs.iter().all(|r| match r.state {
             ReqHandle::Active(id) => eng.reqs.get(id).is_some_and(ReqState::is_done),
             ReqHandle::Consumed => false,

@@ -15,13 +15,24 @@ use crate::types::Status;
 /// The pointer originates from a `&mut [u8]` whose borrow is held for the
 /// lifetime of the owning `Request` (enforced by the lifetime parameter on
 /// the public `Request` type, and by `Request::drop` blocking until
-/// completion). The engine writes through it at most once, before marking
-/// the request done, from the single thread that owns the rank.
+/// completion). The engine writes through it before marking the request
+/// done — at most once per byte range (a chunked rendezvous writes each
+/// disjoint chunk once) — and always while holding the rank's engine
+/// mutex. The application thread never touches the buffer between posting
+/// the receive and observing completion (the borrow forbids it), so moving
+/// the pointer to the background progress thread creates no aliasing: all
+/// writes happen-before the completion the waiter reads under the same
+/// mutex.
 #[derive(Debug, Clone, Copy)]
 pub(crate) struct RecvDest {
     pub ptr: *mut u8,
     pub cap: usize,
 }
+
+// SAFETY: see the type-level contract — the engine (behind `Mutex<Engine>`)
+// is the only writer, the buffer's `&mut` borrow outlives the request, and
+// completion is published under the same mutex the writes happened under.
+unsafe impl Send for RecvDest {}
 
 impl RecvDest {
     /// Copy `data` into the destination, clamping to capacity. Returns the

@@ -37,7 +37,7 @@
 //! * The agreement decides on *observed* failures; a rank that dies after
 //!   phase 2 is simply material for the next round.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use crate::collectives::T_AGREE;
 use crate::error::{MpiError, MpiResult};
@@ -64,7 +64,7 @@ impl Communicator {
     /// them.
     pub fn failed_ranks(&self) -> MpiResult<Vec<Rank>> {
         self.inner().poll()?;
-        let eng = self.inner().eng.borrow();
+        let eng = self.inner().eng.lock();
         Ok(self
             .group_ranks()
             .iter()
@@ -86,12 +86,12 @@ impl Communicator {
     pub fn revoke(&self) -> MpiResult<()> {
         let inner = self.inner();
         inner.poll()?;
-        if !inner.eng.borrow_mut().mark_revoked(self.ctx()) {
+        if !inner.eng.lock().mark_revoked(self.ctx()) {
             return Ok(()); // already revoked: nothing to flood
         }
         let me = self.global(self.rank())?;
         let targets: Vec<Rank> = {
-            let eng = inner.eng.borrow();
+            let eng = inner.eng.lock();
             self.group_ranks()
                 .iter()
                 .copied()
@@ -155,12 +155,12 @@ impl Communicator {
         // The agreed counter is the max over all members, so `base` and
         // `base + 1` are fresh everywhere; advance past them in lockstep.
         let base = next as u32;
-        self.inner().eng.borrow_mut().next_context = base.wrapping_add(2);
+        self.inner().eng.lock().next_context = base.wrapping_add(2);
         Ok(Communicator::make(
-            Rc::clone(self.inner()),
+            Arc::clone(self.inner()),
             base,
             base.wrapping_add(1),
-            Rc::new(survivors),
+            Arc::new(survivors),
             my_local,
         ))
     }
@@ -171,7 +171,7 @@ impl Communicator {
 
     /// Local failure knowledge as a per-local-rank bitmask.
     fn local_failed_mask(&self) -> u64 {
-        let eng = self.inner().eng.borrow();
+        let eng = self.inner().eng.lock();
         let mut mask = 0u64;
         for (local, &g) in self.group_ranks().iter().enumerate() {
             if eng.is_failed(g) {
@@ -187,8 +187,8 @@ impl Communicator {
     fn apply_failures(&self, mask: u64) -> MpiResult<()> {
         let inner = self.inner();
         for (local, &g) in self.group_ranks().iter().enumerate() {
-            if mask & (1u64 << local) != 0 && !inner.eng.borrow().is_failed(g) {
-                inner.eng.borrow_mut().fail_peer(
+            if mask & (1u64 << local) != 0 && !inner.eng.lock().is_failed(g) {
+                inner.eng.lock().fail_peer(
                     &*inner.device,
                     g,
                     MpiError::peer_failed(g, "failure learned through fault-tolerant agreement"),
@@ -201,7 +201,7 @@ impl Communicator {
     /// Advance the context allocator to the agreed watermark so the next
     /// communicator-creating call picks ids fresh on every member.
     fn bump_next_context(&self, next: u64) {
-        let mut eng = self.inner().eng.borrow_mut();
+        let mut eng = self.inner().eng.lock();
         eng.next_context = eng.next_context.max(next as u32);
     }
 
@@ -227,7 +227,7 @@ impl Communicator {
                     "every rank in the communicator is marked failed, including this one",
                 ));
             };
-            let my_next = u64::from(self.inner().eng.borrow().next_context);
+            let my_next = u64::from(self.inner().eng.lock().next_context);
             if me == coord {
                 return self.ft_coordinate([my_flags, known, my_next]);
             }
@@ -239,7 +239,7 @@ impl Communicator {
                     return Ok((flags, mask | self.local_failed_mask(), next));
                 }
                 Err(MpiError::PeerFailed { .. })
-                    if self.inner().eng.borrow().is_failed(self.global(coord)?) =>
+                    if self.inner().eng.lock().is_failed(self.global(coord)?) =>
                 {
                     continue; // coordinator died: rerun with the next candidate
                 }
@@ -293,7 +293,7 @@ impl Communicator {
         let dst = self.global(dst_local)?;
         let inner = self.inner();
         let id = {
-            let mut eng = inner.eng.borrow_mut();
+            let mut eng = inner.eng.lock();
             let data = eng.stage_payload(triple.as_slice());
             eng.post_send(
                 &*inner.device,
@@ -316,7 +316,7 @@ impl Communicator {
             ptr: triple.as_mut_ptr().cast::<u8>(),
             cap: TRIPLE_BYTES,
         };
-        let id = inner.eng.borrow_mut().post_recv(
+        let id = inner.eng.lock().post_recv(
             &*inner.device,
             dst,
             SourceSel::Rank(src),
@@ -334,7 +334,7 @@ impl Communicator {
                 // `wait_request` returns its error; a progress-loop error
                 // (e.g. watchdog timeout) may leave it live and pointing
                 // at `triple` — cancel before the buffer unwinds.
-                inner.eng.borrow_mut().cancel(id);
+                inner.eng.lock().cancel(id);
                 Err(e)
             }
         }
@@ -359,7 +359,7 @@ mod tests {
     /// Declare `peer` dead on this rank, as the liveness layer would.
     fn kill(world: &Communicator, peer: Rank) {
         let inner = world.inner();
-        inner.eng.borrow_mut().fail_peer(
+        inner.eng.lock().fail_peer(
             &*inner.device,
             peer,
             MpiError::peer_failed(peer, "test kill"),
@@ -386,7 +386,7 @@ mod tests {
         assert_eq!(shrunk.group_ranks(), &[1], "global identity preserved");
         assert_ne!(shrunk.ctx(), world.ctx());
         assert_eq!(shrunk.coll_ctx(), shrunk.ctx() + 1);
-        let next = world.inner().eng.borrow().next_context;
+        let next = world.inner().eng.lock().next_context;
         assert!(
             next > shrunk.coll_ctx(),
             "context allocator advanced past the new communicator"
@@ -419,7 +419,7 @@ mod tests {
     /// Forwarding device that shares the underlying [`Loopback`] with the
     /// test, so frames recorded in `sent` stay inspectable after the
     /// device moves into [`Mpi::new`].
-    struct Shared(std::rc::Rc<Loopback>);
+    struct Shared(std::sync::Arc<Loopback>);
 
     impl crate::device::Device for Shared {
         fn rank(&self) -> Rank {
@@ -450,16 +450,16 @@ mod tests {
 
     #[test]
     fn revoke_floods_live_members_once_and_skips_the_dead() {
-        let fabric = std::rc::Rc::new(Loopback::new(0, 3));
+        let fabric = std::sync::Arc::new(Loopback::new(0, 3));
         let m = Mpi::new(
-            Box::new(Shared(std::rc::Rc::clone(&fabric))),
+            Box::new(Shared(std::sync::Arc::clone(&fabric))),
             MpiConfig::device_defaults(),
         );
         let world = m.world();
         kill(&world, 2);
         world.revoke().unwrap();
         {
-            let eng = world.inner().eng.borrow();
+            let eng = world.inner().eng.lock();
             assert!(eng.is_revoked(world.ctx()));
             assert!(eng.is_revoked(world.coll_ctx()));
         }

@@ -754,6 +754,26 @@ impl<D: Device> Device for ReliableDevice<D> {
         }
     }
 
+    fn recv_timeout(&self, timeout: std::time::Duration) -> MpiResult<Option<Wire>> {
+        // Same constraint as `recv_blocking`: the retransmit/heartbeat
+        // pump rides `try_recv`, so wait in short sleep slices instead of
+        // blocking inside the inner device.
+        let deadline = std::time::Instant::now() + timeout;
+        loop {
+            if let Some(w) = self.try_recv()? {
+                return Ok(Some(w));
+            }
+            if std::time::Instant::now() >= deadline {
+                return Ok(None);
+            }
+            std::thread::sleep(std::time::Duration::from_micros(50));
+        }
+    }
+
+    fn supports_background_progress(&self) -> bool {
+        self.inner.supports_background_progress()
+    }
+
     fn charge(&self, cost: Cost) {
         self.inner.charge(cost);
     }

@@ -8,7 +8,7 @@
 
 use std::time::Instant;
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use lmpi_core::{Device, DeviceDefaults, Mpi, MpiConfig, MpiError, MpiResult, Rank, Wire};
 use lmpi_obs::Tracer;
 
@@ -81,6 +81,20 @@ impl Device for ShmDevice {
         self.rx
             .recv()
             .map_err(|_| MpiError::transport("shm fabric torn down while receiving"))
+    }
+
+    fn recv_timeout(&self, timeout: std::time::Duration) -> MpiResult<Option<Wire>> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(w) => Ok(Some(w)),
+            Err(RecvTimeoutError::Timeout) => Ok(None),
+            Err(RecvTimeoutError::Disconnected) => {
+                Err(MpiError::transport("shm fabric torn down while receiving"))
+            }
+        }
+    }
+
+    fn supports_background_progress(&self) -> bool {
+        true
     }
 
     fn wtime(&self) -> f64 {

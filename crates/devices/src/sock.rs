@@ -18,7 +18,7 @@ use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::{Arc, Barrier};
 use std::time::{Duration, Instant};
 
-use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender, TryRecvError};
 use lmpi_core::{Cost, Device, DeviceDefaults, Mpi, MpiConfig, MpiError, MpiResult, Rank, Wire};
 use lmpi_netmodel::ip::{Fabric, ReliableDgram, SockFabric, SockNode};
 use lmpi_netmodel::params::{AtmParams, CpuParams, EthParams, SocketParams};
@@ -38,7 +38,7 @@ pub const MPI_READS_PER_MSG: u32 = 2;
 pub const MATCH_US: f64 = 35.0;
 
 /// Message transport abstraction under the sockets device.
-pub trait MsgChannel: Send {
+pub trait MsgChannel: Send + Sync {
     /// Transmit `wire`, whose on-the-wire size is `nbytes`.
     fn send(&self, dst: Rank, wire: Wire, nbytes: usize);
     /// Non-blocking receive; `Err` reports a broken transport (peer
@@ -46,6 +46,27 @@ pub trait MsgChannel: Send {
     fn try_recv(&self) -> MpiResult<Option<Wire>>;
     /// Blocking receive, or a transport failure.
     fn recv_blocking(&self) -> MpiResult<Wire>;
+    /// Receive with a bounded wait; `Ok(None)` on timeout. Only called on
+    /// channels that support a background progress thread, so the default
+    /// polling fallback never runs against a virtual clock.
+    fn recv_timeout(&self, timeout: Duration) -> MpiResult<Option<Wire>> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            if let Some(w) = self.try_recv()? {
+                return Ok(Some(w));
+            }
+            if Instant::now() >= deadline {
+                return Ok(None);
+            }
+            std::thread::yield_now();
+        }
+    }
+    /// Whether a background progress thread may own this channel's receive
+    /// side (real transports only; simulated channels advance a virtual
+    /// clock owned by the calling rank's cooperative scheduler).
+    fn supports_background_progress(&self) -> bool {
+        false
+    }
     /// Charge `us` microseconds of local CPU (no-op on real transports).
     fn charge_us(&self, _us: f64) {}
     /// Elapsed seconds.
@@ -117,6 +138,14 @@ impl<C: MsgChannel> Device for SockDevice<C> {
 
     fn recv_blocking(&self) -> MpiResult<Wire> {
         self.chan.recv_blocking()
+    }
+
+    fn recv_timeout(&self, timeout: Duration) -> MpiResult<Option<Wire>> {
+        self.chan.recv_timeout(timeout)
+    }
+
+    fn supports_background_progress(&self) -> bool {
+        self.chan.supports_background_progress()
     }
 
     fn charge(&self, cost: Cost) {
@@ -389,7 +418,10 @@ pub fn connect_with_backoff(addr: SocketAddr, timeout: Duration) -> std::io::Res
 }
 
 /// Accept with a deadline: a peer that died before dialing in must not
-/// hang mesh setup forever.
+/// hang mesh setup forever. The accepted stream is left **nonblocking**:
+/// accepted sockets don't inherit the listener's flag, and flipping them
+/// back to blocking is exactly the bug that let one peer stalled mid-frame
+/// wedge every other peer's reader.
 fn accept_with_deadline(
     listener: &TcpListener,
     timeout: Duration,
@@ -399,7 +431,7 @@ fn accept_with_deadline(
     loop {
         match listener.accept() {
             Ok((stream, addr)) => {
-                stream.set_nonblocking(false)?;
+                stream.set_nonblocking(true)?;
                 return Ok((stream, addr));
             }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
@@ -416,10 +448,73 @@ fn accept_with_deadline(
     }
 }
 
+/// `read_exact` against a nonblocking stream, polling until `timeout`:
+/// used for the tiny handshake id, before the stream joins the mesh
+/// reader.
+fn read_exact_deadline(
+    stream: &mut TcpStream,
+    buf: &mut [u8],
+    timeout: Duration,
+) -> std::io::Result<()> {
+    let deadline = Instant::now() + timeout;
+    let mut filled = 0;
+    while filled < buf.len() {
+        match stream.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "peer closed during handshake",
+                ))
+            }
+            Ok(n) => filled += n,
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::Interrupted =>
+            {
+                if Instant::now() >= deadline {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::TimedOut,
+                        "timed out reading handshake id",
+                    ));
+                }
+                std::thread::sleep(Duration::from_micros(200));
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
+}
+
+/// `write_all` against a nonblocking stream (the reader half shares the
+/// fd's nonblocking flag): retry `WouldBlock` until the kernel buffer
+/// drains. The remote's mesh reader always drains its socket, so a full
+/// buffer is transient backpressure, not deadlock.
+fn write_all_nonblocking(stream: &mut TcpStream, mut buf: &[u8]) -> std::io::Result<()> {
+    while !buf.is_empty() {
+        match stream.write(buf) {
+            Ok(0) => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::WriteZero,
+                    "wrote zero bytes to peer socket",
+                ))
+            }
+            Ok(n) => buf = &buf[n..],
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => std::thread::yield_now(),
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
+}
+
 /// Real `std::net` TCP channel: a full mesh of loopback connections with
-/// one reader thread per peer feeding a frame queue. Reader threads report
-/// transport failures (disconnect mid-frame, corrupt framing) through the
-/// queue so the rank fails with a typed error instead of panicking.
+/// **one readiness-loop reader thread per rank** sweeping every peer's
+/// nonblocking socket and reassembling partial frames per peer, feeding
+/// one frame queue. A peer stalled mid-frame parks bytes in its own
+/// reassembly buffer without blocking anyone else's traffic. The reader
+/// reports transport failures (disconnect mid-frame, corrupt framing)
+/// through the queue so the rank fails with a typed error instead of
+/// panicking.
 pub struct RealTcpChannel {
     writers: Vec<Option<Mutex<TcpStream>>>,
     rx: Receiver<MpiResult<Wire>>,
@@ -446,9 +541,13 @@ impl RealTcpChannel {
 
         let (tx, rx) = unbounded();
         let mut writers: Vec<Option<Mutex<TcpStream>>> = (0..nprocs).map(|_| None).collect();
+        let mut reader_halves: Vec<(Rank, TcpStream)> = Vec::with_capacity(nprocs - 1);
 
         // Deterministic handshake: connect to every lower rank, accept from
-        // every higher rank. Each connector announces its rank first.
+        // every higher rank. Each connector announces its rank first, while
+        // its stream is still blocking; every stream then goes nonblocking
+        // for the rank's single readiness-loop reader (the writer half
+        // shares the fd, hence `write_all_nonblocking` on the send path).
         for peer in 0..rank {
             let addr = rendezvous.addrs.lock()[peer].ok_or_else(|| {
                 std::io::Error::other("peer address missing after rendezvous barrier")
@@ -456,18 +555,20 @@ impl RealTcpChannel {
             let mut stream = connect_with_backoff(addr, CONNECT_TIMEOUT)?;
             stream.set_nodelay(true)?;
             stream.write_all(&(rank as u32).to_le_bytes())?;
-            spawn_reader(stream.try_clone()?, tx.clone());
+            stream.set_nonblocking(true)?;
+            reader_halves.push((peer, stream.try_clone()?));
             writers[peer] = Some(Mutex::new(stream));
         }
         for _ in rank + 1..nprocs {
             let (mut stream, _) = accept_with_deadline(&listener, CONNECT_TIMEOUT)?;
             stream.set_nodelay(true)?;
             let mut id = [0u8; 4];
-            stream.read_exact(&mut id)?;
+            read_exact_deadline(&mut stream, &mut id, CONNECT_TIMEOUT)?;
             let peer = u32::from_le_bytes(id) as usize;
-            spawn_reader(stream.try_clone()?, tx.clone());
+            reader_halves.push((peer, stream.try_clone()?));
             writers[peer] = Some(Mutex::new(stream));
         }
+        spawn_mesh_reader(rank, reader_halves, tx.clone());
         Ok(RealTcpChannel {
             writers,
             loopback_tx: tx,
@@ -498,48 +599,181 @@ pub struct TcpRendezvous {
 /// framing, not a real message.
 const MAX_FRAME_BYTES: usize = 1 << 30;
 
-fn spawn_reader(mut stream: TcpStream, tx: Sender<MpiResult<Wire>>) {
-    std::thread::spawn(move || {
-        loop {
-            let mut len = [0u8; 4];
-            if stream.read_exact(&mut len).is_err() {
-                // EOF at a frame boundary: the peer finished its program
-                // and closed cleanly — benign, as ranks exit at different
-                // times.
-                return;
-            }
-            let n = u32::from_le_bytes(len) as usize;
-            if n > MAX_FRAME_BYTES {
-                let _ = tx.send(Err(MpiError::transport(format!(
-                    "corrupt framing: {n}-byte length word"
-                ))));
-                return;
-            }
-            let mut buf = vec![0u8; n];
-            if let Err(e) = stream.read_exact(&mut buf) {
-                // Disconnect *mid-frame* is a real failure: the peer died
-                // with a message half-sent.
-                let _ = tx.send(Err(MpiError::transport(format!(
-                    "peer disconnected mid-frame: {e}"
-                ))));
-                return;
-            }
-            match codec::decode(&buf) {
-                Ok((wire, _)) => {
-                    if tx.send(Ok(wire)).is_err() {
-                        return;
-                    }
+/// One peer's slot in the mesh reader: its nonblocking stream plus the
+/// reassembly buffer holding bytes of a frame still arriving. Buffers are
+/// strictly per-peer, so a slow or stalled peer parks its partial frame
+/// here while every other peer's frames keep flowing.
+struct PeerConn {
+    peer: Rank,
+    stream: TcpStream,
+    /// Received-but-unparsed bytes: zero or more complete frames' worth is
+    /// never retained (they decode immediately), so this holds at most one
+    /// partial frame plus its 4-byte length prefix.
+    buf: Vec<u8>,
+}
+
+/// What one sweep of a peer's socket produced.
+enum SweepOutcome {
+    /// Bytes arrived (frames may have been delivered).
+    Progress,
+    /// Nothing readable right now.
+    Idle,
+    /// Connection finished (clean EOF) or failed (error already queued);
+    /// drop the slot either way.
+    Closed,
+}
+
+/// Spawn the rank's single mesh-reader thread: a readiness loop sweeping
+/// every peer's nonblocking socket, decoding complete frames into `tx` and
+/// leaving partial frames in per-peer reassembly buffers. Replaces the
+/// thread-per-peer blocking readers: one thread serves the whole mesh, and
+/// no peer's stall can wedge another's traffic.
+fn spawn_mesh_reader(rank: Rank, conns: Vec<(Rank, TcpStream)>, tx: Sender<MpiResult<Wire>>) {
+    let conns: Vec<PeerConn> = conns
+        .into_iter()
+        .map(|(peer, stream)| PeerConn {
+            peer,
+            stream,
+            buf: Vec::new(),
+        })
+        .collect();
+    std::thread::Builder::new()
+        .name(format!("tcp-mesh-reader-{rank}"))
+        .spawn(move || run_mesh_reader(conns, tx))
+        .expect("failed to spawn mesh reader thread");
+}
+
+fn run_mesh_reader(mut conns: Vec<PeerConn>, tx: Sender<MpiResult<Wire>>) {
+    let mut scratch = vec![0u8; 64 << 10];
+    let mut idle_rounds: u32 = 0;
+    while !conns.is_empty() {
+        let mut progressed = false;
+        let mut i = 0;
+        while i < conns.len() {
+            match sweep_peer(&mut conns[i], &mut scratch, &tx) {
+                SweepOutcome::Progress => {
+                    progressed = true;
+                    i += 1;
                 }
-                Err(e) => {
-                    let _ = tx.send(Err(MpiError::transport(format!(
-                        "corrupt frame on real TCP channel: {}",
-                        e.0
-                    ))));
-                    return;
+                SweepOutcome::Idle => i += 1,
+                SweepOutcome::Closed => {
+                    conns.swap_remove(i);
                 }
             }
         }
-    });
+        if progressed {
+            idle_rounds = 0;
+        } else {
+            idle_rounds = idle_rounds.saturating_add(1);
+            idle_backoff(idle_rounds);
+        }
+    }
+}
+
+/// Adaptive idle backoff for the readiness loop: spin briefly (frames often
+/// arrive back-to-back), then yield, then sleep — bursty traffic stays at
+/// spin latency while a quiet mesh costs ~no CPU.
+fn idle_backoff(idle_rounds: u32) {
+    if idle_rounds < 64 {
+        std::hint::spin_loop();
+    } else if idle_rounds < 256 {
+        std::thread::yield_now();
+    } else {
+        std::thread::sleep(Duration::from_micros(200));
+    }
+}
+
+/// Read whatever `conn`'s socket has ready and deliver every complete
+/// frame. Transport failures (mid-frame disconnect, corrupt framing) are
+/// reported through `tx`; a clean EOF at a frame boundary is benign, as
+/// ranks exit at different times.
+fn sweep_peer(
+    conn: &mut PeerConn,
+    scratch: &mut [u8],
+    tx: &Sender<MpiResult<Wire>>,
+) -> SweepOutcome {
+    match conn.stream.read(scratch) {
+        Ok(0) => {
+            if conn.buf.is_empty() {
+                SweepOutcome::Closed
+            } else {
+                let _ = tx.send(Err(MpiError::transport(format!(
+                    "peer {} disconnected mid-frame with {} bytes buffered",
+                    conn.peer,
+                    conn.buf.len()
+                ))));
+                SweepOutcome::Closed
+            }
+        }
+        Ok(n) => {
+            conn.buf.extend_from_slice(&scratch[..n]);
+            if drain_frames(conn, tx) {
+                SweepOutcome::Progress
+            } else {
+                SweepOutcome::Closed
+            }
+        }
+        Err(e)
+            if e.kind() == std::io::ErrorKind::WouldBlock
+                || e.kind() == std::io::ErrorKind::Interrupted =>
+        {
+            SweepOutcome::Idle
+        }
+        Err(e) => {
+            // A reset at a frame boundary is the nonblocking shape of the
+            // benign close; mid-frame it is a real failure.
+            if !conn.buf.is_empty() {
+                let _ = tx.send(Err(MpiError::transport(format!(
+                    "peer {} disconnected mid-frame: {e}",
+                    conn.peer
+                ))));
+            }
+            SweepOutcome::Closed
+        }
+    }
+}
+
+/// Decode every complete frame in `conn.buf`, leaving any trailing partial
+/// frame for the next sweep. Returns `false` when the stream is corrupt
+/// (error already queued) and the connection should be dropped.
+fn drain_frames(conn: &mut PeerConn, tx: &Sender<MpiResult<Wire>>) -> bool {
+    let mut consumed = 0;
+    loop {
+        let rest = &conn.buf[consumed..];
+        if rest.len() < 4 {
+            break;
+        }
+        let n = u32::from_le_bytes(rest[..4].try_into().expect("4-byte slice")) as usize;
+        if n > MAX_FRAME_BYTES {
+            let _ = tx.send(Err(MpiError::transport(format!(
+                "corrupt framing from peer {}: {n}-byte length word",
+                conn.peer
+            ))));
+            return false;
+        }
+        if rest.len() < 4 + n {
+            break;
+        }
+        match codec::decode(&rest[4..4 + n]) {
+            Ok((wire, _)) => {
+                if tx.send(Ok(wire)).is_err() {
+                    return false;
+                }
+            }
+            Err(e) => {
+                let _ = tx.send(Err(MpiError::transport(format!(
+                    "corrupt frame on real TCP channel from peer {}: {}",
+                    conn.peer, e.0
+                ))));
+                return false;
+            }
+        }
+        consumed += 4 + n;
+    }
+    if consumed > 0 {
+        conn.buf.drain(..consumed);
+    }
+    true
 }
 
 impl MsgChannel for RealTcpChannel {
@@ -553,7 +787,8 @@ impl MsgChannel for RealTcpChannel {
                 // Peer teardown while trailing credits are in flight is
                 // benign, as in the shm device; a genuinely dead peer is
                 // detected on the receive path (or by the watchdog).
-                let _ = s.write_all(&len).and_then(|_| s.write_all(&buf));
+                let _ = write_all_nonblocking(&mut s, &len)
+                    .and_then(|_| write_all_nonblocking(&mut s, &buf));
             }
             None => {
                 // Self-send: short-circuit into our own frame queue.
@@ -576,6 +811,20 @@ impl MsgChannel for RealTcpChannel {
         self.rx
             .recv()
             .map_err(|_| MpiError::transport("frame queue closed: all readers gone"))?
+    }
+
+    fn recv_timeout(&self, timeout: Duration) -> MpiResult<Option<Wire>> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(res) => res.map(Some),
+            Err(RecvTimeoutError::Timeout) => Ok(None),
+            Err(RecvTimeoutError::Disconnected) => {
+                Err(MpiError::transport("frame queue closed: all readers gone"))
+            }
+        }
+    }
+
+    fn supports_background_progress(&self) -> bool {
+        true
     }
 
     fn wtime(&self) -> f64 {
@@ -741,6 +990,63 @@ mod tests {
         })
         .unwrap();
         assert_eq!(results, vec![0, 1]);
+    }
+
+    fn tcp_pair() -> (TcpStream, TcpStream) {
+        let l = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = l.local_addr().unwrap();
+        let client = TcpStream::connect(addr).unwrap();
+        let (server, _) = l.accept().unwrap();
+        (client, server)
+    }
+
+    /// The satellite bug: accepted streams flipped back to blocking meant
+    /// one peer stalling mid-frame wedged the reader for everyone. The
+    /// mesh reader must keep delivering other peers' frames while one
+    /// peer sits on a half-sent frame, then deliver the stalled frame once
+    /// its tail finally arrives.
+    #[test]
+    fn stalled_peer_does_not_wedge_other_peers() {
+        let (mut a_send, a_read) = tcp_pair();
+        let (mut b_send, b_read) = tcp_pair();
+        a_read.set_nonblocking(true).unwrap();
+        b_read.set_nonblocking(true).unwrap();
+        let (tx, rx) = unbounded();
+        spawn_mesh_reader(0, vec![(1, a_read), (2, b_read)], tx);
+
+        // Peer A sends the length word and only half the frame body, then
+        // goes silent mid-frame.
+        let frame_a = codec::encode(&Wire::bare(1, lmpi_core::Packet::Credit));
+        a_send
+            .write_all(&(frame_a.len() as u32).to_le_bytes())
+            .unwrap();
+        a_send.write_all(&frame_a[..frame_a.len() / 2]).unwrap();
+
+        // Peer B keeps sending complete frames; every one must arrive
+        // while A is stalled.
+        let frame_b = codec::encode(&Wire::bare(2, lmpi_core::Packet::Credit));
+        for _ in 0..8 {
+            b_send
+                .write_all(&(frame_b.len() as u32).to_le_bytes())
+                .unwrap();
+            b_send.write_all(&frame_b).unwrap();
+        }
+        for k in 0..8 {
+            let wire = rx
+                .recv_timeout(Duration::from_secs(5))
+                .unwrap_or_else(|_| panic!("frame {k} from the live peer never arrived"))
+                .unwrap();
+            assert_eq!(wire.src, 2, "only B's frames can arrive while A stalls");
+        }
+
+        // A wakes up and sends the rest: per-peer reassembly finishes the
+        // parked frame.
+        a_send.write_all(&frame_a[frame_a.len() / 2..]).unwrap();
+        let wire = rx
+            .recv_timeout(Duration::from_secs(5))
+            .expect("stalled frame should complete once its tail arrives")
+            .unwrap();
+        assert_eq!(wire.src, 1);
     }
 
     #[test]

@@ -380,6 +380,26 @@ impl Device for UdpDevice {
         }
     }
 
+    fn recv_timeout(&self, timeout: std::time::Duration) -> MpiResult<Option<Wire>> {
+        // The socket is nonblocking (eviction scans must run between
+        // datagrams), so wait in short sleep slices rather than blocking
+        // in the kernel.
+        let deadline = Instant::now() + timeout;
+        loop {
+            if let Some(w) = self.try_recv()? {
+                return Ok(Some(w));
+            }
+            if Instant::now() >= deadline {
+                return Ok(None);
+            }
+            std::thread::sleep(std::time::Duration::from_micros(50));
+        }
+    }
+
+    fn supports_background_progress(&self) -> bool {
+        true
+    }
+
     fn wtime(&self) -> f64 {
         self.t0.elapsed().as_secs_f64()
     }
