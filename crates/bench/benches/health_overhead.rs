@@ -1,0 +1,56 @@
+//! Live-health overhead on the shm hot path: the same 64-byte ping-pong
+//! with health accounting disabled versus enabled (the default). Enabled
+//! health adds two device-clock reads per blocking operation plus one
+//! mutex-guarded window insert per completion; the progress thread pays
+//! a few clock reads per wakeup. `bench_gate` bounds the
+//! enabled/disabled ratio so observability cannot tax the data path.
+
+use std::time::{Duration, Instant};
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lmpi_core::MpiConfig;
+use lmpi_devices::shm::{run_devices, ShmDevice};
+
+const NBYTES: usize = 64;
+
+fn pingpong_duration(health: bool, iters: u64) -> Duration {
+    let config = MpiConfig::device_defaults().with_health(health);
+    let out = run_devices(ShmDevice::fabric(2), config, move |mpi| {
+        let world = mpi.world();
+        let buf = vec![0u8; NBYTES];
+        let mut back = vec![0u8; NBYTES];
+        if world.rank() == 0 {
+            // Warmup.
+            world.send(&buf, 1, 0).unwrap();
+            world.recv(&mut back, 1, 0).unwrap();
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                world.send(&buf, 1, 0).unwrap();
+                world.recv(&mut back, 1, 0).unwrap();
+            }
+            t0.elapsed()
+        } else {
+            for _ in 0..iters + 1 {
+                world.recv(&mut back, 0, 0).unwrap();
+                world.send(&back, 0, 0).unwrap();
+            }
+            Duration::ZERO
+        }
+    });
+    out[0]
+}
+
+fn bench_health_overhead(c: &mut Criterion) {
+    let mut g = c.benchmark_group("health_overhead");
+    g.sample_size(20);
+    g.bench_function("disabled", |b| {
+        b.iter_custom(|iters| pingpong_duration(false, iters))
+    });
+    g.bench_function("enabled", |b| {
+        b.iter_custom(|iters| pingpong_duration(true, iters))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_health_overhead);
+criterion_main!(benches);

@@ -70,6 +70,15 @@ const MAX_HEARTBEAT_RATIO: f64 = 1.05;
 /// …plus this absolute grace per the acceptance criterion (1.05x + 50 ns).
 const HEARTBEAT_GRACE_NS: f64 = 50.0;
 
+/// Live-health overhead bound: the 64 B shm ping-pong with health
+/// accounting enabled (the default) may cost at most this multiple of
+/// the disabled run — two clock reads per blocking operation and a
+/// window insert per completion must stay in the noise…
+const MAX_HEALTH_RATIO: f64 = 1.05;
+
+/// …plus this absolute grace per the acceptance criterion (1.05x + 50 ns).
+const HEALTH_GRACE_NS: f64 = 50.0;
+
 /// The chunked rendezvous stream must keep at least this fraction of the
 /// seed single-frame bandwidth at 1 MiB on the loss-free shm substrate —
 /// pipelining buys loss resilience, not a zero-loss regression. Same-run,
@@ -126,7 +135,7 @@ fn main() -> ExitCode {
             Err(e) => failures.push(format!("{key}: {e}")),
         }
     }
-    for group in ["tracer_overhead", "heartbeat_overhead"] {
+    for group in ["tracer_overhead", "heartbeat_overhead", "health_overhead"] {
         for variant in ["disabled", "enabled"] {
             let key = format!("{group}/{variant}");
             match read_median_ns(&criterion_dir, group, variant, None) {
@@ -271,6 +280,20 @@ fn main() -> ExitCode {
         failures.push(format!(
             "heartbeats cost {hb_on:.2} ns vs {hb_off:.2} ns without \
              (limit {hb_limit:.2} ns = {MAX_HEARTBEAT_RATIO}x + {HEARTBEAT_GRACE_NS} ns)"
+        ));
+    }
+
+    let health_off = get("health_overhead/disabled");
+    let health_on = get("health_overhead/enabled");
+    let health_limit = health_off * MAX_HEALTH_RATIO + HEALTH_GRACE_NS;
+    println!(
+        "health overhead: enabled {health_on:.1} ns vs disabled {health_off:.1} ns \
+         (limit {health_limit:.1} ns)"
+    );
+    if health_on > health_limit || health_on.is_nan() {
+        failures.push(format!(
+            "live health costs {health_on:.2} ns vs {health_off:.2} ns without \
+             (limit {health_limit:.2} ns = {MAX_HEALTH_RATIO}x + {HEALTH_GRACE_NS} ns)"
         ));
     }
 

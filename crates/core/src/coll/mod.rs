@@ -268,6 +268,11 @@ pub(crate) struct CollState {
     pub(crate) pins: CollPins,
     pub(crate) table: &'static CollTable,
     tally: Vec<(&'static str, &'static str, u64)>,
+    /// Pin-vs-table disagreements: `(collective, pinned algorithm,
+    /// table's choice, count)`. Fed to the live health evaluator, where
+    /// a growing tally surfaces as a `coll_mistuned` diagnostic — a
+    /// mis-pinned `coll_tuning.json` cell made visible at runtime.
+    mispins: Vec<(&'static str, &'static str, &'static str, u64)>,
 }
 
 impl Default for CollState {
@@ -276,6 +281,7 @@ impl Default for CollState {
             pins: CollPins::default(),
             table: table::runtime_table(),
             tally: Vec::new(),
+            mispins: Vec::new(),
         }
     }
 }
@@ -290,6 +296,28 @@ impl CollState {
             }
         }
         self.tally.push((collective, algorithm, 1));
+    }
+
+    /// Count one dispatch where the configured pin (`pinned`) overrode a
+    /// different decision-table choice (`table`).
+    pub(crate) fn record_mispin(
+        &mut self,
+        collective: &'static str,
+        pinned: &'static str,
+        table: &'static str,
+    ) {
+        for e in &mut self.mispins {
+            if e.0 == collective && e.1 == pinned && e.2 == table {
+                e.3 += 1;
+                return;
+            }
+        }
+        self.mispins.push((collective, pinned, table, 1));
+    }
+
+    /// The pin-vs-table disagreement tally, in first-seen order.
+    pub(crate) fn mispin_entries(&self) -> Vec<(&'static str, &'static str, &'static str, u64)> {
+        self.mispins.clone()
     }
 
     /// The dispatch tally as snapshot entries, in first-seen order.
@@ -315,61 +343,83 @@ impl Communicator {
     /// (the paper's design), else the decision table.
     pub(crate) fn select_bcast(&self, bytes: u64) -> BcastAlgo {
         let inner = self.inner();
-        let eng = inner.eng.lock();
+        let mut eng = inner.eng.lock();
+        let unpinned = if inner.device.has_hw_bcast() {
+            BcastAlgo::Hw
+        } else {
+            eng.coll
+                .table
+                .lookup(inner.device.substrate(), "bcast", self.size(), bytes)
+                .and_then(BcastAlgo::from_name)
+                .unwrap_or(BcastAlgo::Binomial)
+        };
         if let Some(a) = eng.coll.pins.bcast {
+            if a != unpinned {
+                eng.coll.record_mispin("bcast", a.name(), unpinned.name());
+            }
             return a;
         }
-        if inner.device.has_hw_bcast() {
-            return BcastAlgo::Hw;
-        }
-        eng.coll
-            .table
-            .lookup(inner.device.substrate(), "bcast", self.size(), bytes)
-            .and_then(BcastAlgo::from_name)
-            .unwrap_or(BcastAlgo::Binomial)
+        unpinned
     }
 
     /// Pick the allreduce algorithm for a `bytes`-byte vector.
     pub(crate) fn select_allreduce(&self, bytes: u64) -> AllreduceAlgo {
         let inner = self.inner();
-        let eng = inner.eng.lock();
-        if let Some(a) = eng.coll.pins.allreduce {
-            return a;
-        }
-        eng.coll
+        let mut eng = inner.eng.lock();
+        let unpinned = eng
+            .coll
             .table
             .lookup(inner.device.substrate(), "allreduce", self.size(), bytes)
             .and_then(AllreduceAlgo::from_name)
-            .unwrap_or(AllreduceAlgo::ReduceBcast)
+            .unwrap_or(AllreduceAlgo::ReduceBcast);
+        if let Some(a) = eng.coll.pins.allreduce {
+            if a != unpinned {
+                eng.coll
+                    .record_mispin("allreduce", a.name(), unpinned.name());
+            }
+            return a;
+        }
+        unpinned
     }
 
     /// Pick the barrier algorithm.
     pub(crate) fn select_barrier(&self) -> BarrierAlgo {
         let inner = self.inner();
-        let eng = inner.eng.lock();
-        if let Some(a) = eng.coll.pins.barrier {
-            return a;
-        }
-        eng.coll
+        let mut eng = inner.eng.lock();
+        let unpinned = eng
+            .coll
             .table
             .lookup(inner.device.substrate(), "barrier", self.size(), 0)
             .and_then(BarrierAlgo::from_name)
-            .unwrap_or(BarrierAlgo::Dissemination)
+            .unwrap_or(BarrierAlgo::Dissemination);
+        if let Some(a) = eng.coll.pins.barrier {
+            if a != unpinned {
+                eng.coll.record_mispin("barrier", a.name(), unpinned.name());
+            }
+            return a;
+        }
+        unpinned
     }
 
     /// Pick the allgather algorithm for a `bytes`-byte per-rank
     /// contribution.
     pub(crate) fn select_allgather(&self, bytes: u64) -> AllgatherAlgo {
         let inner = self.inner();
-        let eng = inner.eng.lock();
-        if let Some(a) = eng.coll.pins.allgather {
-            return a;
-        }
-        eng.coll
+        let mut eng = inner.eng.lock();
+        let unpinned = eng
+            .coll
             .table
             .lookup(inner.device.substrate(), "allgather", self.size(), bytes)
             .and_then(AllgatherAlgo::from_name)
-            .unwrap_or(AllgatherAlgo::Ring)
+            .unwrap_or(AllgatherAlgo::Ring);
+        if let Some(a) = eng.coll.pins.allgather {
+            if a != unpinned {
+                eng.coll
+                    .record_mispin("allgather", a.name(), unpinned.name());
+            }
+            return a;
+        }
+        unpinned
     }
 }
 

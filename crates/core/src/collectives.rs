@@ -80,6 +80,10 @@ impl Communicator {
     /// event names the selected algorithm) and count the dispatch in the
     /// metrics tally. A no-op branch when tracing is disabled; the end
     /// event is emitted even when `f` errors so trace spans always close.
+    /// With live health enabled, the dispatch duration also lands in the
+    /// per-(collective, algorithm) sliding latency window, so one
+    /// mis-tuned algorithm choice shows up as a live tail-latency
+    /// outlier rather than only in post-hoc traces.
     fn traced<R>(
         &self,
         op: CollOp,
@@ -94,12 +98,19 @@ impl Communicator {
             eng.tracer
                 .emit_with(|| inner.device.now_ns(), EventKind::CollBegin { op, algo });
         }
+        let t0 = inner.health.enabled.then(|| inner.device.now_ns());
         let r = f();
         inner
             .eng
             .lock()
             .tracer
             .emit_with(|| inner.device.now_ns(), EventKind::CollEnd { op });
+        if let Some(t0) = t0 {
+            let now = inner.device.now_ns();
+            inner
+                .health
+                .record_coll(op.name(), algo.name(), now, now.saturating_sub(t0));
+        }
         r
     }
 

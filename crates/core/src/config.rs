@@ -43,6 +43,20 @@ pub struct MpiConfig {
     /// overlap ablations); `Some(true)` is clamped to devices that support
     /// it.
     pub background_progress: Option<bool>,
+    /// Live health accounting (thread duty cycles, sliding-window tail
+    /// latency, continuous diagnostics — see [`crate::Mpi::health`]).
+    /// `None` defaults to enabled; the instrumentation budget is a few
+    /// clock reads per blocking operation. Set `Some(false)` to reduce
+    /// every health hook to a single branch.
+    pub health: Option<bool>,
+    /// Period of the continuous diagnostics evaluation in microseconds
+    /// of device time. `None` defaults to 100 ms.
+    pub health_eval_period_us: Option<u64>,
+    /// Optional live SLO on sliding-window p99 completion latency
+    /// (microseconds): when set, a send/recv window whose p99 exceeds it
+    /// raises a `window_slo_breach` diagnostic. `None` (the default)
+    /// disables the rule.
+    pub window_slo_p99_us: Option<u64>,
 }
 
 impl MpiConfig {
@@ -119,6 +133,26 @@ impl MpiConfig {
         self.background_progress = Some(enabled);
         self
     }
+
+    /// Enable or disable live health accounting (default: enabled).
+    pub fn with_health(mut self, enabled: bool) -> Self {
+        self.health = Some(enabled);
+        self
+    }
+
+    /// Set the continuous-diagnostics evaluation period (microseconds of
+    /// device time; default 100 ms).
+    pub fn with_health_eval_period_us(mut self, us: u64) -> Self {
+        self.health_eval_period_us = Some(us);
+        self
+    }
+
+    /// Arm the live sliding-window SLO: a send/recv window p99 above
+    /// `us` microseconds raises a `window_slo_breach` diagnostic.
+    pub fn with_window_slo_p99_us(mut self, us: u64) -> Self {
+        self.window_slo_p99_us = Some(us);
+        self
+    }
 }
 
 #[cfg(test)]
@@ -137,7 +171,10 @@ mod tests {
             .with_bcast_algo(BcastAlgo::ScatterAllgather)
             .with_allreduce_algo(AllreduceAlgo::Ring)
             .with_barrier_algo(BarrierAlgo::Tree)
-            .with_allgather_algo(AllgatherAlgo::GatherBcast);
+            .with_allgather_algo(AllgatherAlgo::GatherBcast)
+            .with_health(true)
+            .with_health_eval_period_us(50_000)
+            .with_window_slo_p99_us(2_000);
         assert_eq!(c.eager_threshold, Some(180));
         assert_eq!(c.env_slots, Some(1));
         assert_eq!(c.recv_buf_per_sender, Some(4096));
@@ -152,8 +189,13 @@ mod tests {
             c.with_background_progress(false).background_progress,
             Some(false)
         );
+        assert_eq!(c.health, Some(true));
+        assert_eq!(c.health_eval_period_us, Some(50_000));
+        assert_eq!(c.window_slo_p99_us, Some(2_000));
         assert_eq!(MpiConfig::default().coll, CollPins::default());
         assert_eq!(MpiConfig::default().background_progress, None);
+        assert_eq!(MpiConfig::default().health, None);
+        assert_eq!(MpiConfig::default().window_slo_p99_us, None);
         assert_eq!(MpiConfig::default().eager_threshold, None);
         assert_eq!(MpiConfig::default().progress_timeout_us, None);
         assert_eq!(MpiConfig::default().rndv_chunk, None);

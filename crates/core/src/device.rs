@@ -233,6 +233,16 @@ pub trait Device: Send + Sync {
         TransportStats::default()
     }
 
+    /// Live wall-time accounting cells for any service threads this
+    /// device stack owns (e.g. the real-TCP mesh-reader thread), as
+    /// `(thread role, health)` pairs. Wrapper devices forward to the
+    /// wrapped transport. The default — no service threads — returns
+    /// nothing. Surfaced through [`crate::Mpi::health`] next to the
+    /// engine's progress-thread accounting.
+    fn thread_health(&self) -> Vec<(String, std::sync::Arc<lmpi_obs::ThreadHealth>)> {
+        Vec::new()
+    }
+
     /// Whether this device stack can declare peers dead (a reliability
     /// layer with retransmission limits or heartbeats). When true, the
     /// engine's blocking progress loop polls [`Device::take_failed_peer`]

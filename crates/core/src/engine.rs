@@ -13,8 +13,10 @@
 //!   credits returned piggybacked on reverse traffic.
 
 use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
 
 use bytes::Bytes;
+use parking_lot::Mutex;
 
 use lmpi_obs::{EventKind, MsgId, Tracer};
 
@@ -177,8 +179,11 @@ pub(crate) struct Engine {
     next_msg_seq: u32,
     /// Periodic metrics snapshot hook: `(interval_ns, next_due_ns,
     /// callback)`. Checked only on frame handling, so an unset hook
-    /// costs one `Option` branch.
-    metrics_hook: Option<(u64, u64, MetricsHookFn)>,
+    /// costs one `Option` branch. The callback lives behind an
+    /// `Arc<Mutex<_>>` so the driver can *snapshot under the engine
+    /// lock but invoke after releasing it* — the hook may therefore
+    /// call back into the owning `Mpi` handle.
+    metrics_hook: Option<(u64, u64, Arc<Mutex<MetricsHookFn>>)>,
     /// Collective dispatch state: config pins, the decision table, and the
     /// per-(collective, algorithm) dispatch tally behind
     /// `lmpi_coll_dispatch_total`.
@@ -272,7 +277,11 @@ impl Engine {
     /// nanoseconds have passed since the previous firing.
     pub(crate) fn set_metrics_hook(&mut self, dev: &dyn Device, every_ns: u64, cb: MetricsHookFn) {
         let every_ns = every_ns.max(1);
-        self.metrics_hook = Some((every_ns, dev.now_ns().saturating_add(every_ns), cb));
+        self.metrics_hook = Some((
+            every_ns,
+            dev.now_ns().saturating_add(every_ns),
+            Arc::new(Mutex::new(cb)),
+        ));
     }
 
     /// Build a point-in-time metrics snapshot.
@@ -286,22 +295,29 @@ impl Engine {
         .with_coll_dispatch(self.coll.dispatch_entries())
     }
 
-    /// Fire the metrics hook if due. Called from frame handling; an
-    /// unset hook costs one branch.
-    fn maybe_snapshot(&mut self, dev: &dyn Device) {
-        let Some((every_ns, next_due_ns, _)) = self.metrics_hook.as_ref() else {
-            return;
-        };
+    /// If the metrics hook is due, build its snapshot *now* (under the
+    /// caller's engine lock, so the numbers are coherent) and hand back
+    /// the callback for the caller to invoke **after releasing the
+    /// lock**. An unset or not-yet-due hook costs one branch. The due
+    /// time advances here, so concurrent callers fire at most one hook
+    /// per interval.
+    pub(crate) fn pending_snapshot(
+        &mut self,
+        dev: &dyn Device,
+    ) -> Option<(crate::metrics::MetricsSnapshot, Arc<Mutex<MetricsHookFn>>)> {
+        let (every_ns, next_due_ns, _) = self.metrics_hook.as_ref()?;
         let now = dev.now_ns();
         if now < *next_due_ns {
-            return;
+            return None;
         }
         let every_ns = *every_ns;
         let snap = self.metrics_snapshot(dev);
-        if let Some((_, next_due, cb)) = self.metrics_hook.as_mut() {
-            *next_due = now.saturating_add(every_ns);
-            cb(&snap);
-        }
+        let (_, next_due, cb) = self
+            .metrics_hook
+            .as_mut()
+            .expect("checked Some above; no intervening mutation");
+        *next_due = now.saturating_add(every_ns);
+        Some((snap, Arc::clone(cb)))
     }
 
     pub(crate) fn eager_threshold(&self) -> usize {
@@ -1202,7 +1218,10 @@ impl Engine {
         }
         self.flush_pending(dev)?;
         self.explicit_credit_returns(dev);
-        self.maybe_snapshot(dev);
+        // The metrics hook is NOT fired here: `handle_wire` always runs
+        // under the engine lock, and the hook must be invoked outside it
+        // (see `pending_snapshot`). The drivers in `mpi.rs` check after
+        // they release the lock.
         Ok(())
     }
 

@@ -41,6 +41,7 @@ mod engine;
 mod error;
 mod flow;
 mod group;
+mod health;
 mod matching;
 mod metrics;
 mod mpi;
@@ -74,6 +75,7 @@ pub use dtype::DataType;
 pub use engine::Counters;
 pub use error::{MpiError, MpiResult};
 pub use group::Group;
+pub use health::{CollWindow, DiagSummary, HealthReport, MetricsServer};
 pub use lmpi_obs::{CollAlgo, CollOp, EventKind, MsgId, TraceBuffer, Tracer};
 pub use metrics::{validate_prometheus, CollDispatchEntry, HistEntry, MetricsSnapshot};
 pub use mpi::{test_all, wait_all, wait_any, Communicator, Mpi, Request};

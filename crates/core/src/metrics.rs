@@ -308,6 +308,7 @@ impl MetricsSnapshot {
                 ("lmpi_hist_p50_ns", s.p50_ns),
                 ("lmpi_hist_p90_ns", s.p90_ns),
                 ("lmpi_hist_p99_ns", s.p99_ns),
+                ("lmpi_hist_p999_ns", s.p999_ns),
                 ("lmpi_hist_max_ns", s.max_ns),
             ] {
                 push_metric(
@@ -351,7 +352,7 @@ impl MetricsSnapshot {
 /// Append one metric: `# HELP` / `# TYPE` header plus a single labelled
 /// sample. Headers repeat per snapshot (one rank per snapshot), which
 /// Prometheus's text format tolerates when scrapes are per-target.
-fn push_metric(
+pub(crate) fn push_metric(
     out: &mut String,
     name: &str,
     help: &str,
@@ -367,7 +368,7 @@ fn push_metric(
 }
 
 /// As [`push_metric`], with arbitrary extra labels after `rank`.
-fn push_metric_labeled(
+pub(crate) fn push_metric_labeled(
     out: &mut String,
     name: &str,
     help: &str,

@@ -66,6 +66,9 @@ pub(crate) struct Inner {
     /// (each call constructs a fresh `Communicator`, but they are all the
     /// same communicator and must share one tag sequence).
     world_coll_seq: Arc<AtomicU32>,
+    /// Live health accounting: progress-thread duty cycle, engine-mutex
+    /// contention, sliding-window tail latency, continuous diagnostics.
+    pub(crate) health: crate::health::HealthState,
 }
 
 /// Watchdog bookkeeping for one parked waiter: the last progress epoch it
@@ -92,13 +95,18 @@ impl Inner {
                 None => return Ok(()),
             }
         }
+        let mut handled = false;
         while let Some(wire) = self.device.try_recv()? {
             self.eng.lock().handle_wire(&*self.device, wire)?;
+            handled = true;
         }
         // Drain peer-death verdicts from the transport's liveness machine
         // and propagate each into the engine (idempotent per peer).
         while let Some((peer, err)) = self.device.take_failed_peer() {
             self.eng.lock().fail_peer(&*self.device, peer, err);
+        }
+        if handled {
+            self.run_metrics_hook();
         }
         Ok(())
     }
@@ -131,6 +139,7 @@ impl Inner {
             }
             if let Some(wire) = self.next_wire_blocking()? {
                 self.eng.lock().handle_wire(&*self.device, wire)?;
+                self.run_metrics_hook();
             }
             // `None` means a peer was declared dead instead of a frame
             // arriving; loop so `done` re-evaluates against the requests
@@ -208,6 +217,36 @@ impl Inner {
     pub(crate) fn wait_request(&self, id: u64) -> MpiResult<Status> {
         self.progress_until(|eng| eng.reqs.take_if_done(id))?
     }
+
+    /// Acquire the engine lock, sampling the wait time into the health
+    /// mutex-contention histogram when the acquisition is contended. The
+    /// uncontended fast path (and all of it, with health disabled) reads
+    /// no clock.
+    pub(crate) fn lock_eng(&self) -> MutexGuard<'_, Engine> {
+        if let Some(g) = self.eng.try_lock() {
+            return g;
+        }
+        if self.health.enabled {
+            let t0 = self.device.now_ns();
+            let g = self.eng.lock();
+            self.health
+                .record_mutex_wait(self.device.now_ns().saturating_sub(t0));
+            g
+        } else {
+            self.eng.lock()
+        }
+    }
+
+    /// Fire the periodic metrics hook if due. Must be called while the
+    /// engine lock is **not** held: the snapshot is taken under a short
+    /// lock, the callback runs after release — so the hook may call back
+    /// into this rank's API.
+    pub(crate) fn run_metrics_hook(&self) {
+        let pending = self.eng.lock().pending_snapshot(&*self.device);
+        if let Some((snap, cb)) = pending {
+            (cb.lock())(&snap);
+        }
+    }
 }
 
 /// Bounded spin-then-yield backoff for caller-driven polling loops: a
@@ -243,19 +282,62 @@ fn record_fatal(inner: &Inner, mut eng: MutexGuard<'_, Engine>, err: MpiError) {
 /// [`Device::recv_timeout`] while idle so the wire stays silent at ~zero
 /// CPU. Transport errors are parked in [`Engine::fatal`] for waiters —
 /// this thread has nowhere else to report them — and end the loop.
+///
+/// With live health enabled, the loop classifies its entire wall time
+/// into the four [`TimeBucket`]s via contiguous clock segments (`mark`
+/// is always the end of the previously credited segment, so the buckets
+/// sum to the covered wall time by construction): device polling →
+/// `Poll`, contended engine-lock acquisition → `LockWait`, frame
+/// handling under the lock → `Drain`, the idle `recv_timeout` tick →
+/// `Park`. It also samples wakeup-to-drain latency (work noticed →
+/// first frame handled), runs the periodic diagnostics evaluation on
+/// idle edges, and fires the metrics hook *after* releasing the engine
+/// lock. With health disabled, every accounting line is one branch and
+/// no clock is read.
+///
+/// [`TimeBucket`]: lmpi_obs::TimeBucket
 fn progress_loop(inner: &Inner) {
+    use lmpi_obs::TimeBucket::{Drain, LockWait, Park, Poll};
+
+    use crate::health::credit_segment;
+
+    let hp = inner.health.enabled.then_some(&inner.health.progress);
+    let mut mark = hp.map(|_| inner.device.now_ns()).unwrap_or(0);
     while !inner.shutdown.load(Ordering::Acquire) {
         let mut handled: u64 = 0;
+        // Wakeup-to-drain anchor: when this drain pass began.
+        let burst_start = mark;
         // Drain everything already queued, one frame per lock acquisition
         // so posting threads interleave instead of stalling for a batch.
         loop {
             match inner.device.try_recv() {
                 Ok(Some(wire)) => {
-                    let mut eng = inner.eng.lock();
+                    if hp.is_some() {
+                        credit_segment(hp, &mut mark, inner.device.now_ns(), Poll);
+                    }
+                    let mut eng = match inner.eng.try_lock() {
+                        Some(g) => g,
+                        None => {
+                            let g = inner.eng.lock();
+                            if hp.is_some() {
+                                credit_segment(hp, &mut mark, inner.device.now_ns(), LockWait);
+                            }
+                            g
+                        }
+                    };
                     eng.counters.progress_frames += 1;
                     if let Err(e) = eng.handle_wire(&*inner.device, wire) {
                         record_fatal(inner, eng, e);
                         return;
+                    }
+                    drop(eng);
+                    if let Some(h) = hp {
+                        let now = inner.device.now_ns();
+                        if handled == 0 {
+                            h.record_wakeup_to_drain(now.saturating_sub(burst_start));
+                        }
+                        credit_segment(hp, &mut mark, now, Drain);
+                        h.add_frames(1);
                     }
                     handled += 1;
                 }
@@ -271,18 +353,48 @@ fn progress_loop(inner: &Inner) {
             eng.fail_peer(&*inner.device, peer, err);
             handled += 1;
         }
+        if hp.is_some() {
+            // The final empty poll and the failure drain since the last
+            // credited segment.
+            credit_segment(hp, &mut mark, inner.device.now_ns(), Poll);
+        }
         if handled > 0 {
             inner.eng.lock().counters.progress_wakeups += 1;
+            if let Some(h) = hp {
+                h.add_wakeup();
+            }
             inner.epoch.fetch_add(handled, Ordering::AcqRel);
             inner.done.notify_all();
+            inner.run_metrics_hook();
             continue;
+        }
+        // Idle edge: run the periodic diagnostics evaluation here, where
+        // it can never add latency to frame handling.
+        if inner.health.enabled {
+            crate::health::eval_if_due(inner, inner.device.now_ns());
+            credit_segment(hp, &mut mark, inner.device.now_ns(), Poll);
         }
         // Idle: wait for the next frame with a bounded tick, so shutdown
         // is prompt and wrapper-device pumps (retransmits, heartbeats)
         // keep running off the `try_recv` path above.
         match inner.device.recv_timeout(PROGRESS_TICK) {
             Ok(Some(wire)) => {
-                let mut eng = inner.eng.lock();
+                if hp.is_some() {
+                    // The blocking wait counts as parked even though a
+                    // frame ended it; the wakeup starts here.
+                    credit_segment(hp, &mut mark, inner.device.now_ns(), Park);
+                }
+                let wake = mark;
+                let mut eng = match inner.eng.try_lock() {
+                    Some(g) => g,
+                    None => {
+                        let g = inner.eng.lock();
+                        if hp.is_some() {
+                            credit_segment(hp, &mut mark, inner.device.now_ns(), LockWait);
+                        }
+                        g
+                    }
+                };
                 eng.counters.progress_frames += 1;
                 eng.counters.progress_wakeups += 1;
                 if let Err(e) = eng.handle_wire(&*inner.device, wire) {
@@ -290,10 +402,22 @@ fn progress_loop(inner: &Inner) {
                     return;
                 }
                 drop(eng);
+                if let Some(h) = hp {
+                    let now = inner.device.now_ns();
+                    h.record_wakeup_to_drain(now.saturating_sub(wake));
+                    credit_segment(hp, &mut mark, now, Drain);
+                    h.add_frames(1);
+                    h.add_wakeup();
+                }
                 inner.epoch.fetch_add(1, Ordering::AcqRel);
                 inner.done.notify_all();
+                inner.run_metrics_hook();
             }
-            Ok(None) => {}
+            Ok(None) => {
+                if hp.is_some() {
+                    credit_segment(hp, &mut mark, inner.device.now_ns(), Park);
+                }
+            }
             Err(e) => {
                 record_fatal(inner, inner.eng.lock(), e);
                 return;
@@ -329,6 +453,14 @@ impl Mpi {
         let background =
             config.background_progress.unwrap_or(true) && device.supports_background_progress();
         let rank = device.rank();
+        let health = crate::health::HealthState::new(
+            config.health.unwrap_or(true),
+            config
+                .health_eval_period_us
+                .map(|us| us.saturating_mul(1_000))
+                .unwrap_or(crate::health::DEFAULT_EVAL_PERIOD_NS),
+            config.window_slo_p99_us.map(|us| us.saturating_mul(1_000)),
+        );
         let inner = Arc::new(Inner {
             device,
             eng: Mutex::new(eng),
@@ -338,6 +470,7 @@ impl Mpi {
             shutdown: AtomicBool::new(false),
             epoch: AtomicU64::new(0),
             world_coll_seq: Arc::new(AtomicU32::new(0)),
+            health,
         });
         let progress = background.then(|| {
             let inner = Arc::clone(&inner);
@@ -420,7 +553,14 @@ impl Mpi {
     /// whenever at least `every_ns` device-clock nanoseconds have passed
     /// since the previous firing. One hook per rank; installing again
     /// replaces it. With a background progress thread the hook fires on
-    /// that thread. The hook must not call back into this `Mpi` handle.
+    /// that thread.
+    ///
+    /// The snapshot is taken under the engine lock but the hook is
+    /// invoked **after the lock is released**, so the callback may call
+    /// back into this rank's API (e.g. [`Mpi::counters`] or
+    /// [`Mpi::health`]) to enrich what it exports. It should still not
+    /// block on MPI *completion* calls — it runs on whichever thread
+    /// drives progress, and waiting there would stall that progress.
     pub fn set_metrics_hook(
         &self,
         every_ns: u64,
@@ -447,6 +587,36 @@ impl Mpi {
     /// stack under this rank (zeroes for plain transports).
     pub fn transport_stats(&self) -> TransportStats {
         self.inner.device.transport_stats()
+    }
+
+    /// Live health report: service-thread duty cycles, engine-mutex
+    /// contention, sliding-window p50/p99/p999 completion latency, and
+    /// the diagnostics active as of the last evaluation. Runs the
+    /// periodic evaluation first if it is due, so caller-driven ranks
+    /// (no progress thread) get fresh findings too. All-zero when
+    /// health was disabled via [`MpiConfig::with_health`].
+    ///
+    /// [`MpiConfig::with_health`]: crate::MpiConfig::with_health
+    pub fn health(&self) -> crate::health::HealthReport {
+        let now = self.inner.device.now_ns();
+        crate::health::eval_if_due(&self.inner, now);
+        crate::health::build_report(&self.inner, now)
+    }
+
+    /// Spawn the zero-dependency HTTP scrape endpoint on `addr` (e.g.
+    /// `"127.0.0.1:0"` for an ephemeral port — read it back from
+    /// [`MetricsServer::addr`]). Serves the Prometheus text rendering at
+    /// `/metrics` (all [`MetricsSnapshot`] families plus the
+    /// `lmpi_health_*` / `lmpi_window_*` families) and the
+    /// [`HealthReport`] JSON at `/health`. The server holds only a weak
+    /// reference to this rank and answers 503 once the rank is dropped;
+    /// drop the returned handle to shut it down promptly.
+    ///
+    /// [`MetricsServer::addr`]: crate::health::MetricsServer::addr
+    /// [`MetricsSnapshot`]: crate::MetricsSnapshot
+    /// [`HealthReport`]: crate::health::HealthReport
+    pub fn serve_metrics(&self, addr: &str) -> MpiResult<crate::health::MetricsServer> {
+        crate::health::spawn_metrics_server(&self.inner, addr)
     }
 
     /// The eager/rendezvous crossover in effect.
@@ -597,13 +767,23 @@ impl Communicator {
         self.check_not_revoked()?;
         self.take_pending_error()?;
         let dst_g = self.global(dst)?;
-        let mut eng = self.inner.eng.lock();
+        let t0 = self
+            .inner
+            .health
+            .enabled
+            .then(|| self.inner.device.now_ns());
+        let mut eng = self.inner.lock_eng();
         // Stage through the engine's reusable pool: the hot eager path
         // allocates nothing once warm.
         let data = eng.stage_payload(buf);
         let id = eng.post_send(&*self.inner.device, dst_g, tag, ctx, data, mode)?;
         drop(eng);
-        self.inner.wait_request(id).map(|_| ())
+        self.inner.wait_request(id)?;
+        if let Some(t0) = t0 {
+            let now = self.inner.device.now_ns();
+            self.inner.health.record_send(now, now.saturating_sub(t0));
+        }
+        Ok(())
     }
 
     /// `MPI_Send`: standard mode. Eager below the threshold (optimistic,
@@ -638,8 +818,17 @@ impl Communicator {
         src: impl Into<SourceSel>,
         tag: impl Into<TagSel>,
     ) -> MpiResult<Status> {
+        let t0 = self
+            .inner
+            .health
+            .enabled
+            .then(|| self.inner.device.now_ns());
         let id = self.post_recv_raw(buf, src.into(), tag.into(), self.ctx)?;
         let st = self.inner.wait_request(id)?;
+        if let Some(t0) = t0 {
+            let now = self.inner.device.now_ns();
+            self.inner.health.record_recv(now, now.saturating_sub(t0));
+        }
         Ok(self.localize(st))
     }
 
@@ -678,8 +867,7 @@ impl Communicator {
         };
         Ok(self
             .inner
-            .eng
-            .lock()
+            .lock_eng()
             .post_recv(&*self.inner.device, dst, src, tag, ctx))
     }
 
@@ -714,11 +902,16 @@ impl Communicator {
         self.check_not_revoked()?;
         self.take_pending_error()?;
         let dst_g = self.global(dst)?;
-        let mut eng = self.inner.eng.lock();
+        let t0 = self
+            .inner
+            .health
+            .enabled
+            .then(|| self.inner.device.now_ns());
+        let mut eng = self.inner.lock_eng();
         let data = eng.stage_payload(buf);
         let id = eng.post_send(&*self.inner.device, dst_g, tag, self.ctx, data, mode)?;
         drop(eng);
-        Ok(self.request(id))
+        Ok(self.request(id, t0.map(|t| (WinKind::Send, t))))
     }
 
     /// `MPI_Isend`.
@@ -769,15 +962,21 @@ impl Communicator {
         src: impl Into<SourceSel>,
         tag: impl Into<TagSel>,
     ) -> MpiResult<Request<'a>> {
+        let t0 = self
+            .inner
+            .health
+            .enabled
+            .then(|| self.inner.device.now_ns());
         let id = self.post_recv_raw(buf, src.into(), tag.into(), self.ctx)?;
-        Ok(self.request(id))
+        Ok(self.request(id, t0.map(|t| (WinKind::Recv, t))))
     }
 
-    fn request<'a>(&self, id: u64) -> Request<'a> {
+    fn request<'a>(&self, id: u64, win: Option<(WinKind, u64)>) -> Request<'a> {
         Request {
             state: ReqHandle::Active(id),
             inner: self.inner.clone(),
             group: self.group.clone(),
+            win,
             _buf: PhantomData,
         }
     }
@@ -873,6 +1072,13 @@ enum ReqHandle {
     Consumed,
 }
 
+/// Which sliding-window histogram a completed request feeds.
+#[derive(Copy, Clone, Debug)]
+pub(crate) enum WinKind {
+    Send,
+    Recv,
+}
+
 /// An in-flight nonblocking operation (`MPI_Request`). The lifetime ties it
 /// to the buffer it reads from or writes into; dropping a request without
 /// waiting blocks until it completes (receives must not dangle).
@@ -880,10 +1086,24 @@ pub struct Request<'buf> {
     state: ReqHandle,
     inner: Arc<Inner>,
     group: Arc<Vec<Rank>>,
+    /// Post timestamp for sliding-window completion latency; `None` when
+    /// health accounting is disabled. Credited on `wait`/`test` success
+    /// only — a cancelled or dropped request never completes a transfer.
+    win: Option<(WinKind, u64)>,
     _buf: PhantomData<&'buf mut [u8]>,
 }
 
 impl Request<'_> {
+    fn record_window(&self) {
+        if let Some((kind, t0)) = self.win {
+            let now = self.inner.device.now_ns();
+            let dur = now.saturating_sub(t0);
+            match kind {
+                WinKind::Send => self.inner.health.record_send(now, dur),
+                WinKind::Recv => self.inner.health.record_recv(now, dur),
+            }
+        }
+    }
     fn localize(&self, st: Status) -> Status {
         // Send-request statuses carry no meaningful source; map receives.
         match self.group.iter().position(|&g| g == st.source) {
@@ -901,6 +1121,7 @@ impl Request<'_> {
         match std::mem::replace(&mut self.state, ReqHandle::Consumed) {
             ReqHandle::Active(id) => {
                 let st = self.inner.wait_request(id)?;
+                self.record_window();
                 Ok(self.localize(st))
             }
             ReqHandle::Consumed => Err(MpiError::RequestConsumed),
@@ -918,6 +1139,9 @@ impl Request<'_> {
         match self.inner.eng.lock().reqs.take_if_done(id) {
             Some(result) => {
                 self.state = ReqHandle::Consumed;
+                if result.is_ok() {
+                    self.record_window();
+                }
                 result.map(|st| Some(self.localize(st)))
             }
             None => Ok(None),
@@ -1011,6 +1235,7 @@ pub fn wait_any(reqs: &mut Vec<Request<'_>>) -> MpiResult<(usize, Status)> {
         // have completed one of the requests.
         if let Some(wire) = inner.next_wire_blocking()? {
             inner.eng.lock().handle_wire(&*inner.device, wire)?;
+            inner.run_metrics_hook();
         }
     }
 }

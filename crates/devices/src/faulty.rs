@@ -473,6 +473,10 @@ impl<D: Device> Device for FaultyDevice<D> {
     fn substrate(&self) -> &'static str {
         self.inner.substrate()
     }
+
+    fn thread_health(&self) -> Vec<(String, std::sync::Arc<lmpi_obs::ThreadHealth>)> {
+        self.inner.thread_health()
+    }
 }
 
 #[cfg(test)]

@@ -22,7 +22,7 @@ use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender, TryRecvE
 use lmpi_core::{Cost, Device, DeviceDefaults, Mpi, MpiConfig, MpiError, MpiResult, Rank, Wire};
 use lmpi_netmodel::ip::{Fabric, ReliableDgram, SockFabric, SockNode};
 use lmpi_netmodel::params::{AtmParams, CpuParams, EthParams, SocketParams};
-use lmpi_obs::Tracer;
+use lmpi_obs::{ThreadHealth, TimeBucket, Tracer};
 use lmpi_sim::{Proc, Sim, SimDur};
 use parking_lot::Mutex;
 
@@ -74,6 +74,11 @@ pub trait MsgChannel: Send + Sync {
     /// Substrate name for the collective decision table.
     fn substrate(&self) -> &'static str {
         "sock"
+    }
+    /// Duty-cycle accounting for a background reader thread owned by this
+    /// channel, if it runs one (real transports only).
+    fn reader_health(&self) -> Option<Arc<ThreadHealth>> {
+        None
     }
 }
 
@@ -177,6 +182,13 @@ impl<C: MsgChannel> Device for SockDevice<C> {
 
     fn substrate(&self) -> &'static str {
         self.chan.substrate()
+    }
+
+    fn thread_health(&self) -> Vec<(String, Arc<ThreadHealth>)> {
+        match self.chan.reader_health() {
+            Some(h) => vec![("tcp-mesh-reader".to_string(), h)],
+            None => Vec::new(),
+        }
     }
 }
 
@@ -524,6 +536,8 @@ pub struct RealTcpChannel {
     /// written out under the same lock, so the send path stops allocating a
     /// fresh `Vec` per frame once the high-water mark is reached.
     encode_scratch: Mutex<Vec<u8>>,
+    /// Duty-cycle accounting shared with the mesh-reader thread.
+    reader_health: Arc<ThreadHealth>,
 }
 
 impl RealTcpChannel {
@@ -568,13 +582,21 @@ impl RealTcpChannel {
             reader_halves.push((peer, stream.try_clone()?));
             writers[peer] = Some(Mutex::new(stream));
         }
-        spawn_mesh_reader(rank, reader_halves, tx.clone());
+        let reader_health = Arc::new(ThreadHealth::new());
+        spawn_mesh_reader(
+            rank,
+            reader_halves,
+            tx.clone(),
+            Arc::clone(&reader_health),
+            rendezvous.t0,
+        );
         Ok(RealTcpChannel {
             writers,
             loopback_tx: tx,
             rx,
             t0: rendezvous.t0,
             encode_scratch: Mutex::new(Vec::new()),
+            reader_health,
         })
     }
 
@@ -628,7 +650,13 @@ enum SweepOutcome {
 /// leaving partial frames in per-peer reassembly buffers. Replaces the
 /// thread-per-peer blocking readers: one thread serves the whole mesh, and
 /// no peer's stall can wedge another's traffic.
-fn spawn_mesh_reader(rank: Rank, conns: Vec<(Rank, TcpStream)>, tx: Sender<MpiResult<Wire>>) {
+fn spawn_mesh_reader(
+    rank: Rank,
+    conns: Vec<(Rank, TcpStream)>,
+    tx: Sender<MpiResult<Wire>>,
+    health: Arc<ThreadHealth>,
+    t0: Instant,
+) {
     let conns: Vec<PeerConn> = conns
         .into_iter()
         .map(|(peer, stream)| PeerConn {
@@ -639,18 +667,28 @@ fn spawn_mesh_reader(rank: Rank, conns: Vec<(Rank, TcpStream)>, tx: Sender<MpiRe
         .collect();
     std::thread::Builder::new()
         .name(format!("tcp-mesh-reader-{rank}"))
-        .spawn(move || run_mesh_reader(conns, tx))
+        .spawn(move || run_mesh_reader(conns, tx, health, t0))
         .expect("failed to spawn mesh reader thread");
 }
 
-fn run_mesh_reader(mut conns: Vec<PeerConn>, tx: Sender<MpiResult<Wire>>) {
+fn run_mesh_reader(
+    mut conns: Vec<PeerConn>,
+    tx: Sender<MpiResult<Wire>>,
+    health: Arc<ThreadHealth>,
+    t0: Instant,
+) {
     let mut scratch = vec![0u8; 64 << 10];
     let mut idle_rounds: u32 = 0;
+    // Contiguous-segment accounting, same discipline as the progress
+    // thread: every instant between `mark` and now lands in exactly one
+    // bucket, so the buckets sum to the thread's wall time by construction.
+    let mut mark = t0.elapsed().as_nanos() as u64;
     while !conns.is_empty() {
         let mut progressed = false;
+        let mut frames = 0u64;
         let mut i = 0;
         while i < conns.len() {
-            match sweep_peer(&mut conns[i], &mut scratch, &tx) {
+            match sweep_peer(&mut conns[i], &mut scratch, &tx, &mut frames) {
                 SweepOutcome::Progress => {
                     progressed = true;
                     i += 1;
@@ -661,11 +699,24 @@ fn run_mesh_reader(mut conns: Vec<PeerConn>, tx: Sender<MpiResult<Wire>>) {
                 }
             }
         }
+        let now = t0.elapsed().as_nanos() as u64;
         if progressed {
+            // One accounting clock read per sweep round, not per peer: the
+            // whole productive round is one Drain segment.
             idle_rounds = 0;
+            health.add_wakeup();
+            health.add_frames(frames);
+            health.record_wakeup_to_drain(now.saturating_sub(mark));
+            health.credit(TimeBucket::Drain, mark, now);
+            mark = now;
         } else {
+            health.credit(TimeBucket::Poll, mark, now);
+            mark = now;
             idle_rounds = idle_rounds.saturating_add(1);
             idle_backoff(idle_rounds);
+            let after = t0.elapsed().as_nanos() as u64;
+            health.credit(TimeBucket::Park, mark, after);
+            mark = after;
         }
     }
 }
@@ -691,6 +742,7 @@ fn sweep_peer(
     conn: &mut PeerConn,
     scratch: &mut [u8],
     tx: &Sender<MpiResult<Wire>>,
+    frames: &mut u64,
 ) -> SweepOutcome {
     match conn.stream.read(scratch) {
         Ok(0) => {
@@ -707,7 +759,7 @@ fn sweep_peer(
         }
         Ok(n) => {
             conn.buf.extend_from_slice(&scratch[..n]);
-            if drain_frames(conn, tx) {
+            if drain_frames(conn, tx, frames) {
                 SweepOutcome::Progress
             } else {
                 SweepOutcome::Closed
@@ -736,7 +788,7 @@ fn sweep_peer(
 /// Decode every complete frame in `conn.buf`, leaving any trailing partial
 /// frame for the next sweep. Returns `false` when the stream is corrupt
 /// (error already queued) and the connection should be dropped.
-fn drain_frames(conn: &mut PeerConn, tx: &Sender<MpiResult<Wire>>) -> bool {
+fn drain_frames(conn: &mut PeerConn, tx: &Sender<MpiResult<Wire>>, frames: &mut u64) -> bool {
     let mut consumed = 0;
     loop {
         let rest = &conn.buf[consumed..];
@@ -759,6 +811,7 @@ fn drain_frames(conn: &mut PeerConn, tx: &Sender<MpiResult<Wire>>) -> bool {
                 if tx.send(Ok(wire)).is_err() {
                     return false;
                 }
+                *frames += 1;
             }
             Err(e) => {
                 let _ = tx.send(Err(MpiError::transport(format!(
@@ -805,6 +858,10 @@ impl MsgChannel for RealTcpChannel {
                 Err(MpiError::transport("frame queue closed: all readers gone"))
             }
         }
+    }
+
+    fn reader_health(&self) -> Option<Arc<ThreadHealth>> {
+        Some(Arc::clone(&self.reader_health))
     }
 
     fn recv_blocking(&self) -> MpiResult<Wire> {
@@ -1012,7 +1069,14 @@ mod tests {
         a_read.set_nonblocking(true).unwrap();
         b_read.set_nonblocking(true).unwrap();
         let (tx, rx) = unbounded();
-        spawn_mesh_reader(0, vec![(1, a_read), (2, b_read)], tx);
+        let health = Arc::new(ThreadHealth::new());
+        spawn_mesh_reader(
+            0,
+            vec![(1, a_read), (2, b_read)],
+            tx,
+            Arc::clone(&health),
+            Instant::now(),
+        );
 
         // Peer A sends the length word and only half the frame body, then
         // goes silent mid-frame.
@@ -1047,6 +1111,11 @@ mod tests {
             .expect("stalled frame should complete once its tail arrives")
             .unwrap();
         assert_eq!(wire.src, 1);
+
+        // The reader's duty-cycle accounting saw every delivered frame.
+        let snap = health.snapshot("tcp-mesh-reader");
+        assert!(snap.frames >= 9, "reader accounted {} frames", snap.frames);
+        assert!(snap.wakeups >= 1);
     }
 
     #[test]

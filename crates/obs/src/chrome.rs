@@ -7,11 +7,11 @@
 //! collectives). Timestamps are microseconds as floats, so nanosecond
 //! event times keep sub-microsecond precision on the timeline.
 
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 
 use crate::event::{Event, EventKind};
 use crate::json::{array, Obj};
-use crate::tracer::TraceBuffer;
+use crate::tracer::{thread_names, TraceBuffer};
 
 fn ts_us(t_ns: u64) -> f64 {
     t_ns as f64 / 1_000.0
@@ -102,20 +102,20 @@ fn instant(rank: u32, ev: &Event) -> String {
         .str("name", ev.kind.name())
         .f64("ts", ts_us(ev.t_ns))
         .u64("pid", rank as u64)
-        .u64("tid", 0)
+        .u64("tid", ev.tid as u64)
         .str("s", "t")
         .raw("args", &args)
         .finish()
 }
 
-fn span(rank: u32, name: &str, start_ns: u64, end_ns: u64, args: String) -> String {
+fn span(rank: u32, tid: u32, name: &str, start_ns: u64, end_ns: u64, args: String) -> String {
     Obj::new()
         .str("ph", "X")
         .str("name", name)
         .f64("ts", ts_us(start_ns))
         .f64("dur", ts_us(end_ns.saturating_sub(start_ns)))
         .u64("pid", rank as u64)
-        .u64("tid", 0)
+        .u64("tid", tid as u64)
         .raw("args", &args)
         .finish()
 }
@@ -141,15 +141,38 @@ pub fn chrome_trace_json(bufs: &[TraceBuffer]) -> String {
                 )
                 .finish(),
         );
+        // Name each thread row that appears in this rank's events, so
+        // caller / progress-thread / mesh-reader spans land on separate
+        // labelled rows instead of interleaving on tid 0.
+        let tids: BTreeSet<u32> = buf.events.iter().map(|ev| ev.tid).collect();
+        let names = thread_names();
+        for tid in &tids {
+            let name = names
+                .iter()
+                .find(|(id, _)| id == tid)
+                .map(|(_, n)| n.clone())
+                .unwrap_or_else(|| format!("thread-{tid}"));
+            records.push(
+                Obj::new()
+                    .str("ph", "M")
+                    .str("name", "thread_name")
+                    .u64("pid", buf.rank as u64)
+                    .u64("tid", *tid as u64)
+                    .raw("args", &Obj::new().str("name", &name).finish())
+                    .finish(),
+            );
+        }
         // Open-span bookkeeping: credit stalls keyed by peer, collectives
-        // keyed by op name (begin time + selected algorithm).
-        let mut coll_open: HashMap<&'static str, (u64, &'static str)> = HashMap::new();
+        // keyed per-thread by op name (begin time + selected algorithm),
+        // so concurrent collectives on different threads pair correctly.
+        let mut coll_open: HashMap<(u32, &'static str), (u64, &'static str)> = HashMap::new();
         for ev in &buf.events {
             records.push(instant(buf.rank, ev));
             match ev.kind {
                 EventKind::CreditResume { peer, stalled_ns } if stalled_ns > 0 => {
                     records.push(span(
                         buf.rank,
+                        ev.tid,
                         "credit stall",
                         ev.t_ns.saturating_sub(stalled_ns),
                         ev.t_ns,
@@ -157,12 +180,13 @@ pub fn chrome_trace_json(bufs: &[TraceBuffer]) -> String {
                     ));
                 }
                 EventKind::CollBegin { op, algo } => {
-                    coll_open.insert(op.name(), (ev.t_ns, algo.name()));
+                    coll_open.insert((ev.tid, op.name()), (ev.t_ns, algo.name()));
                 }
                 EventKind::CollEnd { op } => {
-                    if let Some((start, algo)) = coll_open.remove(op.name()) {
+                    if let Some((start, algo)) = coll_open.remove(&(ev.tid, op.name())) {
                         records.push(span(
                             buf.rank,
+                            ev.tid,
                             &format!("coll:{}", op.name()),
                             start,
                             ev.t_ns,
@@ -237,6 +261,29 @@ mod tests {
     #[test]
     fn empty_input_is_an_empty_array() {
         assert_eq!(chrome_trace_json(&[]), "[]");
+    }
+
+    #[test]
+    fn events_from_two_threads_land_on_named_rows() {
+        let t = Tracer::enabled(0, 8);
+        t.emit_at(1_000, EventKind::CreditStall { peer: 1 });
+        let t2 = t.clone();
+        std::thread::Builder::new()
+            .name("chrome-test-progress".into())
+            .spawn(move || t2.emit_at(2_000, EventKind::AckRx { peer: 1 }))
+            .unwrap()
+            .join()
+            .unwrap();
+        let snap = t.snapshot();
+        let (tid_a, tid_b) = (snap.events[0].tid, snap.events[1].tid);
+        assert_ne!(tid_a, tid_b);
+        let json = chrome_trace_json(&[snap]);
+        validate(&json).unwrap();
+        // Both rows are named, no event sits on the hardcoded tid 0.
+        assert!(json.contains(r#""name":"thread_name""#), "{json}");
+        assert!(json.contains(r#""name":"chrome-test-progress""#), "{json}");
+        assert!(json.contains(&format!(r#""tid":{tid_a}"#)), "{json}");
+        assert!(json.contains(&format!(r#""tid":{tid_b}"#)), "{json}");
     }
 
     #[test]

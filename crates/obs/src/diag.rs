@@ -66,6 +66,17 @@ pub enum DiagKind {
     MatcherBinSkew,
     /// The liveness machine declared one or more peers dead.
     DeadPeer,
+    /// The background progress thread is starved: frames wait too long
+    /// between arrival and drain (emitted by the live health evaluator
+    /// in `lmpi-core`, not by [`diagnose`]).
+    ProgressStarvation,
+    /// A sliding-window completion p99 breached its configured SLO
+    /// (emitted by the live health evaluator in `lmpi-core`).
+    WindowSloBreach,
+    /// A pinned collective algorithm keeps overriding the tuned table's
+    /// choice — the pin (or the table) is mis-tuned (emitted by the
+    /// live health evaluator in `lmpi-core`).
+    CollMistuned,
 }
 
 impl DiagKind {
@@ -77,6 +88,9 @@ impl DiagKind {
             DiagKind::UnexpectedQueueGrowth => "unexpected_queue_growth",
             DiagKind::MatcherBinSkew => "matcher_bin_skew",
             DiagKind::DeadPeer => "dead_peer",
+            DiagKind::ProgressStarvation => "progress_starvation",
+            DiagKind::WindowSloBreach => "window_slo_breach",
+            DiagKind::CollMistuned => "coll_mistuned",
         }
     }
 }

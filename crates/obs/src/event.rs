@@ -40,6 +40,11 @@ impl MsgId {
 pub struct Event {
     /// Nanoseconds on the emitting rank's clock (virtual or monotonic).
     pub t_ns: u64,
+    /// Process-local id of the emitting thread (see
+    /// [`current_tid`](crate::current_tid)), so multi-threaded ranks
+    /// (caller + progress thread + mesh reader) separate into distinct
+    /// rows in the Chrome export instead of interleaving on one.
+    pub tid: u32,
     /// Which message this event belongs to ([`MsgId::NONE`] when the
     /// event is not attributable to one message).
     pub msg: MsgId,

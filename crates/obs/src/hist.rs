@@ -9,9 +9,10 @@
 /// Sub-bucket resolution: 2^3 = 8 slices per octave.
 const SUB_BITS: u32 = 3;
 const SUB_COUNT: u64 = 1 << SUB_BITS;
-const NBUCKETS: usize = ((64 - SUB_BITS as usize) << SUB_BITS as usize) + SUB_COUNT as usize;
+pub(crate) const NBUCKETS: usize =
+    ((64 - SUB_BITS as usize) << SUB_BITS as usize) + SUB_COUNT as usize;
 
-fn bucket_index(v: u64) -> usize {
+pub(crate) fn bucket_index(v: u64) -> usize {
     let v = v.max(1);
     let octave = 63 - v.leading_zeros();
     if octave < SUB_BITS {
@@ -23,7 +24,7 @@ fn bucket_index(v: u64) -> usize {
 }
 
 /// Upper bound of the value range covered by bucket `idx`.
-fn bucket_high(idx: usize) -> u64 {
+pub(crate) fn bucket_high(idx: usize) -> u64 {
     if idx < SUB_COUNT as usize {
         idx as u64
     } else {
@@ -52,6 +53,8 @@ pub struct PercentileSummary {
     pub p90_ns: u64,
     /// 99th percentile, ns.
     pub p99_ns: u64,
+    /// 99.9th percentile, ns.
+    pub p999_ns: u64,
 }
 
 /// Fixed-size log-bucketed histogram of nanosecond latencies.
@@ -160,7 +163,22 @@ impl LatencyHist {
         self.max = self.max.max(other.max);
     }
 
-    /// Roll up count / min / max / mean / p50 / p90 / p99.
+    /// Add `n` samples directly to bucket `idx` (snapshot assembly from
+    /// atomic shards; see [`crate::health::AtomicHist`]).
+    pub(crate) fn add_bucket(&mut self, idx: usize, n: u64) {
+        self.counts[idx] = self.counts[idx].saturating_add(n);
+    }
+
+    /// Overwrite the aggregate stats (snapshot assembly from atomic
+    /// shards, where count/sum/min/max are tracked separately).
+    pub(crate) fn set_stats(&mut self, count: u64, sum: u128, min: u64, max: u64) {
+        self.count = count;
+        self.sum = sum;
+        self.min = min;
+        self.max = max;
+    }
+
+    /// Roll up count / min / max / mean / p50 / p90 / p99 / p999.
     pub fn summary(&self) -> PercentileSummary {
         PercentileSummary {
             count: self.count,
@@ -170,7 +188,79 @@ impl LatencyHist {
             p50_ns: self.percentile(0.50),
             p90_ns: self.percentile(0.90),
             p99_ns: self.percentile(0.99),
+            p999_ns: self.percentile(0.999),
         }
+    }
+}
+
+/// Sliding-window histogram: a ring of time-bucketed [`LatencyHist`]
+/// shards, each covering `bucket_ns` of wall time. A query merges the
+/// shards still inside the window, so p50/p99/p999 "over the last N
+/// seconds" are available live while recording stays O(1).
+///
+/// The caller supplies timestamps (same clock discipline as the tracer:
+/// the device clock, read once per sample by the caller). Recording into
+/// a bucket whose epoch has passed first clears it, so stale data ages
+/// out lazily — there is no background sweeper thread.
+#[derive(Clone, Debug)]
+pub struct WindowedHist {
+    buckets: Vec<LatencyHist>,
+    /// Epoch (`t_ns / bucket_ns`) each slot currently holds. `u64::MAX`
+    /// marks a never-used slot.
+    epochs: Vec<u64>,
+    bucket_ns: u64,
+}
+
+impl WindowedHist {
+    /// A window of `nbuckets` shards, each spanning `bucket_ns`
+    /// nanoseconds. Total window length is `nbuckets * bucket_ns`.
+    /// `bucket_ns` is clamped to ≥ 1, `nbuckets` to ≥ 2 (one live shard
+    /// plus at least one historical shard).
+    pub fn new(nbuckets: usize, bucket_ns: u64) -> Self {
+        let nbuckets = nbuckets.max(2);
+        WindowedHist {
+            buckets: vec![LatencyHist::new(); nbuckets],
+            epochs: vec![u64::MAX; nbuckets],
+            bucket_ns: bucket_ns.max(1),
+        }
+    }
+
+    /// Window length in nanoseconds.
+    pub fn window_ns(&self) -> u64 {
+        self.bucket_ns.saturating_mul(self.buckets.len() as u64)
+    }
+
+    /// Record a sample observed at wall time `t_ns`.
+    #[inline]
+    pub fn record(&mut self, t_ns: u64, ns: u64) {
+        let epoch = t_ns / self.bucket_ns;
+        let slot = (epoch % self.buckets.len() as u64) as usize;
+        if self.epochs[slot] != epoch {
+            self.buckets[slot] = LatencyHist::new();
+            self.epochs[slot] = epoch;
+        }
+        self.buckets[slot].record(ns);
+    }
+
+    /// Merge every shard still inside the window ending at `now_ns`
+    /// into one histogram. Shards older than the window (or from a
+    /// future epoch, after a clock step) are skipped.
+    pub fn merged(&self, now_ns: u64) -> LatencyHist {
+        let now_epoch = now_ns / self.bucket_ns;
+        let span = self.buckets.len() as u64;
+        let mut out = LatencyHist::new();
+        for (slot, hist) in self.buckets.iter().enumerate() {
+            let e = self.epochs[slot];
+            if e != u64::MAX && e <= now_epoch && now_epoch - e < span {
+                out.merge(hist);
+            }
+        }
+        out
+    }
+
+    /// Percentile roll-up of the live window ending at `now_ns`.
+    pub fn summary(&self, now_ns: u64) -> PercentileSummary {
+        self.merged(now_ns).summary()
     }
 }
 
@@ -305,6 +395,52 @@ mod tests {
         // record() on a saturated histogram stays saturated too.
         a.record(v);
         assert_eq!(a.count(), u64::MAX);
+    }
+
+    #[test]
+    fn windowed_hist_ages_out_old_samples() {
+        // 4 buckets × 1 ms = 4 ms window.
+        let mut w = WindowedHist::new(4, 1_000_000);
+        w.record(500_000, 10); // epoch 0
+        w.record(1_500_000, 20); // epoch 1
+        assert_eq!(w.merged(1_600_000).count(), 2);
+        // At t=4.5ms, epoch 0 has aged out; epoch 1 is still visible.
+        assert_eq!(w.merged(4_500_000).count(), 1);
+        // At t=5.5ms, both are gone.
+        assert_eq!(w.merged(5_500_000).count(), 0);
+    }
+
+    #[test]
+    fn windowed_hist_reuses_stale_slots() {
+        let mut w = WindowedHist::new(2, 1_000);
+        w.record(500, 1); // epoch 0 → slot 0
+        w.record(2_500, 2); // epoch 2 → slot 0 again: clears epoch 0
+        let m = w.merged(2_600);
+        assert_eq!(m.count(), 1);
+        assert_eq!(m.max(), 2);
+    }
+
+    #[test]
+    fn windowed_summary_tracks_percentiles_live() {
+        let mut w = WindowedHist::new(8, 1_000_000);
+        for i in 0..1000u64 {
+            w.record(i * 1_000, (i + 1) * 100);
+        }
+        let s = w.summary(1_000_000);
+        assert_eq!(s.count, 1000);
+        assert!(s.p999_ns >= s.p99_ns && s.p99_ns >= s.p50_ns);
+        assert!(s.p999_ns <= s.max_ns);
+    }
+
+    #[test]
+    fn p999_is_monotone_with_p99() {
+        let mut h = LatencyHist::new();
+        for v in 1..=10_000u64 {
+            h.record(v);
+        }
+        let s = h.summary();
+        assert!(s.p999_ns >= s.p99_ns, "p999={} p99={}", s.p999_ns, s.p99_ns);
+        assert!(s.p999_ns <= s.max_ns);
     }
 
     #[test]

@@ -44,6 +44,7 @@ mod clock;
 pub mod correlate;
 pub mod diag;
 mod event;
+pub mod health;
 mod hist;
 mod json;
 pub mod report;
@@ -55,8 +56,9 @@ pub use clock::{secs_to_ns, Clock, ManualClock, MonotonicClock};
 pub use correlate::{correlate, flight_json, FlightRecord, MessageTimeline, Violation};
 pub use diag::{diagnose, diagnostics_json, DiagConfig, DiagKind, Diagnostic, RankStats};
 pub use event::{CollAlgo, CollOp, Event, EventKind, FaultKind, MsgId, PacketKind};
-pub use hist::{LatencyHist, PercentileSummary};
+pub use health::{AtomicHist, ThreadHealth, ThreadHealthSnapshot, TimeBucket};
+pub use hist::{LatencyHist, PercentileSummary, WindowedHist};
 pub use json::validate as validate_json;
 pub use report::{attribute_ping_pong, table1_json, PhaseBreakdown, Table1Row};
 pub use ser::{to_json, SerError};
-pub use tracer::{TraceBuffer, Tracer};
+pub use tracer::{current_tid, thread_names, TraceBuffer, Tracer};

@@ -15,9 +15,50 @@
 //!    share the ring via `Arc`.
 
 use parking_lot::Mutex;
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU32, Ordering::Relaxed};
 use std::sync::Arc;
 
 use crate::event::{Event, EventKind, MsgId};
+
+/// Next process-local thread id to hand out (0 is "unassigned").
+static NEXT_TID: AtomicU32 = AtomicU32::new(1);
+
+/// Registry of (tid, thread name) pairs, appended once per thread on its
+/// first [`current_tid`] call. The Chrome exporter reads it to emit
+/// `thread_name` metadata records.
+static THREAD_NAMES: Mutex<Vec<(u32, String)>> = Mutex::new(Vec::new());
+
+thread_local! {
+    static TID: Cell<u32> = const { Cell::new(0) };
+}
+
+/// Small process-local id of the calling thread, assigned densely in
+/// first-use order (starting at 1). The first call on each thread also
+/// registers the thread's name (or `thread-{tid}` for unnamed threads)
+/// for [`thread_names`]. Subsequent calls are a thread-local read.
+#[inline]
+pub fn current_tid() -> u32 {
+    TID.with(|c| {
+        let v = c.get();
+        if v != 0 {
+            return v;
+        }
+        let id = NEXT_TID.fetch_add(1, Relaxed);
+        let name = std::thread::current()
+            .name()
+            .map(str::to_string)
+            .unwrap_or_else(|| format!("thread-{id}"));
+        THREAD_NAMES.lock().push((id, name));
+        c.set(id);
+        id
+    })
+}
+
+/// All (tid, name) pairs registered so far, in first-use order.
+pub fn thread_names() -> Vec<(u32, String)> {
+    THREAD_NAMES.lock().clone()
+}
 
 /// Overwriting ring of events. `head` points at the oldest entry once the
 /// ring has wrapped.
@@ -125,7 +166,13 @@ impl Tracer {
     pub fn emit_msg_with(&self, msg: MsgId, now: impl FnOnce() -> u64, kind: EventKind) {
         if let Some(shared) = &self.0 {
             let t_ns = now();
-            shared.ring.lock().push(Event { t_ns, msg, kind });
+            let tid = current_tid();
+            shared.ring.lock().push(Event {
+                t_ns,
+                tid,
+                msg,
+                kind,
+            });
         }
     }
 
@@ -133,7 +180,13 @@ impl Tracer {
     #[inline]
     pub fn emit_msg_at(&self, t_ns: u64, msg: MsgId, kind: EventKind) {
         if let Some(shared) = &self.0 {
-            shared.ring.lock().push(Event { t_ns, msg, kind });
+            let tid = current_tid();
+            shared.ring.lock().push(Event {
+                t_ns,
+                tid,
+                msg,
+                kind,
+            });
         }
     }
 
@@ -242,6 +295,32 @@ mod tests {
         let t = Tracer::enabled(0, 4);
         t.emit_with(|| 42, ev(0));
         assert_eq!(t.snapshot().events[0].t_ns, 42);
+    }
+
+    #[test]
+    fn events_carry_the_emitting_thread_id() {
+        let t = Tracer::enabled(0, 8);
+        t.emit_at(1, ev(0));
+        let here = current_tid();
+        let t2 = t.clone();
+        let other = std::thread::Builder::new()
+            .name("tracer-test-helper".into())
+            .spawn(move || {
+                t2.emit_at(2, ev(0));
+                current_tid()
+            })
+            .unwrap()
+            .join()
+            .unwrap();
+        let snap = t.snapshot();
+        assert_eq!(snap.events[0].tid, here);
+        assert_eq!(snap.events[1].tid, other);
+        assert_ne!(here, other);
+        let names = thread_names();
+        assert!(names.iter().any(|(id, _)| *id == here));
+        assert!(names
+            .iter()
+            .any(|(id, n)| *id == other && n == "tracer-test-helper"));
     }
 
     #[test]
