@@ -33,6 +33,11 @@
 //!    virtual-time substrates (`sim-tcp`, `meiko`), where the simulator
 //!    clock makes the comparison deterministic; the wall-clock `shm`
 //!    cells are reported but not gated.
+//! 4. **Typed-transfer gate** over `target/ddtbench.json` (written by
+//!    `ddtbench`, path overridable via `DDTBENCH`): the zero-copy
+//!    `send_typed`/`recv_typed` path must beat the copying
+//!    pack-then-send reference by ≥1.3x at the 256 KiB strided-transpose
+//!    cell on shm; the other cells are reported ungated.
 //!
 //! No JSON dependency is available in this workspace, so both criterion's
 //! `estimates.json` and the baseline file are parsed by direct scanning.
@@ -101,6 +106,28 @@ const MAX_OVERLAP_RATIO: f64 = 0.90;
 /// fixed algorithm's performance in every swept cell (time ratio:
 /// `dispatch_ns <= best_ns / 0.95`).
 const MIN_COLL_DISPATCH_RATIO: f64 = 0.95;
+
+/// The zero-copy typed transfer must beat the copying pack-then-send
+/// reference by at least this factor (`packed_ns / typed_ns >= 1.3`) at
+/// the gated ddtbench cell. Same-run, same-machine ratio, so it holds on
+/// noisy runners.
+const MIN_TYPED_SPEEDUP: f64 = 1.3;
+
+/// The ddtbench cell the typed speedup is enforced at: the 256 KiB
+/// strided-transpose transfer on shm. Keep in sync with `ddtbench.rs`
+/// (`MATRIX_N * max width * 8`).
+const DDT_GATE_CELL: &str = "shm/transpose/262144";
+
+/// All ddtbench cells, reported (ungated except [`DDT_GATE_CELL`]); keep
+/// in sync with `ddtbench.rs`.
+const DDT_CELLS: [&str; 6] = [
+    "shm/transpose/16384",
+    "shm/transpose/65536",
+    "shm/transpose/262144",
+    "shm/face/2048",
+    "shm/face/8192",
+    "shm/face/32768",
+];
 
 /// Collective sweep payload sizes; keep in sync with `coll_tune.rs`.
 const COLL_SIZES: [usize; 4] = [64, 4096, 65536, 1 << 20];
@@ -312,6 +339,21 @@ fn main() -> ExitCode {
         }
     }
 
+    // --- Typed-transfer gate over the ddtbench sweep -------------------
+    if !record {
+        let ddt_path = std::env::var("DDTBENCH")
+            .map(PathBuf::from)
+            .unwrap_or_else(|_| PathBuf::from("target/ddtbench.json"));
+        match std::fs::read_to_string(&ddt_path) {
+            Ok(text) => check_ddtbench(&text, &mut failures),
+            Err(e) => failures.push(format!(
+                "cannot read ddtbench sweep {} ({e}); run \
+                 `cargo run --release -p lmpi-bench --bin ddtbench` first",
+                ddt_path.display()
+            )),
+        }
+    }
+
     // --- Absolute gates vs committed baseline --------------------------
     let baseline_text = match std::fs::read_to_string(&baseline_path) {
         Ok(t) => t,
@@ -375,6 +417,37 @@ fn main() -> ExitCode {
             eprintln!("  {f}");
         }
         ExitCode::FAILURE
+    }
+}
+
+/// Enforce the typed-transfer gate over a `ddtbench` sweep: every cell is
+/// reported, and at [`DDT_GATE_CELL`] the zero-copy typed path must beat
+/// the copying packed reference by [`MIN_TYPED_SPEEDUP`].
+fn check_ddtbench(text: &str, failures: &mut Vec<String>) {
+    for cell in DDT_CELLS {
+        let gated = cell == DDT_GATE_CELL;
+        let typed = json_entry_number(text, &format!("{cell}/typed"));
+        let packed = json_entry_number(text, &format!("{cell}/packed"));
+        let (Some(typed_ns), Some(packed_ns)) = (typed, packed) else {
+            if gated {
+                failures.push(format!("{cell}: missing from ddtbench sweep"));
+            } else {
+                println!("ddt {cell}: missing from ddtbench sweep (not gated)");
+            }
+            continue;
+        };
+        let speedup = packed_ns / typed_ns;
+        let tag = if gated { "" } else { " (not gated)" };
+        println!(
+            "ddt {cell}: typed {typed_ns:.0} ns vs packed {packed_ns:.0} ns \
+             ({speedup:.2}x, need >={MIN_TYPED_SPEEDUP}x){tag}"
+        );
+        if gated && (speedup < MIN_TYPED_SPEEDUP || speedup.is_nan()) {
+            failures.push(format!(
+                "{cell}: typed path only {speedup:.3}x the packed reference \
+                 ({typed_ns:.0} ns vs {packed_ns:.0} ns, need >={MIN_TYPED_SPEEDUP}x)"
+            ));
+        }
     }
 }
 

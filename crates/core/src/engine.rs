@@ -80,6 +80,13 @@ pub struct Counters {
     /// Frames handled by the background progress thread (a subset of
     /// `wires_handled`). Zero on caller-driven substrates.
     pub progress_frames: u64,
+    /// Times the payload staging pool grew a fresh allocation instead of
+    /// reclaiming its pooled block (first stage, frames staged while older
+    /// handles were alive, or a larger payload than ever before). A
+    /// steady-state send loop — contiguous or typed gather-on-pack —
+    /// holds this constant; the typed-transfer tests assert on it to
+    /// prove the eager path performs zero intermediate heap staging.
+    pub pool_grows: u64,
 }
 
 struct PendingSend {
@@ -269,6 +276,7 @@ impl Engine {
         c.matches = self.match_eng.matches;
         c.unexpected_hits = self.match_eng.unexpected_hits;
         c.match_bins_hwm = self.match_eng.bins_hwm;
+        c.pool_grows = self.payload_pool.grows();
         c
     }
 
@@ -329,6 +337,14 @@ impl Engine {
     /// allocation-free; see [`FramePool`].
     pub(crate) fn stage_payload<T: MpiData>(&mut self, buf: &[T]) -> Bytes {
         self.payload_pool.stage(buf)
+    }
+
+    /// Gather a flattened datatype's runs out of `memory` straight into
+    /// the reusable staging pool — the typed send path's packing step:
+    /// no intermediate `Vec`, allocation-free once warm. The caller must
+    /// have validated `flat.fits(memory.len())`.
+    pub(crate) fn stage_gather(&mut self, flat: &crate::dtype::FlatLayout, memory: &[u8]) -> Bytes {
+        self.payload_pool.stage_gather(flat, memory)
     }
 
     // ------------------------------------------------------------------
@@ -609,7 +625,7 @@ impl Engine {
                 ))));
             }
         }
-        let req_id = self.reqs.alloc(ReqState::RecvPosted { dst });
+        let req_id = self.reqs.alloc(ReqState::RecvPosted { dst: dst.clone() });
         self.tracer.emit_with(
             || dev.now_ns(),
             EventKind::RecvPosted {
@@ -806,7 +822,7 @@ impl Engine {
                         },
                     );
                     let dst = match self.reqs.get(posted.recv_id) {
-                        Some(ReqState::RecvPosted { dst }) => *dst,
+                        Some(ReqState::RecvPosted { dst }) => dst.clone(),
                         other => {
                             return Err(MpiError::transport_peer(
                                 env.src,
@@ -904,7 +920,7 @@ impl Engine {
                         },
                     );
                     let dst = match self.reqs.get(posted.recv_id) {
-                        Some(ReqState::RecvPosted { dst }) => *dst,
+                        Some(ReqState::RecvPosted { dst }) => dst.clone(),
                         other => {
                             return Err(MpiError::transport_peer(
                                 env.src,
@@ -1046,7 +1062,7 @@ impl Engine {
             }
             Packet::RndvData { recv_id, data } => {
                 let (dst, status) = match self.reqs.get(recv_id) {
-                    Some(ReqState::RecvRndvWait { dst, status, .. }) => (*dst, *status),
+                    Some(ReqState::RecvRndvWait { dst, status, .. }) => (dst.clone(), *status),
                     other => {
                         return Err(MpiError::transport_peer(
                             wire.src,
@@ -1095,7 +1111,7 @@ impl Engine {
                         status,
                         send_id,
                         received,
-                    }) => (*dst, *status, *send_id, *received),
+                    }) => (dst.clone(), *status, *send_id, *received),
                     other => {
                         return Err(MpiError::transport_peer(
                             wire.src,
@@ -1573,10 +1589,7 @@ mod tests {
     }
 
     fn dest(buf: &mut [u8]) -> RecvDest {
-        RecvDest {
-            ptr: buf.as_mut_ptr(),
-            cap: buf.len(),
-        }
+        RecvDest::contiguous(buf.as_mut_ptr(), buf.len())
     }
 
     /// Move every frame rank-`a` sent to rank-`b`'s engine, and vice versa,

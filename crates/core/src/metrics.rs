@@ -194,6 +194,12 @@ impl MetricsSnapshot {
             "Frames handled by the background progress thread.",
             c.progress_frames,
         );
+        counter(
+            &mut out,
+            "lmpi_pool_grows_total",
+            "Fresh allocations by the payload staging pool (steady-state sends reclaim instead).",
+            c.pool_grows,
+        );
         push_metric(
             &mut out,
             "lmpi_unexpected_hwm",

@@ -26,6 +26,7 @@ use parking_lot::{Condvar, Mutex, MutexGuard};
 use crate::config::MpiConfig;
 use crate::datatype::MpiData;
 use crate::device::{Cost, Device, TransportStats};
+use crate::dtype::CommittedType;
 use crate::engine::{Counters, Engine};
 use crate::error::{MpiError, MpiResult};
 use crate::metrics::MetricsSnapshot;
@@ -861,10 +862,7 @@ impl Communicator {
         self.check_not_revoked()?;
         self.take_pending_error()?;
         let src = self.src_sel(src)?;
-        let dst = RecvDest {
-            ptr: buf.as_mut_ptr() as *mut u8,
-            cap: std::mem::size_of_val(buf),
-        };
+        let dst = RecvDest::contiguous(buf.as_mut_ptr() as *mut u8, std::mem::size_of_val(buf));
         Ok(self
             .inner
             .lock_eng()
@@ -968,6 +966,155 @@ impl Communicator {
             .enabled
             .then(|| self.inner.device.now_ns());
         let id = self.post_recv_raw(buf, src.into(), tag.into(), self.ctx)?;
+        Ok(self.request(id, t0.map(|t| (WinKind::Recv, t))))
+    }
+
+    // ------------------------------------------------------------------
+    // Typed point-to-point: zero-copy derived-datatype transfers
+    // ------------------------------------------------------------------
+
+    /// Post the typed send under the engine lock: gather the layout's
+    /// runs straight into the reusable staging pool (no intermediate
+    /// `Vec` — the typed analogue of `stage_payload`) and hand the frozen
+    /// bytes to the protocol.
+    fn post_send_typed(
+        &self,
+        ty: &CommittedType,
+        memory: &[u8],
+        dst: Rank,
+        tag: Tag,
+        mode: SendMode,
+    ) -> MpiResult<u64> {
+        Self::check_tag(tag)?;
+        self.check_not_revoked()?;
+        self.take_pending_error()?;
+        ty.layout().fits(memory.len())?;
+        let dst_g = self.global(dst)?;
+        let mut eng = self.inner.lock_eng();
+        let data = eng.stage_gather(ty.layout(), memory);
+        eng.post_send(&*self.inner.device, dst_g, tag, self.ctx, data, mode)
+    }
+
+    /// `MPI_Send` over a committed datatype: transmit the bytes `ty`
+    /// selects out of `memory` without packing through an intermediate
+    /// buffer. Eager payloads gather run-by-run directly into the
+    /// transmit staging pool; rendezvous payloads stream as chunks the
+    /// receiver scatters straight into its own layout. `memory` must
+    /// cover the type's full extent.
+    pub fn send_typed(
+        &self,
+        ty: &CommittedType,
+        memory: &[u8],
+        dst: Rank,
+        tag: Tag,
+    ) -> MpiResult<()> {
+        let t0 = self
+            .inner
+            .health
+            .enabled
+            .then(|| self.inner.device.now_ns());
+        let id = self.post_send_typed(ty, memory, dst, tag, SendMode::Standard)?;
+        self.inner.wait_request(id)?;
+        if let Some(t0) = t0 {
+            let now = self.inner.device.now_ns();
+            self.inner.health.record_send(now, now.saturating_sub(t0));
+        }
+        Ok(())
+    }
+
+    /// `MPI_Isend` over a committed datatype (see
+    /// [`send_typed`](Self::send_typed)).
+    pub fn isend_typed<'a>(
+        &self,
+        ty: &CommittedType,
+        memory: &'a [u8],
+        dst: Rank,
+        tag: Tag,
+    ) -> MpiResult<Request<'a>> {
+        let t0 = self
+            .inner
+            .health
+            .enabled
+            .then(|| self.inner.device.now_ns());
+        let id = self.post_send_typed(ty, memory, dst, tag, SendMode::Standard)?;
+        Ok(self.request(id, t0.map(|t| (WinKind::Send, t))))
+    }
+
+    /// Post the typed receive: the committed layout rides inside the
+    /// request's destination, so eager payloads scatter on delivery and
+    /// every rendezvous chunk scatters at its offset directly into the
+    /// non-contiguous buffer — no contiguous staging on this end either.
+    fn post_recv_typed(
+        &self,
+        ty: &CommittedType,
+        memory: &mut [u8],
+        src: SourceSel,
+        tag: TagSel,
+    ) -> MpiResult<u64> {
+        if let TagSel::Tag(t) = tag {
+            Self::check_tag(t)?;
+        }
+        self.check_not_revoked()?;
+        self.take_pending_error()?;
+        let flat = ty.layout();
+        flat.fits(memory.len())?;
+        if flat.overlapping() {
+            return Err(MpiError::Unsupported {
+                what: "receiving into a datatype whose runs overlap in memory \
+                       (the scatter result would be ill-defined)"
+                    .to_string(),
+            });
+        }
+        let src = self.src_sel(src)?;
+        let dst = RecvDest::typed(memory.as_mut_ptr(), ty.shared());
+        Ok(self
+            .inner
+            .lock_eng()
+            .post_recv(&*self.inner.device, dst, src, tag, self.ctx))
+    }
+
+    /// `MPI_Recv` over a committed datatype: fill the bytes `ty` selects
+    /// in `memory`, leaving holes untouched. The returned
+    /// [`Status::len`] counts *message* (packed) bytes; a shorter
+    /// message scatters only its prefix, a longer one fails with the
+    /// usual typed truncation error. Types whose runs overlap in memory
+    /// are rejected with [`MpiError::Unsupported`].
+    pub fn recv_typed(
+        &self,
+        ty: &CommittedType,
+        memory: &mut [u8],
+        src: impl Into<SourceSel>,
+        tag: impl Into<TagSel>,
+    ) -> MpiResult<Status> {
+        let t0 = self
+            .inner
+            .health
+            .enabled
+            .then(|| self.inner.device.now_ns());
+        let id = self.post_recv_typed(ty, memory, src.into(), tag.into())?;
+        let st = self.inner.wait_request(id)?;
+        if let Some(t0) = t0 {
+            let now = self.inner.device.now_ns();
+            self.inner.health.record_recv(now, now.saturating_sub(t0));
+        }
+        Ok(self.localize(st))
+    }
+
+    /// `MPI_Irecv` over a committed datatype (see
+    /// [`recv_typed`](Self::recv_typed)).
+    pub fn irecv_typed<'a>(
+        &self,
+        ty: &CommittedType,
+        memory: &'a mut [u8],
+        src: impl Into<SourceSel>,
+        tag: impl Into<TagSel>,
+    ) -> MpiResult<Request<'a>> {
+        let t0 = self
+            .inner
+            .health
+            .enabled
+            .then(|| self.inner.device.now_ns());
+        let id = self.post_recv_typed(ty, memory, src.into(), tag.into())?;
         Ok(self.request(id, t0.map(|t| (WinKind::Recv, t))))
     }
 

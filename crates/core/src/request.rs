@@ -5,11 +5,16 @@
 //! in MPICH's layering, so everything funnels through here.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
+use crate::dtype::FlatLayout;
 use crate::error::{MpiError, MpiResult};
 use crate::types::Status;
 
-/// Where a receive delivers its payload.
+/// Where a receive delivers its payload: a contiguous buffer, or a
+/// non-contiguous layout scattered through a committed datatype's iovec
+/// runs (the typed zero-copy path — each arriving chunk lands at its
+/// offset in the posted layout, never in a staging buffer).
 ///
 /// # Safety contract
 /// The pointer originates from a `&mut [u8]` whose borrow is held for the
@@ -17,16 +22,25 @@ use crate::types::Status;
 /// the public `Request` type, and by `Request::drop` blocking until
 /// completion). The engine writes through it before marking the request
 /// done — at most once per byte range (a chunked rendezvous writes each
-/// disjoint chunk once) — and always while holding the rank's engine
-/// mutex. The application thread never touches the buffer between posting
-/// the receive and observing completion (the borrow forbids it), so moving
+/// disjoint chunk once; typed receives reject overlapping layouts at post
+/// time) — and always while holding the rank's engine mutex. The
+/// application thread never touches the buffer between posting the
+/// receive and observing completion (the borrow forbids it), so moving
 /// the pointer to the background progress thread creates no aliasing: all
 /// writes happen-before the completion the waiter reads under the same
-/// mutex.
-#[derive(Debug, Clone, Copy)]
+/// mutex. The poster guarantees the buffer is writable for `cap` bytes
+/// (contiguous) or the layout's `mem_span()` bytes (typed — validated
+/// against the buffer length via `FlatLayout::fits` before posting).
+#[derive(Debug, Clone)]
 pub(crate) struct RecvDest {
     pub ptr: *mut u8,
+    /// Capacity in *message* (packed) bytes: the buffer length for a
+    /// contiguous destination, the layout's packed size for a typed one.
+    /// The engine's truncation verdicts compare message totals against
+    /// this, identically for both shapes.
     pub cap: usize,
+    /// Scatter layout for a typed destination; `None` = contiguous.
+    pub layout: Option<Arc<FlatLayout>>,
 }
 
 // SAFETY: see the type-level contract — the engine (behind `Mutex<Engine>`)
@@ -35,12 +49,32 @@ pub(crate) struct RecvDest {
 unsafe impl Send for RecvDest {}
 
 impl RecvDest {
+    /// A destination filling a contiguous buffer of `cap` bytes.
+    pub(crate) fn contiguous(ptr: *mut u8, cap: usize) -> Self {
+        RecvDest {
+            ptr,
+            cap,
+            layout: None,
+        }
+    }
+
+    /// A destination scattering through `layout`'s runs. The poster must
+    /// have validated that the buffer at `ptr` covers the layout
+    /// (`FlatLayout::fits`) and that the layout does not overlap itself.
+    pub(crate) fn typed(ptr: *mut u8, layout: Arc<FlatLayout>) -> Self {
+        RecvDest {
+            ptr,
+            cap: layout.packed_size(),
+            layout: Some(layout),
+        }
+    }
+
     /// Copy `data` into the destination, clamping to capacity. Returns the
     /// per-request result: `Ok` with delivered length, or `Truncated`.
     ///
     /// # Safety
-    /// See the type-level contract: `ptr..ptr+cap` must be writable and
-    /// unaliased for the duration of the call.
+    /// See the type-level contract: the destination region must be
+    /// writable and unaliased for the duration of the call.
     pub(crate) unsafe fn deliver(&self, data: &[u8]) -> MpiResult<usize> {
         // SAFETY: contract forwarded to `deliver_at`.
         let n = unsafe { self.deliver_at(0, data) };
@@ -54,17 +88,24 @@ impl RecvDest {
         }
     }
 
-    /// Copy `data` into the destination starting at byte `offset`,
-    /// clamping to capacity (bytes past `cap` are silently dropped — the
-    /// caller decides whether the whole message truncated). Returns the
-    /// number of bytes written. Chunked rendezvous writes each segment at
-    /// its offset, so the posted buffer fills in place with no
-    /// intermediate staging.
+    /// Copy `data` into the destination starting at *message* byte
+    /// `offset`, clamping to capacity (bytes past `cap` are silently
+    /// dropped — the caller decides whether the whole message truncated).
+    /// Returns the number of bytes written. Chunked rendezvous writes each
+    /// segment at its offset, so the posted buffer — contiguous or a
+    /// datatype's scattered runs — fills in place with no intermediate
+    /// staging.
     ///
     /// # Safety
-    /// See the type-level contract: `ptr..ptr+cap` must be writable and
-    /// unaliased for the duration of the call.
+    /// See the type-level contract: the destination region must be
+    /// writable and unaliased for the duration of the call.
     pub(crate) unsafe fn deliver_at(&self, offset: usize, data: &[u8]) -> usize {
+        if let Some(layout) = &self.layout {
+            // SAFETY: the poster validated the buffer covers
+            // `layout.mem_span()` bytes; the scatter writes only within
+            // the layout's runs (and drops bytes past the packed size).
+            return unsafe { layout.scatter_raw(offset, data, self.ptr) };
+        }
         if offset >= self.cap {
             return 0;
         }
@@ -263,10 +304,7 @@ mod tests {
     #[test]
     fn deliver_copies_and_detects_truncation() {
         let mut buf = [0u8; 4];
-        let dst = RecvDest {
-            ptr: buf.as_mut_ptr(),
-            cap: buf.len(),
-        };
+        let dst = RecvDest::contiguous(buf.as_mut_ptr(), buf.len());
         // SAFETY: `buf` outlives the calls and is unaliased.
         let ok = unsafe { dst.deliver(b"ab") };
         assert_eq!(ok, Ok(2));
@@ -286,10 +324,7 @@ mod tests {
     #[test]
     fn deliver_at_writes_offsets_and_clamps() {
         let mut buf = [0u8; 6];
-        let dst = RecvDest {
-            ptr: buf.as_mut_ptr(),
-            cap: buf.len(),
-        };
+        let dst = RecvDest::contiguous(buf.as_mut_ptr(), buf.len());
         // SAFETY: `buf` outlives the calls and is unaliased.
         unsafe {
             assert_eq!(dst.deliver_at(4, b"ef"), 2);
@@ -302,5 +337,38 @@ mod tests {
             assert_eq!(dst.deliver_at(usize::MAX, b"zz"), 0);
         }
         assert_eq!(&buf, b"abcdex");
+    }
+
+    #[test]
+    fn typed_dest_scatters_chunks_through_layout_runs() {
+        // Layout runs [0..2), [5..7), [10..12): packed capacity 6.
+        let flat = Arc::new(
+            crate::dtype::DataType::base(1)
+                .vector(3, 2, 5)
+                .flatten()
+                .expect("small layout"),
+        );
+        let mut buf = [0u8; 12];
+        let dst = RecvDest::typed(buf.as_mut_ptr(), Arc::clone(&flat));
+        assert_eq!(dst.cap, 6, "typed cap is the packed size");
+        // SAFETY: `buf` covers the layout's mem_span and is unaliased.
+        unsafe {
+            // Two "chunks" at message offsets, like a rendezvous stream.
+            assert_eq!(dst.deliver_at(0, b"abcd"), 4);
+            assert_eq!(dst.deliver_at(4, b"ef"), 2);
+        }
+        assert_eq!(&buf, b"ab\0\0\0cd\0\0\0ef");
+        // Oversized eager payload: prefix scattered, typed truncation.
+        let mut buf2 = [0u8; 12];
+        let dst2 = RecvDest::typed(buf2.as_mut_ptr(), flat);
+        let trunc = unsafe { dst2.deliver(b"ABCDEFGH") };
+        assert_eq!(
+            trunc,
+            Err(MpiError::Truncated {
+                message_len: 8,
+                buffer_len: 6
+            })
+        );
+        assert_eq!(&buf2, b"AB\0\0\0CD\0\0\0EF");
     }
 }

@@ -312,10 +312,7 @@ impl Communicator {
         let src = self.global(src_local)?;
         let inner = self.inner();
         let mut triple: Triple = [0; 3];
-        let dst = RecvDest {
-            ptr: triple.as_mut_ptr().cast::<u8>(),
-            cap: TRIPLE_BYTES,
-        };
+        let dst = RecvDest::contiguous(triple.as_mut_ptr().cast::<u8>(), TRIPLE_BYTES);
         let id = inner.eng.lock().post_recv(
             &*inner.device,
             dst,

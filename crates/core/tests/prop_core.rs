@@ -189,21 +189,42 @@ proptest! {
 
     #[test]
     fn pack_unpack_roundtrip(t in dtype_strategy(), seed in any::<u64>()) {
-        let extent = t.extent();
+        let extent = t.extent().unwrap();
         let mem: Vec<u8> = (0..extent).map(|i| ((i as u64).wrapping_mul(seed | 1) >> 3) as u8).collect();
-        let packed = t.pack(&mem);
-        prop_assert_eq!(packed.len(), t.packed_size());
+        let packed = t.pack(&mem).unwrap();
+        prop_assert_eq!(packed.len(), t.packed_size().unwrap());
         let mut out = vec![0u8; extent];
-        t.unpack(&packed, &mut out);
+        t.unpack(&packed, &mut out).unwrap();
         // Repacking the unpacked memory gives the same message bytes.
-        prop_assert_eq!(t.pack(&out), packed);
+        prop_assert_eq!(t.pack(&out).unwrap(), packed);
     }
 
     #[test]
     fn packed_size_never_exceeds_extent(t in dtype_strategy()) {
-        prop_assert!(t.packed_size() <= t.extent().max(t.packed_size()));
+        let packed = t.packed_size().unwrap();
         // extent >= packed size for non-overlapping layouts
-        prop_assert!(t.extent() >= t.packed_size());
+        prop_assert!(t.extent().unwrap() >= packed);
+    }
+
+    #[test]
+    fn flatten_agrees_with_pack(t in dtype_strategy(), seed in any::<u64>()) {
+        let flat = t.flatten().unwrap();
+        prop_assert_eq!(flat.packed_size(), t.packed_size().unwrap());
+        prop_assert_eq!(flat.extent(), t.extent().unwrap());
+        prop_assert!(flat.mem_span() <= flat.extent());
+        // Runs cover the packed message exactly, in order, coalesced.
+        let mut at = 0usize;
+        for r in flat.runs() {
+            prop_assert_eq!(r.packed_off, at);
+            prop_assert!(r.len > 0);
+            at += r.len;
+        }
+        prop_assert_eq!(at, flat.packed_size());
+        // Gathering via the runs equals the tree-walk pack.
+        let mem: Vec<u8> = (0..flat.extent())
+            .map(|i| ((i as u64).wrapping_mul(seed | 1) >> 3) as u8)
+            .collect();
+        prop_assert_eq!(flat.pack(&mem).unwrap(), t.pack(&mem).unwrap());
     }
 
     #[test]

@@ -44,11 +44,11 @@
 pub use lmpi_core::{
     dims_create, from_bytes, start_all, test_all, to_bytes, validate_prometheus, wait_all,
     wait_any, AllgatherAlgo, AllreduceAlgo, BarrierAlgo, BcastAlgo, CartComm, CollDispatchEntry,
-    CollPins, CollTable, CollWindow, Communicator, Cost, Counters, DataType, Device,
-    DeviceDefaults, DiagSummary, Group, HealthReport, HistEntry, Loc, MetricsServer,
-    MetricsSnapshot, Mpi, MpiConfig, MpiData, MpiError, MpiResult, PersistentRecv, PersistentSend,
-    Rank, ReduceOp, Reducible, Request, SendMode, SourceSel, Status, TableEntry, Tag, TagSel,
-    TransportStats, TAG_UB,
+    CollPins, CollTable, CollWindow, CommittedType, Communicator, Cost, Counters, DataType, Device,
+    DeviceDefaults, DiagSummary, FlatLayout, Group, HealthReport, HistEntry, IovRun, Loc,
+    MetricsServer, MetricsSnapshot, Mpi, MpiConfig, MpiData, MpiError, MpiResult, PersistentRecv,
+    PersistentSend, Rank, ReduceOp, Reducible, Request, SendMode, SourceSel, Status, TableEntry,
+    Tag, TagSel, TransportStats, TAG_UB,
 };
 
 /// Protocol observability: tracing, histograms, trace export, Table-1
